@@ -1,0 +1,30 @@
+"""Figure 1: timer usage frequency on a busy Vista desktop.
+
+Regenerates the per-second timers-set series for Outlook, the browser,
+system processes and the kernel over the 90-second desktop trace, and
+asserts the paper's headline numbers: kernel around a thousand per
+second, browser tens per second, Outlook ~70/s baseline with bursts
+into the thousands from the wrap-every-upcall idiom.
+"""
+
+from repro.core import rate_series, render_rates
+
+from conftest import save_result
+
+GROUPS = ("Outlook", "Browser", "System", "Kernel")
+
+
+def test_fig01_vista_desktop_rates(traces, benchmark, results_dir):
+    trace = traces.trace("vista", "desktop")
+    rates = benchmark.pedantic(lambda: rate_series(trace),
+                               rounds=1, iterations=1)
+    text = render_rates(rates, groups=list(GROUPS))
+    save_result(results_dir, "fig01_vista_rates", text)
+
+    assert 400 < rates.mean("Kernel") < 2000          # "around a thousand"
+    assert 10 < rates.mean("Browser") < 150           # "tens per second"
+    assert rates.peak("Outlook") > 1000               # burst idiom
+    # Baseline Outlook rate outside bursts: median bucket ~70/s.
+    outlook = sorted(rates.series["Outlook"])
+    median = outlook[len(outlook) // 2]
+    assert 30 < median < 200

@@ -1,0 +1,39 @@
+"""Figure 2: common Linux timer usage patterns.
+
+Regenerates the %-of-timers-per-class bars for each workload and
+asserts the paper's reading: the Idle workload is dominated by periodic
+background tasks and employs almost no watchdogs; Apache uses watchdogs
+to time out connections; the soft-realtime workloads (Skype, Firefox)
+carry a large unclassified share of very short timers.
+"""
+
+from repro.core import pattern_breakdown
+
+from conftest import save_result
+
+WORKLOADS = ("idle", "skype", "firefox", "webserver")
+CLASSES = ("delay", "periodic", "timeout", "watchdog", "other")
+
+
+def test_fig02_linux_usage_patterns(traces, benchmark, results_dir):
+    runs = {wl: traces.trace("linux", wl) for wl in WORKLOADS}
+    breakdowns = benchmark.pedantic(
+        lambda: {wl: pattern_breakdown(trace)
+                 for wl, trace in runs.items()},
+        rounds=1, iterations=1)
+
+    lines = ["workload    " + "".join(f"{c:>10}" for c in CLASSES)]
+    rows = {}
+    for workload, breakdown in breakdowns.items():
+        row = breakdown.figure2_row()
+        rows[workload] = row
+        lines.append(f"{workload:<12}"
+                     + "".join(f"{row[c]:>9.1f}%" for c in CLASSES))
+    save_result(results_dir, "fig02_patterns", "\n".join(lines))
+
+    assert rows["idle"]["periodic"] == max(rows["idle"].values())
+    assert rows["idle"]["watchdog"] < 5.0
+    assert rows["webserver"]["watchdog"] > 5.0
+    assert rows["webserver"]["timeout"] > 30.0
+    for workload in ("skype", "firefox"):
+        assert rows[workload]["other"] > 25.0

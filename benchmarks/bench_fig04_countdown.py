@@ -1,0 +1,44 @@
+"""Figure 4: dot plot of X's select-timeout countdown.
+
+Regenerates the (time, set-value) series for the Xorg process and
+asserts the sawtooth: values start at the 600 s nominal timeout,
+decrease monotonically as fd activity wakes select, and reset.
+"""
+
+from repro.sim.clock import SECOND
+from repro.core import countdown_series
+
+from conftest import save_result
+
+
+def render_dotplot(series, *, rows=16, cols=72, max_value=None):
+    if not series:
+        return "(no points)"
+    t_max = max(ts for ts, _ in series) or 1
+    v_max = max_value or max(v for _, v in series) or 1
+    grid = [[" "] * cols for _ in range(rows)]
+    for ts, value in series:
+        x = min(cols - 1, int(ts / t_max * (cols - 1)))
+        y = min(rows - 1, int(value / v_max * (rows - 1)))
+        grid[rows - 1 - y][x] = "."
+    lines = ["".join(row) for row in grid]
+    lines.append(f"0 .. {t_max / SECOND:.0f}s  (y: 0 .. "
+                 f"{v_max / SECOND:.0f}s set value, {len(series)} sets)")
+    return "\n".join(lines)
+
+
+def test_fig04_xorg_countdown(traces, benchmark, results_dir):
+    trace = traces.trace("linux", "idle")
+    series = benchmark.pedantic(lambda: countdown_series(trace, "Xorg"),
+                                rounds=1, iterations=1)
+    save_result(results_dir, "fig04_xorg_dotplot",
+                render_dotplot(series, max_value=600 * SECOND))
+
+    assert len(series) > 100
+    values = [v for _, v in series]
+    assert max(values) == 600 * SECOND
+    # Monotone countdown between resets: >90% of steps decrease.
+    drops = sum(b < a for a, b in zip(values, values[1:]))
+    assert drops / (len(values) - 1) > 0.9
+    # The countdown spans a wide range of the nominal value.
+    assert min(values) < 550 * SECOND

@@ -1,0 +1,48 @@
+"""Section 2.2.2: the effect of layering.
+
+Regenerates the file-browser scenario: typing a server name kicks off
+parallel name lookups and then parallel SMB/NFS/WebDAV connects, with
+NFS-over-SunRPC backing off 7 times from 500 ms.  "Recovering from a
+typing error can take over a minute" while a healthy answer arrives
+shortly after the 130 ms RTT — and a provenance-aware flattened
+timeout reports the same failure in about half a second.
+"""
+
+from repro.sim.clock import SECOND, millis
+from repro.workloads import browse, browse_adaptive
+
+from conftest import save_result
+
+
+def test_sec222_layered_failure_latency(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: {
+            "healthy": browse(name_resolves=True, server_reachable=True),
+            "typo": browse(name_resolves=False, server_reachable=True),
+            "unreachable": browse(name_resolves=True,
+                                  server_reachable=False),
+            "adaptive-unreachable": browse_adaptive(
+                name_resolves=True, server_reachable=False),
+            "adaptive-typo": browse_adaptive(
+                name_resolves=False, server_reachable=True),
+        }, rounds=1, iterations=1)
+
+    lines = [f"{name:22s} {res.outcome:12s} "
+             f"{res.elapsed_seconds:9.3f}s"
+             for name, res in results.items()]
+    lines.append("")
+    lines.append("unreachable timeline:")
+    for ts, what in results["unreachable"].timeline:
+        lines.append(f"  {ts / SECOND:8.3f}s  {what}")
+    save_result(results_dir, "sec222_layering", "\n".join(lines))
+
+    # The paper's claims, in order ('a response from the file
+    # server usually arrives shortly after the 130 ms round-trip'):
+    assert results["healthy"].elapsed_ns <= millis(400)
+    assert results["unreachable"].elapsed_seconds > 60.0
+    assert results["typo"].elapsed_seconds >= 7.0
+    # Flattened adaptive timeouts report failure ~100x faster.
+    assert results["adaptive-unreachable"].elapsed_ns \
+        < results["unreachable"].elapsed_ns / 50
+    assert results["adaptive-typo"].elapsed_ns \
+        < results["typo"].elapsed_ns / 5

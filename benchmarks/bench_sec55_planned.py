@@ -1,0 +1,80 @@
+"""Section 5.5, part two: multiple applications on the planning
+dispatcher.
+
+A media desktop's temporal requirements (audio, video, network,
+indexing) are admitted as execution plans.  Three scenarios:
+
+1. a feasible mix under EDF — zero deadline misses despite 90%+ CPU
+   utilisation and constant contention/preemption;
+2. an additional application that would overload the CPU — *refused at
+   admission*, the system-wide policy the paper calls for, instead of
+   every app silently degrading;
+3. the same overload forced through (no admission control) — EDF's
+   notorious domino effect: once utilisation exceeds 1, lateness grows
+   without bound and *every* application misses, which is exactly why
+   the admission policy in (2) must exist.
+"""
+
+from repro.sim import Engine, millis, seconds
+from repro.core.planned import AdmissionError, PlannedScheduler
+
+from conftest import save_result
+
+MIX = (
+    ("audio", millis(20), millis(5)),      # 0.25
+    ("video", millis(33), millis(12)),     # 0.36
+    ("network", millis(50), millis(10)),   # 0.20
+    ("indexer", millis(200), millis(22)),  # 0.11  -> total 0.92
+)
+OVERLOAD = ("transcoder", millis(100), millis(45))   # +0.45
+DURATION = 20 * seconds(1)
+
+
+def run_feasible():
+    engine = Engine()
+    scheduler = PlannedScheduler(engine, utilization_cap=1.0)
+    plans = [scheduler.admit(n, p, c, lambda r: None) for n, p, c in MIX]
+    refused = False
+    try:
+        scheduler.admit(*OVERLOAD, lambda r: None)
+    except AdmissionError:
+        refused = True
+    engine.run_until(DURATION)
+    return scheduler, plans, refused
+
+
+def run_overloaded():
+    engine = Engine()
+    scheduler = PlannedScheduler(engine, utilization_cap=10.0)
+    plans = [scheduler.admit(n, p, c, lambda r: None) for n, p, c in MIX]
+    plans.append(scheduler.admit(*OVERLOAD, lambda r: None))
+    engine.run_until(DURATION)
+    return scheduler, plans
+
+
+def test_sec55_planned_dispatcher(benchmark, results_dir):
+    (scheduler, plans, refused), (over_sched, over_plans) = \
+        benchmark.pedantic(lambda: (run_feasible(), run_overloaded()),
+                           rounds=1, iterations=1)
+
+    lines = ["Feasible mix (admission enforced; overload refused: "
+             f"{refused}):", scheduler.report(), "",
+             "Forced overload (no admission control):",
+             over_sched.report()]
+    save_result(results_dir, "sec55_planned", "\n".join(lines))
+
+    assert refused
+    # Feasible: heavy contention (preemptions happened), zero misses.
+    assert scheduler.utilization > 0.9
+    assert scheduler.preemptions > 50
+    for plan in plans:
+        assert plan.deadline_misses == 0
+    # Overload: the EDF domino effect — unbounded lateness, misses
+    # everywhere.  This is the behaviour admission control prevents.
+    total_misses = sum(p.deadline_misses for p in over_plans)
+    assert total_misses > 0
+    worst_lateness = max(p.max_lateness_ns for p in over_plans)
+    assert worst_lateness > seconds(1)
+    audio = next(p for p in over_plans if p.name == "audio")
+    worst = max(over_plans, key=lambda p: p.miss_rate)
+    assert audio.miss_rate <= worst.miss_rate

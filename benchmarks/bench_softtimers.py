@@ -1,0 +1,92 @@
+"""Ablation: soft timers versus hardware-interrupt timers at
+microsecond precision (the paper's Section 1/6 overhead motivation).
+
+A network-polling workload needs a timer every ~100 us (the Aron &
+Druschel use case).  Three facilities deliver it:
+
+1. a dedicated one-shot hardware timer per expiry (an interrupt each),
+2. soft timers on a busy system (trigger points every ~20 us from
+   syscall/exception returns; 1 ms hardware fallback),
+3. soft timers on an idle system (no trigger points: everything falls
+   back, showing the scheme's latency cost).
+"""
+
+from repro.sim import Engine, OneShotDevice, PowerMeter, RngRegistry, \
+    micros, millis, seconds
+from repro.sim.clock import SECOND
+from repro.linuxkern.softtimers import SoftTimer, SoftTimerFacility
+
+from conftest import save_result
+
+PERIOD_NS = 100 * micros(1)
+DURATION = 2 * SECOND
+
+
+def run_hardware():
+    engine = Engine()
+    power = PowerMeter()
+    fired = [0]
+
+    device = OneShotDevice(engine, lambda: None, power=power)
+
+    def rearm():
+        fired[0] += 1
+        device.handler = rearm
+        device.program(engine.now + PERIOD_NS)
+
+    device.handler = rearm
+    device.program(PERIOD_NS)
+    engine.run_until(DURATION)
+    return fired[0], power.interrupts, 0
+
+
+def run_soft(*, busy: bool):
+    engine = Engine()
+    facility = SoftTimerFacility(engine, fallback_period_ns=millis(1))
+    if busy:
+        rng = RngRegistry(seed=7).stream("triggers")
+        facility.drive_trigger_points(rng, mean_gap_ns=micros(20),
+                                      until_ns=DURATION)
+    fired = [0]
+    timer = SoftTimer()
+
+    def rearm():
+        fired[0] += 1
+        facility.arm(timer, PERIOD_NS, rearm)
+
+    facility.arm(timer, PERIOD_NS, rearm)
+    engine.run_until(DURATION)
+    return (fired[0], facility.power.interrupts,
+            facility.latency_percentile(90))
+
+
+def test_soft_timers_vs_hardware(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: {
+            "hardware one-shot": run_hardware(),
+            "soft timers (busy)": run_soft(busy=True),
+            "soft timers (idle)": run_soft(busy=False),
+        }, rounds=1, iterations=1)
+
+    lines = [f"{'facility':20s} {'expiries':>9s} {'interrupts':>11s} "
+             f"{'p90 latency':>12s}"]
+    for name, (fired, interrupts, p90) in results.items():
+        lines.append(f"{name:20s} {fired:9d} {interrupts:11d} "
+                     f"{p90 / 1000:10.1f}us")
+    save_result(results_dir, "softtimers", "\n".join(lines))
+
+    hw_fired, hw_interrupts, _ = results["hardware one-shot"]
+    busy_fired, busy_interrupts, busy_p90 = results["soft timers (busy)"]
+    idle_fired, idle_interrupts, idle_p90 = results["soft timers (idle)"]
+
+    # The paper's cited result: microsecond timing without the
+    # interrupt overhead — interrupts drop by >5x on a busy system
+    # while the expiry rate stays comparable and p90 latency stays in
+    # the tens of microseconds.
+    assert hw_interrupts >= hw_fired
+    assert busy_interrupts < hw_interrupts / 5
+    assert busy_fired > hw_fired * 0.6
+    assert busy_p90 < micros(100)
+    # Idle system: latency degrades to the fallback period.
+    assert idle_p90 > micros(300)
+    assert idle_interrupts <= DURATION // millis(1) + 1

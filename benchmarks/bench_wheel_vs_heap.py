@@ -1,0 +1,118 @@
+"""Timing wheels versus a priority-queue timer facility.
+
+The paper's Section 2 notes both kernels implement their timer queues
+as variants of Varghese–Lauck timing wheels for O(1) arm/cancel.  This
+benchmark measures our faithful cascading wheel against a binary-heap
+implementation on the operation mix real traces exhibit (arm-heavy
+with most timers cancelled before expiry — Table 1's webserver ratio).
+"""
+
+import heapq
+import random
+
+from repro.linuxkern.wheel import TimerWheel, WheelTimer
+
+from conftest import save_result
+
+OPERATIONS = 60_000
+CANCEL_FRACTION = 0.85
+
+
+def workload(seed=7):
+    """(arm_delay or None-to-cancel) sequence shared by both subjects."""
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(OPERATIONS):
+        # Bimodal delays: jiffy-scale polls and second-scale timeouts.
+        if rng.random() < 0.6:
+            delay = rng.randint(1, 3)
+        else:
+            delay = rng.randint(250, 10_000)
+        ops.append((delay, rng.random() < CANCEL_FRACTION))
+    return ops
+
+
+def run_wheel(ops):
+    wheel = TimerWheel()
+    fired = [0]
+    jiffy = 0
+    for index, (delay, cancel) in enumerate(ops):
+        timer = WheelTimer()
+        wheel.add(timer, jiffy + delay)
+        if cancel:
+            wheel.remove(timer)
+        if index % 16 == 0:
+            jiffy += 1
+            wheel.run_timers(jiffy, lambda t: fired.__setitem__(
+                0, fired[0] + 1))
+    wheel.run_timers(jiffy + 11_000, lambda t: fired.__setitem__(
+        0, fired[0] + 1))
+    return fired[0]
+
+
+class HeapFacility:
+    """Straightforward heapq timer queue with lazy cancellation."""
+
+    def __init__(self):
+        self.heap = []
+        self.seq = 0
+
+    def add(self, expires):
+        self.seq += 1
+        entry = [expires, self.seq, True]
+        heapq.heappush(self.heap, entry)
+        return entry
+
+    def remove(self, entry):
+        entry[2] = False
+
+    def run(self, now):
+        fired = 0
+        while self.heap and self.heap[0][0] <= now:
+            entry = heapq.heappop(self.heap)
+            if entry[2]:
+                fired += 1
+        return fired
+
+
+def run_heap(ops):
+    facility = HeapFacility()
+    fired = 0
+    jiffy = 0
+    for index, (delay, cancel) in enumerate(ops):
+        entry = facility.add(jiffy + delay)
+        if cancel:
+            facility.remove(entry)
+        if index % 16 == 0:
+            jiffy += 1
+            fired += facility.run(jiffy)
+    fired += facility.run(jiffy + 11_000)
+    return fired
+
+
+def test_wheel_vs_heap(benchmark, results_dir):
+    ops = workload()
+    expected = run_heap(ops)
+
+    import time
+    start = time.perf_counter()
+    heap_fired = run_heap(ops)
+    heap_elapsed = time.perf_counter() - start
+
+    wheel_fired = benchmark.pedantic(lambda: run_wheel(ops),
+                                     rounds=3, iterations=1)
+    wheel_elapsed = benchmark.stats.stats.mean
+
+    save_result(results_dir, "wheel_vs_heap",
+                f"operations: {OPERATIONS} "
+                f"(cancel fraction {CANCEL_FRACTION})\n"
+                f"wheel: {wheel_elapsed * 1e3:8.1f} ms, "
+                f"{wheel_fired} fired\n"
+                f"heap:  {heap_elapsed * 1e3:8.1f} ms, "
+                f"{heap_fired} fired")
+
+    # Correctness oracle: both facilities fire the same timers.
+    assert wheel_fired == expected == heap_fired
+    # The wheel's arm/cancel are O(1); it must stay within a small
+    # factor of the heap in this Python model (in C it wins outright).
+    assert wheel_elapsed < heap_elapsed * 5

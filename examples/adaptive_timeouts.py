@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Section 5.1 in action: "time out once the system is 99% confident
+that a message will never be arriving".
+
+An RPC client issues requests against a server whose replies follow a
+lognormal latency distribution, with a small rate of genuine failures
+(no reply at all).  We compare:
+
+* the arbitrary fixed 30-second timeout of the paper's title,
+* a learned 99%-confidence adaptive timeout,
+
+on failure-detection latency and false-timeout rate — then move the
+client from the office LAN to a hotel WAN mid-run and watch the
+level-shift detector relearn the distribution.
+
+Run:  python examples/adaptive_timeouts.py
+"""
+
+import math
+import random
+
+from repro.core.adaptive import AdaptiveTimeout, simulate_wait_policy
+
+
+def make_latencies(rng, count, median, failure_rate=0.02):
+    return [None if rng.random() < failure_rate
+            else rng.lognormvariate(math.log(median), 0.4)
+            for _ in range(count)]
+
+
+def main() -> None:
+    rng = random.Random(2008)
+
+    print("Phase 1: steady LAN fileserver (median reply 130 ms), "
+          "2% real failures, 4000 requests")
+    latencies = make_latencies(rng, 4000, 0.13)
+    fixed = simulate_wait_policy(latencies, policy="fixed",
+                                 fixed_timeout=30.0)
+    adaptive = simulate_wait_policy(latencies, policy="adaptive",
+                                    fixed_timeout=30.0)
+    print(f"  {'policy':10s} {'mean failure detection':>24s} "
+          f"{'false timeouts':>15s}")
+    for outcome in (fixed, adaptive):
+        print(f"  {outcome.policy:10s} "
+              f"{outcome.mean_detection:22.2f} s "
+              f"{outcome.false_timeouts:11d} "
+              f"({outcome.false_timeout_rate * 100:.2f}%)")
+    speedup = fixed.mean_detection / adaptive.mean_detection
+    print(f"  -> failures surface {speedup:.0f}x faster with the "
+          "learned timeout\n")
+
+    print("Phase 2: the user travels — the same share moves from LAN "
+          "(130 us) to WAN (130 ms)")
+    model = AdaptiveTimeout(confidence=0.99, safety=2.0,
+                            initial_timeout=30.0)
+    lan = make_latencies(rng, 2000, 0.00013)
+    wan = make_latencies(rng, 2000, 0.13)
+    outcome = simulate_wait_policy(lan + wan, policy="adaptive",
+                                   adaptive=model)
+    print(f"  timeout while on LAN:      "
+          f"{outcome.timeline[1999] * 1000:8.3f} ms")
+    print(f"  level shifts detected:     {model.relearned}")
+    print(f"  timeout after relearning:  "
+          f"{outcome.timeline[-1] * 1000:8.1f} ms")
+    print(f"  false timeouts around the shift: "
+          f"{outcome.false_timeouts} of {outcome.waits} waits "
+          f"({outcome.false_timeout_rate * 100:.2f}%)")
+    print("  -> a brief burst of spurious timeouts, then the model "
+          "tracks the new regime;")
+    print("     a fixed 130 us-calibrated timeout would have failed "
+          "every WAN request forever.")
+
+
+if __name__ == "__main__":
+    main()

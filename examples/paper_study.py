@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The whole paper in one run: all eight traces, all analyses.
+
+Runs the four workloads on both OS models (at a configurable fraction
+of the paper's 30 minutes), then prints every table and the data behind
+every figure.  With ``--full`` it runs the paper's full half hour per
+trace (slow; several million events).
+
+Run:  python examples/paper_study.py [--minutes N] [--seed S] [--full]
+"""
+
+import argparse
+
+from repro.sim.clock import MINUTE, SECOND
+from repro.core import (duration_scatter, pattern_breakdown, rate_series,
+                        render_histogram, render_origin_table,
+                        render_rates, render_scatter, origin_table,
+                        summarize, summary_table, value_histogram)
+from repro.workloads import run_vista_desktop, run_workload
+
+WORKLOADS = ("idle", "skype", "firefox", "webserver")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--minutes", type=float, default=2.0,
+                        help="virtual minutes per trace (paper: 30)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--full", action="store_true",
+                        help="run the paper's full 30 minutes")
+    args = parser.parse_args()
+    minutes = 30.0 if args.full else args.minutes
+    duration = int(minutes * MINUTE)
+
+    runs = {}
+    for os_name in ("linux", "vista"):
+        for workload in WORKLOADS:
+            print(f"tracing {os_name}/{workload} "
+                  f"({minutes:g} virtual minutes)...")
+            runs[(os_name, workload)] = run_workload(
+                os_name, workload, duration, seed=args.seed)
+
+    for os_name, table in (("linux", "Table 1"), ("vista", "Table 2")):
+        print(f"\n=== {table}: {os_name} trace summary ===")
+        print(summary_table([summarize(runs[(os_name, wl)].trace)
+                             for wl in WORKLOADS]))
+
+    print("\n=== Figure 2: Linux usage patterns (% of timers) ===")
+    for workload in WORKLOADS:
+        row = pattern_breakdown(runs[("linux", workload)].trace)
+        cells = "  ".join(f"{k}={v:5.1f}"
+                          for k, v in row.figure2_row().items())
+        print(f"  {workload:<10} {cells}")
+
+    print("\n=== Figure 3/5: common Linux values (webserver, "
+          "X filtered) ===")
+    trace = runs[("linux", "webserver")].trace.without_comms(
+        ["Xorg", "icewm"])
+    print(render_histogram(value_histogram(trace)))
+
+    print("\n=== Figure 6: Linux syscall values (skype) ===")
+    print(render_histogram(value_histogram(
+        runs[("linux", "skype")].trace, domain="user")))
+
+    print("\n=== Figure 7: Vista values (skype) ===")
+    print(render_histogram(value_histogram(
+        runs[("vista", "skype")].trace)))
+
+    print("\n=== Table 3: Linux timeout origins (webserver) ===")
+    print(render_origin_table(origin_table(
+        runs[("linux", "webserver")].trace, min_sets=10)))
+
+    for workload, figure in zip(WORKLOADS, ("8", "9", "10", "11")):
+        print(f"\n=== Figure {figure}: durations, {workload} ===")
+        for os_name in ("linux", "vista"):
+            scatter = duration_scatter(runs[(os_name, workload)].trace)
+            print(f"--- {os_name} "
+                  f"(late deliveries: "
+                  f"{scatter.share_above_100pct() * 100:.0f}%) ---")
+            print(render_scatter(scatter))
+
+    print("\n=== Figure 1: Vista desktop set rates (90 s) ===")
+    desktop = run_vista_desktop(seed=args.seed)
+    print(render_rates(rate_series(desktop.trace),
+                       groups=["Outlook", "Browser", "System", "Kernel"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Section 5.4 in action: building a service on typed timer interfaces.
+
+A small "download manager" is written twice against the simulated
+kernel: once with raw set/cancel timers (today's style), once with the
+use-case interfaces (PeriodicTicker / ScopedTimeout / Watchdog /
+DeferredAction).  Both are traced; the classifier is then run over both
+traces to show that the typed version's intent is explicit while the
+raw version must be reverse-engineered from its episode patterns.
+
+Run:  python examples/typed_interfaces.py
+"""
+
+from repro.sim.clock import MINUTE, millis, seconds
+from repro.linuxkern import LinuxKernel
+from repro.core import classify_trace
+from repro.core.interfaces import (DeferredAction, PeriodicTicker,
+                                   ScopedTimeout, Watchdog)
+from repro.tracing import Trace
+
+
+def run_typed() -> Trace:
+    kernel = LinuxKernel(seed=4)
+    rng = kernel.rng.stream("downloads")
+
+    progress_ticks = []
+    ticker = PeriodicTicker(kernel, millis(500),
+                            lambda: progress_ticks.append(1),
+                            site=("ui_progress_tick",))
+    ticker.start()
+
+    stalls = []
+    watchdog = Watchdog(kernel, seconds(10), lambda: stalls.append(1),
+                        site=("transfer_watchdog",))
+    watchdog.start()
+
+    flushes = []
+    metadata = DeferredAction(kernel, seconds(2),
+                              lambda: flushes.append(1),
+                              site=("metadata_lazy_flush",))
+
+    def one_chunk() -> None:
+        # Each chunk request is guarded by a scoped timeout.
+        with ScopedTimeout(kernel, seconds(30), lambda: None,
+                           site=("chunk_request_guard",)):
+            kernel.run_for(int(rng.lognormal_latency(millis(80),
+                                                     sigma=0.5)))
+        watchdog.kick()
+        metadata.touch()
+
+    for _ in range(300):
+        one_chunk()
+        kernel.run_for(int(rng.exponential(millis(50))))
+
+    print(f"typed version: {len(progress_ticks)} progress ticks, "
+          f"{len(stalls)} stalls, {len(flushes)} metadata flushes")
+    return Trace(os_name="linux", workload="typed",
+                 duration_ns=kernel.engine.now,
+                 events=list(kernel.sink))
+
+
+def run_raw() -> Trace:
+    kernel = LinuxKernel(seed=4)
+    rng = kernel.rng.stream("downloads")
+    from repro.sim.clock import to_jiffies
+
+    tick = kernel.init_timer(site=("raw_tick",),
+                             owner=kernel.tasks.kernel)
+
+    def tick_fn(timer):
+        kernel.mod_timer_rel(timer, to_jiffies(millis(500)))
+    tick.function = tick_fn
+    kernel.mod_timer_rel(tick, to_jiffies(millis(500)))
+
+    guard_dog = kernel.init_timer(lambda t: None, site=("raw_watchdog",),
+                                  owner=kernel.tasks.kernel)
+    kernel.mod_timer_rel(guard_dog, to_jiffies(seconds(10)))
+    flush = kernel.init_timer(lambda t: None, site=("raw_flush",),
+                              owner=kernel.tasks.kernel)
+    chunk_guard = kernel.init_timer(lambda t: None,
+                                    site=("raw_chunk_guard",),
+                                    owner=kernel.tasks.kernel)
+
+    for _ in range(300):
+        kernel.mod_timer_rel(chunk_guard, to_jiffies(seconds(30)))
+        kernel.run_for(int(rng.lognormal_latency(millis(80), sigma=0.5)))
+        kernel.del_timer(chunk_guard)
+        kernel.mod_timer_rel(guard_dog, to_jiffies(seconds(10)))
+        kernel.mod_timer_rel(flush, to_jiffies(seconds(2)))
+        kernel.run_for(int(rng.exponential(millis(50))))
+
+    return Trace(os_name="linux", workload="raw",
+                 duration_ns=kernel.engine.now,
+                 events=list(kernel.sink))
+
+
+def main() -> None:
+    typed_trace = run_typed()
+    raw_trace = run_raw()
+
+    print("\nWhat the paper's classifier recovers from the raw trace "
+          "(intent reverse-engineered):")
+    for verdict in classify_trace(raw_trace, logical=True):
+        site = verdict.history.site[0]
+        print(f"  {site:<22} -> {verdict.timer_class.value:<9} "
+              f"({verdict.set_count} sets)")
+
+    print("\nSame behaviour through the typed interfaces "
+          "(intent explicit in the API; scoped guards cluster by "
+          "call site):")
+    for verdict in classify_trace(typed_trace, logical=True):
+        site = verdict.history.site[0]
+        print(f"  {site:<22} -> {verdict.timer_class.value:<9} "
+              f"({verdict.set_count} sets)")
+
+    print("\nThe typed version also elides nested chunk guards and "
+          "corrects ticker drift — see benchmarks/bench_sec54_*.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Section 2.1/3 in action: the two timer multiplexing layers.
+
+A Twisted-style application runs three kinds of user-level timers —
+a 500 ms heartbeat, a 2 s cache sweep, and a 5 s RPC guard cancelled by
+each reply — over the select-loop reactor.  The same trace analyses
+are then run at both layers:
+
+* below the syscall boundary (what the paper's Linux instrumentation
+  could see): ONE select timer whose value varies call to call;
+* above it (the instrumentation the paper wishes it had): the three
+  programmer-intended timers with their exact constants and classes.
+
+Run:  python examples/userspace_reactor.py
+"""
+
+from repro.sim.clock import MINUTE, millis, seconds
+from repro.core import (classify_trace, render_histogram,
+                        value_histogram)
+from repro.tracing import RelayBuffer, Trace
+from repro.userspace import UserEventLoop
+from repro.workloads.base import LinuxMachine
+
+
+def main() -> None:
+    machine = LinuxMachine(seed=8)
+    user_sink = RelayBuffer()
+    loop = UserEventLoop(machine, "twistd", user_sink=user_sink)
+    loop.start()
+
+    beats = []
+    loop.call_periodic(millis(500), lambda: beats.append(1),
+                       site=("app.heartbeat",))
+    loop.call_periodic(seconds(2), lambda: None,
+                       site=("app.cache_sweep",))
+
+    rng = machine.rng.stream("rpc")
+
+    def one_rpc() -> None:
+        guard = loop.call_later(seconds(5), lambda: None,
+                                site=("app.rpc_guard",))
+        reply_at = max(1, int(rng.exponential(millis(40))))
+        machine.kernel.engine.call_after(
+            reply_at, lambda: loop.cancel(guard))
+        machine.kernel.engine.call_after(reply_at + millis(250), one_rpc)
+
+    one_rpc()
+    duration = 2 * MINUTE
+    machine.kernel.run_for(duration)
+    print(f"ran 2 virtual minutes: {len(beats)} heartbeats, "
+          f"{loop.kernel_selects} kernel selects, "
+          f"{loop.user_fires} user timer fires\n")
+
+    kernel_trace = Trace(os_name="linux", workload="reactor",
+                         duration_ns=duration,
+                         events=[e for e in machine.kernel.sink
+                                 if e.pid == loop.task.pid])
+    user_trace = Trace(os_name="linux", workload="reactor",
+                       duration_ns=duration, events=list(user_sink))
+
+    print("=== What the kernel instrumentation sees ===")
+    kernel_ids = {e.timer_id for e in kernel_trace.events}
+    print(f"distinct timer structs: {len(kernel_ids)} "
+          "(everything multiplexed onto one select timer)")
+    print("value histogram (>=2%):")
+    print(render_histogram(value_histogram(kernel_trace)))
+    for verdict in classify_trace(kernel_trace, logical=False):
+        print(f"classified as: {verdict.timer_class.value} "
+              f"({verdict.set_count} sets)")
+
+    print("\n=== What user-level instrumentation sees ===")
+    print("value histogram:")
+    print(render_histogram(value_histogram(user_trace)))
+    print("per-callsite classification:")
+    for verdict in classify_trace(user_trace, logical=True):
+        print(f"  {verdict.history.site[0]:<18} -> "
+              f"{verdict.timer_class.value:<9} "
+              f"({verdict.set_count} sets)")
+
+    print("\nThis is the paper's Section 3 instrumentation problem: "
+          "the kernel-level log alone cannot recover the application's "
+          "timers, which is why the study records stack traces and "
+          "argues for timeout provenance (Section 5.2).")
+
+
+if __name__ == "__main__":
+    main()

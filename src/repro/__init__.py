@@ -1,0 +1,42 @@
+"""Reproduction of "30 Seconds is Not Enough! A Study of Operating
+System Timer Usage" (Peter, Baumann, Roscoe, Barham, Isaacs —
+EuroSys 2008).
+
+The package is organised the way the paper is:
+
+* :mod:`repro.sim` — the simulated machine (virtual time, interrupt
+  devices, power accounting).
+* :mod:`repro.linuxkern` / :mod:`repro.vistakern` — faithful models of
+  the two studied timer subsystems and the kernel code that uses them.
+* :mod:`repro.tracing` — the relayfs/ETW-style instrumentation of
+  Section 3.
+* :mod:`repro.workloads` — the Idle/Skype/Firefox/Webserver workloads
+  plus the Figure 1 desktop and the Section 2.2.2 file browser.
+* :mod:`repro.core` — the paper's analyses (Tables 1–3, Figures 1–11)
+  and the Section 5 design machinery (adaptive timeouts, provenance,
+  flexible time specifications, use-case interfaces, the
+  scheduler-activation dispatcher).
+
+Quick start::
+
+    from repro import run_workload, summarize, pattern_breakdown
+    run = run_workload("linux", "idle")
+    print(summarize(run.trace))
+"""
+
+from . import core, linuxkern, sim, tracing, vistakern, workloads
+from .core import (classify_trace, duration_scatter, origin_table,
+                   pattern_breakdown, rate_series, summarize,
+                   summary_table, value_histogram)
+from .tracing import Trace
+from .workloads import run_vista_desktop, run_workload
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "core", "linuxkern", "sim", "tracing", "vistakern", "workloads",
+    "classify_trace", "duration_scatter", "origin_table",
+    "pattern_breakdown", "rate_series", "summarize", "summary_table",
+    "value_histogram", "Trace", "run_vista_desktop", "run_workload",
+    "__version__",
+]

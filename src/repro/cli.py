@@ -1,0 +1,221 @@
+"""``timerstudy`` command-line interface.
+
+Subcommands::
+
+    timerstudy run linux idle --minutes 5 --out idle.jsonl.gz
+    timerstudy analyze idle.jsonl.gz [--filter-x]
+    timerstudy study --minutes 2          # the whole paper, condensed
+    timerstudy browse --unreachable       # the Section 2.2.2 scenario
+
+``run`` executes a workload on the simulated machine and writes the
+trace; ``analyze`` reproduces the paper's analyses on a saved trace;
+``study`` runs everything end to end and prints each table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .sim.clock import MINUTE, SECOND, millis
+from .core import (adaptivity_report, duration_scatter, infer_nesting,
+                   origin_table, pattern_breakdown, rate_series,
+                   render_histogram, render_nesting, render_origin_table,
+                   render_rates, render_scatter, round_value_share,
+                   summarize, summary_table, value_histogram)
+from .tracing import Trace
+from .workloads import (LINUX_WORKLOADS, VISTA_WORKLOADS, browse,
+                        browse_adaptive, run_vista_desktop, run_workload)
+
+
+def _save_trace(trace: Trace, path: str) -> None:
+    if path.endswith(".bin"):
+        from .tracing import save_binary
+        save_binary(trace, path)
+    else:
+        trace.save(path)
+
+
+def _load_trace(path: str) -> Trace:
+    if path.endswith(".bin"):
+        from .tracing import load_binary
+        return load_binary(path)
+    return Trace.load(path)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    duration = int(args.minutes * MINUTE)
+    print(f"running {args.os}/{args.workload} for {args.minutes:g} "
+          f"virtual minutes (seed {args.seed})...", file=sys.stderr)
+    run = run_workload(args.os, args.workload, duration, seed=args.seed)
+    _save_trace(run.trace, args.out)
+    print(f"{len(run.trace)} events -> {args.out}", file=sys.stderr)
+    return 0
+
+
+def _analyze(trace: Trace, *, filter_x: bool = False) -> None:
+    print(f"Trace: {trace.os_name}/{trace.workload}, "
+          f"{len(trace)} events over "
+          f"{trace.duration_ns / MINUTE:.1f} virtual minutes\n")
+    print("=== Summary (Tables 1/2 schema) ===")
+    print(summary_table([summarize(trace)]))
+
+    print("\n=== Usage patterns (Figure 2 schema) ===")
+    breakdown = pattern_breakdown(trace)
+    for name, pct in breakdown.figure2_row().items():
+        print(f"  {name:<10} {pct:5.1f}%")
+
+    shown = trace.without_comms(["Xorg", "icewm"]) if filter_x else trace
+    print("\n=== Common timeout values (Figures 3-7 schema) ===")
+    hist = value_histogram(shown)
+    print(render_histogram(hist))
+    print(f"round-number share: {round_value_share(hist) * 100:.1f}%")
+
+    print("\n=== Observed durations (Figures 8-11 schema) ===")
+    scatter = duration_scatter(trace)
+    print(render_scatter(scatter))
+    print(f"late deliveries (>100% of set value): "
+          f"{scatter.share_above_100pct() * 100:.1f}%")
+
+    print("\n=== Origins (Table 3 schema) ===")
+    print(render_origin_table(origin_table(trace, min_sets=5)))
+
+    print("\n=== Value adaptivity (Section 4.2's claim) ===")
+    print(adaptivity_report(trace).render())
+
+    nested = infer_nesting(trace)
+    if nested:
+        print("\n=== Inferred nested timeouts (Section 5.2) ===")
+        print(render_nesting(nested[:10]))
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    _analyze(_load_trace(args.trace), filter_x=args.filter_x)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .core.compare import (class_shift, compare_summaries,
+                               trace_value_distance)
+    trace_a = _load_trace(args.a)
+    trace_b = _load_trace(args.b)
+    print("=== Summary comparison ===")
+    print(compare_summaries(trace_a, trace_b).render())
+    print("\n=== Usage-pattern shift (Figure 2 classes) ===")
+    print(class_shift(trace_a, trace_b).render())
+    distance = trace_value_distance(trace_a, trace_b)
+    print(f"\nvalue-distribution distance: {distance:.3f} "
+          "(0 = identical, 1 = disjoint)")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    duration = int(args.minutes * MINUTE)
+    for os_name in ("linux", "vista"):
+        table = "Table 1" if os_name == "linux" else "Table 2"
+        summaries = []
+        for workload in ("idle", "skype", "firefox", "webserver"):
+            print(f"tracing {os_name}/{workload}...", file=sys.stderr)
+            run = run_workload(os_name, workload, duration,
+                               seed=args.seed)
+            summaries.append(summarize(run.trace))
+            if os_name == "linux":
+                breakdown = pattern_breakdown(run.trace)
+                row = "  ".join(f"{k}={v:4.1f}" for k, v in
+                                breakdown.figure2_row().items())
+                print(f"  Fig2 {workload:<10} {row}")
+        print(f"\n=== {table}: {os_name} ===")
+        print(summary_table(summaries))
+        print()
+    print("=== Figure 1: Vista desktop set rates ===")
+    desktop = run_vista_desktop(seed=args.seed)
+    print(render_rates(rate_series(desktop.trace),
+                       groups=["Outlook", "Browser", "System",
+                               "Kernel"], max_rows=10))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .core.report import generate_report
+    text = generate_report(minutes=args.minutes, seed=args.seed,
+                           progress=lambda m: print(m, file=sys.stderr))
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"report written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_browse(args: argparse.Namespace) -> int:
+    runner = browse_adaptive if args.adaptive else browse
+    result = runner(name_resolves=not args.typo,
+                    server_reachable=not args.unreachable,
+                    rtt_ns=millis(args.rtt_ms))
+    print(f"outcome: {result.outcome} after "
+          f"{result.elapsed_seconds:.2f}s")
+    for ts, what in result.timeline:
+        print(f"  {ts / SECOND:8.3f}s  {what}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="timerstudy",
+        description="Reproduction of '30 Seconds is Not Enough!' "
+                    "(EuroSys 2008)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="trace one workload")
+    run_p.add_argument("os", choices=("linux", "vista"))
+    run_p.add_argument("workload",
+                       choices=sorted(set(LINUX_WORKLOADS)
+                                      | set(VISTA_WORKLOADS)))
+    run_p.add_argument("--minutes", type=float, default=5.0)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--out", default="trace.jsonl.gz")
+    run_p.set_defaults(func=_cmd_run)
+
+    an_p = sub.add_parser("analyze", help="analyze a saved trace")
+    an_p.add_argument("trace")
+    an_p.add_argument("--filter-x", action="store_true",
+                      help="drop X/icewm countdowns (Figure 5 style)")
+    an_p.set_defaults(func=_cmd_analyze)
+
+    st_p = sub.add_parser("study", help="run the condensed full study")
+    st_p.add_argument("--minutes", type=float, default=2.0)
+    st_p.add_argument("--seed", type=int, default=0)
+    st_p.set_defaults(func=_cmd_study)
+
+    cp_p = sub.add_parser("compare", help="compare two saved traces")
+    cp_p.add_argument("a")
+    cp_p.add_argument("b")
+    cp_p.set_defaults(func=_cmd_compare)
+
+    rp_p = sub.add_parser("report",
+                          help="run the study and write a markdown report")
+    rp_p.add_argument("--minutes", type=float, default=2.0)
+    rp_p.add_argument("--seed", type=int, default=0)
+    rp_p.add_argument("--out", default="report.md")
+    rp_p.set_defaults(func=_cmd_report)
+
+    br_p = sub.add_parser("browse",
+                          help="the Section 2.2.2 file-browser scenario")
+    br_p.add_argument("--typo", action="store_true")
+    br_p.add_argument("--unreachable", action="store_true")
+    br_p.add_argument("--adaptive", action="store_true")
+    br_p.add_argument("--rtt-ms", type=float, default=130.0)
+    br_p.set_defaults(func=_cmd_browse)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into head/less which closed early: not an error.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,306 @@
+"""Adaptive timeouts (the paper's Section 5.1).
+
+"Rather than specifying a willingness to wait for an (arbitrary) 30
+seconds, the programmer should request to time out once the system is
+99% confident that a message will never be arriving."  This module
+provides the machinery for that:
+
+* :class:`JacobsonEstimator` — the TCP SRTT/RTTVAR control loop the
+  paper holds up as the prominent existing adaptive timeout.
+* :class:`ExponentialBackoff` — the companion loss response.
+* :class:`P2Quantile` — online quantile estimation (Jain & Chlamtac's
+  P² algorithm) so a timeout can be placed at a chosen confidence level
+  of the learned wait-time distribution without storing samples.
+* :class:`LevelShiftDetector` — the paper's caveat: "sudden and
+  long-lived level shifts in latency will cause the whole learned
+  distribution to shift" (LAN → WAN).  Detects such shifts and lets
+  the model re-learn.
+* :class:`AdaptiveTimeout` — the assembled policy, plus
+  :func:`simulate_wait_policy`, the harness behind the Section 5.1
+  benchmark comparing fixed and adaptive timeouts on failure-detection
+  latency and false-timeout rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+class JacobsonEstimator:
+    """TCP's smoothed RTT estimator (RFC 6298 coefficients)."""
+
+    def __init__(self, *, k: float = 4.0, min_timeout: float = 0.0,
+                 max_timeout: float = math.inf):
+        self.k = k
+        self.min_timeout = min_timeout
+        self.max_timeout = max_timeout
+        self.srtt: Optional[float] = None
+        self.rttvar: float = 0.0
+
+    def observe(self, sample: float) -> None:
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2
+            return
+        err = sample - self.srtt
+        self.srtt += err / 8
+        self.rttvar += (abs(err) - self.rttvar) / 4
+
+    def timeout(self) -> float:
+        """srtt + k*rttvar, clamped."""
+        if self.srtt is None:
+            return self.max_timeout if self.max_timeout < math.inf \
+                else self.min_timeout or 1.0
+        raw = self.srtt + self.k * self.rttvar
+        return min(max(raw, self.min_timeout), self.max_timeout)
+
+
+class ExponentialBackoff:
+    """Doubling backoff with a cap, as TCP applies on retransmission."""
+
+    def __init__(self, base: float, *, factor: float = 2.0,
+                 maximum: float = math.inf, max_retries: int = 7):
+        if base <= 0:
+            raise ValueError("backoff base must be positive")
+        self.base = base
+        self.factor = factor
+        self.maximum = maximum
+        self.max_retries = max_retries
+        self.attempt = 0
+
+    def next_timeout(self) -> float:
+        """Timeout for the current attempt, then advance."""
+        value = min(self.base * self.factor ** self.attempt, self.maximum)
+        self.attempt += 1
+        return value
+
+    @property
+    def exhausted(self) -> bool:
+        return self.attempt >= self.max_retries
+
+    def reset(self) -> None:
+        self.attempt = 0
+
+    def total_wait(self) -> float:
+        """Worst-case cumulative wait over all retries — how 'recovering
+        from a typing error can take over a minute' (Section 2.2.2)."""
+        return sum(min(self.base * self.factor ** i, self.maximum)
+                   for i in range(self.max_retries))
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P² online quantile estimator.
+
+    Tracks one quantile with five markers in O(1) space — suitable for
+    a kernel learning wait-time distributions per timer object.
+    """
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        self.p = p
+        self._initial: list[float] = []
+        self.n = 0
+        self._q: list[float] = []       # marker heights
+        self._pos: list[float] = []     # marker positions
+        self._desired: list[float] = []
+        self._inc: list[float] = []
+
+    def observe(self, x: float) -> None:
+        self.n += 1
+        if len(self._initial) < 5:
+            self._initial.append(x)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._q = list(self._initial)
+                self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
+                p = self.p
+                self._desired = [1.0, 1 + 2 * p, 1 + 4 * p, 3 + 2 * p, 5.0]
+                self._inc = [0.0, p / 2, p, (1 + p) / 2, 1.0]
+            return
+        q, pos = self._q, self._pos
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and not (q[k] <= x < q[k + 1]):
+                k += 1
+        for i in range(k + 1, 5):
+            pos[i] += 1
+        for i in range(5):
+            self._desired[i] += self._inc[i]
+        # Adjust the three middle markers with parabolic interpolation.
+        for i in range(1, 4):
+            d = self._desired[i] - pos[i]
+            if (d >= 1 and pos[i + 1] - pos[i] > 1) or \
+                    (d <= -1 and pos[i - 1] - pos[i] < -1):
+                step = 1.0 if d >= 1 else -1.0
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._q, self._pos
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._q, self._pos
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    def value(self) -> Optional[float]:
+        """Current quantile estimate (None until 5 samples seen)."""
+        if len(self._initial) < 5:
+            if not self._initial:
+                return None
+            ordered = sorted(self._initial)
+            index = min(len(ordered) - 1,
+                        int(self.p * len(ordered)))
+            return ordered[index]
+        return self._q[2]
+
+
+class LevelShiftDetector:
+    """Detects a sustained shift of the latency level.
+
+    Keeps an exponentially-weighted reference level; if ``window``
+    consecutive samples land more than ``factor`` times above (or
+    below 1/factor of) the reference, a shift is declared.
+    """
+
+    def __init__(self, *, factor: float = 4.0, window: int = 8,
+                 alpha: float = 0.05):
+        self.factor = factor
+        self.window = window
+        self.alpha = alpha
+        self.reference: Optional[float] = None
+        self._streak = 0
+        self.shifts = 0
+
+    def observe(self, sample: float) -> bool:
+        """Feed one sample; returns True if a level shift is declared."""
+        if self.reference is None:
+            self.reference = sample
+            return False
+        high = sample > self.reference * self.factor
+        low = sample < self.reference / self.factor
+        if high or low:
+            self._streak += 1
+        else:
+            self._streak = 0
+            self.reference += self.alpha * (sample - self.reference)
+        if self._streak >= self.window:
+            self.reference = sample
+            self._streak = 0
+            self.shifts += 1
+            return True
+        return False
+
+
+class AdaptiveTimeout:
+    """Confidence-interval timeout with level-shift recovery.
+
+    The timeout sits at the ``confidence`` quantile of the learned
+    wait-time distribution, scaled by ``safety``; on a detected level
+    shift the distribution is relearned from scratch (seeded with the
+    shifted sample) instead of slowly dragging the old model along.
+    """
+
+    def __init__(self, *, confidence: float = 0.99, safety: float = 2.0,
+                 initial_timeout: float = 30.0,
+                 min_timeout: float = 0.0):
+        self.confidence = confidence
+        self.safety = safety
+        self.initial_timeout = initial_timeout
+        self.min_timeout = min_timeout
+        self._quantile = P2Quantile(confidence)
+        self._shift = LevelShiftDetector()
+        self.relearned = 0
+
+    def observe(self, wait_time: float) -> None:
+        """Record a completed wait (the event did arrive)."""
+        if self._shift.observe(wait_time):
+            self._quantile = P2Quantile(self.confidence)
+            self.relearned += 1
+        self._quantile.observe(wait_time)
+
+    def timeout(self) -> float:
+        """Current timeout value."""
+        estimate = self._quantile.value()
+        if estimate is None or self._quantile.n < 5:
+            return self.initial_timeout
+        return max(estimate * self.safety, self.min_timeout)
+
+
+# ---------------------------------------------------------------------------
+# Policy simulation harness (Section 5.1 benchmark)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WaitOutcome:
+    """Result of simulating one policy over a wait workload."""
+
+    policy: str
+    waits: int = 0
+    failures: int = 0
+    false_timeouts: int = 0      #: timed out although a reply was coming
+    detection_total: float = 0.0  #: summed failure detection latency
+    detection_max: float = 0.0
+    timeline: list[float] = field(default_factory=list)
+
+    @property
+    def false_timeout_rate(self) -> float:
+        successes = self.waits - self.failures
+        if successes == 0:
+            return 0.0
+        return self.false_timeouts / successes
+
+    @property
+    def mean_detection(self) -> float:
+        if self.failures == 0:
+            return 0.0
+        return self.detection_total / self.failures
+
+
+def simulate_wait_policy(latencies: Sequence[Optional[float]], *,
+                         policy: str, fixed_timeout: float = 30.0,
+                         adaptive: Optional[AdaptiveTimeout] = None
+                         ) -> WaitOutcome:
+    """Run a wait workload through a timeout policy.
+
+    ``latencies`` holds the true reply latency per wait, or ``None``
+    for a genuine failure (no reply ever).  ``policy`` is "fixed" or
+    "adaptive".  A *false timeout* is declared when the policy timed
+    out although the reply would have arrived.
+    """
+    if policy == "adaptive" and adaptive is None:
+        adaptive = AdaptiveTimeout(initial_timeout=fixed_timeout)
+    outcome = WaitOutcome(policy=policy)
+    for latency in latencies:
+        timeout = fixed_timeout if policy == "fixed" else adaptive.timeout()
+        outcome.waits += 1
+        outcome.timeline.append(timeout)
+        if latency is None:
+            outcome.failures += 1
+            outcome.detection_total += timeout
+            outcome.detection_max = max(outcome.detection_max, timeout)
+            continue
+        if latency > timeout:
+            outcome.false_timeouts += 1
+            # The waiter gave up; the system keeps monitoring and the
+            # model still learns the true arrival (Section 5.1 requires
+            # continued monitoring after timeout).
+        if policy == "adaptive":
+            adaptive.observe(latency)
+    return outcome

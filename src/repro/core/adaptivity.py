@@ -1,0 +1,121 @@
+"""Detecting adaptive timeout values in traces (Section 4.2's claim).
+
+"Very few regular uses of timers are adaptive (in that they react to
+measured timeouts or cancelation times via a control loop), and many
+timers are set to round number values."  This module makes that claim
+measurable: each (logical) timer's sequence of set values is classified
+as
+
+* **CONSTANT** — one dominant value (within the jitter tolerance):
+  the overwhelmingly common case the paper found;
+* **COUNTDOWN** — the select remaining-time idiom (decreasing runs);
+* **ADAPTIVE** — values vary, but *smoothly*: successive values are
+  close relative to the overall spread, the signature of a control
+  loop nudging its estimate (TCP RTO on a varying path, the journal's
+  load-adjusted commit interval);
+* **IRREGULAR** — values vary with no smooth structure (Skype's
+  event-loop residues).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..tracing.trace import Trace
+from .classify import _is_countdown
+from .episodes import DEFAULT_TOLERANCE_NS, extract_episodes
+
+
+class ValueBehavior(enum.Enum):
+    CONSTANT = "constant"
+    COUNTDOWN = "countdown"
+    ADAPTIVE = "adaptive"
+    IRREGULAR = "irregular"
+
+
+def classify_values(values: Sequence[int], *,
+                    tolerance_ns: int = DEFAULT_TOLERANCE_NS,
+                    min_observations: int = 5) -> ValueBehavior:
+    """Classify one timer's sequence of set values."""
+    if len(values) < min_observations:
+        return ValueBehavior.CONSTANT if len(set(values)) <= 1 \
+            else ValueBehavior.IRREGULAR
+    ordered = sorted(values)
+    n = len(ordered)
+    p10 = ordered[n // 10]
+    p90 = ordered[(9 * n) // 10]
+    spread = p90 - p10
+    if spread <= 2 * tolerance_ns:
+        return ValueBehavior.CONSTANT
+
+    class _Ep:      # adapt to _is_countdown's episode interface
+        __slots__ = ("value_ns",)
+
+        def __init__(self, value):
+            self.value_ns = value
+
+    if _is_countdown([_Ep(v) for v in values], tolerance_ns):
+        return ValueBehavior.COUNTDOWN
+
+    # Smoothness: mean step between successive values, relative to the
+    # overall spread.  A control loop moves gradually; an event loop
+    # jumps around its whole range.
+    steps = [abs(b - a) for a, b in zip(values, values[1:])]
+    mean_step = sum(steps) / len(steps)
+    if mean_step < 0.25 * spread:
+        return ValueBehavior.ADAPTIVE
+    return ValueBehavior.IRREGULAR
+
+
+@dataclass
+class AdaptivityReport:
+    """Per-trace share of timer sets by value behaviour."""
+
+    workload: str
+    os_name: str
+    set_counts: dict[ValueBehavior, int] = field(default_factory=dict)
+    timer_counts: dict[ValueBehavior, int] = field(default_factory=dict)
+
+    @property
+    def total_sets(self) -> int:
+        return sum(self.set_counts.values())
+
+    def set_share(self, behavior: ValueBehavior) -> float:
+        total = self.total_sets
+        if total == 0:
+            return 0.0
+        return self.set_counts.get(behavior, 0) / total
+
+    def render(self) -> str:
+        lines = [f"{'behaviour':<10} {'timers':>7} {'sets':>9} "
+                 f"{'% of sets':>10}"]
+        for behavior in ValueBehavior:
+            lines.append(
+                f"{behavior.value:<10} "
+                f"{self.timer_counts.get(behavior, 0):>7} "
+                f"{self.set_counts.get(behavior, 0):>9} "
+                f"{self.set_share(behavior) * 100:>9.1f}%")
+        return "\n".join(lines)
+
+
+def adaptivity_report(trace: Trace, *, logical: Optional[bool] = None,
+                      tolerance_ns: int = DEFAULT_TOLERANCE_NS
+                      ) -> AdaptivityReport:
+    """Measure how much of a trace's timer traffic is adaptive."""
+    if logical is None:
+        logical = trace.os_name == "vista"
+    groups = trace.logical_timers() if logical else trace.instances()
+    report = AdaptivityReport(trace.workload, trace.os_name)
+    for history in groups:
+        episodes = extract_episodes(history, trace.os_name)
+        values = [e.value_ns for e in episodes]
+        if not values:
+            continue
+        behavior = classify_values(values, tolerance_ns=tolerance_ns)
+        report.timer_counts[behavior] = \
+            report.timer_counts.get(behavior, 0) + 1
+        report.set_counts[behavior] = \
+            report.set_counts.get(behavior, 0) + len(values)
+    return report

@@ -1,0 +1,236 @@
+"""Usage-pattern taxonomy (the paper's Section 4.1.1).
+
+Classifies each timer's episode stream into the patterns the paper
+identifies:
+
+* **PERIODIC** — always expires and is immediately re-set to the same
+  relative value (page-out timer, workqueue tick).
+* **WATCHDOG** — never expires: re-set to the same relative value
+  before expiry (console blank, Apache connection guards).
+* **DELAY** — usually/always expires, re-set to the same value after a
+  non-trivial gap (fixed-interval thread delays).
+* **TIMEOUT** — almost never expires: cancelled shortly after being
+  set, re-set to the same value after a gap (RPC calls, IDE commands).
+* **DEFERRED** — Vista-only fifth pattern: deferred like a watchdog,
+  but after a few iterations allowed to expire, then restarted
+  (registry lazy close).
+* **COUNTDOWN** — the select-loop idiom: the set value repeatedly
+  counts down to zero, then resets (X server, icewm; Section 4.2).
+  The paper files these under "other" after identifying them.
+* **OTHER** — irregular or too few observations.
+
+Comparisons use the 2 ms variance the paper determined experimentally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..tracing.trace import Trace, TimerHistory
+from .episodes import (DEFAULT_TOLERANCE_NS, Episode, Outcome,
+                       dominant_value, extract_episodes)
+
+
+class TimerClass(enum.Enum):
+    PERIODIC = "periodic"
+    WATCHDOG = "watchdog"
+    DELAY = "delay"
+    TIMEOUT = "timeout"
+    DEFERRED = "deferred"
+    COUNTDOWN = "countdown"
+    OTHER = "other"
+
+
+@dataclass
+class Classification:
+    """Classifier verdict for one (logical) timer."""
+
+    history: TimerHistory
+    episodes: list[Episode]
+    timer_class: TimerClass
+    dominant_value_ns: Optional[int]
+
+    @property
+    def set_count(self) -> int:
+        return len(self.episodes)
+
+
+def _fractions(episodes: list[Episode]) -> tuple[float, float, float]:
+    resolved = [e for e in episodes if e.outcome != Outcome.UNRESOLVED]
+    if not resolved:
+        return 0.0, 0.0, 0.0
+    n = len(resolved)
+    expired = sum(e.outcome == Outcome.EXPIRED for e in resolved) / n
+    canceled = sum(e.outcome == Outcome.CANCELED for e in resolved) / n
+    rearmed = sum(e.outcome == Outcome.REARMED for e in resolved) / n
+    return expired, canceled, rearmed
+
+
+def _is_countdown(episodes: list[Episode], tolerance_ns: int) -> bool:
+    """Detect select-style countdown: values mostly strictly decreasing,
+    periodically resetting upward."""
+    values = [e.value_ns for e in episodes]
+    if len(values) < 4:
+        return False
+    decreasing = resets = 0
+    for prev, cur in zip(values, values[1:]):
+        if cur < prev - tolerance_ns:
+            decreasing += 1
+        elif cur > prev + tolerance_ns:
+            resets += 1
+    pairs = len(values) - 1
+    return decreasing / pairs >= 0.55 and resets >= 1
+
+
+def _is_deferred(episodes: list[Episode]) -> bool:
+    """Vista deferral pattern: runs of re-arms ending in an expiry."""
+    outcomes = [e.outcome for e in episodes
+                if e.outcome != Outcome.UNRESOLVED]
+    expiries = sum(o == Outcome.EXPIRED for o in outcomes)
+    rearms = sum(o == Outcome.REARMED for o in outcomes)
+    if expiries == 0 or rearms == 0:
+        return False
+    # Every expiry should terminate a run of at least one re-arm.
+    runs_ok = 0
+    run = 0
+    for outcome in outcomes:
+        if outcome == Outcome.REARMED:
+            run += 1
+        elif outcome == Outcome.EXPIRED:
+            if run >= 1:
+                runs_ok += 1
+            run = 0
+        else:
+            run = 0
+    return runs_ok >= max(1, expiries * 0.6) and rearms / len(outcomes) >= 0.4
+
+
+def _deferral_fraction(episodes: list[Episode], tolerance_ns: int) -> float:
+    """Fraction of resolved episodes that *defer* the timer: a re-arm
+    while pending, or a cancellation followed within the tolerance by a
+    re-set to the same value.
+
+    The latter is how a watchdog looks through a blocking-syscall
+    interface (Apache's connection guards): the call must return and
+    cancel before it can re-install the same 15 s deadline, but the
+    gap is microseconds — semantically one deferral.
+    """
+    resolved = [e for e in episodes if e.outcome != Outcome.UNRESOLVED]
+    if not resolved:
+        return 0.0
+    deferrals = 0
+    for i, episode in enumerate(episodes):
+        if episode.outcome == Outcome.REARMED:
+            deferrals += 1
+        elif episode.outcome == Outcome.CANCELED and i + 1 < len(episodes):
+            nxt = episodes[i + 1]
+            if (nxt.gap_before_ns is not None
+                    and nxt.gap_before_ns <= tolerance_ns
+                    and abs(nxt.value_ns - episode.value_ns)
+                    <= tolerance_ns):
+                deferrals += 1
+    return deferrals / len(resolved)
+
+
+def classify_episodes(episodes: list[Episode], *,
+                      tolerance_ns: int = DEFAULT_TOLERANCE_NS,
+                      min_observations: int = 3
+                      ) -> tuple[TimerClass, Optional[int]]:
+    """Classify one episode stream; returns (class, dominant value)."""
+    value, value_share = dominant_value(episodes, tolerance_ns)
+    if len(episodes) < min_observations:
+        return TimerClass.OTHER, value
+    if _is_countdown(episodes, tolerance_ns):
+        return TimerClass.COUNTDOWN, value
+
+    expired, canceled, rearmed = _fractions(episodes)
+    deferral = _deferral_fraction(episodes, tolerance_ns)
+    constant = value_share >= 0.7
+
+    if constant and deferral >= 0.5:
+        if expired <= 0.05:
+            return TimerClass.WATCHDOG, value
+        if _is_deferred(episodes):
+            return TimerClass.DEFERRED, value
+        if expired <= 0.1:
+            return TimerClass.WATCHDOG, value
+    if constant and expired >= 0.85:
+        # Periodic if re-set follows the expiry immediately; delay if a
+        # non-trivial interval passes first.
+        gaps = [e.gap_before_ns for e in episodes
+                if e.gap_before_ns is not None]
+        if gaps and sum(g <= tolerance_ns for g in gaps) / len(gaps) >= 0.5:
+            return TimerClass.PERIODIC, value
+        if not gaps:
+            return TimerClass.PERIODIC, value
+        return TimerClass.DELAY, value
+    if constant and canceled >= 0.85:
+        return TimerClass.TIMEOUT, value
+    if _is_deferred(episodes) and constant:
+        return TimerClass.DEFERRED, value
+    return TimerClass.OTHER, value
+
+
+def classify_timer(history: TimerHistory, os_name: str, *,
+                   tolerance_ns: int = DEFAULT_TOLERANCE_NS
+                   ) -> Classification:
+    episodes = extract_episodes(history, os_name)
+    timer_class, value = classify_episodes(episodes,
+                                           tolerance_ns=tolerance_ns)
+    return Classification(history, episodes, timer_class, value)
+
+
+@dataclass
+class PatternBreakdown:
+    """Figure 2's data for one workload: % of timers per class."""
+
+    workload: str
+    os_name: str
+    counts: dict[TimerClass, int] = field(default_factory=dict)
+    total: int = 0
+
+    def percentage(self, timer_class: TimerClass) -> float:
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self.counts.get(timer_class, 0) / self.total
+
+    def figure2_row(self) -> dict[str, float]:
+        """The paper's Figure 2 buckets (countdown folds into other)."""
+        other = (self.percentage(TimerClass.OTHER)
+                 + self.percentage(TimerClass.COUNTDOWN)
+                 + self.percentage(TimerClass.DEFERRED))
+        return {
+            "delay": self.percentage(TimerClass.DELAY),
+            "periodic": self.percentage(TimerClass.PERIODIC),
+            "timeout": self.percentage(TimerClass.TIMEOUT),
+            "watchdog": self.percentage(TimerClass.WATCHDOG),
+            "other": other,
+        }
+
+
+def classify_trace(trace: Trace, *, logical: Optional[bool] = None,
+                   tolerance_ns: int = DEFAULT_TOLERANCE_NS
+                   ) -> list[Classification]:
+    """Classify every timer in a trace.
+
+    ``logical`` selects call-site clustering (default for Vista, where
+    timer addresses are dynamically reused) versus per-address grouping
+    (default for Linux).
+    """
+    if logical is None:
+        logical = trace.os_name == "vista"
+    groups = trace.logical_timers() if logical else trace.instances()
+    return [classify_timer(g, trace.os_name, tolerance_ns=tolerance_ns)
+            for g in groups]
+
+
+def pattern_breakdown(trace: Trace, **kwargs) -> PatternBreakdown:
+    """Compute Figure 2's per-class timer percentages for one trace."""
+    breakdown = PatternBreakdown(trace.workload, trace.os_name)
+    for verdict in classify_trace(trace, **kwargs):
+        breakdown.counts[verdict.timer_class] = \
+            breakdown.counts.get(verdict.timer_class, 0) + 1
+        breakdown.total += 1
+    return breakdown

@@ -1,0 +1,100 @@
+"""Cross-trace comparison — the A/B questions the paper answers in prose.
+
+The paper constantly contrasts traces: Linux against Vista for the same
+workload ("on Vista timers more often expire, whereas on Linux more
+timers are canceled"), a workload against Idle ("the Webserver workload
+on Vista appears similar to the Idle workload"), before/after filtering
+X.  This module makes those comparisons first-class:
+
+* :func:`compare_summaries` — side-by-side Table 1/2 metrics with
+  ratios;
+* :func:`histogram_distance` — total-variation distance between two
+  value distributions (0 = identical, 1 = disjoint), quantifying
+  "appears similar to";
+* :func:`class_shift` — how the Figure 2 pattern mix moved between two
+  traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tracing.trace import Trace
+from .classify import pattern_breakdown
+from .summary import TraceSummary, summarize
+from .values import ValueHistogram, value_histogram
+
+
+@dataclass
+class SummaryComparison:
+    """Per-metric (a, b, b/a) rows for two trace summaries."""
+
+    a: TraceSummary
+    b: TraceSummary
+
+    def rows(self) -> list[tuple[str, int, int, float]]:
+        out = []
+        for name, va in self.a.as_row().items():
+            vb = self.b.as_row()[name]
+            ratio = vb / va if va else float("inf") if vb else 1.0
+            out.append((name, va, vb, ratio))
+        return out
+
+    def render(self) -> str:
+        label_a = f"{self.a.os_name}/{self.a.workload}"
+        label_b = f"{self.b.os_name}/{self.b.workload}"
+        lines = [f"{'metric':<14}{label_a:>16}{label_b:>16}{'ratio':>8}"]
+        for name, va, vb, ratio in self.rows():
+            lines.append(f"{name:<14}{va:>16}{vb:>16}{ratio:>8.2f}")
+        return "\n".join(lines)
+
+
+def compare_summaries(a: Trace, b: Trace) -> SummaryComparison:
+    return SummaryComparison(summarize(a), summarize(b))
+
+
+def histogram_distance(a: ValueHistogram, b: ValueHistogram) -> float:
+    """Total-variation distance between two value distributions."""
+    if a.total_sets == 0 or b.total_sets == 0:
+        return 1.0 if a.total_sets != b.total_sets else 0.0
+    values = set(a.counts) | set(b.counts)
+    distance = 0.0
+    for value in values:
+        pa = a.counts.get(value, 0) / a.total_sets
+        pb = b.counts.get(value, 0) / b.total_sets
+        distance += abs(pa - pb)
+    return distance / 2
+
+
+def trace_value_distance(a: Trace, b: Trace, **kwargs) -> float:
+    return histogram_distance(value_histogram(a, **kwargs),
+                              value_histogram(b, **kwargs))
+
+
+@dataclass
+class ClassShift:
+    """Figure 2 mix in two traces and the per-class delta (pp)."""
+
+    a_row: dict
+    b_row: dict
+
+    def delta(self) -> dict:
+        return {name: self.b_row[name] - self.a_row[name]
+                for name in self.a_row}
+
+    def biggest_shift(self) -> tuple[str, float]:
+        deltas = self.delta()
+        name = max(deltas, key=lambda k: abs(deltas[k]))
+        return name, deltas[name]
+
+    def render(self) -> str:
+        lines = [f"{'class':<10}{'a':>8}{'b':>8}{'delta':>8}"]
+        for name, d in self.delta().items():
+            lines.append(f"{name:<10}{self.a_row[name]:>7.1f}%"
+                         f"{self.b_row[name]:>7.1f}%{d:>+7.1f}pp")
+        return "\n".join(lines)
+
+
+def class_shift(a: Trace, b: Trace) -> ClassShift:
+    return ClassShift(pattern_breakdown(a).figure2_row(),
+                      pattern_breakdown(b).figure2_row())

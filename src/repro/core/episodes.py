@@ -1,0 +1,139 @@
+"""Per-timer episode extraction.
+
+An *episode* is one arming of a timer and its outcome: it expired, it
+was cancelled while pending, or it was re-armed (``mod_timer`` on a
+pending timer) before either happened.  Episodes are the unit both the
+usage-pattern classifier (Section 4.1) and the duration analysis
+(Section 4.3) operate on.
+
+Nominal timeout values: the Linux kernel quantises expiry to jiffies,
+so a kernel-side observation of 50.3 jiffies of relative time means a
+nominal 51-jiffy (0.204 s) timeout; user-space values are recorded
+exactly at the syscall and Vista values are taken as requested.  The
+2 ms tolerance the paper determined experimentally (Section 3.1) is
+applied when comparing values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.clock import JIFFY, MILLISECOND
+from ..tracing.events import FLAG_WAIT_SATISFIED, EventKind
+from ..tracing.trace import TimerHistory
+
+#: The jitter allowance the paper determined from the workqueue timer.
+DEFAULT_TOLERANCE_NS = 2 * MILLISECOND
+
+
+class Outcome(enum.Enum):
+    EXPIRED = "expired"
+    CANCELED = "canceled"
+    REARMED = "rearmed"        #: re-set while still pending
+    UNRESOLVED = "unresolved"  #: trace ended while pending
+
+
+@dataclass
+class Episode:
+    """One arming of a timer."""
+
+    set_at: int            #: timestamp of the SET
+    value_ns: int          #: nominal relative timeout
+    outcome: Outcome
+    ended_at: Optional[int]   #: when the outcome occurred
+    gap_before_ns: Optional[int]  #: idle time since previous episode end
+
+    @property
+    def elapsed_ns(self) -> Optional[int]:
+        if self.ended_at is None:
+            return None
+        return self.ended_at - self.set_at
+
+    @property
+    def elapsed_fraction(self) -> Optional[float]:
+        """Elapsed life as a fraction of the set value (Figures 8–11)."""
+        if self.ended_at is None or self.value_ns <= 0:
+            return None
+        return (self.ended_at - self.set_at) / self.value_ns
+
+
+def nominal_value_ns(event, os_name: str) -> int:
+    """Recover the nominal timeout from an observed SET event."""
+    timeout = event.timeout_ns or 0
+    if os_name == "linux" and event.domain != "user" and timeout > 0:
+        # Kernel-side observation: quantise back to whole jiffies
+        # (arming happened mid-jiffy, so observed <= nominal).
+        return -(-timeout // JIFFY) * JIFFY
+    return timeout
+
+
+def extract_episodes(history: TimerHistory, os_name: str) -> list[Episode]:
+    """Walk one timer's events and produce its episode list."""
+    episodes: list[Episode] = []
+    armed_at: Optional[int] = None
+    armed_value = 0
+    last_end: Optional[int] = None
+
+    def close(outcome: Outcome, ended_at: Optional[int]) -> None:
+        nonlocal armed_at, last_end
+        gap = None
+        if last_end is not None and armed_at is not None:
+            gap = armed_at - last_end
+        episodes.append(Episode(armed_at, armed_value, outcome,
+                                ended_at, gap))
+        last_end = ended_at if ended_at is not None else armed_at
+        armed_at = None
+
+    for event in history.events:
+        kind = event.kind
+        if kind == EventKind.SET:
+            if armed_at is not None:
+                close(Outcome.REARMED, event.ts)
+            armed_at = event.ts
+            armed_value = nominal_value_ns(event, os_name)
+        elif kind == EventKind.EXPIRE:
+            if armed_at is not None:
+                close(Outcome.EXPIRED, event.ts)
+        elif kind == EventKind.CANCEL:
+            # Cancels of an inactive timer carry expires_ns=None and do
+            # not end an episode (they are the "repeated deletions").
+            if armed_at is not None and event.expires_ns is not None:
+                close(Outcome.CANCELED, event.ts)
+        elif kind == EventKind.WAIT_UNBLOCK:
+            # Self-contained: expires_ns holds the block timestamp.
+            if event.timeout_ns is None:
+                continue
+            armed_at = event.expires_ns
+            armed_value = event.timeout_ns
+            satisfied = bool(event.flags & FLAG_WAIT_SATISFIED)
+            close(Outcome.CANCELED if satisfied else Outcome.EXPIRED,
+                  event.ts)
+    if armed_at is not None:
+        close(Outcome.UNRESOLVED, None)
+    return episodes
+
+
+def dominant_value(episodes: list[Episode],
+                   tolerance_ns: int = DEFAULT_TOLERANCE_NS
+                   ) -> tuple[Optional[int], float]:
+    """Most common set value and the fraction of episodes using it.
+
+    Values within the tolerance of each other are pooled, mirroring the
+    paper's jitter allowance.
+    """
+    if not episodes:
+        return None, 0.0
+    buckets: dict[int, int] = {}
+    for ep in episodes:
+        placed = False
+        for center in buckets:
+            if abs(ep.value_ns - center) <= tolerance_ns:
+                buckets[center] += 1
+                placed = True
+                break
+        if not placed:
+            buckets[ep.value_ns] = 1
+    best = max(buckets.items(), key=lambda kv: kv[1])
+    return best[0], best[1] / len(episodes)

@@ -1,0 +1,115 @@
+"""Inferring nested timeouts from traces (Section 5.2's provenance,
+recovered after the fact).
+
+"Common idioms we have seen in GUI programming suggest that timeouts
+are frequently nested — operations that time out at one layer are
+retried until a higher-level, enclosing timeout fires."  Without
+explicit provenance, nesting can still be *inferred* from a trace:
+timer B is (probably) nested inside timer A when B's armed episodes
+are repeatedly contained within A's episodes on the same process, with
+A armed first and outliving B.
+
+The inference feeds the Section 5.2 optimisations: a confirmed nested
+pair whose inner timeout exceeds the enclosing remaining time is a
+candidate for elision (see :class:`repro.core.interfaces.ScopedTimeout`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..tracing.trace import Trace
+from .episodes import Episode, extract_episodes
+
+
+@dataclass
+class NestedPair:
+    """Evidence that ``inner`` timers run inside ``outer`` timers."""
+
+    outer_site: Tuple[str, ...]
+    inner_site: Tuple[str, ...]
+    pid: int
+    #: How many inner episodes were contained in some outer episode.
+    support: int
+    #: Fraction of all inner episodes that were contained.
+    containment: float
+    #: How many contained inner episodes could never have fired first
+    #: (inner deadline at or after the enclosing deadline): the
+    #: elision opportunity of Section 5.4.
+    elidable: int
+
+    def __str__(self) -> str:
+        return (f"{'/'.join(self.inner_site[-1:])} nested in "
+                f"{'/'.join(self.outer_site[-1:])} "
+                f"(pid {self.pid}, support {self.support}, "
+                f"containment {self.containment:.0%}, "
+                f"{self.elidable} elidable)")
+
+
+def _resolved_intervals(episodes: list[Episode]
+                        ) -> list[tuple[int, int, int]]:
+    """(start, end, deadline) for each completed episode."""
+    out = []
+    for episode in episodes:
+        if episode.ended_at is None:
+            continue
+        deadline = episode.set_at + episode.value_ns
+        out.append((episode.set_at, episode.ended_at, deadline))
+    return out
+
+
+def infer_nesting(trace: Trace, *, min_support: int = 3,
+                  min_containment: float = 0.6,
+                  logical: Optional[bool] = None) -> list[NestedPair]:
+    """Find nested-timeout pairs in a trace.
+
+    Containment is strict on the start side (the outer timer must be
+    armed first) and inclusive on the end side.  Pairs must share a
+    pid: nesting across processes is not meaningful at this level.
+    """
+    if logical is None:
+        logical = trace.os_name == "vista"
+    groups = trace.logical_timers() if logical else trace.instances()
+    per_pid: dict[int, list] = {}
+    for history in groups:
+        episodes = extract_episodes(history, trace.os_name)
+        if episodes:
+            per_pid.setdefault(history.pid, []).append(
+                (history.site, episodes))
+
+    pairs: list[NestedPair] = []
+    for pid, timers in per_pid.items():
+        for outer_site, outer_eps in timers:
+            outer_iv = _resolved_intervals(outer_eps)
+            if not outer_iv:
+                continue
+            for inner_site, inner_eps in timers:
+                if inner_site is outer_site:
+                    continue
+                inner_iv = _resolved_intervals(inner_eps)
+                if not inner_iv:
+                    continue
+                support = elidable = 0
+                for i_start, i_end, i_deadline in inner_iv:
+                    for o_start, o_end, o_deadline in outer_iv:
+                        if o_start <= i_start and i_end <= o_end \
+                                and (o_start, o_end) != (i_start, i_end):
+                            support += 1
+                            if i_deadline >= o_deadline:
+                                elidable += 1
+                            break
+                containment = support / len(inner_iv)
+                if support >= min_support \
+                        and containment >= min_containment:
+                    pairs.append(NestedPair(outer_site, inner_site,
+                                            pid, support, containment,
+                                            elidable))
+    pairs.sort(key=lambda p: -p.support)
+    return pairs
+
+
+def render_nesting(pairs: list[NestedPair]) -> str:
+    if not pairs:
+        return "(no nested timeout pairs found)"
+    return "\n".join(str(pair) for pair in pairs)

@@ -1,0 +1,203 @@
+"""A planning CPU dispatcher (the hard part of Section 5.5).
+
+"The CPU scheduler must now deal with complex constraints (which can
+be thought of as short-term execution 'plans', by analogy with
+database systems) from multiple applications as well as a system-wide
+CPU allocation policy."  :class:`PlannedScheduler` is a working model
+of that design:
+
+* applications *admit* periodic plans (period, worst-case execution
+  cost, jitter tolerance); admission is controlled by an EDF
+  utilisation bound, the system-wide policy;
+* released jobs contend for the single CPU and are dispatched
+  earliest-deadline-first; execution takes real (virtual) time, so one
+  application's work delays another's — unlike the instantaneous
+  callbacks of a timer facility;
+* per-plan deadline accounting exposes who misses under overload.
+
+The classical EDF result holds on this model and is asserted in the
+tests: any admitted plan set with total utilisation <= 1 meets every
+deadline; refusing admission (rather than best-effort timers silently
+degrading) is the behavioural difference from today's kernels.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..sim.engine import Engine
+
+
+class AdmissionError(RuntimeError):
+    """The plan would push the CPU past its utilisation bound."""
+
+
+@dataclass
+class Plan:
+    """One admitted periodic execution plan."""
+
+    name: str
+    period_ns: int
+    cost_ns: int
+    callback: Callable[[int], None]
+    tolerance_ns: int = 0
+    #: accounting
+    jobs_released: int = 0
+    jobs_completed: int = 0
+    deadline_misses: int = 0
+    max_lateness_ns: int = 0
+    active: bool = True
+
+    @property
+    def utilization(self) -> float:
+        return self.cost_ns / self.period_ns
+
+    @property
+    def miss_rate(self) -> float:
+        if self.jobs_completed == 0:
+            return 0.0
+        return self.deadline_misses / self.jobs_completed
+
+
+@dataclass(order=True)
+class _Job:
+    deadline_ns: int
+    seq: int
+    plan: Plan = field(compare=False)
+    release_ns: int = field(compare=False, default=0)
+
+
+class PlannedScheduler:
+    """Single-CPU EDF dispatcher with admission control."""
+
+    def __init__(self, engine: Engine, *,
+                 utilization_cap: float = 1.0):
+        self.engine = engine
+        self.utilization_cap = utilization_cap
+        self.plans: list[Plan] = []
+        self._ready: list[_Job] = []
+        self._seq = 0
+        #: (job, remaining_ns, slice_start_ns, completion event)
+        self._current: Optional[tuple] = None
+        self._remaining: dict[int, int] = {}
+        self.dispatches = 0
+        self.preemptions = 0
+        self.busy_ns = 0
+
+    # -- admission (the system-wide policy) ---------------------------------
+
+    @property
+    def utilization(self) -> float:
+        return sum(p.utilization for p in self.plans if p.active)
+
+    def admit(self, name: str, period_ns: int, cost_ns: int,
+              callback: Callable[[int], None], *,
+              tolerance_ns: int = 0) -> Plan:
+        """Admit a periodic plan, or refuse it outright.
+
+        Refusal is the point: a timer interface would accept the load
+        and let every application degrade unpredictably.
+        """
+        if cost_ns <= 0 or period_ns <= 0:
+            raise ValueError("period and cost must be positive")
+        if cost_ns > period_ns:
+            raise AdmissionError(
+                f"plan {name!r} alone needs more than the CPU")
+        plan = Plan(name, period_ns, cost_ns, callback, tolerance_ns)
+        if self.utilization + plan.utilization > self.utilization_cap:
+            raise AdmissionError(
+                f"plan {name!r} would take utilisation to "
+                f"{self.utilization + plan.utilization:.2f} "
+                f"(cap {self.utilization_cap:.2f})")
+        self.plans.append(plan)
+        self._release(plan, self.engine.now + period_ns)
+        return plan
+
+    def retire(self, plan: Plan) -> None:
+        plan.active = False
+
+    # -- job lifecycle --------------------------------------------------------
+
+    def _release(self, plan: Plan, release_ns: int) -> None:
+        if not plan.active:
+            return
+        self.engine.call_at(release_ns, self._released, plan, release_ns)
+
+    def _released(self, plan: Plan, release_ns: int) -> None:
+        if not plan.active:
+            return
+        plan.jobs_released += 1
+        self._seq += 1
+        job = _Job(release_ns + plan.period_ns, self._seq, plan,
+                   release_ns)
+        heapq.heappush(self._ready, job)
+        # Next period's release, regardless of when this job runs.
+        self._release(plan, release_ns + plan.period_ns)
+        self._maybe_dispatch()
+
+    def _maybe_dispatch(self) -> None:
+        """Preemptive EDF: the earliest-deadline ready job gets the CPU,
+        preempting the running job if it has a later deadline."""
+        now = self.engine.now
+        # Skip retired entries at the head.
+        while self._ready and not self._ready[0].plan.active:
+            heapq.heappop(self._ready)
+        if not self._ready:
+            return
+        head = self._ready[0]
+        if self._current is not None:
+            job, remaining, slice_start, event = self._current
+            if head.deadline_ns >= job.deadline_ns:
+                return                     # current job keeps the CPU
+            # Preempt: bank the executed slice, requeue the rest.
+            event.cancel()
+            executed = now - slice_start
+            self.preemptions += 1
+            self.busy_ns += executed
+            heapq.heappush(self._ready, job)
+            self._remaining[job.seq] = remaining - executed
+            self._current = None
+        job = heapq.heappop(self._ready)
+        self._start_slice(job)
+
+    def _start_slice(self, job: _Job) -> None:
+        plan = job.plan
+        remaining = self._remaining.pop(job.seq, None)
+        if remaining is None:
+            remaining = plan.cost_ns
+            # The plan's code is entered when the job first runs.
+            self.dispatches += 1
+            plan.callback(job.release_ns)
+        start = self.engine.now
+        event = self.engine.call_at(start + remaining, self._complete,
+                                    job)
+        self._current = (job, remaining, start, event)
+
+    def _complete(self, job: _Job) -> None:
+        plan = job.plan
+        if self._current is not None:
+            _job, _remaining, slice_start, _event = self._current
+            self.busy_ns += self.engine.now - slice_start
+        self._current = None
+        plan.jobs_completed += 1
+        lateness = max(0, self.engine.now - job.deadline_ns)
+        plan.max_lateness_ns = max(plan.max_lateness_ns, lateness)
+        if lateness > plan.tolerance_ns:
+            plan.deadline_misses += 1
+        self._maybe_dispatch()
+
+    # -- reporting --------------------------------------------------------------
+
+    def report(self) -> str:
+        lines = [f"{'plan':14s} {'util':>6s} {'jobs':>6s} {'misses':>7s} "
+                 f"{'max late':>10s}"]
+        for plan in self.plans:
+            lines.append(
+                f"{plan.name:14s} {plan.utilization:6.2f} "
+                f"{plan.jobs_completed:6d} {plan.deadline_misses:7d} "
+                f"{plan.max_lateness_ns / 1e6:8.2f}ms")
+        lines.append(f"total utilisation {self.utilization:.2f}, "
+                     f"{self.dispatches} dispatches")
+        return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Timer provenance and dependency tracking (the paper's Section 5.2).
+
+The paper enumerates the relationships two timers ``t1`` and ``t2`` can
+have — overlap cases (a) max-significant, (b) min-significant,
+(c) neither-need-expire, and dependency (``t2`` is set only on
+cancellation/expiry of ``t1``) — and observes that overlapping
+relationships can be rewritten into dependency form, reducing the
+number of concurrently installed timers.
+
+:class:`DependencyGraph` lets callers declare those relationships and
+answers the optimisation questions; :class:`LayeredTimeoutStack` models
+the nested-timeout provenance chains of layered software (the
+Section 2.2.2 file-browser example), tracking how long a failure takes
+to propagate to the top of the stack versus the underlying detection
+time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+class Relation(enum.Enum):
+    """Section 5.2's timer relationships."""
+
+    #: t1 overlaps t2; either just t1, or both expiring signal failure:
+    #: effective expiry is max(t1, t2) and t2 is redundant (DHCP 4.4.5).
+    OVERLAP_MAX = "overlap-max"
+    #: only t2 need expire: effective expiry min(t1, t2); t1 redundant.
+    OVERLAP_MIN = "overlap-min"
+    #: neither need expire; cancelling one should cancel the other
+    #: (TCP keepalive vs retransmission).
+    OVERLAP_CANCEL = "overlap-cancel"
+    #: t2 is set only upon cancellation/expiry of t1.  Periodic timers
+    #: are self-dependent.
+    DEPENDS = "depends"
+
+
+@dataclass
+class DeclaredTimer:
+    """A timer as known to the provenance layer."""
+
+    name: str
+    timeout_ns: int
+    layer: str = ""           #: which software layer installed it
+    parent: Optional[str] = None   #: enclosing timeout, if nested
+
+
+class DependencyGraph:
+    """Declared timers plus relations, with the 5.2 optimisations."""
+
+    def __init__(self) -> None:
+        self.timers: dict[str, DeclaredTimer] = {}
+        self.relations: list[tuple[str, str, Relation]] = []
+
+    def declare(self, name: str, timeout_ns: int, *, layer: str = "",
+                parent: Optional[str] = None) -> DeclaredTimer:
+        if name in self.timers:
+            raise ValueError(f"timer {name!r} already declared")
+        timer = DeclaredTimer(name, timeout_ns, layer, parent)
+        self.timers[name] = timer
+        return timer
+
+    def relate(self, first: str, second: str, relation: Relation) -> None:
+        if first not in self.timers or second not in self.timers:
+            raise KeyError("both timers must be declared first")
+        self.relations.append((first, second, relation))
+
+    # -- optimisation queries ------------------------------------------------
+
+    def redundant_timers(self) -> set[str]:
+        """Timers that never need to be installed concurrently.
+
+        OVERLAP_MAX makes the shorter timer redundant (only the later
+        expiry matters); OVERLAP_MIN makes the longer one redundant.
+        """
+        redundant: set[str] = set()
+        for first, second, relation in self.relations:
+            t1 = self.timers[first]
+            t2 = self.timers[second]
+            if relation == Relation.OVERLAP_MAX:
+                loser = first if t1.timeout_ns <= t2.timeout_ns else second
+                redundant.add(loser)
+            elif relation == Relation.OVERLAP_MIN:
+                loser = first if t1.timeout_ns >= t2.timeout_ns else second
+                redundant.add(loser)
+        return redundant
+
+    def cancellation_propagation(self, cancelled: str) -> set[str]:
+        """Timers that may be cancelled when ``cancelled`` is cancelled
+        (the OVERLAP_CANCEL rule)."""
+        out = set()
+        for first, second, relation in self.relations:
+            if relation != Relation.OVERLAP_CANCEL:
+                continue
+            if first == cancelled:
+                out.add(second)
+            elif second == cancelled:
+                out.add(first)
+        return out
+
+    def as_dependency_chain(self, first: str, second: str
+                            ) -> list[tuple[str, int]]:
+        """Rewrite an overlap into a dependency (Section 5.2):
+        "assuming t1 overlaps t2, set t2 only, and upon its expiry set
+        t1 for the remaining time".  Returns [(name, duration)] in
+        installation order — only one timer is ever armed at a time.
+        """
+        t1 = self.timers[first]
+        t2 = self.timers[second]
+        if t1.timeout_ns <= t2.timeout_ns:
+            raise ValueError("overlap rewrite requires t1 to outlast t2")
+        return [(second, t2.timeout_ns),
+                (first, t1.timeout_ns - t2.timeout_ns)]
+
+    def provenance_chain(self, name: str) -> list[str]:
+        """Walk parents outward: the nested-timeout pedigree."""
+        chain = [name]
+        current = self.timers[name]
+        while current.parent is not None:
+            chain.append(current.parent)
+            current = self.timers[current.parent]
+        return chain
+
+
+@dataclass
+class LayerSpec:
+    """One layer of a nested-timeout stack."""
+
+    name: str
+    timeout_ns: int
+    retries: int = 1
+    backoff_factor: float = 1.0
+
+    def worst_case_ns(self) -> int:
+        """Time this layer takes to give up, on its own."""
+        total = 0.0
+        value = float(self.timeout_ns)
+        for _ in range(self.retries):
+            total += value
+            value *= self.backoff_factor
+        return int(total)
+
+
+class LayeredTimeoutStack:
+    """The Section 2.2.2 pathology, made computable.
+
+    Layers are ordered outermost-first.  Each layer retries its
+    sublayer until its own timeout budget is exhausted.  On total
+    failure of the bottom layer, :meth:`failure_detection_ns` gives the
+    time until the *outermost* layer reports an error — "recovering
+    from a typing error can take over a minute".
+    """
+
+    def __init__(self, layers: Iterable[LayerSpec]):
+        self.layers = list(layers)
+        if not self.layers:
+            raise ValueError("need at least one layer")
+
+    def failure_detection_ns(self) -> int:
+        """Time for a bottom-layer failure to reach the user."""
+        inner_cost = 0
+        for layer in reversed(self.layers):
+            own = layer.worst_case_ns()
+            # A layer notices failure when either its own timeout budget
+            # expires or its sublayer reports failure on every retry.
+            if inner_cost == 0:
+                inner_cost = own
+            else:
+                per_try = inner_cost
+                total = 0.0
+                value = float(layer.timeout_ns)
+                for _ in range(layer.retries):
+                    total += max(value, per_try)
+                    value *= layer.backoff_factor
+                inner_cost = int(min(total, max(own, per_try
+                                                * layer.retries)))
+        return inner_cost
+
+    def flattened_timeout_ns(self, detection_ns: int,
+                             safety: float = 3.0) -> int:
+        """What a provenance-aware stack could do: a single end-to-end
+        timeout derived from the true detection signal (e.g. observed
+        RTT), instead of multiplicative layering."""
+        return int(detection_ns * safety)

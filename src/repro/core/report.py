@@ -1,0 +1,110 @@
+"""One-shot study report generation.
+
+Runs the paper's workloads and renders every analysis into a single
+markdown document — the shape of the paper's evaluation section,
+regenerated from scratch.  Used by ``timerstudy report``.
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..sim.clock import MINUTE
+from ..tracing.trace import Trace
+from .adaptivity import adaptivity_report
+from .classify import pattern_breakdown
+from .durations import duration_scatter, render_scatter
+from .origins import origin_table, render_origin_table
+from .rates import rate_series, render_rates
+from .summary import summarize, summary_table
+from .values import render_histogram, round_value_share, value_histogram
+
+WORKLOADS = ("idle", "skype", "firefox", "webserver")
+X_COMMS = ("Xorg", "icewm")
+
+
+def generate_report(*, minutes: float = 2.0, seed: int = 0,
+                    progress=None) -> str:
+    """Run the full study and return it as markdown.
+
+    ``progress`` is an optional callable receiving status strings.
+    """
+    from ..workloads import run_vista_desktop, run_workload
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    duration = int(minutes * MINUTE)
+    out = io.StringIO()
+    out.write("# Timer usage study report\n\n")
+    out.write(f"Workload length: {minutes:g} virtual minutes "
+              f"(paper: 30).  Seed {seed}.\n\n")
+
+    traces: dict[tuple[str, str], Trace] = {}
+    for os_name in ("linux", "vista"):
+        for workload in WORKLOADS:
+            note(f"tracing {os_name}/{workload}")
+            traces[(os_name, workload)] = run_workload(
+                os_name, workload, duration, seed=seed).trace
+
+    for os_name, table in (("linux", "Table 1"), ("vista", "Table 2")):
+        out.write(f"## {table}: {os_name} trace summary\n\n```\n")
+        out.write(summary_table([summarize(traces[(os_name, wl)])
+                                 for wl in WORKLOADS]))
+        out.write("\n```\n\n")
+
+    out.write("## Figure 2: Linux usage patterns (% of timers)\n\n```\n")
+    for workload in WORKLOADS:
+        row = pattern_breakdown(traces[("linux", workload)]).figure2_row()
+        cells = "  ".join(f"{k}={v:5.1f}" for k, v in row.items())
+        out.write(f"{workload:<10} {cells}\n")
+    out.write("```\n\n")
+
+    out.write("## Figures 3/5: common Linux values "
+              "(webserver, X filtered)\n\n```\n")
+    web = traces[("linux", "webserver")].without_comms(X_COMMS)
+    hist = value_histogram(web)
+    out.write(render_histogram(hist))
+    out.write(f"\nround-number share: "
+              f"{round_value_share(hist) * 100:.1f}%\n```\n\n")
+
+    out.write("## Figure 6: Linux syscall values (skype)\n\n```\n")
+    out.write(render_histogram(value_histogram(
+        traces[("linux", "skype")], domain="user")))
+    out.write("\n```\n\n")
+
+    out.write("## Figure 7: Vista values (skype)\n\n```\n")
+    out.write(render_histogram(value_histogram(
+        traces[("vista", "skype")])))
+    out.write("\n```\n\n")
+
+    out.write("## Table 3: Linux timeout origins (webserver)\n\n```\n")
+    out.write(render_origin_table(origin_table(
+        traces[("linux", "webserver")], min_sets=5)))
+    out.write("\n```\n\n")
+
+    for workload, figure in zip(WORKLOADS, ("8", "9", "10", "11")):
+        out.write(f"## Figure {figure}: durations, {workload}\n\n")
+        for os_name in ("linux", "vista"):
+            scatter = duration_scatter(traces[(os_name, workload)])
+            out.write(f"{os_name} (late deliveries "
+                      f"{scatter.share_above_100pct() * 100:.0f}%):\n\n"
+                      "```\n")
+            out.write(render_scatter(scatter))
+            out.write("\n```\n\n")
+
+    out.write("## Section 4.2: value adaptivity\n\n```\n")
+    for workload in WORKLOADS:
+        report = adaptivity_report(traces[("linux", workload)])
+        out.write(f"--- {workload} ---\n{report.render()}\n")
+    out.write("```\n\n")
+
+    note("tracing vista desktop (Figure 1)")
+    desktop = run_vista_desktop(seed=seed)
+    out.write("## Figure 1: Vista desktop set rates\n\n```\n")
+    out.write(render_rates(rate_series(desktop.trace),
+                           groups=["Outlook", "Browser", "System",
+                                   "Kernel"], max_rows=12))
+    out.write("\n```\n")
+    return out.getvalue()

@@ -1,0 +1,24 @@
+"""Linux 2.6.23 timer subsystem model (the paper's Linux side).
+
+The package models the standard jiffy-resolution timer wheel, the
+hrtimer facility, the syscall entry points applications set timeouts
+through, and the kernel subsystems whose timers populate the paper's
+Table 3.
+"""
+
+from .hrtimer import Hrtimer, HrtimerBase
+from .jiffies import msecs_to_jiffies, round_jiffies, round_jiffies_relative
+from .kernel import LinuxKernel
+from .softtimers import SoftTimer, SoftTimerFacility
+from .syscalls import BlockedCall, SyscallInterface, WakeReason
+from .timer_stats import StatsEntry, TimerStats
+from .timer import KernelTimer, TimerBase
+from .wheel import TimerWheel, WheelTimer
+
+__all__ = [
+    "Hrtimer", "HrtimerBase", "msecs_to_jiffies", "round_jiffies",
+    "round_jiffies_relative", "LinuxKernel", "BlockedCall",
+    "SyscallInterface", "WakeReason", "KernelTimer", "TimerBase",
+    "StatsEntry", "TimerStats", "SoftTimer", "SoftTimerFacility",
+    "TimerWheel", "WheelTimer",
+]

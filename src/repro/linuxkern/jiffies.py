@@ -1,0 +1,42 @@
+"""Jiffy arithmetic helpers, including ``round_jiffies``.
+
+``round_jiffies``/``round_jiffies_relative`` (added in 2.6.20) round an
+expiry to the next whole second so imprecise timers expire in batches —
+one of the ad-hoc power extensions the paper surveys in Section 2.1 and
+generalises in Section 5.3.  The rounding rule matches the kernel: an
+expiry within the first quarter-second past a boundary rounds down,
+anything else rounds up, and a result not in the future is left alone.
+"""
+
+from __future__ import annotations
+
+from ..sim.clock import HZ
+
+
+def round_jiffies(j: int, now: int) -> int:
+    """Round absolute jiffy ``j`` to a whole-second boundary.
+
+    ``now`` is the current jiffy counter; a rounded value that would
+    land in the past (or now) is returned unrounded, as in the kernel.
+    """
+    rem = j % HZ
+    if rem < HZ // 4:
+        rounded = j - rem
+    else:
+        rounded = j + (HZ - rem)
+    if rounded <= now:
+        return j
+    return rounded
+
+
+def round_jiffies_relative(delta: int, now: int) -> int:
+    """Round a relative jiffy delay; returns a relative value."""
+    j = round_jiffies(now + delta, now)
+    return j - now
+
+
+def msecs_to_jiffies(ms: float) -> int:
+    """``msecs_to_jiffies``: convert with round-up, minimum handled by caller."""
+    if ms <= 0:
+        return 0
+    return -(-int(ms * HZ) // 1000)

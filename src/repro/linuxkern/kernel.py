@@ -1,0 +1,178 @@
+"""The top-level Linux machine model.
+
+Glues the simulation substrate to the timer subsystem: per-CPU periodic
+tick devices drive the jiffy clock and ``__run_timers`` on each CPU's
+``tvec_base``; the relayfs sink receives every timer event; syscall and
+subsystem layers hang off this object.
+
+The default machine is single-CPU, matching the paper's instrumented
+configuration ("the system ran in 32-bit mode on a single processor").
+With ``cpus > 1`` the machine grows the per-CPU timer *forest* the
+paper describes in Section 2, including staggered per-CPU ticks, timer
+placement, CPU-offline migration, and the ``del_timer_sync`` family.
+
+Dynticks (CONFIG_NO_HZ) and deferrable-timer behaviour are modelled for
+the Section 5.3 power experiments and default to off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.clock import JIFFY
+from ..sim.devices import TickDevice
+from ..sim.engine import Engine
+from ..sim.power import PowerMeter
+from ..sim.rng import RngRegistry
+from ..sim.tasks import Task, TaskTable
+from ..tracing.events import CallSiteRegistry
+from ..tracing.relay import RelayBuffer
+from .hrtimer import HrtimerBase
+from .jiffies import round_jiffies, round_jiffies_relative
+from .timer import KernelTimer, TimerBase
+
+
+class LinuxKernel:
+    """One simulated Linux 2.6.23 machine (single-CPU by default)."""
+
+    def __init__(self, engine: Optional[Engine] = None, *,
+                 seed: int = 0, dynticks: bool = False, cpus: int = 1,
+                 sink=None, power: Optional[PowerMeter] = None):
+        if cpus < 1:
+            raise ValueError("need at least one CPU")
+        self.engine = engine if engine is not None else Engine()
+        self.tasks = TaskTable()
+        self.rng = RngRegistry(seed)
+        self.sites = CallSiteRegistry()
+        self.sink = sink if sink is not None else RelayBuffer()
+        self.power = power if power is not None else PowerMeter()
+        self.dynticks = dynticks
+        self.cpus = cpus
+
+        id_counter = [0x1000]
+        self.bases = [TimerBase(self.engine, self.sink, self.sites,
+                                cpu=cpu, id_counter=id_counter)
+                      for cpu in range(cpus)]
+        #: CPU 0's base: the facility single-CPU code talks to.
+        self.timers = self.bases[0]
+        self._online = [True] * cpus
+        self.hrtimers = HrtimerBase(self.engine, self.sink, self.sites)
+
+        # Per-CPU ticks; secondary CPUs staggered within the jiffy, as
+        # real SMP kernels do to spread timer-softirq work.
+        self.ticks = []
+        for cpu, base in enumerate(self.bases):
+            tick = TickDevice(self.engine, JIFFY,
+                              self._make_tick_handler(base),
+                              power=self.power,
+                              idle_predicate=(self._tick_skippable
+                                              if cpu == 0 else None))
+            if cpu > 0:
+                offset = (cpu * JIFFY) // cpus
+                self.engine.call_after(offset, tick.start)
+            else:
+                tick.start()
+            self.ticks.append(tick)
+        self.tick = self.ticks[0]
+        #: Set by workloads that keep the CPU busy; affects only the
+        #: idle/wakeup accounting, not timer semantics.
+        self.cpu_busy = False
+        self._placement_counter = 0
+
+    # -- tick path --------------------------------------------------------
+
+    @property
+    def jiffies(self) -> int:
+        return self.timers.jiffies
+
+    def _make_tick_handler(self, base: TimerBase):
+        def handler(_tick_count: int) -> None:
+            base.run_timers()
+        return handler
+
+    def _tick_skippable(self) -> bool:
+        """NOHZ: skip this tick if the CPU is idle and nothing is due.
+
+        Deferrable timers do not hold the CPU awake — exactly the
+        2.6.22 semantics the paper describes.
+        """
+        if not self.dynticks or self.cpu_busy:
+            return False
+        due_jiffy = (self.engine.now + JIFFY) // JIFFY
+        return not self.timers.has_work_at(due_jiffy,
+                                           include_deferrable=False)
+
+    # -- timer API (routed to the owning CPU's base) -------------------------
+
+    def base_for(self, cpu: Optional[int] = None,
+                 owner: Optional[Task] = None) -> TimerBase:
+        """Pick a base: explicit CPU, the owner's home CPU, or CPU 0."""
+        if cpu is not None:
+            if not self._online[cpu]:
+                raise ValueError(f"cpu {cpu} is offline")
+            return self.bases[cpu]
+        if owner is not None and self.cpus > 1:
+            return self.bases[owner.pid % self.cpus]
+        return self.bases[0]
+
+    def init_timer(self, function=None, *, site, owner,
+                   deferrable: bool = False, domain: Optional[str] = None,
+                   cpu: Optional[int] = None) -> KernelTimer:
+        """Allocate a timer on ``cpu`` (default: the owner's home CPU)."""
+        base = self.base_for(cpu, owner)
+        return base.init_timer(function, site=site, owner=owner,
+                               deferrable=deferrable, domain=domain)
+
+    def mod_timer(self, timer: KernelTimer, *args, **kwargs):
+        return timer.kernel.mod_timer(timer, *args, **kwargs)
+
+    def mod_timer_rel(self, timer: KernelTimer, *args, **kwargs):
+        return timer.kernel.mod_timer_rel(timer, *args, **kwargs)
+
+    def add_timer(self, timer: KernelTimer, *args, **kwargs):
+        return timer.kernel.add_timer(timer, *args, **kwargs)
+
+    def del_timer(self, timer: KernelTimer):
+        return timer.kernel.del_timer(timer)
+
+    def del_timer_sync(self, timer: KernelTimer):
+        return timer.kernel.del_timer_sync(timer)
+
+    def try_to_del_timer_sync(self, timer: KernelTimer):
+        return timer.kernel.try_to_del_timer_sync(timer)
+
+    # -- CPU hotplug -----------------------------------------------------------
+
+    def offline_cpu(self, cpu: int, *, migrate_to: int = 0) -> int:
+        """Take a CPU down, migrating its pending timers
+        (``migrate_timers`` in the hotplug path).  Returns the number
+        of timers moved."""
+        if cpu == 0:
+            raise ValueError("cannot offline the boot CPU")
+        if cpu == migrate_to:
+            raise ValueError("cannot migrate to the dying CPU")
+        if not self._online[cpu]:
+            return 0
+        source = self.bases[cpu]
+        target = self.bases[migrate_to]
+        moved = 0
+        for timer in list(source.wheel.all_pending()):
+            source.wheel.remove(timer)
+            timer.kernel = target
+            target.wheel.add(timer, timer.expires)
+            moved += 1
+        self._online[cpu] = False
+        self.ticks[cpu].stop()
+        return moved
+
+    def round_jiffies(self, j: int) -> int:
+        return round_jiffies(j, self.jiffies)
+
+    def round_jiffies_relative(self, delta: int) -> int:
+        return round_jiffies_relative(delta, self.jiffies)
+
+    # -- run ----------------------------------------------------------------
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance the machine by ``duration_ns`` of virtual time."""
+        self.engine.run_until(self.engine.now + duration_ns)

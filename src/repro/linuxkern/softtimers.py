@@ -1,0 +1,158 @@
+"""Soft timers (Aron & Druschel), the related work behind the paper's
+overhead motivation.
+
+"Soft timers is a facility to emulate a timer subsystem of microsecond
+precision without the processing overhead of hardware timer
+interrupts, by polling for timer expiry at convenient points in the
+execution of an operating system" (Section 6, citing [4]).  The
+'convenient points' — trigger states — are moments the kernel is
+entered anyway: syscall returns, exception exits, interrupt epilogues.
+
+:class:`SoftTimerFacility` implements the scheme over the simulated
+machine: expired soft timers fire when a trigger point happens to
+occur, and a (coarse) hardware fallback bounds the worst-case delay.
+The win is measured in hardware interrupts avoided; the cost is expiry
+latency that depends on how busy the system is — both are surfaced for
+the ablation in ``benchmarks/bench_softtimers.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from ..sim.clock import MICROSECOND, MILLISECOND
+from ..sim.engine import Engine
+from ..sim.power import PowerMeter
+from ..sim.rng import RngStream
+
+
+class SoftTimer:
+    """One microsecond-precision soft timer."""
+
+    __slots__ = ("callback", "expires_ns", "armed", "_seq",
+                 "fired_at_ns")
+
+    def __init__(self) -> None:
+        self.callback: Optional[Callable[[], None]] = None
+        self.expires_ns = 0
+        self.armed = False
+        self._seq = 0
+        self.fired_at_ns: Optional[int] = None
+
+
+class SoftTimerFacility:
+    """Poll-at-trigger-states timer facility with a hardware fallback.
+
+    ``fallback_period_ns`` is the coarse hardware interrupt bounding
+    worst-case expiry delay (Aron & Druschel used ~1 ms); trigger
+    points are reported by the workload via :meth:`trigger_point` (or
+    generated synthetically with :meth:`drive_trigger_points`).
+    """
+
+    def __init__(self, engine: Engine, *,
+                 fallback_period_ns: int = MILLISECOND,
+                 power: Optional[PowerMeter] = None):
+        self.engine = engine
+        self.power = power if power is not None else PowerMeter()
+        self.fallback_period_ns = fallback_period_ns
+        self._heap: list[tuple[int, int, SoftTimer]] = []
+        self._seq = 0
+        self._fallback_event = None
+        #: Statistics for the ablation.
+        self.trigger_polls = 0
+        self.fired_at_trigger = 0
+        self.fired_at_fallback = 0
+        self.latencies_ns: list[int] = []
+        self._schedule_fallback()
+
+    # -- client API -----------------------------------------------------------
+
+    def arm(self, timer: SoftTimer, delay_ns: int,
+            callback: Callable[[], None]) -> None:
+        self._seq += 1
+        timer.callback = callback
+        timer.expires_ns = self.engine.now + delay_ns
+        timer.armed = True
+        timer._seq = self._seq
+        heapq.heappush(self._heap, (timer.expires_ns, self._seq, timer))
+
+    def cancel(self, timer: SoftTimer) -> bool:
+        if not timer.armed:
+            return False
+        timer.armed = False
+        return True
+
+    def pending(self) -> int:
+        return sum(1 for _e, seq, t in self._heap
+                   if t.armed and t._seq == seq)
+
+    # -- expiry paths ------------------------------------------------------------
+
+    def trigger_point(self) -> int:
+        """The kernel was entered anyway: poll for due timers (cheap)."""
+        self.trigger_polls += 1
+        return self._fire_due(via_trigger=True)
+
+    def _fallback_interrupt(self) -> None:
+        fired = self._fire_due(via_trigger=False)
+        if fired and self.power is not None:
+            pass   # interrupt already charged below
+        self._schedule_fallback()
+
+    def _schedule_fallback(self) -> None:
+        def fire():
+            self.power.interrupt(cpu_was_idle=True)
+            self._fallback_interrupt()
+        self._fallback_event = self.engine.call_after(
+            self.fallback_period_ns, fire)
+
+    def _fire_due(self, *, via_trigger: bool) -> int:
+        now = self.engine.now
+        fired = 0
+        heap = self._heap
+        while heap:
+            expires, seq, timer = heap[0]
+            if timer._seq != seq or not timer.armed:
+                heapq.heappop(heap)
+                continue
+            if expires > now:
+                break
+            heapq.heappop(heap)
+            timer.armed = False
+            timer.fired_at_ns = now
+            fired += 1
+            self.latencies_ns.append(now - expires)
+            if via_trigger:
+                self.fired_at_trigger += 1
+            else:
+                self.fired_at_fallback += 1
+            if timer.callback is not None:
+                timer.callback()
+        return fired
+
+    # -- synthetic trigger-point source --------------------------------------------
+
+    def drive_trigger_points(self, rng: RngStream, *,
+                             mean_gap_ns: int = 20 * MICROSECOND,
+                             until_ns: int) -> None:
+        """Generate trigger points (syscall returns etc.) of a busy
+        system until ``until_ns``."""
+        def next_point() -> None:
+            if self.engine.now >= until_ns:
+                return
+            self.trigger_point()
+            gap = max(1, int(rng.exponential(mean_gap_ns)))
+            self.engine.call_after(gap, next_point)
+
+        self.engine.call_after(
+            max(1, int(rng.exponential(mean_gap_ns))), next_point)
+
+    # -- reporting ----------------------------------------------------------------
+
+    def latency_percentile(self, pct: float) -> int:
+        if not self.latencies_ns:
+            return 0
+        ordered = sorted(self.latencies_ns)
+        index = min(len(ordered) - 1, int(pct / 100 * len(ordered)))
+        return ordered[index]

@@ -1,0 +1,13 @@
+"""Kernel subsystems that own the timers of Table 3."""
+
+from .block import BlockLayer, JournalDaemon
+from .console import ConsoleBlanker
+from .dhcp import DhcpClient
+from .housekeeping import PeriodicKernelTimer, standard_housekeeping
+from .net import ArpCache, TcpConnection, TcpStack
+
+__all__ = [
+    "BlockLayer", "JournalDaemon", "ConsoleBlanker", "DhcpClient",
+    "PeriodicKernelTimer", "standard_housekeeping",
+    "ArpCache", "TcpConnection", "TcpStack",
+]

@@ -1,0 +1,68 @@
+"""Console blank timer — the paper's example of a kernel *watchdog*.
+
+"The timer never expires: before its expiry time, it is re-set to the
+same relative value in the future... An example is the Linux console
+blank timeout" (Section 4.1.1).  Every key press or console write
+defers the 10-minute blank deadline; only a genuinely idle console lets
+it fire.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...sim.clock import seconds, to_jiffies
+from ...sim.rng import RngStream
+from ..kernel import LinuxKernel
+from ..timer import KernelTimer
+
+SITE_BLANK = ("vt_console_print", "poke_blanked_console", "mod_timer",
+              "__mod_timer")
+
+BLANK_INTERVAL_NS = seconds(600)
+
+
+class ConsoleBlanker:
+    """The VT blanking watchdog, deferred by console activity."""
+
+    def __init__(self, kernel: LinuxKernel, rng: Optional[RngStream] = None,
+                 *, activity_mean_ns: Optional[int] = None,
+                 blank_interval_ns: int = BLANK_INTERVAL_NS):
+        self.kernel = kernel
+        self.rng = rng
+        #: Mean interval between console activity events; ``None``
+        #: means a silent console (the timer will expire once).
+        self.activity_mean_ns = activity_mean_ns
+        self.blank_interval_ns = blank_interval_ns
+        self.blanked = False
+        self.blank_count = 0
+        self.timer = kernel.init_timer(self._blank, site=SITE_BLANK,
+                                       owner=kernel.tasks.kernel)
+
+    def start(self) -> None:
+        self._defer()
+        if self.activity_mean_ns is not None and self.rng is not None:
+            self._schedule_activity()
+
+    def _schedule_activity(self) -> None:
+        delay = int(self.rng.exponential(self.activity_mean_ns))
+        self.kernel.engine.call_after(delay, self._activity)
+
+    def _activity(self) -> None:
+        self.touch()
+        self._schedule_activity()
+
+    def touch(self) -> None:
+        """Console activity: unblank if needed, defer the watchdog."""
+        self.blanked = False
+        self._defer()
+
+    def _defer(self) -> None:
+        # mod_timer on a pending timer re-arms without a cancel record —
+        # the watchdog trace signature.
+        self.kernel.mod_timer_rel(self.timer,
+                                  to_jiffies(self.blank_interval_ns))
+
+    def _blank(self, _timer: KernelTimer) -> None:
+        self.blanked = True
+        self.blank_count += 1

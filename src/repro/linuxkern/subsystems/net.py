@@ -1,0 +1,356 @@
+"""Linux networking timers: TCP socket timers and the ARP cache.
+
+These produce the network-related rows of Table 3:
+
+* 0.04 s  — TCP delayed-ACK minimum (``Sockets``, Timeout)
+* 0.204 s — TCP retransmission floor, 51 jiffies: the one value the
+  paper singles out as *online-adapted* (Jacobson/Karels RTO clamped at
+  HZ/5 + 1 on LAN round-trips)
+* 3 s     — SYN/SYN-ACK retransmit (``Sockets``, Timeout)
+* 7200 s  — TCP keepalive (Timeout)
+* 2/4 s   — ARP neighbour housekeeping (Periodic)
+* 5 s     — ARP reachability timeout, cancelled at random by LAN
+  activity (the vertical 5 s column in Figures 8–11)
+* 8 s     — ARP cache flush (Periodic)
+
+Socket structures come from a small recycled pool, modelling slab
+allocation: the paper's Table 1 counts only ~100 distinct timer
+addresses in a 30000-connection webserver run precisely because
+``struct sock`` memory is reused.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...sim.clock import MILLISECOND, millis, seconds, to_jiffies
+from ...sim.rng import RngStream
+from ..kernel import LinuxKernel
+from ..timer import KernelTimer
+from .housekeeping import PeriodicKernelTimer
+
+SITE_SYNACK = ("tcp_v4_conn_request", "inet_csk_reqsk_queue_hash_add",
+               "reqsk_queue_hash_req", "__mod_timer")
+SITE_RTO = ("tcp_ack", "inet_csk_reset_xmit_timer", "sk_reset_timer",
+            "__mod_timer")
+SITE_DELACK = ("tcp_rcv_established", "tcp_send_delayed_ack",
+               "sk_reset_timer", "__mod_timer")
+SITE_KEEPALIVE = ("inet_csk_init_xmit_timers",
+                  "inet_csk_reset_keepalive_timer", "sk_reset_timer",
+                  "__mod_timer")
+SITE_TIMEWAIT = ("tcp_time_wait", "inet_twsk_schedule", "__mod_timer")
+SITE_ARP_TIMEOUT = ("neigh_update", "neigh_add_timer", "__mod_timer")
+
+#: TCP constants from the 2.6.23 sources.
+TCP_RTO_MIN_NS = millis(200)        # HZ/5
+TCP_RTO_MAX_NS = seconds(120)
+TCP_DELACK_MIN_NS = millis(40)      # HZ/25
+TCP_SYN_RETRANS_NS = seconds(3)
+TCP_KEEPALIVE_NS = seconds(7200)
+
+
+class RttEstimator:
+    """Jacobson/Karels smoothed RTT, as in ``tcp_rtt_estimator``."""
+
+    def __init__(self) -> None:
+        self.srtt_ns: Optional[float] = None
+        self.rttvar_ns: float = 0.0
+
+    def sample(self, rtt_ns: float) -> None:
+        if self.srtt_ns is None:
+            self.srtt_ns = rtt_ns
+            self.rttvar_ns = rtt_ns / 2
+            return
+        err = rtt_ns - self.srtt_ns
+        self.srtt_ns += err / 8
+        self.rttvar_ns += (abs(err) - self.rttvar_ns) / 4
+
+    def rto_ns(self) -> int:
+        """Current retransmission timeout, clamped to kernel bounds.
+
+        As in ``tcp_set_rto``: the variance term is floored at
+        TCP_RTO_MIN, so a LAN connection's RTO is srtt + 200 ms — which
+        rounds up to 51 jiffies, the paper's online-adapted 0.204 s.
+        """
+        if self.srtt_ns is None:
+            return TCP_SYN_RETRANS_NS
+        raw = self.srtt_ns + max(4 * self.rttvar_ns, TCP_RTO_MIN_NS)
+        return int(min(raw, TCP_RTO_MAX_NS))
+
+
+class TcpSocket:
+    """One pooled ``struct sock`` with its three timers."""
+
+    def __init__(self, stack: "TcpStack", index: int):
+        self.stack = stack
+        self.index = index
+        kernel = stack.kernel
+        owner = kernel.tasks.kernel
+        self.rto_timer = kernel.init_timer(site=SITE_RTO, owner=owner)
+        self.delack_timer = kernel.init_timer(site=SITE_DELACK, owner=owner)
+        self.keepalive_timer = kernel.init_timer(site=SITE_KEEPALIVE,
+                                                 owner=owner)
+        self.synack_timer = kernel.init_timer(site=SITE_SYNACK, owner=owner)
+        self.rtt = RttEstimator()
+        self.in_use = False
+
+    def reset(self) -> None:
+        """Fresh-connection state on slab reuse."""
+        self.rtt = RttEstimator()
+        self.in_use = True
+
+    def release(self) -> None:
+        kernel = self.stack.kernel
+        for timer in (self.rto_timer, self.delack_timer,
+                      self.keepalive_timer, self.synack_timer):
+            if timer.pending:
+                kernel.del_timer(timer)
+        self.in_use = False
+        self.stack._pool.append(self)
+
+
+class TcpStack:
+    """TCP timer behaviour of one machine.
+
+    Connections are driven by :class:`TcpConnection`, which schedules
+    packet round-trips on the engine using the stack's RTT model and
+    arms/cancels the socket timers exactly where the kernel would.
+    """
+
+    def __init__(self, kernel: LinuxKernel, rng: RngStream, *,
+                 rtt_median_ns: int = 200_000, loss_rate: float = 0.002):
+        self.kernel = kernel
+        self.rng = rng
+        self.rtt_median_ns = rtt_median_ns
+        self.loss_rate = loss_rate
+        self._pool: list[TcpSocket] = []
+        self._sock_count = 0
+        self.time_wait_count = 0
+        self._tw_reaper = PeriodicKernelTimer(
+            kernel, name="tw-reaper", period_ns=seconds(7.5),
+            site=SITE_TIMEWAIT, work=self._reap_time_wait)
+
+    def alloc_socket(self) -> TcpSocket:
+        if self._pool:
+            sock = self._pool.pop()
+        else:
+            sock = TcpSocket(self, self._sock_count)
+            self._sock_count += 1
+        sock.reset()
+        return sock
+
+    def sample_rtt(self) -> int:
+        return max(50_000, int(self.rng.lognormal_latency(
+            self.rtt_median_ns, sigma=0.3)))
+
+    def lost(self) -> bool:
+        return self.rng.random() < self.loss_rate
+
+    def enter_time_wait(self, _sock: TcpSocket) -> None:
+        """TIME_WAIT uses the shared reaper wheel, not per-sock timers."""
+        self.time_wait_count += 1
+        if not self._tw_reaper.started:
+            self._tw_reaper.start()
+
+    def _reap_time_wait(self) -> None:
+        had = self.time_wait_count
+        self.time_wait_count = 0
+        if had == 0 and self._tw_reaper.started:
+            self._tw_reaper.stop()
+
+
+class TcpConnection:
+    """One connection lifecycle: handshake, request/response, close.
+
+    ``server_side=True`` models the accept path (SYN-ACK retransmit
+    timer); ``False`` the connect path (SYN retransmit).  ``segments``
+    is how many data round-trips the connection performs; each arms the
+    RTO and delayed-ACK timers.
+    """
+
+    def __init__(self, stack: TcpStack, *, server_side: bool,
+                 segments: int = 2, keepalive: bool = True,
+                 on_close: Optional[Callable[[], None]] = None):
+        self.stack = stack
+        self.server_side = server_side
+        self.segments_left = segments
+        self.keepalive = keepalive
+        self.on_close = on_close
+        self.sock = stack.alloc_socket()
+        self.closed = False
+        self.retransmits = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the handshake (SYN seen / SYN sent)."""
+        kernel = self.stack.kernel
+        sock = self.sock
+        kernel.mod_timer_rel(sock.synack_timer,
+                             to_jiffies(TCP_SYN_RETRANS_NS))
+        sock.synack_timer.function = self._synack_retransmit
+        rtt = self.stack.sample_rtt()
+        if self.stack.lost():
+            return      # handshake ACK lost; retransmit timer will fire
+        kernel.engine.call_after(rtt, self._established, rtt)
+
+    def _synack_retransmit(self, _timer: KernelTimer) -> None:
+        self.retransmits += 1
+        if self.retransmits > 5 or self.closed:
+            self._close()
+            return
+        kernel = self.stack.kernel
+        kernel.mod_timer_rel(self.sock.synack_timer,
+                             to_jiffies(TCP_SYN_RETRANS_NS
+                                        * (1 << self.retransmits)))
+        if not self.stack.lost():
+            rtt = self.stack.sample_rtt()
+            kernel.engine.call_after(rtt, self._established, rtt)
+
+    def _established(self, handshake_rtt_ns: int) -> None:
+        if self.closed:
+            return
+        kernel = self.stack.kernel
+        sock = self.sock
+        # TCP takes its first RTT sample from the handshake, so the
+        # very first data RTO is already the adapted 0.204 s value.
+        sock.rtt.sample(handshake_rtt_ns)
+        if sock.synack_timer.pending:
+            kernel.del_timer(sock.synack_timer)
+        if self.keepalive:
+            kernel.mod_timer_rel(sock.keepalive_timer,
+                                 to_jiffies(TCP_KEEPALIVE_NS))
+            sock.keepalive_timer.function = self._keepalive_probe
+        self._next_segment()
+
+    def _next_segment(self) -> None:
+        if self.closed:
+            return
+        if self.segments_left <= 0:
+            self._close()
+            return
+        self.segments_left -= 1
+        kernel = self.stack.kernel
+        sock = self.sock
+        # Peer data arrives: delayed ACK armed, usually cancelled when
+        # our response piggybacks the ACK a few ms later.
+        kernel.mod_timer_rel(sock.delack_timer,
+                             to_jiffies(TCP_DELACK_MIN_NS))
+        sock.delack_timer.function = lambda _t: None  # ACK sent on expiry
+        think = int(self.stack.rng.lognormal_latency(2 * MILLISECOND,
+                                                     sigma=0.8))
+        kernel.engine.call_after(think, self._send_response)
+
+    def _send_response(self) -> None:
+        if self.closed:
+            return
+        kernel = self.stack.kernel
+        sock = self.sock
+        if sock.delack_timer.pending:
+            kernel.del_timer(sock.delack_timer)       # ACK piggybacked
+        rto = sock.rtt.rto_ns()
+        kernel.mod_timer_rel(sock.rto_timer, to_jiffies(rto),
+                             site=SITE_RTO)
+        sock.rto_timer.function = self._rto_fired
+        if self.stack.lost():
+            return                                    # wait for the RTO
+        rtt = self.stack.sample_rtt()
+        kernel.engine.call_after(rtt, self._acked, rtt)
+
+    def _rto_fired(self, _timer: KernelTimer) -> None:
+        if self.closed:
+            return
+        self.retransmits += 1
+        if self.retransmits > 15:      # tcp_retries2: give up
+            self._close()
+            return
+        # Exponential backoff on retransmission, as TCP does.
+        kernel = self.stack.kernel
+        sock = self.sock
+        backoff = min(sock.rtt.rto_ns() * (1 << self.retransmits),
+                      TCP_RTO_MAX_NS)
+        kernel.mod_timer_rel(sock.rto_timer, to_jiffies(backoff))
+        rtt = self.stack.sample_rtt()
+        if not self.stack.lost():
+            kernel.engine.call_after(rtt, self._acked, rtt)
+
+    def _acked(self, rtt_ns: int) -> None:
+        if self.closed:
+            return
+        sock = self.sock
+        sock.rtt.sample(rtt_ns)
+        if sock.rto_timer.pending:
+            self.stack.kernel.del_timer(sock.rto_timer)
+        self.retransmits = 0
+        self._next_segment()
+
+    def _keepalive_probe(self, _timer: KernelTimer) -> None:
+        if not self.closed:
+            self.stack.kernel.mod_timer_rel(
+                self.sock.keepalive_timer, to_jiffies(TCP_KEEPALIVE_NS))
+
+    def _close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.stack.enter_time_wait(self.sock)
+        self.sock.release()
+        if self.on_close is not None:
+            self.on_close()
+
+
+class ArpCache:
+    """ARP neighbour timers.
+
+    Periodic housekeeping at 2 s and 4 s, cache flush at 8 s, and a
+    per-entry 5 s reachability timeout that LAN activity cancels at a
+    uniformly random fraction of its life — reproducing the 5 s column
+    with scattered cancellations the paper attributes to departmental
+    LAN traffic (Section 4.3).
+    """
+
+    def __init__(self, kernel: LinuxKernel, rng: RngStream, *,
+                 lan_event_mean_ns: int = seconds(4), entries: int = 3):
+        self.kernel = kernel
+        self.rng = rng
+        self.lan_event_mean_ns = lan_event_mean_ns
+        self.periodic = [
+            PeriodicKernelTimer(kernel, name="neigh-periodic",
+                                period_ns=seconds(2),
+                                site=("neigh_table_init",
+                                      "neigh_periodic_timer", "__mod_timer")),
+            PeriodicKernelTimer(kernel, name="neigh-gc", period_ns=seconds(4),
+                                site=("neigh_table_init", "neigh_periodic_work",
+                                      "__mod_timer")),
+            PeriodicKernelTimer(kernel, name="arp-flush", period_ns=seconds(8),
+                                site=("rt_run_flush", "rt_secret_rebuild",
+                                      "__mod_timer")),
+        ]
+        self.entries = [
+            kernel.init_timer(self._entry_expired, site=SITE_ARP_TIMEOUT,
+                              owner=kernel.tasks.kernel)
+            for _ in range(entries)]
+
+    def start(self) -> None:
+        for timer in self.periodic:
+            timer.start()
+        for entry in self.entries:
+            self._arm_entry(entry)
+
+    def _arm_entry(self, entry: KernelTimer) -> None:
+        self.kernel.mod_timer_rel(entry, to_jiffies(seconds(5)))
+        # LAN traffic confirms reachability at a random point; if that
+        # happens before 5 s the timer is cancelled and re-armed later.
+        confirm = int(self.rng.exponential(self.lan_event_mean_ns))
+        self.kernel.engine.call_after(confirm, self._confirmed, entry)
+
+    def _confirmed(self, entry: KernelTimer) -> None:
+        if entry.pending:
+            self.kernel.del_timer(entry)
+            idle = int(self.rng.exponential(self.lan_event_mean_ns))
+            self.kernel.engine.call_after(idle, self._arm_entry, entry)
+
+    def _entry_expired(self, entry: KernelTimer) -> None:
+        # Entry went stale; it will be re-probed on next LAN activity.
+        delay = int(self.rng.exponential(self.lan_event_mean_ns))
+        self.kernel.engine.call_after(delay, self._arm_entry, entry)

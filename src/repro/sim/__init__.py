@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate for the timer study reproduction.
+
+This package supplies the "hardware" the two OS models run on: a virtual
+nanosecond clock and event loop (:mod:`~repro.sim.engine`), periodic and
+one-shot interrupt devices (:mod:`~repro.sim.devices`), deterministic
+random streams (:mod:`~repro.sim.rng`), CPU power accounting
+(:mod:`~repro.sim.power`), and process identities for trace attribution
+(:mod:`~repro.sim.tasks`).
+"""
+
+from . import clock
+from .clock import (HZ, JIFFY, MICROSECOND, MILLISECOND, MINUTE, SECOND,
+                    jiffies, micros, millis, seconds, to_jiffies,
+                    to_seconds)
+from .devices import OneShotDevice, TickDevice
+from .engine import Engine, Event, SimulationError
+from .power import PowerMeter
+from .rng import RngRegistry, RngStream
+from .tasks import KERNEL_PID, Task, TaskTable
+
+__all__ = [
+    "clock", "HZ", "JIFFY", "MICROSECOND", "MILLISECOND", "MINUTE",
+    "SECOND", "jiffies", "micros", "millis", "seconds", "to_jiffies",
+    "to_seconds",
+    "OneShotDevice", "TickDevice", "Engine", "Event", "SimulationError",
+    "PowerMeter", "RngRegistry", "RngStream", "KERNEL_PID", "Task",
+    "TaskTable",
+]

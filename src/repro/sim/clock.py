@@ -1,0 +1,76 @@
+"""Virtual time representation.
+
+All simulated time in this package is an integer number of nanoseconds
+since simulation start.  Integers keep the discrete-event engine exact:
+two events scheduled for the same instant compare equal, and no
+floating-point drift accumulates over a 30-minute trace.
+
+Helper constants and converters are provided so call sites read like the
+units the paper uses (jiffies, milliseconds, seconds).
+"""
+
+from __future__ import annotations
+
+NANOSECOND = 1
+MICROSECOND = 1_000
+MILLISECOND = 1_000_000
+SECOND = 1_000_000_000
+MINUTE = 60 * SECOND
+HOUR = 60 * MINUTE
+
+#: Linux 2.6.23 default HZ on the instrumented kernel (CONFIG_HZ=250).
+HZ = 250
+#: One jiffy at HZ=250 is 4 ms.
+JIFFY = SECOND // HZ
+
+
+def seconds(value: float) -> int:
+    """Convert ``value`` seconds to integer nanoseconds."""
+    return round(value * SECOND)
+
+
+def millis(value: float) -> int:
+    """Convert ``value`` milliseconds to integer nanoseconds."""
+    return round(value * MILLISECOND)
+
+
+def micros(value: float) -> int:
+    """Convert ``value`` microseconds to integer nanoseconds."""
+    return round(value * MICROSECOND)
+
+
+def jiffies(count: int) -> int:
+    """Convert a jiffy count to nanoseconds (HZ=250, so 4 ms each)."""
+    return count * JIFFY
+
+
+def to_seconds(ns: int) -> float:
+    """Convert nanoseconds to floating-point seconds (for reporting only)."""
+    return ns / SECOND
+
+
+def to_jiffies(ns: int) -> int:
+    """Round nanoseconds up to whole jiffies, mirroring Linux timeout math.
+
+    Linux converts a relative timeout to jiffies by rounding up, so a
+    1 ns request still sleeps for a full jiffy.  A zero timeout stays
+    zero ("expire immediately").
+    """
+    if ns <= 0:
+        return 0
+    return -(-ns // JIFFY)
+
+
+def fmt_time(ns: int) -> str:
+    """Render a timestamp or duration in a human-friendly unit."""
+    if ns == 0:
+        return "0s"
+    if ns % SECOND == 0:
+        return f"{ns // SECOND}s"
+    if ns >= SECOND:
+        return f"{ns / SECOND:.4g}s"
+    if ns >= MILLISECOND:
+        return f"{ns / MILLISECOND:.4g}ms"
+    if ns >= MICROSECOND:
+        return f"{ns / MICROSECOND:.4g}us"
+    return f"{ns}ns"

@@ -1,0 +1,121 @@
+"""Hardware timer devices.
+
+Two device models sit under the kernel timer subsystems, mirroring the
+hardware the paper's systems ran on:
+
+* :class:`TickDevice` — a periodic ticker (the local APIC in periodic
+  mode).  Linux's jiffy clock and Vista's clock interrupt both hang off
+  one of these.
+* :class:`OneShotDevice` — a programmable one-shot comparator (APIC in
+  one-shot / TSC-deadline style), used by dynticks and by the
+  high-resolution timer subsystem.
+
+Both charge interrupts to a :class:`~repro.sim.power.PowerMeter` so the
+Section 5.3 power experiments can compare tick policies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .engine import Engine, Event
+from .power import PowerMeter
+
+
+class TickDevice:
+    """Fixed-frequency periodic interrupt source.
+
+    The handler receives the current tick count.  ``skip_while_idle``
+    models NOHZ/dynticks: when the provided predicate says the system is
+    idle the device still advances its tick count (time passes) but does
+    not charge a wakeup, emulating the LAPIC being reprogrammed past the
+    idle period.
+    """
+
+    def __init__(self, engine: Engine, period_ns: int,
+                 handler: Callable[[int], None],
+                 power: Optional[PowerMeter] = None,
+                 idle_predicate: Optional[Callable[[], bool]] = None):
+        if period_ns <= 0:
+            raise ValueError("tick period must be positive")
+        self.engine = engine
+        self.period_ns = period_ns
+        self.handler = handler
+        self.power = power
+        self.idle_predicate = idle_predicate
+        self.ticks = 0
+        self.running = False
+        self._event: Optional[Event] = None
+
+    def start(self) -> None:
+        """Begin ticking at ``now + period``."""
+        if self.running:
+            return
+        self.running = True
+        self._event = self.engine.call_after(self.period_ns, self._fire)
+
+    def stop(self) -> None:
+        """Stop the device; pending interrupt is cancelled."""
+        self.running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if not self.running:
+            return
+        self.ticks += 1
+        skip = self.idle_predicate is not None and self.idle_predicate()
+        if self.power is not None and not skip:
+            self.power.interrupt(cpu_was_idle=True)
+        if not skip:
+            self.handler(self.ticks)
+        self._event = self.engine.call_after(self.period_ns, self._fire)
+
+
+class OneShotDevice:
+    """Programmable one-shot interrupt comparator.
+
+    ``program(when)`` replaces any previously-programmed deadline, like
+    writing a new value into the APIC initial-count register.
+    """
+
+    def __init__(self, engine: Engine, handler: Callable[[], None],
+                 power: Optional[PowerMeter] = None,
+                 min_delta_ns: int = 1_000):
+        self.engine = engine
+        self.handler = handler
+        self.power = power
+        #: Hardware cannot fire "now"; real LAPICs have a minimum delta.
+        self.min_delta_ns = min_delta_ns
+        self.programmed_for: Optional[int] = None
+        self.fired = 0
+        self._event: Optional[Event] = None
+
+    def program(self, when: int) -> int:
+        """Arm the comparator for absolute time ``when``.
+
+        Returns the effective deadline after clamping to the minimum
+        programmable delta.
+        """
+        effective = max(when, self.engine.now + self.min_delta_ns)
+        if self._event is not None:
+            self._event.cancel()
+        self.programmed_for = effective
+        self._event = self.engine.call_at(effective, self._fire)
+        return effective
+
+    def cancel(self) -> None:
+        """Disarm the comparator."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self.programmed_for = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self.programmed_for = None
+        self.fired += 1
+        if self.power is not None:
+            self.power.interrupt(cpu_was_idle=True)
+        self.handler()

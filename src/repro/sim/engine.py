@@ -1,0 +1,159 @@
+"""Discrete-event simulation engine.
+
+The engine owns the virtual clock and a priority queue of pending
+events.  Everything else in the reproduction — hardware tick devices,
+kernel timer wheels, application behaviour — is driven by callbacks
+scheduled here.
+
+Determinism: event order is a total order on ``(time, sequence)`` where
+the sequence number is assigned at scheduling time, so two runs of the
+same workload with the same seeds produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from .clock import fmt_time
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid use of the engine (e.g. scheduling in the past)."""
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    The engine never removes cancelled events from the heap eagerly;
+    cancellation just marks the handle and the dispatcher skips it.
+    This is the standard lazy-deletion trick and keeps ``cancel`` O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled events pinned in the heap do not
+        # keep workload objects alive for the rest of the run.
+        self.callback = _cancelled_callback
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={fmt_time(self.time)} seq={self.seq} {state}>"
+
+
+def _cancelled_callback(*_args: Any) -> None:
+    raise SimulationError("cancelled event was dispatched")
+
+
+class Engine:
+    """The simulation event loop.
+
+    Typical use::
+
+        engine = Engine()
+        engine.call_at(clock.seconds(1), tick)
+        engine.run_until(clock.seconds(30))
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._running = False
+        #: Number of callbacks actually dispatched (for engine stats).
+        self.dispatched: int = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def call_at(self, when: int, callback: Callable[..., Any],
+                *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``when``.
+
+        ``when`` may equal ``now`` (the event runs before time advances)
+        but may not be in the past.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {fmt_time(when)}; "
+                f"now is {fmt_time(self.now)}")
+        self._seq += 1
+        event = Event(when, self._seq, callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_after(self, delay: int, callback: Callable[..., Any],
+                   *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after a relative ``delay`` >= 0."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self.now + delay, callback, *args)
+
+    # -- execution -----------------------------------------------------
+
+    def run_until(self, deadline: int) -> None:
+        """Dispatch events up to and including ``deadline``.
+
+        On return ``now == deadline`` even if the heap drained early, so
+        a subsequent workload phase starts from a well-defined instant.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                event = heap[0]
+                if event.time > deadline:
+                    break
+                heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                self.dispatched += 1
+                event.callback(*event.args)
+            self.now = deadline
+        finally:
+            self._running = False
+
+    def run(self) -> None:
+        """Dispatch events until the heap is empty."""
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                event = heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                self.dispatched += 1
+                event.callback(*event.args)
+        finally:
+            self._running = False
+
+    def peek_next(self) -> Optional[int]:
+        """Time of the next pending (non-cancelled) event, or ``None``."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def pending_count(self) -> int:
+        """Number of live events still queued (cancelled ones excluded)."""
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,72 @@
+"""Process / thread identity for trace attribution.
+
+The paper's instrumentation records a process ID and command name with
+every timer event so that post-processing can attribute timers to the
+X server, Firefox, Apache, and so on.  This module provides those
+identities for the simulated machine.
+
+The scheduling model is deliberately thin: workloads are callback
+driven, so a :class:`Task` mostly exists to be *charged* with timer
+activity.  The Section 5.5 dispatcher experiment builds a richer
+scheduler on top (see :mod:`repro.core.dispatch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+KERNEL_PID = 0
+
+
+@dataclass(frozen=True)
+class Task:
+    """A schedulable identity: one process or kernel context."""
+
+    pid: int
+    comm: str
+    #: "user" for application processes, "kernel" for kernel contexts.
+    domain: str = "user"
+
+    @property
+    def is_kernel(self) -> bool:
+        return self.domain == "kernel"
+
+    def __str__(self) -> str:  # used in report rendering
+        return f"{self.comm}({self.pid})"
+
+
+class TaskTable:
+    """Allocates pids and tracks live tasks for one simulated machine."""
+
+    def __init__(self) -> None:
+        self._next_pid = 1
+        self._tasks: dict[int, Task] = {}
+        self.kernel = Task(KERNEL_PID, "kernel", domain="kernel")
+        self._tasks[KERNEL_PID] = self.kernel
+
+    def spawn(self, comm: str, *, domain: str = "user") -> Task:
+        """Create a new task with a fresh pid."""
+        pid = self._next_pid
+        self._next_pid += 1
+        task = Task(pid, comm, domain=domain)
+        self._tasks[pid] = task
+        return task
+
+    def kernel_thread(self, comm: str) -> Task:
+        """Create a kernel-domain context (e.g. ``kjournald``)."""
+        return self.spawn(comm, domain="kernel")
+
+    def get(self, pid: int) -> Task:
+        return self._tasks[pid]
+
+    def by_comm(self, comm: str) -> list[Task]:
+        """All tasks whose command name matches exactly."""
+        return [t for t in self._tasks.values() if t.comm == comm]
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def __len__(self) -> int:
+        return len(self._tasks)

@@ -1,0 +1,27 @@
+"""Instrumentation substrate: event records, sinks, and trace containers.
+
+Mirrors the paper's Section 3 tooling: a relayfs-style bounded binary
+log for the Linux model, an ETW-style session (with thread-wait events)
+for the Vista model, and a :class:`Trace` container providing the
+per-timer correlation the analyses need.
+"""
+
+from .events import (FLAG_ABSOLUTE, FLAG_DEFERRABLE, FLAG_ROUNDED,
+                     FLAG_WAIT_SATISFIED, CallSiteRegistry, EventKind,
+                     TimerEvent)
+from .binfmt import dumps, load_binary, load_trace, loads, save_binary, \
+    dump_trace
+from .etw import EtwSession
+from .relay import (CountingSink, NullSink, RelayBuffer, TeeSink)
+from .requests import RequestRecord, RequestTracker, TimeoutNode
+from .trace import TimerHistory, Trace
+
+__all__ = [
+    "FLAG_ABSOLUTE", "FLAG_DEFERRABLE", "FLAG_ROUNDED",
+    "FLAG_WAIT_SATISFIED", "CallSiteRegistry", "EventKind", "TimerEvent",
+    "EtwSession", "CountingSink", "NullSink", "RelayBuffer", "TeeSink",
+    "dumps", "load_binary", "load_trace", "loads", "save_binary",
+    "dump_trace",
+    "TimerHistory", "Trace", "RequestRecord", "RequestTracker",
+    "TimeoutNode",
+]

@@ -1,0 +1,147 @@
+"""Compact binary trace encoding.
+
+The paper's relayfs instrumentation wrote fixed-size binary records
+into the kernel buffer and converted them to text offline
+(Section 3.2).  This codec provides the same style of storage for our
+traces: a string table for comms and interned call sites, followed by
+fixed-layout little-endian records — about 5x smaller and much faster
+to load than the JSON-lines format, which matters for 30-minute
+Firefox traces with millions of events.
+
+Format (little-endian)::
+
+    magic  b"TMRTRACE" | version u16 | os u8 | reserved u8
+    workload: u16 length + utf-8
+    duration_ns: u64
+    comm table:  u32 count, each u16 length + utf-8
+    site table:  u32 count, each u8 frame-count x (u16 length + utf-8)
+    events: u64 count, each:
+        kind u8 | flags u8 | domain u8 (0 kernel, 1 user) | pad u8
+        comm_idx u32 | site_idx u32 | pid u32
+        ts i64 | timer_id u64
+        timeout_ns i64  (-1 encodes None)
+        expires_ns i64  (-1 encodes None)
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO
+
+from .events import EventKind, TimerEvent
+from .trace import Trace
+
+MAGIC = b"TMRTRACE"
+VERSION = 1
+_OS_CODES = {"linux": 0, "vista": 1}
+_OS_NAMES = {code: name for name, code in _OS_CODES.items()}
+
+_EVENT = struct.Struct("<BBBBIIIqQqq")
+_NONE = -1
+
+
+def _write_str(out: BinaryIO, text: str) -> None:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise ValueError("string too long for trace format")
+    out.write(struct.pack("<H", len(data)))
+    out.write(data)
+
+
+def _read_str(buf: BinaryIO) -> str:
+    (length,) = struct.unpack("<H", buf.read(2))
+    return buf.read(length).decode("utf-8")
+
+
+def dump_trace(trace: Trace, out: BinaryIO) -> None:
+    """Serialise ``trace`` to a binary stream."""
+    out.write(MAGIC)
+    out.write(struct.pack("<HBB", VERSION, _OS_CODES[trace.os_name], 0))
+    _write_str(out, trace.workload)
+    out.write(struct.pack("<Q", trace.duration_ns))
+
+    comms: dict[str, int] = {}
+    sites: dict[tuple, int] = {}
+    for event in trace.events:
+        comms.setdefault(event.comm, len(comms))
+        sites.setdefault(event.site, len(sites))
+
+    out.write(struct.pack("<I", len(comms)))
+    for comm in comms:                  # insertion order == index order
+        _write_str(out, comm)
+    out.write(struct.pack("<I", len(sites)))
+    for site in sites:
+        out.write(struct.pack("<B", len(site)))
+        for frame in site:
+            _write_str(out, frame)
+
+    out.write(struct.pack("<Q", len(trace.events)))
+    pack = _EVENT.pack
+    write = out.write
+    for event in trace.events:
+        write(pack(
+            int(event.kind), event.flags & 0xFF,
+            1 if event.domain == "user" else 0, 0,
+            comms[event.comm], sites[event.site], event.pid,
+            event.ts, event.timer_id,
+            _NONE if event.timeout_ns is None else event.timeout_ns,
+            _NONE if event.expires_ns is None else event.expires_ns))
+
+
+def load_trace(buf: BinaryIO) -> Trace:
+    """Deserialise a trace written by :func:`dump_trace`."""
+    if buf.read(8) != MAGIC:
+        raise ValueError("not a timer trace file")
+    version, os_code, _pad = struct.unpack("<HBB", buf.read(4))
+    if version != VERSION:
+        raise ValueError(f"unsupported trace version {version}")
+    workload = _read_str(buf)
+    (duration_ns,) = struct.unpack("<Q", buf.read(8))
+
+    (n_comms,) = struct.unpack("<I", buf.read(4))
+    comms = [_read_str(buf) for _ in range(n_comms)]
+    (n_sites,) = struct.unpack("<I", buf.read(4))
+    sites = []
+    for _ in range(n_sites):
+        (frames,) = struct.unpack("<B", buf.read(1))
+        sites.append(tuple(_read_str(buf) for _ in range(frames)))
+
+    (n_events,) = struct.unpack("<Q", buf.read(8))
+    size = _EVENT.size
+    unpack = _EVENT.unpack
+    events = []
+    append = events.append
+    data = buf.read(n_events * size)
+    for offset in range(0, n_events * size, size):
+        (kind, flags, domain_code, _pad, comm_idx, site_idx, pid, ts,
+         timer_id, timeout_ns, expires_ns) = unpack(
+            data[offset:offset + size])
+        append(TimerEvent(
+            EventKind(kind), ts, timer_id, pid, comms[comm_idx],
+            "user" if domain_code else "kernel", sites[site_idx],
+            None if timeout_ns == _NONE else timeout_ns,
+            None if expires_ns == _NONE else expires_ns, flags))
+    return Trace(os_name=_OS_NAMES[os_code], workload=workload,
+                 duration_ns=duration_ns, events=events)
+
+
+def save_binary(trace: Trace, path: str) -> None:
+    """Write a trace to ``path`` in the binary format."""
+    with open(path, "wb") as fh:
+        dump_trace(trace, fh)
+
+
+def load_binary(path: str) -> Trace:
+    with open(path, "rb") as fh:
+        return load_trace(fh)
+
+
+def dumps(trace: Trace) -> bytes:
+    out = io.BytesIO()
+    dump_trace(trace, out)
+    return out.getvalue()
+
+
+def loads(data: bytes) -> Trace:
+    return load_trace(io.BytesIO(data))

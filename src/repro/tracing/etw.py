@@ -1,0 +1,59 @@
+"""Event Tracing for Windows (ETW) style sink — the Vista path.
+
+The paper added four custom ETW events to the Vista kernel: KeSetTimer,
+KeCancelTimer, the clock-interrupt expiration DPC, and a thread-unblock
+event carrying the block/unblock timestamps, the user timeout, and a
+satisfied/timed-out boolean (Section 3.3).  ETW captures both kernel-
+and user-mode stacks, which is what later lets the analysis cluster the
+dynamically-allocated KTIMER objects by call site.
+
+Functionally this is a bounded append log like relayfs; the class exists
+separately to model the *schema* difference (wait events, stack pairs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .events import (FLAG_WAIT_SATISFIED, EventKind, TimerEvent)
+
+
+class EtwSession:
+    """A logging session with the paper's four custom timer events."""
+
+    def __init__(self, capacity_events: int = 16_000_000):
+        self.capacity_events = capacity_events
+        self._events: list[TimerEvent] = []
+        self.dropped = 0
+
+    def emit(self, event: TimerEvent) -> None:
+        if len(self._events) >= self.capacity_events:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    def emit_wait_unblock(self, *, ts_block: int, ts_unblock: int,
+                          timer_id: int, pid: int, comm: str,
+                          site, timeout_ns: Optional[int],
+                          satisfied: bool) -> None:
+        """The single thread-unblock event the paper added.
+
+        It logs both timestamps; we record it as a WAIT_UNBLOCK whose
+        ``timeout_ns`` is the user-supplied timeout and whose
+        ``expires_ns`` field carries the block timestamp so the blocked
+        duration is recoverable, exactly as in the paper's record.
+        """
+        flags = FLAG_WAIT_SATISFIED if satisfied else 0
+        self.emit(TimerEvent(EventKind.WAIT_UNBLOCK, ts_unblock, timer_id,
+                             pid, comm, "user", site, timeout_ns,
+                             ts_block, flags))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TimerEvent]:
+        return iter(self._events)
+
+    def drain(self) -> list[TimerEvent]:
+        events, self._events = self._events, []
+        return events

@@ -1,0 +1,158 @@
+"""Request-scoped timeout provenance (Section 5.2's tracing argument).
+
+"There are clear parallels here with the labeling of requests in
+multi-tier applications: being able to trace execution through the
+system is a critical requirement for understanding anomalous
+behavior."  This module provides that labelling for timeouts: a
+*request* (one user-visible operation, like typing a server name into
+the file browser) carries an id; every timeout armed on its behalf is
+recorded with its layer and its parent timeout, forming the per-request
+timeout tree the paper wants preserved across abstraction boundaries.
+
+From a recorded tree one can compute exactly the things Section 2.2.2
+laments are invisible today: the end-to-end worst case implied by the
+layered timeouts, which layer dominated an observed delay, and which
+timers were redundant (see
+:meth:`RequestRecord.dominant_path`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class TimeoutNode:
+    """One timeout armed on behalf of a request."""
+
+    name: str
+    layer: str
+    timeout_ns: int
+    armed_at_ns: int
+    parent: Optional["TimeoutNode"] = None
+    children: list["TimeoutNode"] = field(default_factory=list)
+    outcome: Optional[str] = None       # "cancelled" | "expired"
+    resolved_at_ns: Optional[int] = None
+
+    def resolve(self, outcome: str, at_ns: int) -> None:
+        self.outcome = outcome
+        self.resolved_at_ns = at_ns
+
+    @property
+    def deadline_ns(self) -> int:
+        return self.armed_at_ns + self.timeout_ns
+
+    def walk(self) -> Iterator["TimeoutNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def subtree_worst_case_ns(self) -> int:
+        """Worst time to failure-report below this node: its own
+        timeout, or its children's combined budget if they outlast it
+        (the layering pathology)."""
+        if not self.children:
+            return self.timeout_ns
+        # Siblings run in parallel: the report waits for the slowest.
+        children_worst = max(c.subtree_worst_case_ns()
+                             for c in self.children)
+        return max(self.timeout_ns, children_worst)
+
+
+@dataclass
+class RequestRecord:
+    """The timeout tree of one labelled request."""
+
+    request_id: int
+    name: str
+    started_at_ns: int
+    roots: list[TimeoutNode] = field(default_factory=list)
+    finished_at_ns: Optional[int] = None
+    outcome: Optional[str] = None
+
+    def finish(self, outcome: str, at_ns: int) -> None:
+        self.outcome = outcome
+        self.finished_at_ns = at_ns
+
+    def all_nodes(self) -> list[TimeoutNode]:
+        out: list[TimeoutNode] = []
+        for root in self.roots:
+            out.extend(root.walk())
+        return out
+
+    @property
+    def timer_count(self) -> int:
+        return len(self.all_nodes())
+
+    def worst_case_ns(self) -> int:
+        """End-to-end failure-report bound implied by the whole tree."""
+        if not self.roots:
+            return 0
+        return max(root.subtree_worst_case_ns() for root in self.roots)
+
+    def dominant_path(self) -> list[TimeoutNode]:
+        """The chain of timeouts that sets the worst case."""
+        if not self.roots:
+            return []
+
+        def descend(node: TimeoutNode) -> list[TimeoutNode]:
+            if not node.children:
+                return [node]
+            best = max(node.children,
+                       key=lambda c: c.subtree_worst_case_ns())
+            if best.subtree_worst_case_ns() > node.timeout_ns:
+                return [node] + descend(best)
+            return [node]
+
+        root = max(self.roots, key=lambda r: r.subtree_worst_case_ns())
+        return descend(root)
+
+    def render(self) -> str:
+        lines = [f"request #{self.request_id} {self.name!r}: "
+                 f"outcome={self.outcome}, "
+                 f"{self.timer_count} timeouts, worst case "
+                 f"{self.worst_case_ns() / 1e9:.1f}s"]
+
+        def emit(node: TimeoutNode, depth: int) -> None:
+            state = node.outcome or "pending"
+            lines.append(f"{'  ' * (depth + 1)}{node.layer}/{node.name} "
+                         f"{node.timeout_ns / 1e9:g}s [{state}]")
+            for child in node.children:
+                emit(child, depth + 1)
+
+        for root in self.roots:
+            emit(root, 0)
+        return "\n".join(lines)
+
+
+class RequestTracker:
+    """Creates and stores labelled requests."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self.requests: list[RequestRecord] = []
+
+    def begin(self, name: str, *, now_ns: int = 0) -> RequestRecord:
+        record = RequestRecord(next(self._ids), name, now_ns)
+        self.requests.append(record)
+        return record
+
+    def arm(self, request: RequestRecord, name: str, layer: str,
+            timeout_ns: int, *, now_ns: int = 0,
+            parent: Optional[TimeoutNode] = None) -> TimeoutNode:
+        """Record a timeout armed for ``request`` under ``parent``."""
+        node = TimeoutNode(name, layer, timeout_ns, now_ns, parent)
+        if parent is None:
+            request.roots.append(node)
+        else:
+            parent.children.append(node)
+        return node
+
+    def slowest_requests(self, count: int = 5) -> list[RequestRecord]:
+        finished = [r for r in self.requests
+                    if r.finished_at_ns is not None]
+        finished.sort(key=lambda r: r.finished_at_ns - r.started_at_ns,
+                      reverse=True)
+        return finished[:count]

@@ -1,0 +1,11 @@
+"""User-space timer multiplexing (the paper's second layer).
+
+Provides the select-loop reactor of Section 2.1 — the libasync/Twisted
+style user-level timer queue multiplexed over one kernel ``select``
+timeout — together with user-layer instrumentation so the paper's
+analyses can be run above and below the syscall boundary.
+"""
+
+from .eventloop import UserEventLoop, UserTimer
+
+__all__ = ["UserEventLoop", "UserTimer"]

@@ -1,0 +1,34 @@
+"""Windows Vista timer subsystem model (the paper's Vista side).
+
+Models the NT KTIMER ring processed by the clock-interrupt DPC and the
+stack of multiplexing layers above it: dispatcher waits with fast-path
+timers, the NT native timer API with APC delivery, NTDLL thread-pool
+timer rings, Win32 waitable timers and GUI ``SetTimer`` message
+delivery, winsock ``select`` via afd.sys, and the registry lazy-flush
+deferred pattern.
+"""
+
+from .coalescing import (COALESCING_PERIODS_NS, TickSkippingVistaKernel,
+                         coalesced_deadline, set_coalescable_timer)
+from .dispatcher import (WAIT_OBJECT_0, WAIT_TIMEOUT, DispatcherWaits,
+                         WaitHandle)
+from .ktimer import (DEFAULT_CLOCK_PERIOD_NS, MIN_CLOCK_PERIOD_NS, KTimer,
+                     VistaKernel)
+from .ntapi import NtTimerApi
+from .registry import RegistryLazyCloser
+from .tcpwheel import (PerCpuTcpTimers, TcpTimingWheel, WheelTimeout)
+from .threadpool import Threadpool, ThreadpoolTimer
+from .win32 import (USER_TIMER_MINIMUM_NS, WM_TIMER, MessageQueue,
+                    WaitableTimers)
+from .winsock import SelectCall, Winsock
+
+__all__ = [
+    "COALESCING_PERIODS_NS", "TickSkippingVistaKernel",
+    "coalesced_deadline", "set_coalescable_timer",
+    "WAIT_OBJECT_0", "WAIT_TIMEOUT", "DispatcherWaits", "WaitHandle",
+    "DEFAULT_CLOCK_PERIOD_NS", "MIN_CLOCK_PERIOD_NS", "KTimer",
+    "VistaKernel", "NtTimerApi", "RegistryLazyCloser", "Threadpool",
+    "PerCpuTcpTimers", "TcpTimingWheel", "WheelTimeout",
+    "ThreadpoolTimer", "USER_TIMER_MINIMUM_NS", "WM_TIMER",
+    "MessageQueue", "WaitableTimers", "SelectCall", "Winsock",
+]

@@ -1,0 +1,76 @@
+"""The NT native timer API: ``NtCreateTimer``/``NtSetTimer``/``NtCancelTimer``.
+
+Exports kernel timers to user space via HANDLEs in the kernel handle
+table, delivering expiry through asynchronous procedure calls (APCs,
+the NT analogue of Unix signals) instead of DPCs (Section 2.2).  The
+Win32 waitable-timer API is a thin wrapper over this layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from ..sim.tasks import Task
+from .ktimer import VistaKernel
+
+SITE_NTSET = ("ntdll!NtSetTimer", "nt!NtSetTimer", "nt!KeSetTimer")
+
+
+class NtTimer:
+    """A named kernel timer object reachable through a handle."""
+
+    def __init__(self, nt: "NtTimerApi", handle: int, task: Task,
+                 site: Tuple[str, ...], manual_reset: bool):
+        self.nt = nt
+        self.handle = handle
+        self.task = task
+        self.manual_reset = manual_reset
+        self.ktimer = nt.kernel.alloc_ktimer(site=site, owner=task,
+                                             domain="user", trace_init=True)
+        self.apc_routine: Optional[Callable[[], None]] = None
+        self.signaled = False
+
+
+class NtTimerApi:
+    """Handle-table front end to KTIMERs with APC delivery."""
+
+    def __init__(self, kernel: VistaKernel):
+        self.kernel = kernel
+        self._next_handle = 0x4
+        self._handles: dict[int, NtTimer] = {}
+
+    def nt_create_timer(self, task: Task, *, manual_reset: bool = True,
+                        site: Tuple[str, ...] = SITE_NTSET) -> int:
+        """Returns a new HANDLE."""
+        handle = self._next_handle
+        self._next_handle += 4
+        self._handles[handle] = NtTimer(self, handle, task,
+                                        site, manual_reset)
+        return handle
+
+    def nt_set_timer(self, handle: int, due_ns: int, *,
+                     absolute: bool = False, period_ns: int = 0,
+                     apc_routine: Optional[Callable[[], None]] = None
+                     ) -> None:
+        """Arm the timer; ``apc_routine`` runs in the owning thread."""
+        timer = self._handles[handle]
+        timer.apc_routine = apc_routine
+        timer.signaled = False
+        timer.ktimer.on_signal = lambda _kt: self._deliver(timer)
+        self.kernel.set_timer(timer.ktimer, due_ns, absolute=absolute,
+                              period_ns=period_ns)
+
+    def nt_cancel_timer(self, handle: int) -> bool:
+        timer = self._handles[handle]
+        return self.kernel.cancel_timer(timer.ktimer)
+
+    def nt_close(self, handle: int) -> None:
+        timer = self._handles.pop(handle)
+        self.kernel.free_ktimer(timer.ktimer)
+
+    def _deliver(self, timer: NtTimer) -> None:
+        timer.signaled = True
+        if timer.apc_routine is not None:
+            # APC delivery waits for the thread to become alertable; the
+            # sub-millisecond queueing delay is ignored here.
+            timer.apc_routine()

@@ -1,0 +1,71 @@
+"""Registry lazy-flush — the paper's *deferred operation* pattern.
+
+Section 4.1.1 identifies a fifth, Vista-specific usage pattern: "the
+timer is repeatedly deferred by a constant amount each time as with a
+watchdog, but after a few iterations expires, before being restarted
+again.  This mode is used for a deferred operation, for example lazy
+closing of handles to Vista registry contents."  The expiry triggers an
+action that should happen once the activity has been idle for a while.
+"""
+
+from __future__ import annotations
+
+from ..sim.clock import seconds
+from ..sim.rng import RngStream
+from .ktimer import VistaKernel
+
+SITE_LAZY_FLUSH = ("nt!CmpLazyFlushWorker", "nt!CmpArmDelayedCloseTimer",
+                   "nt!KeSetTimer")
+
+LAZY_CLOSE_DELAY_NS = seconds(5)
+
+
+class RegistryLazyCloser:
+    """Defers a flush while registry handles are being touched."""
+
+    def __init__(self, kernel: VistaKernel, rng: RngStream, *,
+                 delay_ns: int = LAZY_CLOSE_DELAY_NS,
+                 touch_mean_ns: int = seconds(2),
+                 burst_length: int = 4):
+        self.kernel = kernel
+        self.rng = rng
+        self.delay_ns = delay_ns
+        #: Mean gap between registry touches during a burst.
+        self.touch_mean_ns = touch_mean_ns
+        #: Average touches per activity burst before going idle.
+        self.burst_length = burst_length
+        self.flushes = 0
+        self.system = kernel.tasks.spawn("System") \
+            if not kernel.tasks.by_comm("System") \
+            else kernel.tasks.by_comm("System")[0]
+        self.timer = kernel.alloc_ktimer(site=SITE_LAZY_FLUSH,
+                                         owner=self.system,
+                                         domain="kernel", trace_init=True)
+        self.timer.dpc = self._flush
+        self._burst_remaining = 0
+
+    def start(self) -> None:
+        self._schedule_touch()
+
+    def touch(self) -> None:
+        """A registry handle was used: defer the flush."""
+        self.kernel.set_timer(self.timer, self.delay_ns)
+
+    def _schedule_touch(self) -> None:
+        if self._burst_remaining == 0:
+            # Idle gap long enough for the timer to expire, then a new
+            # burst of registry activity begins.
+            self._burst_remaining = 1 + self.rng.randrange(
+                2 * self.burst_length)
+            gap = int(self.delay_ns * (1.2 + self.rng.random()))
+        else:
+            gap = int(self.rng.exponential(self.touch_mean_ns))
+        self.kernel.engine.call_after(gap, self._touch_event)
+
+    def _touch_event(self) -> None:
+        self.touch()
+        self._burst_remaining -= 1
+        self._schedule_touch()
+
+    def _flush(self, _timer) -> None:
+        self.flushes += 1

@@ -1,0 +1,114 @@
+"""NTDLL thread-pool timers.
+
+``CreateThreadpoolTimer``/``SetThreadpoolTimer`` implement a user-level
+timer ring multiplexed over a *single* kernel timer per pool
+(Section 2.2): NTDLL keeps its due-time-ordered queue in user space and
+keeps one NT timer armed for the earliest entry.  This is the layering
+the paper highlights — a whole application's worth of timeouts appears
+at the kernel as repeated re-arms of one timer, with only the user-mode
+stack revealing who is behind each one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from ..sim.tasks import Task
+from .ktimer import VistaKernel
+
+SITE_POOL = ("ntdll!TppTimerpTaskCallback", "ntdll!TppTimerpSet",
+             "nt!NtSetTimerEx", "nt!KeSetTimer")
+
+
+class ThreadpoolTimer:
+    """One user-level timer entry (``PTP_TIMER``)."""
+
+    __slots__ = ("pool", "callback", "due_ns", "period_ns", "armed",
+                 "_seq", "fired_count")
+
+    def __init__(self, pool: "Threadpool",
+                 callback: Callable[["ThreadpoolTimer"], None]):
+        self.pool = pool
+        self.callback = callback
+        self.due_ns = 0
+        self.period_ns = 0
+        self.armed = False
+        self._seq = 0
+        self.fired_count = 0
+
+
+class Threadpool:
+    """A process's default thread pool (one backing kernel timer)."""
+
+    def __init__(self, kernel: VistaKernel, task: Task):
+        self.kernel = kernel
+        self.task = task
+        self._queue: list[tuple[int, int, ThreadpoolTimer]] = []
+        self._seq = 0
+        self._backing = kernel.alloc_ktimer(site=SITE_POOL, owner=task,
+                                            domain="user", trace_init=True)
+        self._backing.dpc = self._backing_fired
+        self._backing_due: Optional[int] = None
+
+    def create_timer(self, callback) -> ThreadpoolTimer:
+        """``CreateThreadpoolTimer``."""
+        return ThreadpoolTimer(self, callback)
+
+    def set_timer(self, timer: ThreadpoolTimer, due_ns: int, *,
+                  period_ns: int = 0) -> None:
+        """``SetThreadpoolTimer``: (re)arm; ``due_ns`` is relative."""
+        self._seq += 1
+        timer.due_ns = self.kernel.engine.now + due_ns
+        timer.period_ns = period_ns
+        timer.armed = True
+        timer._seq = self._seq
+        heapq.heappush(self._queue, (timer.due_ns, self._seq, timer))
+        self._rearm_backing()
+
+    def cancel_timer(self, timer: ThreadpoolTimer) -> None:
+        """``SetThreadpoolTimer(timer, NULL)``: disarm (lazy removal)."""
+        timer.armed = False
+        self._rearm_backing()
+
+    # -- backing kernel timer management ------------------------------------
+
+    def _earliest(self) -> Optional[ThreadpoolTimer]:
+        queue = self._queue
+        while queue:
+            due, seq, timer = queue[0]
+            if timer.armed and timer._seq == seq:
+                return timer
+            heapq.heappop(queue)
+        return None
+
+    def _rearm_backing(self) -> None:
+        earliest = self._earliest()
+        if earliest is None:
+            if self._backing.inserted:
+                self.kernel.cancel_timer(self._backing)
+            self._backing_due = None
+            return
+        if self._backing_due == earliest.due_ns:
+            return
+        self._backing_due = earliest.due_ns
+        self.kernel.set_timer(self._backing, earliest.due_ns, absolute=True)
+
+    def _backing_fired(self, _ktimer) -> None:
+        now = self.kernel.engine.now
+        queue = self._queue
+        while queue:
+            due, seq, timer = queue[0]
+            if due > now:
+                break
+            heapq.heappop(queue)
+            if not timer.armed or timer._seq != seq:
+                continue
+            timer.armed = False
+            timer.fired_count += 1
+            if timer.period_ns > 0:
+                self.set_timer(timer, timer.period_ns,
+                               period_ns=timer.period_ns)
+            timer.callback(timer)
+        self._backing_due = None
+        self._rearm_backing()

@@ -1,0 +1,114 @@
+"""Win32 timer surfaces: waitable timers and GUI ``SetTimer`` messages.
+
+Two very different front ends over the same kernel facility
+(Section 2.2):
+
+* ``{Create,Set,Cancel}WaitableTimer`` — the NT API re-exported largely
+  unmodified.
+* ``SetTimer``/``KillTimer`` — the event-driven GUI form: expiries are
+  delivered as APCs that insert ``WM_TIMER`` messages into the
+  application's message queue, serviced by the GUI thread's dispatch
+  loop.  Delivery latency therefore includes both clock-interrupt
+  granularity *and* message-queue service delay, which is why GUI timer
+  expiry times scatter so widely in the paper's Vista duration plots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from ..sim.clock import MILLISECOND
+from ..sim.tasks import Task
+from .ktimer import VistaKernel
+from .ntapi import NtTimerApi
+
+SITE_WAITABLE = ("kernel32!SetWaitableTimer", "ntdll!NtSetTimer",
+                 "nt!KeSetTimer")
+SITE_SETTIMER = ("user32!SetTimer", "win32k!StartTimer", "nt!KeSetTimer")
+
+#: USER timers are clamped to this floor (USER_TIMER_MINIMUM).
+USER_TIMER_MINIMUM_NS = 10 * MILLISECOND
+
+WM_TIMER = 0x0113
+
+
+class WaitableTimers:
+    """The waitable-timer wrapper over the NT API."""
+
+    def __init__(self, nt: NtTimerApi):
+        self.nt = nt
+
+    def create(self, task: Task, *, manual_reset: bool = True) -> int:
+        return self.nt.nt_create_timer(task, manual_reset=manual_reset,
+                                       site=SITE_WAITABLE)
+
+    def set(self, handle: int, due_ns: int, *, period_ns: int = 0,
+            completion: Optional[Callable[[], None]] = None) -> None:
+        self.nt.nt_set_timer(handle, due_ns, period_ns=period_ns,
+                             apc_routine=completion)
+
+    def cancel(self, handle: int) -> bool:
+        return self.nt.nt_cancel_timer(handle)
+
+
+class MessageQueue:
+    """A GUI thread's message queue plus its USER timers.
+
+    One kernel timer per USER timer entry (win32k keeps an entry in its
+    timer table backed by a KTIMER).  On expiry a ``WM_TIMER`` message
+    is queued; the application pumps it with :meth:`get_message`
+    semantics modelled by a drain callback.
+    """
+
+    def __init__(self, kernel: VistaKernel, task: Task):
+        self.kernel = kernel
+        self.task = task
+        self.messages: deque[tuple[int, int]] = deque()
+        self._timers: dict[int, dict] = {}
+        self._pump_callback: Optional[Callable[[int, int], None]] = None
+        #: Mean extra delay before the pump services a queued message.
+        self.pump_latency_ns = 2 * MILLISECOND
+
+    def set_timer(self, timer_id: int, period_ns: int,
+                  callback: Callable[[int], None]) -> None:
+        """``SetTimer(hwnd, id, elapse, NULL)``: periodic WM_TIMER."""
+        period_ns = max(period_ns, USER_TIMER_MINIMUM_NS)
+        entry = self._timers.get(timer_id)
+        if entry is None:
+            ktimer = self.kernel.alloc_ktimer(site=SITE_SETTIMER,
+                                              owner=self.task,
+                                              domain="user",
+                                              trace_init=True)
+            entry = {"ktimer": ktimer}
+            self._timers[timer_id] = entry
+        entry["period_ns"] = period_ns
+        entry["callback"] = callback
+        entry["ktimer"].dpc = lambda _kt, tid=timer_id: self._expired(tid)
+        self.kernel.set_timer(entry["ktimer"], period_ns)
+
+    def kill_timer(self, timer_id: int) -> bool:
+        """``KillTimer``."""
+        entry = self._timers.pop(timer_id, None)
+        if entry is None:
+            return False
+        self.kernel.cancel_timer(entry["ktimer"])
+        self.kernel.free_ktimer(entry["ktimer"])
+        return True
+
+    def _expired(self, timer_id: int) -> None:
+        entry = self._timers.get(timer_id)
+        if entry is None:
+            return
+        self.messages.append((WM_TIMER, timer_id))
+        # Message pump services the queue shortly afterwards.
+        self.kernel.engine.call_after(self.pump_latency_ns, self._pump)
+        # win32k re-arms the USER timer for the next period.
+        self.kernel.set_timer(entry["ktimer"], entry["period_ns"])
+
+    def _pump(self) -> None:
+        while self.messages:
+            msg, timer_id = self.messages.popleft()
+            entry = self._timers.get(timer_id)
+            if entry is not None and msg == WM_TIMER:
+                entry["callback"](timer_id)

@@ -1,0 +1,73 @@
+"""Winsock2 ``select`` via afd.sys.
+
+"Unlike most Unix variants, these are actually implemented as a
+blocking ioctl on the afd.sys device driver, which allocates a fresh
+KTIMER object and requests a DPC callback at the appropriate expiry
+time to complete the ioctl" (Section 2.2).  The fresh allocation (from
+a lookaside list, so addresses recycle across unrelated calls) is what
+defeats address-based correlation on Vista and motivates the paper's
+call-site clustering.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.tasks import Task
+from .ktimer import KTimer, VistaKernel
+
+SITE_AFD_SELECT = ("ws2_32!select", "msafd!WSPSelect", "afd!AfdPoll",
+                   "nt!KeSetTimer")
+
+
+class SelectCall:
+    """One in-flight ``select`` ioctl with its private KTIMER."""
+
+    def __init__(self, winsock: "Winsock", task: Task,
+                 timer: Optional[KTimer],
+                 on_return: Callable[[bool], None]):
+        self.winsock = winsock
+        self.task = task
+        self.timer = timer
+        self.on_return = on_return
+        self.done = False
+
+    def fd_ready(self) -> bool:
+        """Socket activity completes the ioctl before the timeout."""
+        return self._complete(timed_out=False)
+
+    def _timer_dpc(self, _timer: KTimer) -> None:
+        self._complete(timed_out=True)
+
+    def _complete(self, *, timed_out: bool) -> bool:
+        if self.done:
+            return False
+        self.done = True
+        kernel = self.winsock.kernel
+        if self.timer is not None:
+            if self.timer.inserted:
+                kernel.cancel_timer(self.timer)
+            kernel.free_ktimer(self.timer)
+        self.on_return(timed_out)
+        return True
+
+
+class Winsock:
+    """Winsock select/poll entry points of one machine."""
+
+    def __init__(self, kernel: VistaKernel):
+        self.kernel = kernel
+
+    def select(self, task: Task, timeout_ns: Optional[int],
+               on_return: Callable[[bool], None]) -> SelectCall:
+        """``select``: ``on_return(timed_out)``.
+
+        ``timeout_ns=None`` blocks indefinitely (no timer allocated).
+        """
+        if timeout_ns is None:
+            return SelectCall(self, task, None, on_return)
+        timer = self.kernel.alloc_ktimer(site=SITE_AFD_SELECT, owner=task,
+                                         domain="user")
+        call = SelectCall(self, task, timer, on_return)
+        self.kernel.set_timer(timer, timeout_ns, dpc=call._timer_dpc)
+        return call

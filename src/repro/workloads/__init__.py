@@ -1,0 +1,46 @@
+"""Workload models reproducing the paper's traced scenarios."""
+
+from .apps import (ApacheServer, FixedIntervalDaemon, HttperfDriver,
+                   SelectCountdownApp, SkypeApp, SoftRealtimePoller)
+from .base import (DEFAULT_DURATION_NS, PAPER_DURATION_NS, LinuxMachine,
+                   VistaMachine, WorkloadRun)
+from .desktop_vista import FIGURE1_DURATION_NS, run_vista_desktop
+from .filebrowser import (BrowseResult, browse, browse_adaptive,
+                          schedule_total_ns)
+from .firefox import run_linux_firefox, run_vista_firefox
+from .idle import run_linux_idle, run_vista_idle
+from .skype import run_linux_skype, run_vista_skype
+from .vista_apps import (BrowserApp, OutlookApp, SkypeVistaApp,
+                         VistaBackgroundProcess, VistaKernelBackground)
+from .webserver import run_linux_webserver, run_vista_webserver
+
+#: Registry used by the CLI and the benchmarks.
+LINUX_WORKLOADS = {
+    "idle": run_linux_idle,
+    "skype": run_linux_skype,
+    "firefox": run_linux_firefox,
+    "webserver": run_linux_webserver,
+}
+VISTA_WORKLOADS = {
+    "idle": run_vista_idle,
+    "skype": run_vista_skype,
+    "firefox": run_vista_firefox,
+    "webserver": run_vista_webserver,
+    "desktop": run_vista_desktop,
+}
+
+
+def run_workload(os_name: str, workload: str, duration_ns=None, *,
+                 seed: int = 0) -> WorkloadRun:
+    """Run one of the paper's workloads by name."""
+    registry = LINUX_WORKLOADS if os_name == "linux" else VISTA_WORKLOADS
+    if workload not in registry:
+        raise KeyError(f"unknown {os_name} workload {workload!r}; "
+                       f"choose from {sorted(registry)}")
+    runner = registry[workload]
+    if duration_ns is None:
+        return runner(seed=seed)
+    return runner(duration_ns, seed=seed)
+
+
+__all__ = [name for name in dir() if not name.startswith("_")]

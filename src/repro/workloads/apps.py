@@ -1,0 +1,325 @@
+"""Application behaviour models (Linux side).
+
+Each class reproduces the *timer idiom* the paper traced for one class
+of application:
+
+* :class:`SelectCountdownApp` — the X.org / icewm idiom of Figure 4: a
+  constant select timeout that Linux counts down across fd-activity
+  wakeups until it reaches zero, then is reset.
+* :class:`SoftRealtimePoller` — the Firefox/Flash and Skype pattern:
+  very short (1–3 jiffy) poll/select timeouts in a tight loop,
+  mostly cancelled by fd activity — the paper's conjectured attempt to
+  build a soft-realtime environment over a best-effort kernel.
+* :class:`FixedIntervalDaemon` — cron/atd-style "sleep a round number
+  and do work" loops (the delay pattern).
+* :class:`ApacheServer` + :class:`HttperfDriver` — the webserver
+  workload: a 1 s event loop, 15 s per-connection guards re-armed
+  back-to-back under load (watchdog), and the kernel TCP/socket timers
+  through :class:`~repro.linuxkern.subsystems.net.TcpStack`.
+* :class:`SkypeApp` — the measured mix of 0 / 0.4999 / 0.5 s constants
+  plus irregular short adaptive polls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..sim.clock import MILLISECOND, SECOND, millis
+from ..sim.tasks import Task
+from ..linuxkern.subsystems.net import TcpConnection, TcpStack
+from ..linuxkern.syscalls import WakeReason
+from .base import LinuxMachine
+
+
+class SelectCountdownApp:
+    """X server / window-manager select loop (Figure 4's sawtooth).
+
+    The app computes a deadline (e.g. the screensaver) once, then calls
+    select with the *remaining* time after every fd-driven wakeup —
+    Linux updates the timeout argument in place — until it reaches
+    zero, at which point housekeeping runs and the full value is set
+    again.
+    """
+
+    def __init__(self, machine: LinuxMachine, comm: str, *,
+                 nominal_timeout_ns: int, activity_mean_ns: int):
+        self.machine = machine
+        self.task = machine.kernel.tasks.spawn(comm)
+        self.nominal_timeout_ns = nominal_timeout_ns
+        self.activity_mean_ns = activity_mean_ns
+        self.rng = machine.rng.stream(f"app.{comm}.{self.task.pid}")
+        self.remaining_ns = nominal_timeout_ns
+        self.resets = 0
+        self._call = None
+
+    def start(self) -> None:
+        self._select()
+        self._schedule_activity()
+
+    def _select(self) -> None:
+        self._call = self.machine.syscalls.select(
+            self.task, self.remaining_ns, self._returned)
+
+    def _returned(self, reason: WakeReason, remaining_ns: int) -> None:
+        if reason == WakeReason.TIMEOUT:
+            self.resets += 1
+            self.remaining_ns = self.nominal_timeout_ns
+        else:
+            self.remaining_ns = remaining_ns
+            if self.remaining_ns <= 0:
+                self.resets += 1
+                self.remaining_ns = self.nominal_timeout_ns
+        self._select()
+
+    def _schedule_activity(self) -> None:
+        delay = max(1, int(self.rng.exponential(self.activity_mean_ns)))
+        self.machine.kernel.engine.call_after(delay, self._activity)
+
+    def _activity(self) -> None:
+        if self._call is not None and not self._call.done:
+            self._call.fd_ready()
+        self._schedule_activity()
+
+
+class SoftRealtimePoller:
+    """Tight poll/select loop with jiffy-scale timeouts.
+
+    ``timeout_cycle`` is the sequence of timeout values the loop
+    rotates through (Firefox polls fds at 4, 8, 12 ms; Flash frames).
+    ``cancel_probability`` is the chance fd activity completes a call
+    before its timeout — the paper's Firefox trace cancels ~80% of its
+    1.4M sets.
+    """
+
+    def __init__(self, machine: LinuxMachine, comm: str, *,
+                 timeout_cycle: Sequence[int],
+                 cancel_probability: float = 0.8,
+                 think_ns: int = 500_000,
+                 use_poll: bool = True,
+                 task: Optional[Task] = None,
+                 thread: int = 0):
+        self.machine = machine
+        self.task = task if task is not None \
+            else machine.kernel.tasks.spawn(comm)
+        self.timeout_cycle = list(timeout_cycle)
+        self.cancel_probability = cancel_probability
+        self.think_ns = think_ns
+        self.use_poll = use_poll
+        self.thread = thread
+        self.rng = machine.rng.stream(
+            f"app.{comm}.{self.task.pid}.poller{thread}")
+        self._index = 0
+        self.iterations = 0
+
+    def start(self) -> None:
+        self._iterate()
+
+    def _iterate(self) -> None:
+        self.iterations += 1
+        timeout = self.timeout_cycle[self._index % len(self.timeout_cycle)]
+        self._index += 1
+        syscall = self.machine.syscalls.poll if self.use_poll \
+            else self.machine.syscalls.select
+        call = syscall(self.task, timeout, self._returned,
+                       thread=self.thread)
+        if timeout > 0 and not call.done \
+                and self.rng.random() < self.cancel_probability:
+            # fd becomes ready at a uniformly random point of the wait.
+            at = int(timeout * self.rng.random())
+            self.machine.kernel.engine.call_after(at, self._fd_ready, call)
+
+    def _fd_ready(self, call) -> None:
+        call.fd_ready()
+
+    def _returned(self, reason: WakeReason, _remaining: int) -> None:
+        think = max(0, int(self.rng.exponential(self.think_ns)))
+        self.machine.kernel.engine.call_after(think, self._iterate)
+
+
+class FixedIntervalDaemon:
+    """cron/atd-style loop: sleep a fixed round interval, do work.
+
+    Produces the *delay* pattern: the timer always expires, and is
+    re-set to the same value after the (non-trivial) work interval.
+    """
+
+    def __init__(self, machine: LinuxMachine, comm: str, *,
+                 interval_ns: int, work_ns: int = 20 * MILLISECOND,
+                 use_select: bool = False):
+        self.machine = machine
+        self.task = machine.kernel.tasks.spawn(comm)
+        self.interval_ns = interval_ns
+        self.work_ns = work_ns
+        self.use_select = use_select
+        self.cycles = 0
+
+    def start(self) -> None:
+        self._sleep()
+
+    def _sleep(self) -> None:
+        syscall = self.machine.syscalls.select if self.use_select \
+            else self.machine.syscalls.nanosleep
+        syscall(self.task, self.interval_ns, self._wake)
+
+    def _wake(self, _reason: WakeReason, _remaining: int) -> None:
+        self.cycles += 1
+        self.machine.kernel.engine.call_after(self.work_ns, self._sleep)
+
+
+class SkypeApp:
+    """Skype's measured Linux mix (Figure 6): constants 0, 0.4999 and
+    0.5 s, plus irregular short adaptive poll values (0.052, 0.1, ...)
+    from its jitter buffer."""
+
+    SIGNALING_VALUES = (millis(500), millis(499.9), 0)
+
+    def __init__(self, machine: LinuxMachine, *,
+                 frame_ns: int = millis(20), audio_threads: int = 3):
+        self.machine = machine
+        self.task = machine.kernel.tasks.spawn("skype")
+        self.rng = machine.rng.stream("app.skype")
+        self.frame_ns = frame_ns
+        # Audio path: poll(0) + short irregular adaptive waits, one
+        # loop per media thread (capture, playback, jitter buffer).
+        self.audio = [
+            SoftRealtimePoller(
+                machine, "skype", task=self.task, thread=i,
+                timeout_cycle=[0, millis(52), 0, millis(100), millis(48),
+                               0, millis(52), millis(24)],
+                cancel_probability=0.78, think_ns=int(frame_ns * 0.25))
+            for i in range(audio_threads)]
+        self._signal_index = 0
+
+    def start(self) -> None:
+        for poller in self.audio:
+            poller.start()
+        self._signaling()
+
+    def _signaling(self) -> None:
+        value = self.SIGNALING_VALUES[
+            self._signal_index % len(self.SIGNALING_VALUES)]
+        self._signal_index += 1
+        call = self.machine.syscalls.select(self.task, value,
+                                            self._signal_returned,
+                                            thread=100)
+        if value > 0 and not call.done and self.rng.random() < 0.92:
+            # Media/control packets arrive every few tens of ms, so the
+            # half-second timeouts are nearly always cancelled early.
+            at = max(1, int(self.rng.exponential(millis(45))))
+            if at < value:
+                self.machine.kernel.engine.call_after(
+                    at, lambda c=call: c.fd_ready())
+
+    def _signal_returned(self, _reason: WakeReason,
+                         _remaining: int) -> None:
+        self.machine.kernel.engine.call_after(
+            max(1, int(self.rng.exponential(millis(3)))), self._signaling)
+
+
+class ApacheServer:
+    """Apache 2.2 over the TCP stack: event loop + connection guards."""
+
+    EVENT_LOOP_TIMEOUT_NS = SECOND
+    SOCKET_POLL_TIMEOUT_NS = 15 * SECOND
+
+    def __init__(self, machine: LinuxMachine, tcp: TcpStack, *,
+                 children: int = 10):
+        self.machine = machine
+        self.tcp = tcp
+        self.task = machine.kernel.tasks.spawn("apache2")
+        self.children = [machine.kernel.tasks.spawn("apache2")
+                         for _ in range(children)]
+        self.rng = machine.rng.stream("app.apache")
+        self._event_call = None
+        self.connections_served = 0
+        self._free_children = list(self.children)
+
+    def start(self) -> None:
+        self._event_loop()
+
+    # -- master event loop: 1 s select, cancelled by incoming work ------
+
+    def _event_loop(self) -> None:
+        self._event_call = self.machine.syscalls.select(
+            self.task, self.EVENT_LOOP_TIMEOUT_NS, self._event_returned)
+
+    def _event_returned(self, _reason: WakeReason,
+                        _remaining: int) -> None:
+        self.machine.kernel.engine.call_after(
+            max(1, int(self.rng.exponential(millis(1)))), self._event_loop)
+
+    # -- connection handling ---------------------------------------------
+
+    def accept_connection(self) -> bool:
+        """A client connection arrives (driven by HttperfDriver)."""
+        if self._event_call is not None and not self._event_call.done:
+            self._event_call.fd_ready()
+        if not self._free_children:
+            return False
+        child = self._free_children.pop()
+        conn = TcpConnection(self.tcp, server_side=True, segments=1,
+                             on_close=lambda: self._closed(child))
+        conn.start()
+        self._guard_connection(child, conn)
+        return True
+
+    def _guard_connection(self, child: Task, conn: TcpConnection) -> None:
+        call = self.machine.syscalls.poll(
+            child, self.SOCKET_POLL_TIMEOUT_NS, lambda reason, rem: None)
+        # Request data arrives promptly; the guard is cancelled and, if
+        # the connection continues, immediately re-armed (back-to-back
+        # under load: the watchdog signature).
+        arrival = max(1, int(self.rng.exponential(millis(3))))
+        self.machine.kernel.engine.call_after(
+            arrival, self._request_arrived, child, conn, call)
+
+    def _request_arrived(self, child: Task, conn: TcpConnection,
+                         call) -> None:
+        if not call.done:
+            call.fd_ready()
+        if not conn.closed and self.rng.random() < 0.6:
+            self._guard_connection(child, conn)
+
+    def _closed(self, child: Task) -> None:
+        self.connections_served += 1
+        self._free_children.append(child)
+
+
+class HttperfDriver:
+    """The httperf load generator on the client machine.
+
+    Its own timers run elsewhere and are invisible to the traced
+    server, exactly as in the paper's setup; it only drives connection
+    arrivals at the configured rate with the 10-way parallelism bursts
+    httperf produces.
+    """
+
+    def __init__(self, machine: LinuxMachine, server: ApacheServer, *,
+                 connections_per_second: float = 16.7,
+                 burst_size: int = 10):
+        self.machine = machine
+        self.server = server
+        self.rng = machine.rng.stream("driver.httperf")
+        self.mean_gap_ns = int(burst_size * SECOND
+                               / connections_per_second)
+        self.burst_size = burst_size
+        self.offered = 0
+
+    def start(self) -> None:
+        self._schedule_burst()
+
+    def _schedule_burst(self) -> None:
+        gap = max(1, int(self.rng.exponential(self.mean_gap_ns)))
+        self.machine.kernel.engine.call_after(gap, self._burst)
+
+    def _burst(self) -> None:
+        for i in range(self.burst_size):
+            # Connections within a burst land back to back (~0.5 ms).
+            offset = int(i * 500_000 * (0.5 + self.rng.random()))
+            self.machine.kernel.engine.call_after(
+                offset, self._one_connection)
+        self._schedule_burst()
+
+    def _one_connection(self) -> None:
+        self.offered += 1
+        self.server.accept_connection()

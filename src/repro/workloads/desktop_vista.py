@@ -1,0 +1,52 @@
+"""The Figure 1 trace: a typical Vista desktop in active use.
+
+Outlook, Internet Explorer, the system processes and the kernel over a
+90-second excerpt.  The kernel sets around a thousand timers per
+second, the browser tens, Outlook ~70/s when idle with bursts of up to
+7000 set operations in a second from its upcall-guard idiom.
+"""
+
+from __future__ import annotations
+
+from ..sim.clock import SECOND, millis
+from .base import VistaMachine, WorkloadRun
+from .idle import VISTA_BACKGROUND_PROCESSES, build_vista_idle_base
+from .vista_apps import (BrowserApp, OutlookApp, VistaKernelBackground)
+
+#: Busy-desktop kernel timers: network ACK pacing, audio DMA refill,
+#: display refresh bookkeeping — what raises the kernel line in
+#: Figure 1 to ~1000 sets/s.
+BUSY_KERNEL_PERIODS = tuple(
+    [(f"ndis!NdisAckTimer#{i}", millis(25)) for i in range(8)]
+    + [(f"hdaudio!HdaDmaRefill#{i}", millis(10)) for i in range(4)]
+    + [(f"dxgkrnl!VsyncBookkeeping#{i}", millis(16)) for i in range(4)]
+    + [(f"tcpip!TcpDelAckTimer#{i}", millis(100)) for i in range(8)]
+    + [("nt!CcLazyWriteScan", SECOND),
+       ("nt!PopPolicyTimer", SECOND)])
+
+FIGURE1_DURATION_NS = 90 * SECOND
+
+
+def run_vista_desktop(duration_ns: int = FIGURE1_DURATION_NS, *,
+                      seed: int = 0) -> WorkloadRun:
+    machine = VistaMachine(seed=seed)
+    components = build_vista_idle_base(machine)
+
+    busy_kernel = VistaKernelBackground(machine,
+                                        periods=BUSY_KERNEL_PERIODS)
+    busy_kernel.start()
+    components["busy_kernel"] = busy_kernel
+
+    outlook = OutlookApp(machine, baseline_rate_hz=70.0,
+                         burst_mean_gap_ns=30 * SECOND,
+                         burst_upcalls=2500)
+    outlook.start()
+    components["outlook"] = outlook
+
+    browser = BrowserApp(machine, "iexplore.exe", select_rate_hz=25.0)
+    browser.start()
+    components["browser"] = browser
+
+    run = machine.finish("desktop", duration_ns)
+    run.components = components
+    return run

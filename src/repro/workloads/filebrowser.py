@@ -1,0 +1,190 @@
+"""The Section 2.2.2 layering scenario, made executable.
+
+A user types a server name into the file browser.  Name lookups go out
+in parallel (WINS, DNS, mDNS), each with its own retry schedule; on
+success, connects are attempted in parallel over SMB, NFS and WebDAV —
+NFS over SunRPC responding to refused connections with an exponential
+backoff that retries 7 times doubling the initial 500 ms timeout.
+"Thus, recovering from a typing error can take over a minute!" — while
+a healthy response arrives shortly after the 130 ms round-trip time.
+
+:func:`browse` simulates the full timeline; the provenance-aware
+variant collapses the layered stack into a single end-to-end adaptive
+timeout derived from observed RTT (Sections 5.1/5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.clock import SECOND, millis, seconds
+from ..sim.engine import Engine
+
+#: Per-protocol retry schedules (initial timeout, retries, backoff).
+NAME_PROVIDERS = {
+    "WINS": (millis(1500), 3, 1.0),
+    "DNS": (SECOND, 3, 2.0),
+    "mDNS": (seconds(3), 1, 1.0),
+}
+CONNECT_PROTOCOLS = {
+    "SMB": (seconds(3), 3, 2.0),           # TCP SYN retries 3/6/12 s
+    "NFS/SunRPC": (millis(500), 7, 2.0),   # the paper's 7x doubling
+    "WebDAV": (seconds(30), 1, 1.0),
+}
+
+
+def schedule_total_ns(initial_ns: int, retries: int,
+                      backoff: float) -> int:
+    """Worst-case time for one protocol to give up."""
+    total = 0.0
+    value = float(initial_ns)
+    for _ in range(retries):
+        total += value
+        value *= backoff
+    return int(total)
+
+
+@dataclass
+class BrowseResult:
+    """Outcome of one file-browser interaction."""
+
+    outcome: str                  #: "connected" | "name-error" | "unreachable"
+    elapsed_ns: int
+    timeline: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.elapsed_ns / SECOND
+
+
+def browse(*, name_resolves: bool, server_reachable: bool,
+           rtt_ns: int = millis(130),
+           engine: Optional[Engine] = None,
+           tracker=None) -> BrowseResult:
+    """Simulate the stock layered behaviour.
+
+    ``tracker`` (a :class:`repro.tracing.requests.RequestTracker`)
+    optionally records the request's full timeout tree — the
+    Section 5.2 provenance that makes the Section 2.2.2 pathology
+    visible.
+    """
+    engine = engine if engine is not None else Engine()
+    start = engine.now
+    timeline: list[tuple[int, str]] = []
+    state = {"phase": "lookup", "pending": set(NAME_PROVIDERS),
+             "done": None}
+    request = tracker.begin("open \\\\server", now_ns=start) \
+        if tracker is not None else None
+    nodes: dict[str, object] = {}
+
+    def annotate(name: str, layer: str, initial: int, retries: int,
+                 backoff: float) -> None:
+        if tracker is None:
+            return
+        total = schedule_total_ns(initial, retries, backoff)
+        parent = tracker.arm(request, name, layer, total,
+                             now_ns=engine.now)
+        nodes[name] = parent
+        value = float(initial)
+        for attempt in range(retries):
+            tracker.arm(request, f"{name}#try{attempt + 1}", layer,
+                        int(value), now_ns=engine.now, parent=parent)
+            value *= backoff
+
+    def resolve_node(name: str, outcome: str) -> None:
+        if tracker is not None and name in nodes:
+            nodes[name].resolve(outcome, engine.now)
+
+    def finish(outcome: str) -> None:
+        if state["done"] is None:
+            state["done"] = (outcome, engine.now - start)
+            timeline.append((engine.now - start, f"report: {outcome}"))
+            if request is not None:
+                request.finish(outcome, engine.now)
+
+    # -- phase 1: parallel name lookup -------------------------------------
+
+    def provider_failed(name: str) -> None:
+        timeline.append((engine.now - start, f"{name} lookup failed"))
+        resolve_node(name, "expired")
+        state["pending"].discard(name)
+        if not state["pending"] and state["phase"] == "lookup":
+            finish("name-error")
+
+    def provider_succeeded(name: str) -> None:
+        if state["phase"] != "lookup":
+            return
+        timeline.append((engine.now - start, f"{name} resolved"))
+        resolve_node(name, "cancelled")
+        state["phase"] = "connect"
+        start_connects()
+
+    for name, (initial, retries, backoff) in NAME_PROVIDERS.items():
+        annotate(name, "resolver", initial, retries, backoff)
+        if name_resolves:
+            engine.call_after(rtt_ns, provider_succeeded, name)
+        else:
+            engine.call_after(schedule_total_ns(initial, retries, backoff),
+                              provider_failed, name)
+
+    # -- phase 2: parallel connects ----------------------------------------
+
+    def start_connects() -> None:
+        state["pending"] = set(CONNECT_PROTOCOLS)
+        for proto, (initial, retries, backoff) in \
+                CONNECT_PROTOCOLS.items():
+            annotate(proto, "transport", initial, retries, backoff)
+            if server_reachable:
+                engine.call_after(rtt_ns, connect_succeeded, proto)
+            else:
+                engine.call_after(
+                    schedule_total_ns(initial, retries, backoff),
+                    connect_failed, proto)
+
+    def connect_failed(proto: str) -> None:
+        timeline.append((engine.now - start, f"{proto} gave up"))
+        resolve_node(proto, "expired")
+        state["pending"].discard(proto)
+        if not state["pending"] and state["phase"] == "connect":
+            finish("unreachable")
+
+    def connect_succeeded(proto: str) -> None:
+        if state["phase"] != "connect" or state["done"]:
+            return
+        timeline.append((engine.now - start, f"{proto} connected"))
+        resolve_node(proto, "cancelled")
+        finish("connected")
+
+    engine.run()
+    outcome, elapsed = state["done"]
+    return BrowseResult(outcome, elapsed, timeline)
+
+
+def browse_adaptive(*, name_resolves: bool, server_reachable: bool,
+                    rtt_ns: int = millis(130),
+                    confidence_factor: float = 4.0) -> BrowseResult:
+    """The provenance-aware alternative.
+
+    With timer provenance the browser knows the whole stack is waiting
+    on one network round-trip, and with a learned RTT distribution it
+    can time each phase out at a small multiple of the observed RTT
+    instead of the layered worst-case product.
+    """
+    phase_timeout = int(rtt_ns * confidence_factor)
+    timeline: list[tuple[int, str]] = []
+    elapsed = 0
+    if name_resolves:
+        elapsed += rtt_ns
+        timeline.append((elapsed, "name resolved"))
+    else:
+        elapsed += phase_timeout
+        timeline.append((elapsed, "report: name-error"))
+        return BrowseResult("name-error", elapsed, timeline)
+    if server_reachable:
+        elapsed += rtt_ns
+        timeline.append((elapsed, "connected"))
+        return BrowseResult("connected", elapsed, timeline)
+    elapsed += phase_timeout
+    timeline.append((elapsed, "report: unreachable"))
+    return BrowseResult("unreachable", elapsed, timeline)

@@ -1,0 +1,74 @@
+"""The Firefox workload: displaying a Flash/JavaScript-heavy page
+(myspace.com) with no user input (Section 3.5).
+
+The Linux trace's signature is the flood of 1–3 jiffy (4/8/12 ms)
+poll/select timeouts — 1.4M sets over 30 minutes, >80% cancelled —
+which the paper attributes to soft-realtime Flash animation over a
+best-effort kernel.  On Vista the same page produces 2881 sets/s, many
+below 10 ms, via waits and winsock selects.
+"""
+
+from __future__ import annotations
+
+from ..sim.clock import jiffies, millis, seconds
+from ..linuxkern.subsystems.net import TcpConnection
+from .apps import SoftRealtimePoller
+from .base import (DEFAULT_DURATION_NS, LinuxMachine, VistaMachine,
+                   WorkloadRun)
+from .idle import build_linux_idle_base, build_vista_idle_base
+from .vista_apps import BrowserApp
+
+
+def run_linux_firefox(duration_ns: int = DEFAULT_DURATION_NS, *,
+                      seed: int = 0,
+                      event_loop_threads: int = 5) -> WorkloadRun:
+    machine = LinuxMachine(seed=seed)
+    components = build_linux_idle_base(machine)
+
+    task = machine.kernel.tasks.spawn("firefox-bin")
+    pollers = []
+    # Several in-process event loops (main, Flash plugin instances,
+    # timer thread) all polling fds with jiffy-scale timeouts.
+    cycles = (
+        [jiffies(1), jiffies(2), jiffies(3)],
+        [jiffies(1), jiffies(1), jiffies(2)],
+        [jiffies(2), jiffies(3)],
+        [jiffies(1), jiffies(3), jiffies(2), jiffies(1)],
+        [jiffies(3), jiffies(2), jiffies(1)],
+    )
+    for i in range(event_loop_threads):
+        poller = SoftRealtimePoller(
+            machine, "firefox-bin", task=task, thread=i,
+            timeout_cycle=cycles[i % len(cycles)],
+            cancel_probability=0.82, think_ns=250_000)
+        poller.start()
+        pollers.append(poller)
+    components["pollers"] = pollers
+
+    # Page content streams: periodic fetches of Flash/ad elements.
+    tcp = components["tcp"]
+    rng = machine.rng.stream("firefox.net")
+
+    def fetch() -> None:
+        TcpConnection(tcp, server_side=False,
+                      segments=1 + rng.randrange(3)).start()
+        machine.kernel.engine.call_after(
+            max(1, int(rng.exponential(seconds(4)))), fetch)
+
+    machine.kernel.engine.call_after(millis(300), fetch)
+    run = machine.finish("firefox", duration_ns)
+    run.components = components
+    return run
+
+
+def run_vista_firefox(duration_ns: int = DEFAULT_DURATION_NS, *,
+                      seed: int = 0) -> WorkloadRun:
+    machine = VistaMachine(seed=seed)
+    components = build_vista_idle_base(machine)
+    browser = BrowserApp(machine, "firefox.exe", flash=True,
+                         select_rate_hz=40.0)
+    browser.start()
+    components["browser"] = browser
+    run = machine.finish("firefox", duration_ns)
+    run.components = components
+    return run

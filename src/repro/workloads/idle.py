@@ -1,0 +1,187 @@
+"""The Idle workload (both systems).
+
+Linux: the Debian 4.0 base install running X and icewm with stock
+daemons (syslogd, inetd, atd, cron, portmapper, gettys), connected to
+a LAN with background traffic but serving nothing (Section 3.5).
+
+Vista: a standard desktop install, user logged in, no foreground
+applications, 26 background processes.
+"""
+
+from __future__ import annotations
+
+from ..sim.clock import MILLISECOND, SECOND, millis, seconds
+from ..linuxkern.subsystems.block import BlockLayer, JournalDaemon
+from ..linuxkern.subsystems.console import ConsoleBlanker
+from ..linuxkern.subsystems.housekeeping import standard_housekeeping
+from ..linuxkern.subsystems.net import ArpCache, TcpConnection, TcpStack
+from .apps import FixedIntervalDaemon, SelectCountdownApp
+from .base import (DEFAULT_DURATION_NS, LinuxMachine, VistaMachine,
+                   WorkloadRun)
+from .vista_apps import (VistaBackgroundProcess, VistaKernelBackground)
+
+
+def build_linux_idle_base(machine: LinuxMachine, *,
+                          with_x: bool = True) -> dict:
+    """The components every Linux workload shares (the booted system)."""
+    kernel = machine.kernel
+    components: dict = {}
+
+    housekeeping = standard_housekeeping(kernel)
+    for timer in housekeeping:
+        timer.start()
+    components["housekeeping"] = housekeeping
+
+    arp = ArpCache(kernel, machine.rng.stream("net.arp"))
+    arp.start()
+    components["arp"] = arp
+
+    block = BlockLayer(kernel, machine.rng.stream("block.io"),
+                       io_burst_mean_ns=seconds(12))
+    block.start()
+    components["block"] = block
+
+    journal = JournalDaemon(kernel, machine.rng.stream("block.journal"),
+                            write_load=0.05)
+    journal.start()
+    components["journal"] = journal
+
+    console = ConsoleBlanker(kernel)
+    console.start()
+    components["console"] = console
+
+    tcp = TcpStack(kernel, machine.rng.stream("net.tcp"),
+                   rtt_median_ns=200_000)
+    components["tcp"] = tcp
+
+    if with_x:
+        x_server = SelectCountdownApp(machine, "Xorg",
+                                      nominal_timeout_ns=600 * SECOND,
+                                      activity_mean_ns=millis(100))
+        x_server.start()
+        icewm = SelectCountdownApp(machine, "icewm",
+                                   nominal_timeout_ns=60 * SECOND,
+                                   activity_mean_ns=millis(400))
+        icewm.start()
+        components["x_server"] = x_server
+        components["icewm"] = icewm
+
+    daemons = [
+        FixedIntervalDaemon(machine, "cron", interval_ns=60 * SECOND),
+        FixedIntervalDaemon(machine, "atd", interval_ns=60 * SECOND),
+        FixedIntervalDaemon(machine, "syslogd", interval_ns=30 * SECOND,
+                            use_select=True),
+        FixedIntervalDaemon(machine, "init", interval_ns=5 * SECOND,
+                            use_select=True, work_ns=MILLISECOND),
+        FixedIntervalDaemon(machine, "rpc.statd",
+                            interval_ns=15 * SECOND, use_select=True),
+    ]
+    if with_x:
+        # Session clients with fixed select periods: terminal cursor
+        # blink and clock redraws — the 0.5/1/2 s user-space expiries
+        # of the paper's idle figures.
+        daemons.extend([
+            FixedIntervalDaemon(machine, "xterm",
+                                interval_ns=millis(500), use_select=True,
+                                work_ns=MILLISECOND),
+            FixedIntervalDaemon(machine, "xterm",
+                                interval_ns=millis(500), use_select=True,
+                                work_ns=MILLISECOND),
+            FixedIntervalDaemon(machine, "wmclock", interval_ns=SECOND,
+                                use_select=True, work_ns=MILLISECOND),
+            FixedIntervalDaemon(machine, "xload", interval_ns=2 * SECOND,
+                                use_select=True, work_ns=MILLISECOND),
+        ])
+    for daemon in daemons:
+        daemon.start()
+    components["daemons"] = daemons
+
+    # Occasional inbound LAN connection (monitoring, NFS pings):
+    # exercises the socket timers even on an otherwise idle box.
+    rng = machine.rng.stream("net.background")
+
+    def background_connection() -> None:
+        TcpConnection(tcp, server_side=True, segments=1).start()
+        kernel.engine.call_after(
+            max(1, int(rng.exponential(seconds(8)))),
+            background_connection)
+
+    kernel.engine.call_after(
+        max(1, int(rng.exponential(seconds(8)))), background_connection)
+    return components
+
+
+def run_linux_idle(duration_ns: int = DEFAULT_DURATION_NS, *,
+                   seed: int = 0) -> WorkloadRun:
+    machine = LinuxMachine(seed=seed)
+    components = build_linux_idle_base(machine)
+    run = machine.finish("idle", duration_ns)
+    run.components = components
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Vista
+# ---------------------------------------------------------------------------
+
+#: 26 background processes of a stock desktop (Section 3.5).
+VISTA_BACKGROUND_PROCESSES = (
+    ("csrss.exe", (millis(250), seconds(1)), 0.10),
+    ("csrss.exe", (seconds(1),), 0.05),
+    ("wininit.exe", (seconds(30),), 0.02),
+    ("services.exe", (seconds(1), seconds(5)), 0.05),
+    ("lsass.exe", (seconds(5),), 0.05),
+    ("svchost.exe", (seconds(1),), 0.05),
+    ("svchost.exe", (seconds(2),), 0.05),
+    ("svchost.exe", (millis(500), seconds(5)), 0.08),
+    ("svchost.exe", (seconds(10),), 0.02),
+    ("svchost.exe", (seconds(1), seconds(60)), 0.05),
+    ("svchost.exe", (seconds(5),), 0.05),
+    ("SLsvc.exe", (seconds(30),), 0.02),
+    ("winlogon.exe", (seconds(5),), 0.02),
+    ("explorer.exe", (millis(500), seconds(1)), 0.15),
+    ("taskeng.exe", (seconds(60),), 0.02),
+    ("dwm.exe", (millis(100), seconds(1)), 0.20),
+    ("audiodg.exe", (millis(10), millis(250)), 0.30),
+    ("spoolsv.exe", (seconds(10),), 0.02),
+    ("SearchIndexer.exe", (seconds(1), seconds(30)), 0.05),
+    ("sidebar.exe", (seconds(1),), 0.10),
+    ("smss.exe", (seconds(60),), 0.01),
+    ("wmiprvse.exe", (seconds(10),), 0.02),
+    ("MSASCui.exe", (seconds(5),), 0.05),
+    ("SynTPEnh.exe", (millis(100),), 0.10),   # the audio tray app
+    ("wuauclt.exe", (seconds(30),), 0.02),
+    ("mobsync.exe", (seconds(60),), 0.02),
+)
+
+
+def build_vista_idle_base(machine: VistaMachine) -> dict:
+    components: dict = {}
+    background = VistaKernelBackground(machine)
+    background.start()
+    components["kernel_background"] = background
+
+    processes = []
+    for comm, timeouts, satisfied in VISTA_BACKGROUND_PROCESSES:
+        process = VistaBackgroundProcess(
+            machine, comm, wait_timeouts=timeouts,
+            satisfied_probability=satisfied)
+        process.start()
+        processes.append(process)
+    components["processes"] = processes
+
+    from ..vistakern.registry import RegistryLazyCloser
+    registry = RegistryLazyCloser(machine.kernel,
+                                  machine.rng.stream("vista.registry"))
+    registry.start()
+    components["registry"] = registry
+    return components
+
+
+def run_vista_idle(duration_ns: int = DEFAULT_DURATION_NS, *,
+                   seed: int = 0) -> WorkloadRun:
+    machine = VistaMachine(seed=seed)
+    components = build_vista_idle_base(machine)
+    run = machine.finish("idle", duration_ns)
+    run.components = components
+    return run

@@ -1,0 +1,47 @@
+"""The Skype workload: an internet telephony call (Section 3.5)."""
+
+from __future__ import annotations
+
+from ..sim.clock import seconds
+from ..linuxkern.subsystems.net import TcpConnection
+from .apps import SkypeApp
+from .base import (DEFAULT_DURATION_NS, LinuxMachine, VistaMachine,
+                   WorkloadRun)
+from .idle import build_linux_idle_base, build_vista_idle_base
+from .vista_apps import SkypeVistaApp
+
+
+def run_linux_skype(duration_ns: int = DEFAULT_DURATION_NS, *,
+                    seed: int = 0) -> WorkloadRun:
+    machine = LinuxMachine(seed=seed)
+    components = build_linux_idle_base(machine)
+    skype = SkypeApp(machine)
+    skype.start()
+    components["skype"] = skype
+
+    # The call rides a long-lived relay connection: occasional TCP
+    # signaling traffic alongside the UDP media path.
+    tcp = components["tcp"]
+    rng = machine.rng.stream("skype.relay")
+
+    def relay_burst() -> None:
+        TcpConnection(tcp, server_side=False, segments=2).start()
+        machine.kernel.engine.call_after(
+            max(1, int(rng.exponential(seconds(15)))), relay_burst)
+
+    machine.kernel.engine.call_after(seconds(1), relay_burst)
+    run = machine.finish("skype", duration_ns)
+    run.components = components
+    return run
+
+
+def run_vista_skype(duration_ns: int = DEFAULT_DURATION_NS, *,
+                    seed: int = 0) -> WorkloadRun:
+    machine = VistaMachine(seed=seed)
+    components = build_vista_idle_base(machine)
+    skype = SkypeVistaApp(machine)
+    skype.start()
+    components["skype"] = skype
+    run = machine.finish("skype", duration_ns)
+    run.components = components
+    return run

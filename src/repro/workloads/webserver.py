@@ -1,0 +1,127 @@
+"""The Webserver workload: Apache under httperf load (Section 3.5).
+
+30000 requests at 10-way parallelism in the paper's 30 minutes
+(~16.7 connections/s), each request on its own connection.  X was not
+running during the Linux run.  The kernel-side TCP/socket timers
+dominate this trace (Table 1: kernel accesses far exceed user-space),
+and the filesystem journal's mostly-cancelled 5 s commit timer forms
+the 80–100% cluster of Figure 11.
+"""
+
+from __future__ import annotations
+
+from ..sim.clock import millis, seconds
+from ..linuxkern.subsystems.block import BlockLayer, JournalDaemon
+from ..linuxkern.subsystems.console import ConsoleBlanker
+from ..linuxkern.subsystems.housekeeping import standard_housekeeping
+from ..linuxkern.subsystems.net import ArpCache, TcpStack
+from .apps import ApacheServer, HttperfDriver
+from .base import (DEFAULT_DURATION_NS, LinuxMachine, VistaMachine,
+                   WorkloadRun)
+from .idle import build_vista_idle_base
+from .vista_apps import VistaBackgroundProcess
+
+
+def run_linux_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
+                        seed: int = 0,
+                        connections_per_second: float = 16.7
+                        ) -> WorkloadRun:
+    machine = LinuxMachine(seed=seed)
+    kernel = machine.kernel
+    components: dict = {}
+
+    # The booted system, but without X (as in the paper's run).
+    housekeeping = standard_housekeeping(kernel)
+    for timer in housekeeping:
+        timer.start()
+    components["housekeeping"] = housekeeping
+
+    arp = ArpCache(kernel, machine.rng.stream("net.arp"),
+                   lan_event_mean_ns=seconds(2))
+    arp.start()
+    components["arp"] = arp
+
+    # Access-log writes keep the disk and journal busy.
+    block = BlockLayer(kernel, machine.rng.stream("block.io"),
+                       io_burst_mean_ns=seconds(1.5))
+    block.start()
+    components["block"] = block
+
+    journal = JournalDaemon(kernel, machine.rng.stream("block.journal"),
+                            write_load=0.85)
+    journal.start()
+    components["journal"] = journal
+
+    console = ConsoleBlanker(kernel)
+    console.start()
+    components["console"] = console
+
+    tcp = TcpStack(kernel, machine.rng.stream("net.tcp"),
+                   rtt_median_ns=250_000, loss_rate=0.003)
+    components["tcp"] = tcp
+
+    apache = ApacheServer(machine, tcp)
+    apache.start()
+    components["apache"] = apache
+
+    driver = HttperfDriver(machine, apache,
+                           connections_per_second=connections_per_second)
+    driver.start()
+    components["httperf"] = driver
+
+    run = machine.finish("webserver", duration_ns)
+    run.components = components
+    return run
+
+
+def run_vista_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
+                        seed: int = 0,
+                        connections_per_second: float = 16.7
+                        ) -> WorkloadRun:
+    """IIS-style server over the Vista model.
+
+    The paper notes the Vista webserver trace looks much like the Vista
+    idle trace (background machinery dominates) and, notably, lacks the
+    7200 s TCP keepalive timer Linux arms per connection.
+    """
+    machine = VistaMachine(seed=seed)
+    components = build_vista_idle_base(machine)
+
+    worker = VistaBackgroundProcess(
+        machine, "w3wp.exe",
+        wait_timeouts=(seconds(1), seconds(30)),
+        satisfied_probability=0.5, work_ns=millis(2))
+    worker.start()
+    components["w3wp"] = worker
+
+    kernel = machine.kernel
+    rng = machine.rng.stream("vista.http")
+    served = {"count": 0}
+
+    def connection() -> None:
+        served["count"] += 1
+        # http.sys receives the request: a retransmit KTIMER guards the
+        # response until the client ACKs (no keepalive on Vista here).
+        timer = kernel.alloc_ktimer(
+            site=("tcpip!TcpStartRexmitTimer", "nt!KeSetTimer"),
+            owner=kernel.tasks.kernel)
+        kernel.set_timer(timer, millis(300), dpc=lambda _t: None)
+        ack = max(100_000, int(rng.lognormal_latency(400_000, sigma=0.4)))
+        kernel.engine.call_after(
+            ack, lambda: (kernel.cancel_timer(timer)
+                          if timer.inserted else None,
+                          kernel.free_ktimer(timer)))
+        # Worker waits for the next request with a winsock select.
+        call = machine.winsock.select(machine.kernel.tasks.by_comm(
+            "w3wp.exe")[0], seconds(30), lambda _to: None)
+        kernel.engine.call_after(
+            max(1, int(rng.exponential(millis(5)))),
+            lambda: call.fd_ready())
+        gap = max(1, int(rng.exponential(
+            int(1e9 / connections_per_second))))
+        kernel.engine.call_after(gap, connection)
+
+    kernel.engine.call_after(millis(50), connection)
+    run = machine.finish("webserver", duration_ns)
+    run.components = components
+    return run

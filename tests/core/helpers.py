@@ -1,0 +1,112 @@
+"""Synthetic trace construction helpers for core analysis tests."""
+
+from repro.sim.clock import MILLISECOND, SECOND
+from repro.tracing import EventKind, TimerEvent, Trace
+
+
+class TraceBuilder:
+    """Builds event streams for one or more synthetic timers."""
+
+    def __init__(self, os_name="linux", duration_ns=60 * SECOND):
+        self.os_name = os_name
+        self.duration_ns = duration_ns
+        self.events = []
+
+    def _emit(self, kind, ts, timer_id, timeout_ns=None, expires_ns=None,
+              flags=0, comm="app", pid=1, domain="user",
+              site=("site",)):
+        self.events.append(TimerEvent(kind, ts, timer_id, pid, comm,
+                                      domain, site, timeout_ns,
+                                      expires_ns, flags))
+        return self
+
+    def set(self, ts, timer_id=1, timeout_ns=SECOND, **kw):
+        return self._emit(EventKind.SET, ts, timer_id, timeout_ns,
+                          ts + timeout_ns, **kw)
+
+    def expire(self, ts, timer_id=1, **kw):
+        return self._emit(EventKind.EXPIRE, ts, timer_id,
+                          expires_ns=ts, **kw)
+
+    def cancel(self, ts, timer_id=1, pending=True, **kw):
+        return self._emit(EventKind.CANCEL, ts, timer_id,
+                          expires_ns=ts if pending else None, **kw)
+
+    def build(self, workload="synthetic") -> Trace:
+        self.events.sort(key=lambda e: e.ts)
+        return Trace(os_name=self.os_name, workload=workload,
+                     duration_ns=self.duration_ns, events=self.events)
+
+
+def periodic_timer(builder, *, period_ns=SECOND, count=20, timer_id=1,
+                   start=0):
+    """Always expires, immediately re-set to the same value."""
+    ts = start
+    for _ in range(count):
+        builder.set(ts, timer_id, period_ns)
+        ts += period_ns
+        builder.expire(ts, timer_id)
+    return builder
+
+
+def watchdog_timer(builder, *, timeout_ns=10 * SECOND,
+                   kick_every_ns=2 * SECOND, count=20, timer_id=1):
+    """Re-set to the same value before every expiry (never fires)."""
+    ts = 0
+    for _ in range(count):
+        builder.set(ts, timer_id, timeout_ns)
+        ts += kick_every_ns
+    return builder
+
+
+def timeout_timer(builder, *, timeout_ns=30 * SECOND,
+                  cancel_after_ns=50 * MILLISECOND,
+                  gap_ns=2 * SECOND, count=20, timer_id=1):
+    """Cancelled shortly after set; re-set after a non-trivial gap."""
+    ts = 0
+    for _ in range(count):
+        builder.set(ts, timer_id, timeout_ns)
+        ts += cancel_after_ns
+        builder.cancel(ts, timer_id)
+        ts += gap_ns
+    return builder
+
+
+def delay_timer(builder, *, delay_ns=5 * SECOND, work_ns=SECOND,
+                count=20, timer_id=1):
+    """Expires, then re-set after a non-trivial work interval."""
+    ts = 0
+    for _ in range(count):
+        builder.set(ts, timer_id, delay_ns)
+        ts += delay_ns
+        builder.expire(ts, timer_id)
+        ts += work_ns
+    return builder
+
+
+def deferred_timer(builder, *, delay_ns=5 * SECOND,
+                   touches_per_round=3, rounds=6, timer_id=1):
+    """Deferred a few times, then allowed to expire, then restarted."""
+    ts = 0
+    for _ in range(rounds):
+        for _ in range(touches_per_round):
+            builder.set(ts, timer_id, delay_ns)
+            ts += delay_ns // 2
+        ts += delay_ns - delay_ns // 2
+        builder.expire(ts, timer_id)
+        ts += delay_ns
+    return builder
+
+
+def countdown_timer(builder, *, nominal_ns=60 * SECOND,
+                    step_ns=7 * SECOND, resets=3, timer_id=1):
+    """The X select idiom: values count down to zero, then reset."""
+    ts = 0
+    for _ in range(resets):
+        remaining = nominal_ns
+        while remaining > 0:
+            builder.set(ts, timer_id, remaining)
+            ts += step_ns
+            builder.cancel(ts, timer_id)
+            remaining -= step_ns
+    return builder

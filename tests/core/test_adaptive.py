@@ -1,0 +1,188 @@
+"""Tests for the Section 5.1 adaptive-timeout machinery."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import (AdaptiveTimeout, ExponentialBackoff,
+                                 JacobsonEstimator, LevelShiftDetector,
+                                 P2Quantile, simulate_wait_policy)
+
+
+class TestJacobson:
+    def test_converges_to_stable_rtt(self):
+        est = JacobsonEstimator()
+        for _ in range(200):
+            est.observe(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-6)
+        assert est.timeout() == pytest.approx(0.1, rel=0.01)
+
+    def test_variance_widens_timeout(self):
+        rng = random.Random(1)
+        est = JacobsonEstimator()
+        for _ in range(500):
+            est.observe(0.1 + rng.uniform(-0.05, 0.05))
+        assert est.timeout() > 0.11
+
+    def test_min_max_clamps(self):
+        est = JacobsonEstimator(min_timeout=0.2, max_timeout=1.0)
+        for _ in range(50):
+            est.observe(0.001)
+        assert est.timeout() == 0.2
+        est2 = JacobsonEstimator(max_timeout=1.0)
+        for _ in range(50):
+            est2.observe(5.0)
+        assert est2.timeout() == 1.0
+
+
+class TestBackoff:
+    def test_doubles(self):
+        backoff = ExponentialBackoff(0.5)
+        assert [backoff.next_timeout() for _ in range(4)] == \
+            [0.5, 1.0, 2.0, 4.0]
+
+    def test_nfs_case_exceeds_a_minute(self):
+        """The paper's Section 2.2.2 arithmetic: 7 retries doubling
+        from 500 ms is over a minute of waiting."""
+        backoff = ExponentialBackoff(0.5, max_retries=7)
+        assert backoff.total_wait() == pytest.approx(63.5)
+        assert backoff.total_wait() > 60.0
+
+    def test_cap_and_exhaustion(self):
+        backoff = ExponentialBackoff(1.0, maximum=4.0, max_retries=5)
+        values = [backoff.next_timeout() for _ in range(5)]
+        assert values == [1.0, 2.0, 4.0, 4.0, 4.0]
+        assert backoff.exhausted
+
+    def test_reset(self):
+        backoff = ExponentialBackoff(1.0)
+        backoff.next_timeout()
+        backoff.reset()
+        assert backoff.next_timeout() == 1.0
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(0)
+
+
+class TestP2Quantile:
+    def test_median_of_uniform(self):
+        rng = random.Random(7)
+        q = P2Quantile(0.5)
+        for _ in range(20000):
+            q.observe(rng.random())
+        assert q.value() == pytest.approx(0.5, abs=0.02)
+
+    def test_p99_of_exponential(self):
+        rng = random.Random(7)
+        q = P2Quantile(0.99)
+        for _ in range(50000):
+            q.observe(rng.expovariate(1.0))
+        # True p99 of Exp(1) is ln(100) ~ 4.605.
+        assert q.value() == pytest.approx(math.log(100), rel=0.15)
+
+    def test_before_five_samples(self):
+        q = P2Quantile(0.9)
+        assert q.value() is None
+        q.observe(1.0)
+        assert q.value() == 1.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            P2Quantile(1.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.001, max_value=1000.0),
+                    min_size=10, max_size=300),
+           st.sampled_from([0.5, 0.9, 0.99]))
+    def test_estimate_within_sample_range(self, samples, p):
+        """Property: the P² estimate always lies within the observed
+        sample range."""
+        q = P2Quantile(p)
+        for sample in samples:
+            q.observe(sample)
+        estimate = q.value()
+        assert min(samples) <= estimate <= max(samples)
+
+
+class TestLevelShift:
+    def test_detects_sustained_jump(self):
+        detector = LevelShiftDetector(factor=4.0, window=8)
+        for _ in range(100):
+            assert not detector.observe(1.0)
+        shifted = [detector.observe(50.0) for _ in range(8)]
+        assert shifted[-1] is True
+        assert detector.shifts == 1
+
+    def test_ignores_transient_outliers(self):
+        detector = LevelShiftDetector(factor=4.0, window=8)
+        for i in range(200):
+            sample = 50.0 if i % 10 == 5 else 1.0
+            assert not detector.observe(sample)
+
+    def test_detects_drop(self):
+        detector = LevelShiftDetector(factor=4.0, window=4)
+        for _ in range(50):
+            detector.observe(100.0)
+        for _ in range(4):
+            result = detector.observe(1.0)
+        assert result is True
+
+
+class TestAdaptiveTimeout:
+    def test_learns_distribution(self):
+        rng = random.Random(3)
+        adaptive = AdaptiveTimeout(confidence=0.99, safety=2.0,
+                                   initial_timeout=30.0)
+        assert adaptive.timeout() == 30.0
+        for _ in range(5000):
+            adaptive.observe(rng.lognormvariate(math.log(0.13), 0.3))
+        # 99th percentile of this lognormal ~ 0.26s; timeout ~ 2x that —
+        # two orders of magnitude below the arbitrary 30 s.
+        assert 0.3 < adaptive.timeout() < 2.0
+
+    def test_relearns_after_level_shift(self):
+        adaptive = AdaptiveTimeout(confidence=0.9, safety=2.0)
+        for _ in range(100):
+            adaptive.observe(0.001)
+        before = adaptive.timeout()
+        for _ in range(50):
+            adaptive.observe(0.13)      # moved from LAN to WAN
+        assert adaptive.relearned >= 1
+        assert adaptive.timeout() > before * 10
+
+
+class TestPolicySimulation:
+    def _latencies(self, n=3000, failure_rate=0.02, seed=5):
+        rng = random.Random(seed)
+        out = []
+        for _ in range(n):
+            if rng.random() < failure_rate:
+                out.append(None)
+            else:
+                out.append(rng.lognormvariate(math.log(0.13), 0.4))
+        return out
+
+    def test_adaptive_detects_failures_much_faster(self):
+        latencies = self._latencies()
+        fixed = simulate_wait_policy(latencies, policy="fixed",
+                                     fixed_timeout=30.0)
+        adaptive = simulate_wait_policy(latencies, policy="adaptive",
+                                        fixed_timeout=30.0)
+        assert fixed.mean_detection == pytest.approx(30.0)
+        assert adaptive.mean_detection < fixed.mean_detection / 10
+
+    def test_adaptive_false_timeouts_bounded(self):
+        latencies = self._latencies()
+        adaptive = simulate_wait_policy(latencies, policy="adaptive")
+        assert adaptive.false_timeout_rate < 0.05
+
+    def test_fixed_has_no_false_timeouts_here(self):
+        latencies = self._latencies()
+        fixed = simulate_wait_policy(latencies, policy="fixed",
+                                     fixed_timeout=30.0)
+        assert fixed.false_timeouts == 0

@@ -1,0 +1,88 @@
+"""Tests for the adaptivity detector (Section 4.2's 'very few adaptive
+timers' claim, made measurable)."""
+
+import random
+
+import pytest
+
+from repro.sim.clock import MILLISECOND, SECOND, millis, seconds
+from repro.core.adaptive import JacobsonEstimator
+from repro.core.adaptivity import (ValueBehavior, adaptivity_report,
+                                   classify_values)
+
+from .helpers import TraceBuilder, periodic_timer
+
+
+class TestClassifyValues:
+    def test_constant(self):
+        values = [SECOND] * 20
+        assert classify_values(values) == ValueBehavior.CONSTANT
+
+    def test_constant_with_jitter(self):
+        values = [SECOND + d for d in (0, 500_000, -800_000) * 7]
+        assert classify_values(values) == ValueBehavior.CONSTANT
+
+    def test_countdown(self):
+        values = []
+        for _reset in range(3):
+            values.extend(range(60 * SECOND, 0, -7 * SECOND))
+        assert classify_values(values) == ValueBehavior.COUNTDOWN
+
+    def test_adaptive_control_loop(self):
+        """A Jacobson RTO tracking slowly varying RTTs: smooth."""
+        rng = random.Random(3)
+        estimator = JacobsonEstimator(min_timeout=0.0)
+        values = []
+        rtt = 0.1
+        for _ in range(200):
+            rtt = max(0.01, rtt + rng.uniform(-0.004, 0.004))
+            estimator.observe(rtt)
+            values.append(int(estimator.timeout() * SECOND))
+        assert classify_values(values) == ValueBehavior.ADAPTIVE
+
+    def test_irregular_event_loop_residues(self):
+        rng = random.Random(4)
+        values = [rng.randrange(millis(1), seconds(2))
+                  for _ in range(200)]
+        assert classify_values(values) == ValueBehavior.IRREGULAR
+
+    def test_too_few_observations(self):
+        assert classify_values([SECOND, SECOND]) \
+            == ValueBehavior.CONSTANT
+        assert classify_values([SECOND, 2 * SECOND]) \
+            == ValueBehavior.IRREGULAR
+
+
+class TestReport:
+    def test_report_on_synthetic_trace(self):
+        builder = TraceBuilder()
+        periodic_timer(builder, timer_id=1, count=30)
+        # A smoothly-adapting timer.
+        ts = 0
+        value = SECOND
+        for i in range(30):
+            value += 20 * MILLISECOND if i % 2 == 0 \
+                else -12 * MILLISECOND
+            builder.set(ts, 2, value)
+            ts += value
+            builder.expire(ts, 2)
+        report = adaptivity_report(builder.build(), logical=False)
+        assert report.timer_counts[ValueBehavior.CONSTANT] == 1
+        assert report.timer_counts[ValueBehavior.ADAPTIVE] == 1
+        assert report.total_sets == 60
+
+    def test_render(self):
+        builder = TraceBuilder()
+        periodic_timer(builder)
+        text = adaptivity_report(builder.build(), logical=False).render()
+        assert "constant" in text and "% of sets" in text
+
+    def test_idle_workload_is_overwhelmingly_nonadaptive(self):
+        """The paper's finding: almost nothing adapts its timeouts."""
+        from repro.workloads import run_workload
+        run = run_workload("linux", "idle", 90 * SECOND, seed=2)
+        report = adaptivity_report(run.trace)
+        assert report.set_share(ValueBehavior.ADAPTIVE) < 0.05
+        constant_like = (report.set_share(ValueBehavior.CONSTANT)
+                         + report.set_share(ValueBehavior.COUNTDOWN))
+        assert constant_like > 0.85

@@ -1,0 +1,190 @@
+"""Tests for the Section 4.1 usage-pattern classifier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.clock import MILLISECOND, SECOND
+from repro.core import (TimerClass, classify_trace, pattern_breakdown)
+from repro.core.classify import classify_episodes
+from repro.core.episodes import (Episode, Outcome, dominant_value,
+                                 extract_episodes)
+
+from .helpers import (TraceBuilder, countdown_timer, deferred_timer,
+                      delay_timer, periodic_timer, timeout_timer,
+                      watchdog_timer)
+
+
+def classify_one(builder):
+    trace = builder.build()
+    verdicts = classify_trace(trace, logical=False)
+    assert len(verdicts) == 1
+    return verdicts[0]
+
+
+class TestPatterns:
+    def test_periodic(self):
+        verdict = classify_one(periodic_timer(TraceBuilder()))
+        assert verdict.timer_class == TimerClass.PERIODIC
+        assert verdict.dominant_value_ns == SECOND
+
+    def test_watchdog(self):
+        verdict = classify_one(watchdog_timer(TraceBuilder()))
+        assert verdict.timer_class == TimerClass.WATCHDOG
+
+    def test_timeout(self):
+        verdict = classify_one(timeout_timer(TraceBuilder()))
+        assert verdict.timer_class == TimerClass.TIMEOUT
+        assert verdict.dominant_value_ns == 30 * SECOND
+
+    def test_delay(self):
+        verdict = classify_one(delay_timer(TraceBuilder()))
+        assert verdict.timer_class == TimerClass.DELAY
+
+    def test_deferred(self):
+        verdict = classify_one(deferred_timer(TraceBuilder(
+            os_name="vista")))
+        assert verdict.timer_class == TimerClass.DEFERRED
+
+    def test_countdown(self):
+        verdict = classify_one(countdown_timer(TraceBuilder()))
+        assert verdict.timer_class == TimerClass.COUNTDOWN
+
+    def test_too_few_observations_is_other(self):
+        builder = TraceBuilder()
+        builder.set(0, 1, SECOND)
+        builder.expire(SECOND, 1)
+        verdict = classify_one(builder)
+        assert verdict.timer_class == TimerClass.OTHER
+
+    def test_irregular_values_are_other(self):
+        builder = TraceBuilder()
+        ts = 0
+        for i, value in enumerate([SECOND, 3 * SECOND, 7 * SECOND,
+                                   2 * SECOND, 9 * SECOND] * 3):
+            builder.set(ts, 1, value)
+            ts += value // 2
+            builder.cancel(ts, 1)
+            ts += SECOND * (1 + i % 2)
+        verdict = classify_one(builder)
+        assert verdict.timer_class == TimerClass.OTHER
+
+
+class TestJitterTolerance:
+    def test_periodic_with_sub_tolerance_jitter(self):
+        """The paper's 2 ms allowance: jitter below it must not break
+        classification."""
+        builder = TraceBuilder()
+        ts = 0
+        jitters = [0, 900_000, -700_000, 1_500_000, -1_200_000] * 4
+        for jitter in jitters:
+            builder.set(ts, 1, SECOND + jitter)
+            ts += SECOND + jitter
+            builder.expire(ts, 1)
+        verdict = classify_one(builder)
+        assert verdict.timer_class == TimerClass.PERIODIC
+
+    def test_value_spread_beyond_tolerance_is_not_constant(self):
+        builder = TraceBuilder()
+        ts = 0
+        for i in range(20):
+            value = SECOND + i * 100 * MILLISECOND   # strongly varying
+            builder.set(ts, 1, value)
+            ts += value
+            builder.expire(ts, 1)
+        verdict = classify_one(builder)
+        assert verdict.timer_class != TimerClass.PERIODIC
+
+
+class TestCancelImmediateRearm:
+    def test_blocking_watchdog_shape(self):
+        """Cancel followed by an immediate same-value re-set counts as
+        a deferral (the Apache connection-guard shape)."""
+        builder = TraceBuilder()
+        ts = 0
+        for _ in range(30):
+            builder.set(ts, 1, 15 * SECOND)
+            ts += 3 * MILLISECOND
+            builder.cancel(ts, 1)
+            ts += 500_000    # back-to-back re-arm, well under 2 ms
+        verdict = classify_one(builder)
+        assert verdict.timer_class == TimerClass.WATCHDOG
+
+
+class TestEpisodes:
+    def test_extraction_outcomes(self):
+        builder = TraceBuilder()
+        builder.set(0, 1, SECOND)
+        builder.expire(SECOND, 1)
+        builder.set(2 * SECOND, 1, SECOND)
+        builder.cancel(2 * SECOND + 100, 1)
+        builder.set(3 * SECOND, 1, SECOND)
+        builder.set(3 * SECOND + 500, 1, SECOND)      # re-arm
+        trace = builder.build()
+        episodes = extract_episodes(trace.instances()[0], "linux")
+        outcomes = [e.outcome for e in episodes]
+        assert outcomes == [Outcome.EXPIRED, Outcome.CANCELED,
+                            Outcome.REARMED, Outcome.UNRESOLVED]
+
+    def test_inactive_cancel_ignored(self):
+        builder = TraceBuilder()
+        builder.set(0, 1, SECOND)
+        builder.expire(SECOND, 1)
+        builder.cancel(SECOND + 10, 1, pending=False)
+        trace = builder.build()
+        episodes = extract_episodes(trace.instances()[0], "linux")
+        assert len(episodes) == 1
+        assert episodes[0].outcome == Outcome.EXPIRED
+
+    def test_elapsed_fraction(self):
+        builder = TraceBuilder()
+        builder.set(0, 1, SECOND)
+        builder.cancel(250 * MILLISECOND, 1)
+        trace = builder.build()
+        episode = extract_episodes(trace.instances()[0], "linux")[0]
+        assert episode.elapsed_fraction == pytest.approx(0.25)
+
+    def test_dominant_value_pools_within_tolerance(self):
+        episodes = [Episode(0, SECOND + d, Outcome.EXPIRED, SECOND, None)
+                    for d in (0, 500_000, -500_000, 1_000_000)]
+        value, share = dominant_value(episodes)
+        assert share == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from([Outcome.EXPIRED, Outcome.CANCELED,
+                                     Outcome.REARMED]),
+                    min_size=3, max_size=40))
+    def test_classifier_total_on_any_outcome_sequence(self, outcomes):
+        """Property: the classifier never crashes and always returns a
+        class for arbitrary outcome sequences."""
+        episodes = []
+        ts = 0
+        for outcome in outcomes:
+            episodes.append(Episode(ts, SECOND, outcome,
+                                    ts + SECOND // 2, 0))
+            ts += SECOND
+        timer_class, value = classify_episodes(episodes)
+        assert isinstance(timer_class, TimerClass)
+
+
+class TestBreakdown:
+    def test_figure2_row_sums_to_100(self):
+        builder = TraceBuilder()
+        periodic_timer(builder, timer_id=1)
+        watchdog_timer(builder, timer_id=2)
+        timeout_timer(builder, timer_id=3)
+        delay_timer(builder, timer_id=4)
+        countdown_timer(builder, timer_id=5)
+        breakdown = pattern_breakdown(builder.build(), logical=False)
+        row = breakdown.figure2_row()
+        assert sum(row.values()) == pytest.approx(100.0)
+        assert row["periodic"] == pytest.approx(20.0)
+        assert row["watchdog"] == pytest.approx(20.0)
+        assert row["timeout"] == pytest.approx(20.0)
+        assert row["delay"] == pytest.approx(20.0)
+        assert row["other"] == pytest.approx(20.0)   # countdown folds in
+
+    def test_empty_trace(self):
+        breakdown = pattern_breakdown(TraceBuilder().build())
+        assert breakdown.total == 0
+        assert breakdown.percentage(TimerClass.PERIODIC) == 0.0

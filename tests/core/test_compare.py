@@ -1,0 +1,87 @@
+"""Tests for cross-trace comparison tooling."""
+
+import pytest
+
+from repro.sim.clock import SECOND, millis
+from repro.core.compare import (class_shift, compare_summaries,
+                                histogram_distance, trace_value_distance)
+from repro.core.values import value_histogram
+
+from .helpers import TraceBuilder, periodic_timer, timeout_timer
+
+
+def periodic_trace(period=SECOND):
+    builder = TraceBuilder()
+    periodic_timer(builder, period_ns=period)
+    return builder.build()
+
+
+class TestSummaryComparison:
+    def test_identical_traces_ratio_one(self):
+        comparison = compare_summaries(periodic_trace(),
+                                       periodic_trace())
+        for _name, a, b, ratio in comparison.rows():
+            assert a == b
+            assert ratio == pytest.approx(1.0)
+
+    def test_ratio_reflects_volume(self):
+        small = TraceBuilder()
+        periodic_timer(small, count=10)
+        big = TraceBuilder()
+        periodic_timer(big, count=40)
+        comparison = compare_summaries(small.build(), big.build())
+        rows = dict((name, ratio) for name, _a, _b, ratio
+                    in comparison.rows())
+        assert rows["Set"] == pytest.approx(4.0)
+
+    def test_render(self):
+        text = compare_summaries(periodic_trace(),
+                                 periodic_trace()).render()
+        assert "ratio" in text and "Set" in text
+
+
+class TestHistogramDistance:
+    def test_identical_is_zero(self):
+        h = value_histogram(periodic_trace())
+        assert histogram_distance(h, h) == 0.0
+
+    def test_disjoint_is_one(self):
+        a = value_histogram(periodic_trace(SECOND))
+        b = value_histogram(periodic_trace(5 * SECOND))
+        assert histogram_distance(a, b) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        builder = TraceBuilder()
+        periodic_timer(builder, period_ns=SECOND, timer_id=1, count=10)
+        periodic_timer(builder, period_ns=2 * SECOND, timer_id=2,
+                       count=10)
+        mixed = builder.build()
+        pure = periodic_trace(SECOND)
+        distance = trace_value_distance(mixed, pure)
+        assert 0.0 < distance < 1.0
+
+    def test_empty_traces(self):
+        empty = value_histogram(TraceBuilder().build())
+        assert histogram_distance(empty, empty) == 0.0
+        assert histogram_distance(
+            empty, value_histogram(periodic_trace())) == 1.0
+
+
+class TestClassShift:
+    def test_shift_from_periodic_to_timeout(self):
+        periodic = TraceBuilder()
+        periodic_timer(periodic, timer_id=1)
+        timeouty = TraceBuilder()
+        timeout_timer(timeouty, timer_id=1)
+        shift = class_shift(periodic.build(), timeouty.build())
+        name, delta = shift.biggest_shift()
+        assert name in ("periodic", "timeout")
+        assert abs(delta) == pytest.approx(100.0)
+
+    def test_no_shift(self):
+        shift = class_shift(periodic_trace(), periodic_trace())
+        assert all(d == 0 for d in shift.delta().values())
+
+    def test_render(self):
+        text = class_shift(periodic_trace(), periodic_trace()).render()
+        assert "delta" in text

@@ -1,0 +1,221 @@
+"""Tests for Sections 5.4 (use-case interfaces) and 5.5 (dispatcher)."""
+
+import pytest
+
+from repro.linuxkern import LinuxKernel
+from repro.sim import Engine, JIFFY, millis, seconds
+from repro.tracing import EventKind
+from repro.core.dispatch import (ActivationScheduler,
+                                 run_media_comparison,
+                                 run_media_loop_dispatcher,
+                                 run_media_loop_timers)
+from repro.core.interfaces import (DeferredAction, DelayTimer,
+                                   PeriodicTicker, ScopedTimeout,
+                                   Watchdog)
+
+
+@pytest.fixture
+def kernel():
+    return LinuxKernel(seed=0)
+
+
+class TestPeriodicTicker:
+    def test_fires_at_rate(self, kernel):
+        ticker = PeriodicTicker(kernel, millis(100), lambda: None)
+        ticker.start()
+        kernel.run_for(seconds(10))
+        assert ticker.ticks == 100
+
+    def test_no_drift_accumulation(self, kernel):
+        """Re-arming tracks the ideal phase: tick N lands at N*period
+        exactly, unlike a rearm-relative-to-now loop."""
+        times = []
+        ticker = PeriodicTicker(kernel, millis(100),
+                                lambda: times.append(kernel.engine.now))
+        ticker.start()
+        kernel.run_for(seconds(10))
+        for n, ts in enumerate(times, start=1):
+            assert ts == n * millis(100)
+
+    def test_imprecise_mode_batches_on_seconds(self, kernel):
+        kernel.run_for(millis(300))
+        ticker = PeriodicTicker(kernel, seconds(2), lambda: None,
+                                imprecise=True)
+        ticker.start()
+        kernel.run_for(seconds(10))
+        expiries = [e for e in kernel.sink if e.kind == EventKind.EXPIRE]
+        assert expiries
+        for event in expiries:
+            assert event.expires_ns % seconds(1) == 0
+
+    def test_stop(self, kernel):
+        ticker = PeriodicTicker(kernel, millis(100), lambda: None)
+        ticker.start()
+        kernel.run_for(seconds(1))
+        ticker.stop()
+        kernel.run_for(seconds(1))
+        assert ticker.ticks == 10
+
+    def test_invalid_period(self, kernel):
+        with pytest.raises(ValueError):
+            PeriodicTicker(kernel, 0, lambda: None)
+
+
+class TestScopedTimeout:
+    def test_fires_when_scope_outlives_deadline(self, kernel):
+        fired = []
+        scope = ScopedTimeout(kernel, millis(100), lambda: fired.append(1))
+        with scope:
+            kernel.run_for(seconds(1))
+        assert fired == [1]
+        assert scope.fired
+
+    def test_cancelled_on_exit(self, kernel):
+        fired = []
+        with ScopedTimeout(kernel, seconds(10), lambda: fired.append(1)):
+            kernel.run_for(millis(50))
+        kernel.run_for(seconds(20))
+        assert fired == []
+
+    def test_nested_inner_longer_is_elided(self, kernel):
+        """An inner timeout that cannot fire before the enclosing one
+        installs no kernel timer at all (Section 5.4)."""
+        before = len(kernel.sink)
+        with ScopedTimeout(kernel, seconds(5), lambda: None):
+            with ScopedTimeout(kernel, seconds(10),
+                               lambda: None) as inner:
+                assert inner.elided
+                assert inner.timer is None
+
+    def test_nested_inner_shorter_is_armed(self, kernel):
+        with ScopedTimeout(kernel, seconds(10), lambda: None):
+            with ScopedTimeout(kernel, seconds(5), lambda: None) as inner:
+                assert not inner.elided
+                assert inner.timer.pending
+
+    def test_elision_can_be_disabled(self, kernel):
+        with ScopedTimeout(kernel, seconds(5), lambda: None):
+            with ScopedTimeout(kernel, seconds(10), lambda: None,
+                               elide_nested=False) as inner:
+                assert not inner.elided
+
+
+class TestWatchdog:
+    def test_kicked_watchdog_never_fires(self, kernel):
+        starved = []
+        watchdog = Watchdog(kernel, seconds(2), lambda: starved.append(1))
+        watchdog.start()
+        for _ in range(20):
+            kernel.run_for(millis(500))
+            watchdog.kick()
+        assert starved == []
+
+    def test_starved_watchdog_fires(self, kernel):
+        starved = []
+        watchdog = Watchdog(kernel, seconds(2), lambda: starved.append(1))
+        watchdog.start()
+        kernel.run_for(seconds(5))
+        assert len(starved) >= 1
+
+    def test_stop(self, kernel):
+        watchdog = Watchdog(kernel, seconds(2), lambda: None)
+        watchdog.start()
+        watchdog.stop()
+        kernel.run_for(seconds(5))
+        assert watchdog.starved_count == 0
+
+
+class TestDelayAndDeferred:
+    def test_delay_timer(self, kernel):
+        fired = []
+        delay = DelayTimer(kernel)
+        delay.arm(millis(500), lambda: fired.append(kernel.engine.now))
+        kernel.run_for(seconds(1))
+        assert len(fired) == 1
+        assert fired[0] >= millis(500)
+
+    def test_delay_cancel(self, kernel):
+        fired = []
+        delay = DelayTimer(kernel)
+        delay.arm(millis(500), lambda: fired.append(1))
+        assert delay.cancel() is True
+        kernel.run_for(seconds(1))
+        assert fired == []
+
+    def test_deferred_action_waits_for_quiet(self, kernel):
+        fired = []
+        action = DeferredAction(kernel, seconds(2),
+                                lambda: fired.append(kernel.engine.now))
+        action.touch()
+        for _ in range(5):
+            kernel.run_for(seconds(1))
+            action.touch()
+        assert fired == []          # never quiet long enough
+        kernel.run_for(seconds(5))
+        assert len(fired) == 1
+
+    def test_deferred_flush_now(self, kernel):
+        fired = []
+        action = DeferredAction(kernel, seconds(2),
+                                lambda: fired.append(1))
+        action.touch()
+        action.flush_now()
+        assert fired == [1]
+        kernel.run_for(seconds(5))
+        assert fired == [1]
+
+
+class TestActivationScheduler:
+    def test_periodic_requirement(self):
+        engine = Engine()
+        scheduler = ActivationScheduler(engine)
+        hits = []
+        scheduler.register_periodic(millis(20),
+                                    lambda d: hits.append(d))
+        engine.run_until(seconds(1))
+        assert len(hits) == 50
+
+    def test_deadline_requirement(self):
+        engine = Engine()
+        scheduler = ActivationScheduler(engine)
+        hits = []
+        scheduler.register_deadline(millis(300), hits.append)
+        engine.run_until(seconds(1))
+        assert hits == [millis(300)]
+
+    def test_cancel(self):
+        engine = Engine()
+        scheduler = ActivationScheduler(engine)
+        hits = []
+        req = scheduler.register_periodic(millis(100), hits.append)
+        engine.run_until(millis(350))
+        scheduler.cancel(req)
+        engine.run_until(seconds(2))
+        assert len(hits) == 3
+
+    def test_co_tolerant_requirements_share_wakeups(self):
+        engine = Engine()
+        scheduler = ActivationScheduler(engine)
+        for offset in range(5):
+            scheduler.register_deadline(millis(100) + offset * millis(2),
+                                        lambda d: None,
+                                        tolerance_ns=millis(20))
+        engine.run_until(seconds(1))
+        assert scheduler.upcalls == 5
+        assert scheduler.wakeups == 1
+
+
+class TestMediaComparison:
+    def test_dispatcher_eliminates_timer_interface(self):
+        results = run_media_comparison(duration_ns=5 * seconds(1))
+        timers = results["timers"]
+        dispatcher = results["dispatcher"]
+        assert timers.frames > 200 and dispatcher.frames > 200
+        # The Section 5.5 claims: no timer accesses, no per-frame
+        # kernel crossings, and fewer (here: zero) deadline misses.
+        assert dispatcher.timer_accesses == 0
+        assert dispatcher.kernel_crossings == 1
+        assert timers.kernel_crossings >= timers.frames - 1
+        assert dispatcher.deadline_misses == 0
+        assert timers.deadline_misses > dispatcher.deadline_misses
+        assert timers.max_lateness_ns >= JIFFY

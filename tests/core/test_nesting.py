@@ -1,0 +1,105 @@
+"""Tests for nested-timeout inference."""
+
+import pytest
+
+from repro.sim.clock import MILLISECOND, SECOND, millis, seconds
+from repro.linuxkern import LinuxKernel
+from repro.core.interfaces import ScopedTimeout
+from repro.core.nesting import infer_nesting, render_nesting
+from repro.tracing import Trace
+
+from .helpers import TraceBuilder
+
+
+def nested_workload_trace():
+    """Outer 30 s RPC guard; inner 5 s retries inside each guard."""
+    builder = TraceBuilder(duration_ns=600 * SECOND)
+    ts = 0
+    for _round in range(8):
+        outer_start = ts
+        builder.set(ts, 1, 30 * SECOND, site=("outer_guard",))
+        for _retry in range(3):
+            builder.set(ts + MILLISECOND, 2, 5 * SECOND,
+                        site=("inner_retry",))
+            ts += seconds(4)
+            builder.cancel(ts, 2, site=("inner_retry",))
+        builder.cancel(ts + MILLISECOND, 1, site=("outer_guard",))
+        ts += seconds(10)
+    return builder.build()
+
+
+class TestInference:
+    def test_detects_nesting(self):
+        pairs = infer_nesting(nested_workload_trace(), logical=False)
+        assert len(pairs) == 1
+        pair = pairs[0]
+        assert pair.outer_site == ("outer_guard",)
+        assert pair.inner_site == ("inner_retry",)
+        assert pair.support == 24
+        assert pair.containment == 1.0
+
+    def test_no_false_positive_for_disjoint_timers(self):
+        builder = TraceBuilder()
+        ts = 0
+        for _ in range(10):
+            builder.set(ts, 1, SECOND, site=("a",))
+            builder.expire(ts + SECOND, 1, site=("a",))
+            ts += 2 * SECOND
+            builder.set(ts, 2, SECOND, site=("b",))
+            builder.expire(ts + SECOND, 2, site=("b",))
+            ts += 2 * SECOND
+        assert infer_nesting(builder.build(), logical=False) == []
+
+    def test_cross_pid_not_nested(self):
+        builder = TraceBuilder(duration_ns=600 * SECOND)
+        ts = 0
+        for _ in range(8):
+            builder.set(ts, 1, 30 * SECOND, site=("outer",), pid=1)
+            builder.set(ts + MILLISECOND, 2, 5 * SECOND,
+                        site=("inner",), pid=2)
+            builder.cancel(ts + seconds(4), 2, site=("inner",), pid=2)
+            builder.cancel(ts + seconds(5), 1, site=("outer",), pid=1)
+            ts += seconds(10)
+        assert infer_nesting(builder.build(), logical=False) == []
+
+    def test_elidable_counting(self):
+        """Inner deadline beyond the outer deadline -> elidable."""
+        builder = TraceBuilder(duration_ns=600 * SECOND)
+        ts = 0
+        for _ in range(5):
+            builder.set(ts, 1, seconds(5), site=("outer",))
+            # Inner timeout LONGER than the outer: can never fire first.
+            builder.set(ts + MILLISECOND, 2, seconds(20),
+                        site=("inner",))
+            builder.cancel(ts + seconds(2), 2, site=("inner",))
+            builder.cancel(ts + seconds(3), 1, site=("outer",))
+            ts += seconds(10)
+        pairs = infer_nesting(builder.build(), logical=False)
+        assert pairs[0].elidable == pairs[0].support == 5
+
+    def test_render(self):
+        text = render_nesting(infer_nesting(nested_workload_trace(),
+                                            logical=False))
+        assert "nested in" in text
+        assert render_nesting([]).startswith("(no nested")
+
+
+class TestOnRealScopedTimeouts:
+    def test_scoped_timeout_trace_shows_nesting(self):
+        kernel = LinuxKernel(seed=9)
+        for _ in range(6):
+            with ScopedTimeout(kernel, seconds(30), lambda: None,
+                               site=("rpc_outer",), elide_nested=False):
+                kernel.run_for(millis(1))      # code runs before the
+                with ScopedTimeout(kernel, seconds(5), lambda: None,
+                                   site=("rpc_inner",),
+                                   elide_nested=False):
+                    kernel.run_for(millis(500))
+                kernel.run_for(millis(1))      # ...and after the call
+            kernel.run_for(seconds(1))
+        trace = Trace(os_name="linux", workload="scoped",
+                      duration_ns=kernel.engine.now,
+                      events=list(kernel.sink))
+        pairs = infer_nesting(trace, logical=True, min_support=3)
+        sites = {(p.outer_site[0], p.inner_site[0]) for p in pairs}
+        assert ("rpc_outer", "rpc_inner") in sites

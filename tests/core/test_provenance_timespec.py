@@ -1,0 +1,211 @@
+"""Tests for Sections 5.2 (provenance/dependencies) and 5.3 (flexible
+time specifications and batching)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, MINUTE, SECOND, millis, seconds
+from repro.core.provenance import (DependencyGraph, LayerSpec,
+                                   LayeredTimeoutStack, Relation)
+from repro.core.timespec import (AverageRate, Exact, FlexibleTimerQueue,
+                                 Window, after, stab_windows)
+
+
+class TestDependencyGraph:
+    def _graph(self):
+        graph = DependencyGraph()
+        graph.declare("dhcp-t1", seconds(30), layer="dhcp")
+        graph.declare("dhcp-t2", seconds(60), layer="dhcp")
+        graph.declare("tcp-keepalive", seconds(7200), layer="tcp")
+        graph.declare("tcp-rto", millis(204), layer="tcp")
+        return graph
+
+    def test_overlap_max_marks_shorter_redundant(self):
+        graph = self._graph()
+        graph.relate("dhcp-t2", "dhcp-t1", Relation.OVERLAP_MAX)
+        assert graph.redundant_timers() == {"dhcp-t1"}
+
+    def test_overlap_min_marks_longer_redundant(self):
+        graph = self._graph()
+        graph.relate("dhcp-t2", "dhcp-t1", Relation.OVERLAP_MIN)
+        assert graph.redundant_timers() == {"dhcp-t2"}
+
+    def test_cancel_propagation(self):
+        graph = self._graph()
+        graph.relate("tcp-keepalive", "tcp-rto", Relation.OVERLAP_CANCEL)
+        assert graph.cancellation_propagation("tcp-rto") == \
+            {"tcp-keepalive"}
+        assert graph.cancellation_propagation("tcp-keepalive") == \
+            {"tcp-rto"}
+
+    def test_overlap_rewritten_as_dependency(self):
+        """Section 5.2: set t2 only; on expiry set t1 for the rest."""
+        graph = self._graph()
+        chain = graph.as_dependency_chain("dhcp-t2", "dhcp-t1")
+        assert chain == [("dhcp-t1", seconds(30)),
+                         ("dhcp-t2", seconds(30))]
+        assert sum(d for _, d in chain) == seconds(60)
+
+    def test_rewrite_requires_longer_first(self):
+        graph = self._graph()
+        with pytest.raises(ValueError):
+            graph.as_dependency_chain("dhcp-t1", "dhcp-t2")
+
+    def test_provenance_chain(self):
+        graph = DependencyGraph()
+        graph.declare("browser", MINUTE, layer="ui")
+        graph.declare("smb", seconds(20), layer="fs", parent="browser")
+        graph.declare("tcp", seconds(3), layer="net", parent="smb")
+        assert graph.provenance_chain("tcp") == ["tcp", "smb", "browser"]
+
+    def test_duplicate_declare_rejected(self):
+        graph = DependencyGraph()
+        graph.declare("x", 1)
+        with pytest.raises(ValueError):
+            graph.declare("x", 2)
+
+
+class TestLayeredStack:
+    def test_nfs_layering_exceeds_a_minute(self):
+        """Section 2.2.2: the NFS/SunRPC layer alone takes 63.5 s."""
+        stack = LayeredTimeoutStack([
+            LayerSpec("nfs-rpc", millis(500), retries=7,
+                      backoff_factor=2.0),
+        ])
+        assert stack.failure_detection_ns() > MINUTE
+
+    def test_flattened_alternative_is_fast(self):
+        stack = LayeredTimeoutStack([
+            LayerSpec("nfs-rpc", millis(500), retries=7,
+                      backoff_factor=2.0),
+        ])
+        flattened = stack.flattened_timeout_ns(millis(130), safety=3.0)
+        assert flattened < seconds(1)
+
+    def test_single_layer_worst_case(self):
+        assert LayerSpec("x", seconds(2), retries=3).worst_case_ns() \
+            == seconds(6)
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            LayeredTimeoutStack([])
+
+
+class TestWindows:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            Window(10, 5)
+
+    def test_exact_is_zero_slack(self):
+        window = Exact(100)
+        assert window.slack_ns == 0
+
+    def test_after_helper(self):
+        window = after(1000, 500, slack_ns=200)
+        assert (window.earliest, window.latest) == (1500, 1700)
+
+    def test_average_rate_windows(self):
+        rate = AverageRate(period_ns=seconds(60),
+                           horizon_ns=seconds(300))
+        windows = rate.windows(0)
+        assert len(windows) == 5
+        for i, window in enumerate(windows):
+            ideal = (i + 1) * seconds(60)
+            assert window.earliest <= ideal <= window.latest
+
+
+class TestStabbing:
+    def test_overlapping_windows_share_a_point(self):
+        windows = [Window(0, 100), Window(50, 150), Window(90, 200)]
+        points = stab_windows(windows)
+        assert len(points) == 1
+        assert all(w.earliest <= points[0] <= w.latest for w in windows)
+
+    def test_disjoint_windows_need_separate_points(self):
+        windows = [Window(0, 10), Window(20, 30), Window(40, 50)]
+        assert len(stab_windows(windows)) == 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 200)),
+                    min_size=1, max_size=25))
+    def test_greedy_is_feasible_and_optimal(self, raw):
+        """Property: every window is stabbed, and the number of points
+        matches a brute-force optimum lower bound (maximum number of
+        pairwise-disjoint windows)."""
+        windows = [Window(start, start + length) for start, length in raw]
+        points = stab_windows(windows)
+        for window in windows:
+            assert any(window.earliest <= p <= window.latest
+                       for p in points)
+        # Interval stabbing duality: optimum = max antichain size.
+        disjoint = 0
+        last_end = -1
+        for window in sorted(windows, key=lambda w: w.latest):
+            if window.earliest > last_end:
+                disjoint += 1
+                last_end = window.latest
+        assert len(points) == disjoint
+
+
+class TestFlexibleTimerQueue:
+    def test_batching_fires_within_windows(self):
+        engine = Engine()
+        queue = FlexibleTimerQueue(engine, batching=True)
+        timers = [queue.submit(Window(seconds(1) * i // 2 + seconds(1),
+                                      seconds(1) * i // 2 + seconds(3)),
+                               lambda: None)
+                  for i in range(8)]
+        engine.run_until(seconds(20))
+        for timer in timers:
+            assert timer.fired_at is not None
+            assert timer.window.earliest <= timer.fired_at \
+                <= timer.window.latest
+
+    def test_batching_reduces_wakeups(self):
+        def run(batching):
+            engine = Engine()
+            queue = FlexibleTimerQueue(engine, batching=batching)
+            for i in range(20):
+                start = seconds(1) + i * millis(100)
+                queue.submit(Window(start, start + seconds(5)),
+                             lambda: None)
+            engine.run_until(seconds(30))
+            assert queue.fired == 20
+            return queue.wakeups
+
+        assert run(True) < run(False)
+        assert run(True) <= 2
+
+    def test_unbatched_fires_at_latest(self):
+        engine = Engine()
+        queue = FlexibleTimerQueue(engine, batching=False)
+        timer = queue.submit(Window(seconds(1), seconds(5)), lambda: None)
+        engine.run_until(seconds(10))
+        assert timer.fired_at == seconds(5)
+
+    def test_cancel(self):
+        engine = Engine()
+        queue = FlexibleTimerQueue(engine)
+        timer = queue.submit(Window(seconds(1), seconds(2)), lambda: None)
+        assert queue.cancel(timer) is True
+        assert queue.cancel(timer) is False
+        engine.run_until(seconds(5))
+        assert timer.fired_at is None
+        assert queue.fired == 0
+
+    def test_past_window_rejected(self):
+        engine = Engine()
+        engine.run_until(seconds(10))
+        queue = FlexibleTimerQueue(engine)
+        with pytest.raises(ValueError):
+            queue.submit(Window(0, seconds(5)), lambda: None)
+
+    def test_exact_windows_behave_like_timers(self):
+        engine = Engine()
+        queue = FlexibleTimerQueue(engine, batching=True)
+        fired = []
+        queue.submit(Exact(seconds(3)),
+                     lambda: fired.append(engine.now))
+        engine.run_until(seconds(5))
+        assert fired == [seconds(3)]

@@ -1,0 +1,240 @@
+"""Tests for the value histograms (Figs 3–7), duration scatters
+(Figs 8–11), summaries (Tables 1–2), origins (Table 3) and rates
+(Fig 1)."""
+
+import pytest
+
+from repro.sim.clock import JIFFY, MILLISECOND, SECOND
+from repro.tracing import EventKind, TimerEvent, Trace
+from repro.core import (OriginRow, attribute_origin, default_group,
+                        duration_scatter, is_round_value, origin_table,
+                        rate_series, render_histogram, render_origin_table,
+                        render_scatter, round_value_share, summarize,
+                        summary_table, value_histogram)
+from repro.core.episodes import Outcome, nominal_value_ns
+
+from .helpers import (TraceBuilder, periodic_timer, timeout_timer)
+
+
+class TestValueHistogram:
+    def _trace(self):
+        builder = TraceBuilder()
+        for i in range(80):
+            builder.set(i * SECOND, 1, 500 * MILLISECOND)
+            builder.expire(i * SECOND + 500 * MILLISECOND, 1)
+        for i in range(20):
+            builder.set(i * 2 * SECOND + 100, 2, 5 * SECOND)
+        builder.set(0, 3, 7 * SECOND + 123)    # rare odd value
+        return builder.build()
+
+    def test_common_values_threshold(self):
+        hist = value_histogram(self._trace())
+        values = dict(hist.common_values(2.0))
+        assert 500 * MILLISECOND in values
+        assert 5 * SECOND in values
+        assert 7 * SECOND + 123 not in values
+
+    def test_percentages(self):
+        hist = value_histogram(self._trace())
+        assert hist.percentage_of(500 * MILLISECOND) == pytest.approx(
+            100 * 80 / 101, abs=0.1)
+
+    def test_coverage(self):
+        hist = value_histogram(self._trace())
+        assert hist.coverage(2.0) == pytest.approx(100 * 100 / 101,
+                                                   abs=0.5)
+
+    def test_domain_filter(self):
+        builder = TraceBuilder()
+        builder.set(0, 1, SECOND, domain="user")
+        builder.set(1, 2, 2 * SECOND, domain="kernel")
+        hist = value_histogram(builder.build(), domain="user")
+        assert hist.total_sets == 1
+
+    def test_kernel_values_quantised_to_jiffies(self):
+        event = TimerEvent(EventKind.SET, 0, 1, 0, "kernel", "kernel",
+                           ("site",), 51 * JIFFY - 1_500_000,
+                           51 * JIFFY)
+        assert nominal_value_ns(event, "linux") == 51 * JIFFY
+
+    def test_user_values_exact(self):
+        event = TimerEvent(EventKind.SET, 0, 1, 1, "app", "user",
+                           ("site",), 499_900_000, None)
+        assert nominal_value_ns(event, "linux") == 499_900_000
+
+    def test_render(self):
+        text = render_histogram(value_histogram(self._trace()))
+        assert "%" in text and "#" in text
+
+
+class TestRoundValues:
+    @pytest.mark.parametrize("value,expected", [
+        (500 * MILLISECOND, True), (SECOND, True), (5 * SECOND, True),
+        (15 * SECOND, True), (7200 * SECOND, True),
+        (100 * MILLISECOND, True), (250 * MILLISECOND, True),
+        (204 * MILLISECOND, False),        # the adapted TCP RTO
+        (137 * MILLISECOND + 413, False),
+    ])
+    def test_is_round(self, value, expected):
+        assert is_round_value(value) == expected
+
+    def test_round_share(self):
+        builder = TraceBuilder()
+        for i in range(9):
+            builder.set(i * SECOND, 1, 5 * SECOND)
+        builder.set(100 * SECOND, 2, 204 * MILLISECOND)
+        share = round_value_share(value_histogram(builder.build()))
+        assert share == pytest.approx(0.9)
+
+
+class TestDurationScatter:
+    def test_expiry_and_cancel_points(self):
+        builder = TraceBuilder()
+        timeout_timer(builder, timeout_ns=10 * SECOND,
+                      cancel_after_ns=SECOND, timer_id=1)
+        scatter = duration_scatter(builder.build(), logical=False)
+        assert scatter.total() == 20
+        cancels = [p for p in scatter.points
+                   if p.outcome == Outcome.CANCELED]
+        assert cancels[0].fraction_pct == pytest.approx(10.0)
+
+    def test_immediate_timers_skipped(self):
+        builder = TraceBuilder()
+        builder.set(0, 1, 0)
+        builder.expire(0, 1)
+        builder.set(SECOND, 1, 0)
+        builder.expire(SECOND, 1)
+        builder.set(2 * SECOND, 1, 0)
+        builder.expire(2 * SECOND, 1)
+        scatter = duration_scatter(builder.build(), logical=False)
+        assert scatter.total() == 0
+        assert scatter.skipped == 3
+
+    def test_cutoff_at_250pct(self):
+        builder = TraceBuilder()
+        for i in range(5):
+            builder.set(i * 10 * SECOND, 1, MILLISECOND)
+            builder.expire(i * 10 * SECOND + 5 * MILLISECOND, 1)
+        scatter = duration_scatter(builder.build(), logical=False)
+        assert scatter.total() == 0
+        assert scatter.clipped == 5
+
+    def test_share_above_100(self):
+        builder = TraceBuilder()
+        for i in range(4):
+            builder.set(i * 10 * SECOND, 1, 10 * MILLISECOND)
+            builder.expire(i * 10 * SECOND + 15 * MILLISECOND, 1)
+        for i in range(4):
+            builder.set(SECOND + i * 10 * SECOND, 2, 10 * SECOND)
+            builder.cancel(SECOND + i * 10 * SECOND + SECOND, 2)
+        scatter = duration_scatter(builder.build(), logical=False)
+        assert scatter.share_above_100pct() == pytest.approx(0.5)
+
+    def test_render(self):
+        builder = TraceBuilder()
+        timeout_timer(builder)
+        text = render_scatter(duration_scatter(builder.build(),
+                                               logical=False))
+        assert "episodes" in text
+
+
+class TestSummary:
+    def test_linux_counting(self):
+        builder = TraceBuilder()
+        builder.set(0, 1, SECOND, domain="user")
+        builder.cancel(SECOND // 2, 1, domain="user")
+        builder.set(2 * SECOND, 1, SECOND, domain="user")
+        builder.expire(3 * SECOND, 1, domain="user")
+        builder.cancel(3 * SECOND + 1, 1, pending=False, domain="user")
+        builder.set(0, 2, 5 * SECOND, domain="kernel")
+        summary = summarize(builder.build())
+        assert summary.timers == 2
+        assert summary.set_count == 3
+        assert summary.expired == 1
+        assert summary.canceled == 1            # inactive delete excluded
+        assert summary.accesses == 6
+        assert summary.user_space == 5
+        assert summary.kernel == 1
+
+    def test_vista_accesses_exclude_dpc_expiry(self):
+        builder = TraceBuilder(os_name="vista")
+        builder.set(0, 1, SECOND)
+        builder.expire(SECOND, 1)
+        summary = summarize(builder.build())
+        assert summary.accesses == 1
+        assert summary.expired == 1
+
+    def test_concurrency_counts_overlap(self):
+        builder = TraceBuilder()
+        builder.set(0, 1, 10 * SECOND)
+        builder.set(SECOND, 2, 10 * SECOND)
+        builder.set(2 * SECOND, 3, 10 * SECOND)
+        builder.cancel(3 * SECOND, 1)
+        builder.set(4 * SECOND, 4, SECOND)
+        summary = summarize(builder.build())
+        assert summary.concurrency == 3
+
+    def test_rearm_at_same_instant_counts_once(self):
+        builder = TraceBuilder()
+        builder.set(0, 1, SECOND)
+        builder.expire(SECOND, 1)
+        builder.set(SECOND, 1, SECOND)
+        summary = summarize(builder.build())
+        assert summary.concurrency == 1
+
+    def test_table_rendering(self):
+        builder = TraceBuilder()
+        builder.set(0, 1, SECOND)
+        text = summary_table([summarize(builder.build())])
+        assert "Timers" in text and "Canceled" in text
+
+
+class TestOrigins:
+    def test_attribution_by_site(self):
+        assert attribute_origin(("tcp_ack", "inet_csk_reset_xmit_timer",
+                                 "__mod_timer"), "kernel") \
+            == "TCP retransmission timeout"
+
+    def test_attribution_by_comm(self):
+        assert attribute_origin(("sys_poll",), "firefox-bin") \
+            == "Firefox polling file descriptors"
+
+    def test_fallback_is_site_head(self):
+        assert attribute_origin(("mystery_fn", "__mod_timer"),
+                                "whoever") == "mystery_fn"
+
+    def test_origin_table_rows(self):
+        builder = TraceBuilder()
+        periodic_timer(builder, period_ns=248 * MILLISECOND, timer_id=1)
+        trace = builder.build()
+        for event in trace.events:
+            event.site = ("uhci_hcd", "usb_hcd_poll_rh_status",
+                          "__mod_timer")
+        rows = origin_table(trace, logical=False)
+        assert len(rows) == 1
+        assert rows[0].origin == "USB host controller status poll"
+        assert rows[0].timeout_ns == 248 * MILLISECOND
+        assert "periodic" in render_origin_table(rows)
+
+
+class TestRates:
+    def test_grouping(self):
+        builder = TraceBuilder(os_name="vista")
+        builder.set(0, 1, SECOND, comm="outlook.exe")
+        builder.set(0, 2, SECOND, comm="iexplore.exe")
+        builder.set(0, 3, SECOND, comm="svchost.exe")
+        builder.set(0, 4, SECOND, comm="kernel", domain="kernel")
+        rates = rate_series(builder.build())
+        assert set(rates.series) == {"Outlook", "Browser", "System",
+                                     "Kernel"}
+
+    def test_buckets_and_peak(self):
+        builder = TraceBuilder(os_name="vista", duration_ns=5 * SECOND)
+        for i in range(10):
+            builder.set(i * 100 * MILLISECOND, 1, SECOND,
+                        comm="outlook.exe")
+        builder.set(3 * SECOND, 2, SECOND, comm="outlook.exe")
+        rates = rate_series(builder.build())
+        assert rates.buckets == 5
+        assert rates.peak("Outlook") == 10
+        assert rates.series["Outlook"][3] == 1

@@ -1,0 +1,73 @@
+"""Tests for the DHCP client lease timers (the §5.2 overlap example)."""
+
+import pytest
+
+from repro.linuxkern import LinuxKernel
+from repro.linuxkern.subsystems import DhcpClient
+from repro.sim import seconds
+from repro.core.provenance import Relation
+
+
+@pytest.fixture
+def kernel():
+    return LinuxKernel(seed=5)
+
+
+def make_client(kernel, **kwargs):
+    client = DhcpClient(kernel, kernel.rng.stream("dhcp"),
+                        lease_ns=seconds(600), **kwargs)
+    client.start()
+    return client
+
+
+class TestLeaseLifecycle:
+    def test_renewal_at_t1(self, kernel):
+        client = make_client(kernel)
+        kernel.run_for(seconds(301))
+        assert client.renewals == 1
+        assert client.rebinds == 0
+        assert client.lease_lost == 0
+
+    def test_t2_and_expiry_never_fire_when_server_up(self, kernel):
+        client = make_client(kernel)
+        kernel.run_for(seconds(3600))
+        assert client.renewals >= 10
+        assert client.rebinds == 0
+        assert client.lease_lost == 0
+
+    def test_rebind_then_lose_lease_when_server_down(self, kernel):
+        client = make_client(kernel, server_available=False)
+        kernel.run_for(seconds(601))
+        assert client.renewals == 0
+        assert client.rebinds == 1        # T2 at 87.5% of the lease
+        assert client.lease_lost == 1
+
+    def test_all_three_timers_pending_concurrently(self, kernel):
+        """The stock arrangement the paper calls redundant."""
+        client = make_client(kernel)
+        kernel.run_for(seconds(10))
+        assert client.concurrent_timers_stock() == 3
+        assert client.concurrent_timers_rewritten() == 1
+
+
+class TestOverlapDeclaration:
+    def test_graph_marks_t1_redundant(self, kernel):
+        client = make_client(kernel)
+        graph = client.overlap_graph()
+        redundant = graph.redundant_timers()
+        # With OVERLAP_MAX, only the latest deadline must be armed.
+        assert "dhcp-t1" in redundant
+        assert "dhcp-t2" in redundant
+        assert "dhcp-expiry" not in redundant
+
+    def test_dependency_rewrite_preserves_total_deadline(self, kernel):
+        client = make_client(kernel)
+        graph = client.overlap_graph()
+        chain = graph.as_dependency_chain("dhcp-t2", "dhcp-t1")
+        assert sum(duration for _n, duration in chain) == client.t2_ns
+
+    def test_relations_enumerated(self, kernel):
+        client = make_client(kernel)
+        graph = client.overlap_graph()
+        kinds = {relation for _a, _b, relation in graph.relations}
+        assert kinds == {Relation.OVERLAP_MAX}

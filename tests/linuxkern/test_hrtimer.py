@@ -1,0 +1,125 @@
+"""Tests for the high-resolution timer facility."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linuxkern import LinuxKernel
+from repro.sim import micros, millis, seconds
+from repro.tracing import EventKind
+
+
+@pytest.fixture
+def kernel():
+    return LinuxKernel(seed=0)
+
+
+def events_of(kernel, kind):
+    return [e for e in kernel.sink if e.kind == kind]
+
+
+class TestHrtimerBasics:
+    def test_nanosecond_precision_expiry(self, kernel):
+        """No jiffy quantisation: a 1.5 ms timer fires at 1.5 ms."""
+        fired = []
+        timer = kernel.hrtimers.hrtimer_init(
+            lambda t: fired.append(kernel.engine.now),
+            site=("hrt",), owner=kernel.tasks.kernel)
+        kernel.hrtimers.hrtimer_start(timer, micros(1500))
+        kernel.run_for(seconds(1))
+        assert fired == [micros(1500)]
+
+    def test_sub_jiffy_timers_work(self, kernel):
+        fired = []
+        timer = kernel.hrtimers.hrtimer_init(
+            lambda t: fired.append(kernel.engine.now),
+            site=("hrt",), owner=kernel.tasks.kernel)
+        kernel.hrtimers.hrtimer_start(timer, micros(100))
+        kernel.run_for(millis(1))
+        assert fired == [micros(100)]
+
+    def test_cancel(self, kernel):
+        fired = []
+        timer = kernel.hrtimers.hrtimer_init(
+            lambda t: fired.append(1), site=("hrt",),
+            owner=kernel.tasks.kernel)
+        kernel.hrtimers.hrtimer_start(timer, millis(10))
+        assert kernel.hrtimers.hrtimer_cancel(timer) is True
+        assert kernel.hrtimers.hrtimer_cancel(timer) is False
+        kernel.run_for(seconds(1))
+        assert fired == []
+
+    def test_restart_replaces_expiry(self, kernel):
+        fired = []
+        timer = kernel.hrtimers.hrtimer_init(
+            lambda t: fired.append(kernel.engine.now),
+            site=("hrt",), owner=kernel.tasks.kernel)
+        kernel.hrtimers.hrtimer_start(timer, millis(10))
+        kernel.hrtimers.hrtimer_start(timer, millis(30))
+        kernel.run_for(seconds(1))
+        assert fired == [millis(30)]
+
+    def test_callback_may_restart_for_periodic(self, kernel):
+        fired = []
+
+        def periodic(timer):
+            fired.append(kernel.engine.now)
+            if len(fired) < 5:
+                kernel.hrtimers.hrtimer_start(
+                    timer, timer.expires_ns + micros(2500))
+
+        timer = kernel.hrtimers.hrtimer_init(
+            periodic, site=("hrt",), owner=kernel.tasks.kernel)
+        kernel.hrtimers.hrtimer_start(timer, micros(2500))
+        kernel.run_for(seconds(1))
+        assert fired == [micros(2500) * i for i in range(1, 6)]
+
+    def test_trace_events_emitted(self, kernel):
+        timer = kernel.hrtimers.hrtimer_init(
+            lambda t: None, site=("hrt",), owner=kernel.tasks.kernel)
+        kernel.hrtimers.hrtimer_start(timer, millis(5))
+        kernel.run_for(seconds(1))
+        kinds = [e.kind for e in kernel.sink]
+        assert EventKind.INIT in kinds
+        assert EventKind.SET in kinds
+        assert EventKind.EXPIRE in kinds
+
+    def test_next_expiry(self, kernel):
+        a = kernel.hrtimers.hrtimer_init(lambda t: None, site=("a",),
+                                         owner=kernel.tasks.kernel)
+        b = kernel.hrtimers.hrtimer_init(lambda t: None, site=("b",),
+                                         owner=kernel.tasks.kernel)
+        kernel.hrtimers.hrtimer_start(a, millis(50))
+        kernel.hrtimers.hrtimer_start(b, millis(20))
+        assert kernel.hrtimers.next_expiry() == millis(20)
+        kernel.hrtimers.hrtimer_cancel(b)
+        assert kernel.hrtimers.next_expiry() == millis(50)
+
+    def test_pending_property(self, kernel):
+        timer = kernel.hrtimers.hrtimer_init(
+            lambda t: None, site=("hrt",), owner=kernel.tasks.kernel)
+        assert not timer.pending
+        kernel.hrtimers.hrtimer_start(timer, millis(1))
+        assert timer.pending
+        kernel.run_for(millis(2))
+        assert not timer.pending
+
+
+class TestHrtimerOrderingProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 10_000_000), min_size=1,
+                    max_size=40))
+    def test_fires_in_expiry_order(self, delays):
+        """Property: regardless of arming order, callbacks run in
+        expiry order with stable tie-breaking."""
+        kernel = LinuxKernel(seed=0)
+        fired = []
+        for index, delay in enumerate(delays):
+            timer = kernel.hrtimers.hrtimer_init(
+                lambda t, i=index: fired.append(i), site=("hrt",),
+                owner=kernel.tasks.kernel)
+            kernel.hrtimers.hrtimer_start(timer, delay)
+        kernel.run_for(20_000_000)
+        assert len(fired) == len(delays)
+        expiries = [delays[i] for i in fired]
+        assert expiries == sorted(expiries)

@@ -1,0 +1,190 @@
+"""Tests for the multiprocessor timer forest and SMP delete variants."""
+
+import pytest
+
+from repro.linuxkern import LinuxKernel
+from repro.sim import JIFFY, millis, seconds
+from repro.tracing import EventKind
+
+
+def make_kernel(cpus=4):
+    return LinuxKernel(seed=0, cpus=cpus)
+
+
+class TestPlacement:
+    def test_default_machine_is_single_cpu(self):
+        kernel = LinuxKernel(seed=0)
+        assert kernel.cpus == 1
+        assert len(kernel.bases) == 1
+        assert kernel.timers is kernel.bases[0]
+
+    def test_tasks_spread_across_bases(self):
+        kernel = make_kernel()
+        used = set()
+        for i in range(16):
+            task = kernel.tasks.spawn(f"app{i}")
+            timer = kernel.init_timer(site=("t",), owner=task)
+            used.add(timer.kernel.cpu)
+        assert used == {0, 1, 2, 3}
+
+    def test_explicit_cpu_pins_timer(self):
+        kernel = make_kernel()
+        timer = kernel.init_timer(site=("t",), owner=kernel.tasks.kernel,
+                                  cpu=3)
+        assert timer.kernel.cpu == 3
+
+    def test_invalid_cpu_count(self):
+        with pytest.raises(ValueError):
+            LinuxKernel(seed=0, cpus=0)
+
+
+class TestSmpFiring:
+    def test_timers_fire_on_every_cpu(self):
+        kernel = make_kernel()
+        fired = []
+        for cpu in range(4):
+            timer = kernel.init_timer(
+                lambda t, c=cpu: fired.append(c), site=("t",),
+                owner=kernel.tasks.kernel, cpu=cpu)
+            kernel.mod_timer_rel(timer, 10 + cpu)
+        kernel.run_for(seconds(1))
+        assert sorted(fired) == [0, 1, 2, 3]
+
+    def test_secondary_ticks_are_staggered(self):
+        """Per-CPU timer softirqs run at offset phases within the
+        jiffy, so same-jiffy timers on different CPUs fire at
+        different nanosecond instants."""
+        kernel = make_kernel(cpus=2)
+        fired = {}
+        for cpu in range(2):
+            timer = kernel.init_timer(
+                lambda t, c=cpu: fired.__setitem__(
+                    c, kernel.engine.now), site=("t",),
+                owner=kernel.tasks.kernel, cpu=cpu)
+            kernel.mod_timer_rel(timer, 25)
+        kernel.run_for(seconds(1))
+        assert fired[0] != fired[1]
+        assert abs(fired[1] - fired[0]) == JIFFY // 2
+
+    def test_cross_base_routing_via_kernel_api(self):
+        kernel = make_kernel()
+        task = kernel.tasks.spawn("app")
+        timer = kernel.init_timer(lambda t: None, site=("t",),
+                                  owner=task, cpu=2)
+        kernel.mod_timer_rel(timer, 5)     # routed to base 2
+        assert kernel.bases[2].wheel.pending_count == 1
+        assert kernel.del_timer(timer) is True
+        assert kernel.bases[2].wheel.pending_count == 0
+
+
+class TestSyncDeletion:
+    def test_del_timer_sync_outside_handler(self):
+        kernel = make_kernel(cpus=2)
+        timer = kernel.init_timer(lambda t: None, site=("t",),
+                                  owner=kernel.tasks.kernel, cpu=1)
+        kernel.mod_timer_rel(timer, 10)
+        assert kernel.del_timer_sync(timer) is True
+
+    def test_del_timer_sync_from_own_handler_deadlocks(self):
+        kernel = make_kernel(cpus=1)
+        errors = []
+
+        def handler(timer):
+            try:
+                kernel.del_timer_sync(timer)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        timer = kernel.init_timer(handler, site=("t",),
+                                  owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(timer, 5)
+        kernel.run_for(seconds(1))
+        assert errors and "deadlock" in errors[0]
+
+    def test_try_to_del_from_own_handler_returns_minus_one(self):
+        kernel = make_kernel(cpus=1)
+        results = []
+
+        def handler(timer):
+            results.append(kernel.try_to_del_timer_sync(timer))
+
+        timer = kernel.init_timer(handler, site=("t",),
+                                  owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(timer, 5)
+        kernel.run_for(seconds(1))
+        assert results == [-1]
+
+    def test_try_to_del_states(self):
+        kernel = make_kernel()
+        timer = kernel.init_timer(lambda t: None, site=("t",),
+                                  owner=kernel.tasks.kernel)
+        assert kernel.try_to_del_timer_sync(timer) == 0   # inactive
+        kernel.mod_timer_rel(timer, 10)
+        assert kernel.try_to_del_timer_sync(timer) == 1   # deactivated
+
+
+class TestHotplug:
+    def test_offline_migrates_pending_timers(self):
+        kernel = make_kernel()
+        fired = []
+        timers = []
+        for i in range(5):
+            timer = kernel.init_timer(
+                lambda t, i=i: fired.append(i), site=("t",),
+                owner=kernel.tasks.kernel, cpu=3)
+            kernel.mod_timer_rel(timer, 50 + i)
+            timers.append(timer)
+        moved = kernel.offline_cpu(3)
+        assert moved == 5
+        assert all(t.kernel is kernel.bases[0] for t in timers)
+        kernel.run_for(seconds(1))
+        assert sorted(fired) == [0, 1, 2, 3, 4]
+
+    def test_offline_boot_cpu_rejected(self):
+        kernel = make_kernel()
+        with pytest.raises(ValueError):
+            kernel.offline_cpu(0)
+
+    def test_offline_cpu_unusable_afterwards(self):
+        kernel = make_kernel()
+        kernel.offline_cpu(2)
+        with pytest.raises(ValueError):
+            kernel.init_timer(site=("t",), owner=kernel.tasks.kernel,
+                              cpu=2)
+
+    def test_double_offline_is_noop(self):
+        kernel = make_kernel()
+        kernel.offline_cpu(1)
+        assert kernel.offline_cpu(1) == 0
+
+
+class TestSmpTracing:
+    def test_machine_unique_timer_ids(self):
+        kernel = make_kernel()
+        ids = set()
+        for cpu in range(4):
+            for _ in range(10):
+                timer = kernel.init_timer(site=("t",),
+                                          owner=kernel.tasks.kernel,
+                                          cpu=cpu)
+                assert timer.timer_id not in ids
+                ids.add(timer.timer_id)
+
+    def test_smp_workload_trace_analyzable(self):
+        """An SMP machine's trace flows through the same analyses."""
+        from repro.core import summarize
+        from repro.tracing import Trace
+        kernel = make_kernel(cpus=2)
+        for cpu in range(2):
+            def rearm(timer, cpu=cpu):
+                kernel.mod_timer_rel(timer, 25)
+            timer = kernel.init_timer(rearm, site=(f"periodic{cpu}",),
+                                      owner=kernel.tasks.kernel, cpu=cpu)
+            kernel.mod_timer_rel(timer, 25)
+        kernel.run_for(seconds(10))
+        trace = Trace(os_name="linux", workload="smp",
+                      duration_ns=seconds(10),
+                      events=list(kernel.sink))
+        summary = summarize(trace)
+        assert summary.timers == 2
+        assert summary.expired >= 190

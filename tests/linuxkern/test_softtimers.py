@@ -1,0 +1,93 @@
+"""Tests for the soft-timer facility (Aron & Druschel model)."""
+
+import pytest
+
+from repro.sim import Engine, RngRegistry, micros, millis, seconds
+from repro.linuxkern.softtimers import SoftTimer, SoftTimerFacility
+
+
+def make(engine=None, **kwargs):
+    engine = engine if engine is not None else Engine()
+    return engine, SoftTimerFacility(engine, **kwargs)
+
+
+class TestSoftTimers:
+    def test_fires_at_trigger_point(self):
+        engine, facility = make()
+        fired = []
+        timer = SoftTimer()
+        facility.arm(timer, micros(50), lambda: fired.append(engine.now))
+        engine.call_at(micros(60), facility.trigger_point)
+        engine.run_until(millis(2))
+        assert fired == [micros(60)]
+        assert facility.fired_at_trigger == 1
+        assert facility.fired_at_fallback == 0
+
+    def test_fallback_bounds_worst_case(self):
+        """With no trigger points, the fallback interrupt delivers
+        within one fallback period."""
+        engine, facility = make(fallback_period_ns=millis(1))
+        fired = []
+        timer = SoftTimer()
+        facility.arm(timer, micros(100),
+                     lambda: fired.append(engine.now))
+        engine.run_until(millis(5))
+        assert len(fired) == 1
+        assert fired[0] <= micros(100) + millis(1)
+        assert facility.fired_at_fallback == 1
+
+    def test_cancel(self):
+        engine, facility = make()
+        fired = []
+        timer = SoftTimer()
+        facility.arm(timer, micros(100), lambda: fired.append(1))
+        assert facility.cancel(timer) is True
+        assert facility.cancel(timer) is False
+        engine.run_until(millis(5))
+        assert fired == []
+
+    def test_trigger_before_expiry_does_not_fire(self):
+        engine, facility = make()
+        fired = []
+        timer = SoftTimer()
+        facility.arm(timer, millis(10), lambda: fired.append(1))
+        engine.call_at(millis(1), facility.trigger_point)
+        engine.run_until(millis(2))
+        assert fired == []
+        assert timer.armed
+
+    def test_busy_system_gives_microsecond_latency(self):
+        """The headline: with frequent trigger points, microsecond
+        timers are delivered in tens of microseconds with zero extra
+        interrupts."""
+        engine, facility = make(fallback_period_ns=millis(1))
+        rng = RngRegistry(seed=4).stream("triggers")
+        facility.drive_trigger_points(rng, mean_gap_ns=micros(20),
+                                      until_ns=seconds(1))
+        fired = [0]
+        timer = SoftTimer()
+
+        def rearm():
+            fired[0] += 1
+            facility.arm(timer, micros(100), rearm)
+
+        facility.arm(timer, micros(100), rearm)
+        engine.run_until(seconds(1))
+        assert fired[0] > 5000
+        # Nearly everything fires at trigger points, not the fallback.
+        trigger_share = facility.fired_at_trigger / fired[0]
+        assert trigger_share > 0.95
+        assert facility.latency_percentile(90) < micros(100)
+        # Hardware interrupts stayed at the coarse fallback rate.
+        assert facility.power.interrupts <= 1000 + 1
+
+    def test_idle_system_degrades_to_fallback_latency(self):
+        engine, facility = make(fallback_period_ns=millis(1))
+        latencies = []
+        for i in range(20):
+            timer = SoftTimer()
+            facility.arm(timer, micros(100) + i * millis(5),
+                         lambda: None)
+        engine.run_until(seconds(1))
+        assert facility.fired_at_fallback == 20
+        assert facility.latency_percentile(50) > micros(100)

@@ -1,0 +1,229 @@
+"""Tests for the kernel subsystems that own the Table 3 timers."""
+
+import pytest
+
+from repro.linuxkern import LinuxKernel
+from repro.linuxkern.subsystems import (ArpCache, BlockLayer,
+                                        ConsoleBlanker, JournalDaemon,
+                                        PeriodicKernelTimer, TcpConnection,
+                                        TcpStack, standard_housekeeping)
+from repro.linuxkern.subsystems.net import (TCP_RTO_MIN_NS,
+                                            TCP_KEEPALIVE_NS)
+from repro.sim import JIFFY, millis, seconds
+from repro.tracing import EventKind, Trace
+from repro.core import TimerClass, classify_trace
+from repro.core.episodes import nominal_value_ns
+
+
+def make_kernel():
+    return LinuxKernel(seed=3)
+
+
+def trace_of(kernel, duration_ns):
+    return Trace(os_name="linux", workload="test", duration_ns=duration_ns,
+                 events=list(kernel.sink))
+
+
+class TestPeriodicKernelTimer:
+    def test_fires_at_period(self):
+        kernel = make_kernel()
+        timer = PeriodicKernelTimer(kernel, name="x", period_ns=seconds(1),
+                                    site=("x", "__mod_timer"))
+        timer.start()
+        kernel.run_for(seconds(10))
+        assert timer.expirations == 10
+
+    def test_classified_periodic(self):
+        kernel = make_kernel()
+        timer = PeriodicKernelTimer(kernel, name="x", period_ns=seconds(1),
+                                    site=("x", "__mod_timer"))
+        timer.start()
+        kernel.run_for(seconds(30))
+        verdicts = classify_trace(trace_of(kernel, seconds(30)))
+        assert verdicts[0].timer_class == TimerClass.PERIODIC
+        assert verdicts[0].dominant_value_ns == seconds(1)
+
+    def test_stop(self):
+        kernel = make_kernel()
+        timer = PeriodicKernelTimer(kernel, name="x", period_ns=seconds(1),
+                                    site=("x", "__mod_timer"))
+        timer.start()
+        kernel.run_for(seconds(3))
+        timer.stop()
+        kernel.run_for(seconds(5))
+        assert timer.expirations == 3
+
+    def test_round_jiffies_batching(self):
+        kernel = make_kernel()
+        kernel.run_for(millis(100))    # offset from second boundary
+        timer = PeriodicKernelTimer(kernel, name="x",
+                                    period_ns=seconds(2),
+                                    site=("x", "__mod_timer"),
+                                    use_round_jiffies=True)
+        timer.start()
+        kernel.run_for(seconds(10))
+        expiries = [e for e in kernel.sink if e.kind == EventKind.EXPIRE]
+        for event in expiries:
+            assert event.expires_ns % seconds(1) == 0
+
+    def test_standard_housekeeping_set(self):
+        kernel = make_kernel()
+        timers = standard_housekeeping(kernel)
+        names = {t.name for t in timers}
+        assert {"workqueue-timer", "clocksource-watchdog", "writeback",
+                "usb-hub-poll", "e1000-watchdog"} <= names
+
+
+class TestTcp:
+    def test_connection_lifecycle_timers(self):
+        kernel = make_kernel()
+        stack = TcpStack(kernel, kernel.rng.stream("tcp"))
+        closed = []
+        conn = TcpConnection(stack, server_side=True, segments=2,
+                             on_close=lambda: closed.append(1))
+        conn.start()
+        kernel.run_for(seconds(5))
+        assert closed == [1]
+        sites = {e.site[1] for e in kernel.sink
+                 if e.kind == EventKind.SET}
+        assert "inet_csk_reset_xmit_timer" in sites
+        assert "tcp_send_delayed_ack" in sites
+        assert "inet_csk_reset_keepalive_timer" in sites
+
+    def test_rto_is_the_adapted_204ms(self):
+        """The one online-adapted kernel value the paper highlights:
+        LAN RTO = srtt + 200 ms floor -> 51 jiffies = 0.204 s."""
+        kernel = make_kernel()
+        stack = TcpStack(kernel, kernel.rng.stream("tcp"),
+                         rtt_median_ns=200_000, loss_rate=0.0)
+        TcpConnection(stack, server_side=True, segments=3).start()
+        kernel.run_for(seconds(5))
+        rto_sets = [e for e in kernel.sink
+                    if e.kind == EventKind.SET
+                    and "inet_csk_reset_xmit_timer" in e.site]
+        assert rto_sets
+        values = {nominal_value_ns(e, "linux") for e in rto_sets}
+        assert values == {51 * JIFFY}
+
+    def test_keepalive_7200(self):
+        kernel = make_kernel()
+        stack = TcpStack(kernel, kernel.rng.stream("tcp"), loss_rate=0.0)
+        TcpConnection(stack, server_side=True, segments=1).start()
+        kernel.run_for(seconds(2))
+        ka = [e for e in kernel.sink
+              if e.kind == EventKind.SET
+              and "inet_csk_reset_keepalive_timer" in e.site]
+        assert ka
+        assert nominal_value_ns(ka[0], "linux") == TCP_KEEPALIVE_NS
+
+    def test_socket_pool_reuses_addresses(self):
+        kernel = make_kernel()
+        stack = TcpStack(kernel, kernel.rng.stream("tcp"), loss_rate=0.0)
+        for _ in range(20):
+            TcpConnection(stack, server_side=True, segments=1).start()
+            kernel.run_for(seconds(2))
+        # Sequential connections reuse one pooled socket: 4 timers + the
+        # time-wait reaper, not 20 * 4.
+        ids = {e.timer_id for e in kernel.sink}
+        assert len(ids) <= 8
+
+    def test_loss_triggers_backoff(self):
+        kernel = make_kernel()
+        stack = TcpStack(kernel, kernel.rng.stream("tcp"), loss_rate=1.0)
+        conn = TcpConnection(stack, server_side=True, segments=1)
+        conn.start()
+        kernel.run_for(seconds(60))
+        assert conn.retransmits > 0
+
+
+class TestArp:
+    def test_five_second_timeouts_cancelled_at_random(self):
+        kernel = make_kernel()
+        arp = ArpCache(kernel, kernel.rng.stream("arp"),
+                       lan_event_mean_ns=seconds(2))
+        arp.start()
+        kernel.run_for(seconds(120))
+        cancels = [e for e in kernel.sink
+                   if e.kind == EventKind.CANCEL
+                   and e.expires_ns is not None
+                   and "neigh_add_timer" in e.site]
+        assert len(cancels) > 5
+
+    def test_periodic_rows_present(self):
+        kernel = make_kernel()
+        arp = ArpCache(kernel, kernel.rng.stream("arp"))
+        arp.start()
+        kernel.run_for(seconds(30))
+        values = {nominal_value_ns(e, "linux")
+                  for e in kernel.sink if e.kind == EventKind.SET}
+        assert {seconds(2), seconds(4), seconds(5), seconds(8)} <= values
+
+
+class TestBlockAndJournal:
+    def test_unplug_timer_is_timeout_class(self):
+        kernel = make_kernel()
+        block = BlockLayer(kernel, kernel.rng.stream("blk"),
+                           io_burst_mean_ns=seconds(1))
+        block.start()
+        kernel.run_for(seconds(120))
+        verdicts = {v.history.site[1]: v
+                    for v in classify_trace(trace_of(kernel, seconds(120)))}
+        assert verdicts["blk_plug_device"].timer_class == TimerClass.TIMEOUT
+        assert verdicts["blk_plug_device"].dominant_value_ns == JIFFY
+
+    def test_ide_timeout_30s_cancelled_quickly(self):
+        kernel = make_kernel()
+        block = BlockLayer(kernel, kernel.rng.stream("blk"),
+                           io_burst_mean_ns=seconds(1))
+        block.start()
+        kernel.run_for(seconds(120))
+        assert block.commands_issued > 10
+        assert block.command_timeouts == 0
+        ide_cancels = [e for e in kernel.sink
+                       if e.kind == EventKind.CANCEL
+                       and "ide_set_handler" in e.site
+                       and e.expires_ns is not None]
+        assert len(ide_cancels) == block.commands_issued
+
+    def test_journal_under_load_cancels_late(self):
+        kernel = make_kernel()
+        journal = JournalDaemon(kernel, kernel.rng.stream("j"),
+                                write_load=1.0)
+        journal.start()
+        kernel.run_for(seconds(300))
+        from repro.core import duration_scatter
+        from repro.core.episodes import Outcome
+        scatter = duration_scatter(trace_of(kernel, seconds(300)))
+        cancels = [p for p in scatter.points
+                   if p.outcome == Outcome.CANCELED]
+        assert cancels
+        for point in cancels:
+            assert 75.0 <= point.fraction_pct <= 101.0
+
+    def test_journal_idle_expires(self):
+        kernel = make_kernel()
+        journal = JournalDaemon(kernel, kernel.rng.stream("j"),
+                                write_load=0.0)
+        journal.start()
+        kernel.run_for(seconds(60))
+        assert journal.commits == pytest.approx(12, abs=2)
+
+
+class TestConsoleBlanker:
+    def test_watchdog_never_expires_with_activity(self):
+        kernel = make_kernel()
+        console = ConsoleBlanker(kernel, kernel.rng.stream("con"),
+                                 activity_mean_ns=seconds(60),
+                                 blank_interval_ns=seconds(300))
+        console.start()
+        kernel.run_for(seconds(1800))
+        assert console.blank_count == 0
+        verdicts = classify_trace(trace_of(kernel, seconds(1800)))
+        assert verdicts[0].timer_class == TimerClass.WATCHDOG
+
+    def test_blanks_when_silent(self):
+        kernel = make_kernel()
+        console = ConsoleBlanker(kernel, blank_interval_ns=seconds(300))
+        console.start()
+        kernel.run_for(seconds(400))
+        assert console.blanked

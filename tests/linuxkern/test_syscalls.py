@@ -1,0 +1,201 @@
+"""Tests for the syscall layer: select countdown, zero timeouts, alarm,
+timer_settime, and the schedule_timeout margin."""
+
+import pytest
+
+from repro.linuxkern import LinuxKernel, SyscallInterface, WakeReason
+from repro.sim import JIFFY, millis, seconds
+from repro.tracing import EventKind
+
+
+@pytest.fixture
+def machine():
+    kernel = LinuxKernel(seed=0)
+    return kernel, SyscallInterface(kernel), kernel.tasks.spawn("app")
+
+
+def sets(kernel):
+    return [e for e in kernel.sink if e.kind == EventKind.SET]
+
+
+class TestSelect:
+    def test_timeout_path(self, machine):
+        kernel, syscalls, task = machine
+        results = []
+        syscalls.select(task, millis(100),
+                        lambda r, rem: results.append((r, rem)))
+        kernel.run_for(seconds(1))
+        assert results == [(WakeReason.TIMEOUT, 0)]
+
+    def test_minimum_sleep_margin(self, machine):
+        """Wakeup lands at or after the requested time, never before."""
+        kernel, syscalls, task = machine
+        kernel.run_for(JIFFY // 3)     # arm mid-jiffy
+        woke = []
+        syscalls.select(task, millis(100),
+                        lambda r, rem: woke.append(kernel.engine.now))
+        start = kernel.engine.now
+        kernel.run_for(seconds(1))
+        assert woke[0] - start >= millis(100)
+        assert woke[0] - start <= millis(100) + 2 * JIFFY
+
+    def test_fd_ready_returns_remaining(self, machine):
+        kernel, syscalls, task = machine
+        results = []
+        call = syscalls.select(task, millis(100),
+                               lambda r, rem: results.append((r, rem)))
+        kernel.engine.call_after(millis(40), call.fd_ready)
+        kernel.run_for(seconds(1))
+        reason, remaining = results[0]
+        assert reason == WakeReason.FD_READY
+        assert 0 < remaining <= millis(100) - millis(40) + 2 * JIFFY
+
+    def test_countdown_idiom(self, machine):
+        """Passing the remaining value back in produces decreasing SETs."""
+        kernel, syscalls, task = machine
+        values = []
+
+        def loop(remaining):
+            values.append(remaining)
+            if remaining > 0:
+                call = syscalls.select(
+                    task, remaining,
+                    lambda r, rem: loop(rem if r == WakeReason.FD_READY
+                                        else 0))
+                kernel.engine.call_after(millis(37), call.fd_ready)
+
+        loop(millis(500))
+        kernel.run_for(seconds(5))
+        assert len(values) > 3
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_zero_timeout_returns_immediately(self, machine):
+        kernel, syscalls, task = machine
+        results = []
+        syscalls.select(task, 0, lambda r, rem: results.append(r))
+        assert results == [WakeReason.TIMEOUT]
+        trace_kinds = [e.kind for e in kernel.sink
+                       if e.kind != EventKind.INIT]
+        assert EventKind.SET in trace_kinds
+        assert EventKind.EXPIRE in trace_kinds
+
+    def test_infinite_wait_installs_no_timer(self, machine):
+        kernel, syscalls, task = machine
+        results = []
+        call = syscalls.select(task, None, lambda r, rem: results.append(r))
+        kernel.run_for(seconds(10))
+        assert results == []
+        assert len(sets(kernel)) == 0
+        call.fd_ready()
+        assert results == [WakeReason.FD_READY]
+
+    def test_signal_completion(self, machine):
+        kernel, syscalls, task = machine
+        results = []
+        call = syscalls.select(task, seconds(5),
+                               lambda r, rem: results.append(r))
+        call.signal()
+        assert results == [WakeReason.SIGNAL]
+
+    def test_set_records_exact_user_value(self, machine):
+        kernel, syscalls, task = machine
+        syscalls.select(task, millis(499.9), lambda r, rem: None)
+        assert sets(kernel)[0].timeout_ns == millis(499.9)
+
+    def test_timer_struct_reused_across_calls(self, machine):
+        kernel, syscalls, task = machine
+        syscalls.select(task, millis(10), lambda r, rem: None)
+        kernel.run_for(seconds(1))
+        syscalls.select(task, millis(10), lambda r, rem: None)
+        ids = {e.timer_id for e in sets(kernel)}
+        assert len(ids) == 1
+
+    def test_threads_get_distinct_timers(self, machine):
+        kernel, syscalls, task = machine
+        syscalls.poll(task, millis(10), lambda r, rem: None, thread=0)
+        syscalls.poll(task, millis(10), lambda r, rem: None, thread=1)
+        ids = {e.timer_id for e in sets(kernel)}
+        assert len(ids) == 2
+
+    def test_expiry_logs_extra_inactive_delete(self, machine):
+        kernel, syscalls, task = machine
+        syscalls.select(task, millis(20), lambda r, rem: None)
+        kernel.run_for(seconds(1))
+        cancels = [e for e in kernel.sink if e.kind == EventKind.CANCEL]
+        assert len(cancels) == 1
+        assert cancels[0].expires_ns is None      # already inactive
+
+
+class TestAlarm:
+    def test_alarm_delivers_signal(self, machine):
+        kernel, syscalls, task = machine
+        hits = []
+        syscalls.alarm(task, 2.0, lambda: hits.append(kernel.engine.now))
+        kernel.run_for(seconds(5))
+        assert hits == [seconds(2)]
+
+    def test_alarm_zero_cancels(self, machine):
+        kernel, syscalls, task = machine
+        hits = []
+        syscalls.alarm(task, 2.0, lambda: hits.append(1))
+        syscalls.alarm(task, 0, lambda: hits.append(2))
+        kernel.run_for(seconds(5))
+        assert hits == []
+
+
+class TestTimerSettime:
+    def test_one_shot(self, machine):
+        kernel, syscalls, task = machine
+        hits = []
+        syscalls.timer_settime(task, millis(500), 0,
+                               lambda: hits.append(kernel.engine.now))
+        kernel.run_for(seconds(2))
+        assert len(hits) == 1
+
+    def test_periodic(self, machine):
+        kernel, syscalls, task = machine
+        hits = []
+        syscalls.timer_settime(task, millis(500), millis(500),
+                               lambda: hits.append(kernel.engine.now))
+        kernel.run_for(seconds(3))
+        assert len(hits) >= 5
+
+    def test_disarm(self, machine):
+        kernel, syscalls, task = machine
+        hits = []
+        timer = syscalls.timer_settime(task, millis(500), millis(500),
+                                       lambda: hits.append(1))
+        kernel.run_for(seconds(1.2))
+        syscalls.timer_settime(task, 0, 0, lambda: None)
+        count = len(hits)
+        kernel.run_for(seconds(3))
+        assert len(hits) == count
+
+
+class TestSetitimer:
+    def test_one_shot(self, machine):
+        kernel, syscalls, task = machine
+        hits = []
+        syscalls.setitimer(task, millis(300), 0,
+                           lambda: hits.append(kernel.engine.now))
+        kernel.run_for(seconds(2))
+        assert len(hits) == 1
+
+    def test_periodic_signals(self, machine):
+        kernel, syscalls, task = machine
+        hits = []
+        syscalls.setitimer(task, millis(250), millis(250),
+                           lambda: hits.append(1))
+        kernel.run_for(seconds(3))
+        assert len(hits) >= 10
+
+    def test_disarm(self, machine):
+        kernel, syscalls, task = machine
+        hits = []
+        syscalls.setitimer(task, millis(250), millis(250),
+                           lambda: hits.append(1))
+        kernel.run_for(seconds(1))
+        syscalls.setitimer(task, 0, 0, lambda: None)
+        count = len(hits)
+        kernel.run_for(seconds(2))
+        assert len(hits) == count

@@ -1,0 +1,184 @@
+"""Tests for the Linux timer API model and its trace records."""
+
+import pytest
+
+from repro.linuxkern import LinuxKernel, round_jiffies, \
+    round_jiffies_relative, msecs_to_jiffies
+from repro.sim import JIFFY, PowerMeter, millis, seconds
+from repro.tracing import EventKind
+
+
+def make_kernel(**kwargs):
+    return LinuxKernel(seed=0, **kwargs)
+
+
+def events_of(kernel, kind):
+    return [e for e in kernel.sink if e.kind == kind]
+
+
+class TestTimerLifecycle:
+    def test_init_emits_init_event(self):
+        kernel = make_kernel()
+        kernel.init_timer(site=("test", "__mod_timer"),
+                          owner=kernel.tasks.kernel)
+        assert len(events_of(kernel, EventKind.INIT)) == 1
+
+    def test_mod_timer_fires_at_jiffy_boundary(self):
+        kernel = make_kernel()
+        fired = []
+        timer = kernel.init_timer(lambda t: fired.append(
+            kernel.engine.now), site=("t",), owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(timer, 10)
+        kernel.run_for(seconds(1))
+        assert fired == [10 * JIFFY]
+
+    def test_rearm_while_pending_logs_no_cancel(self):
+        kernel = make_kernel()
+        timer = kernel.init_timer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(timer, 100)
+        was_pending = kernel.mod_timer_rel(timer, 200)
+        assert was_pending is True
+        assert len(events_of(kernel, EventKind.SET)) == 2
+        assert len(events_of(kernel, EventKind.CANCEL)) == 0
+
+    def test_del_timer_pending_and_not(self):
+        kernel = make_kernel()
+        timer = kernel.init_timer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(timer, 100)
+        assert kernel.del_timer(timer) is True
+        # "Repeated deletions of an already-deleted timer" are legal and
+        # traced, as in the paper's observations.
+        assert kernel.del_timer(timer) is False
+        cancels = events_of(kernel, EventKind.CANCEL)
+        assert len(cancels) == 2
+        assert cancels[0].expires_ns is not None
+        assert cancels[1].expires_ns is None
+
+    def test_callback_can_rearm_for_periodicity(self):
+        kernel = make_kernel()
+        fired = []
+
+        def periodic(timer):
+            fired.append(kernel.jiffies)
+            if len(fired) < 4:
+                kernel.mod_timer_rel(timer, 25)
+
+        timer = kernel.init_timer(periodic, site=("t",),
+                                  owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(timer, 25)
+        kernel.run_for(seconds(2))
+        assert fired == [25, 50, 75, 100]
+
+    def test_add_timer_on_pending_raises(self):
+        kernel = make_kernel()
+        timer = kernel.init_timer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(timer, 10)
+        with pytest.raises(ValueError):
+            kernel.add_timer(timer)
+
+
+class TestTraceSemantics:
+    def test_set_event_records_observed_relative_timeout(self):
+        kernel = make_kernel()
+        # Arm mid-jiffy: observed relative time is less than nominal.
+        kernel.run_for(JIFFY // 2)
+        timer = kernel.init_timer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(timer, 10)
+        set_event = events_of(kernel, EventKind.SET)[0]
+        assert set_event.timeout_ns == 10 * JIFFY - JIFFY // 2
+        assert set_event.expires_ns == (kernel.jiffies + 10) * JIFFY
+
+    def test_explicit_timeout_value_recorded_exactly(self):
+        kernel = make_kernel()
+        timer = kernel.init_timer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(timer, 25, timeout_ns=millis(99.9))
+        set_event = events_of(kernel, EventKind.SET)[0]
+        assert set_event.timeout_ns == millis(99.9)
+
+    def test_expire_event_emitted_before_callback(self):
+        kernel = make_kernel()
+        seen = []
+        timer = kernel.init_timer(
+            lambda t: seen.append(len(events_of(kernel,
+                                                EventKind.EXPIRE))),
+            site=("t",), owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(timer, 5)
+        kernel.run_for(seconds(1))
+        assert seen == [1]
+
+    def test_domain_attribution(self):
+        kernel = make_kernel()
+        task = kernel.tasks.spawn("app")
+        timer = kernel.init_timer(site=("t",), owner=task, domain="user")
+        kernel.mod_timer_rel(timer, 5)
+        assert events_of(kernel, EventKind.SET)[0].domain == "user"
+
+
+class TestRoundJiffies:
+    def test_rounds_up_to_whole_second(self):
+        # 250 jiffies per second; j=300 is 50 past a boundary -> up to 500.
+        assert round_jiffies(380, 0) == 500
+
+    def test_rounds_down_in_first_quarter(self):
+        assert round_jiffies(530, 0) == 500
+
+    def test_never_returns_past_value(self):
+        assert round_jiffies(510, 505) == 510
+
+    def test_relative_form(self):
+        assert round_jiffies_relative(380, 0) == 500
+
+    def test_msecs_to_jiffies_rounds_up(self):
+        assert msecs_to_jiffies(4) == 1
+        assert msecs_to_jiffies(5) == 2
+        assert msecs_to_jiffies(0) == 0
+
+
+class TestDeferrableAndDynticks:
+    def test_deferrable_flag_traced(self):
+        kernel = make_kernel()
+        timer = kernel.init_timer(site=("t",), owner=kernel.tasks.kernel,
+                                  deferrable=True)
+        kernel.mod_timer_rel(timer, 5)
+        assert events_of(kernel, EventKind.SET)[0].deferrable
+
+    def test_dynticks_skips_idle_ticks(self):
+        busy = make_kernel(dynticks=False)
+        idle = make_kernel(dynticks=True)
+        for kernel in (busy, idle):
+            timer = kernel.init_timer(lambda t: None, site=("t",),
+                                      owner=kernel.tasks.kernel)
+            kernel.mod_timer_rel(timer, 200)
+            kernel.run_for(seconds(2))
+        assert idle.power.wakeups < busy.power.wakeups / 5
+
+    def test_dynticks_still_fires_timers_on_time(self):
+        kernel = make_kernel(dynticks=True)
+        fired = []
+        timer = kernel.init_timer(
+            lambda t: fired.append(kernel.engine.now), site=("t",),
+            owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(timer, 100)
+        kernel.run_for(seconds(2))
+        assert fired == [100 * JIFFY]
+
+    def test_deferrable_does_not_wake_idle_cpu(self):
+        kernel = make_kernel(dynticks=True)
+        timer = kernel.init_timer(lambda t: None, site=("t",),
+                                  owner=kernel.tasks.kernel,
+                                  deferrable=True)
+        kernel.mod_timer_rel(timer, 50)
+        kernel.run_for(seconds(1))
+        assert kernel.power.wakeups == 0
+
+
+class TestHasWork:
+    def test_has_work_respects_deferrable(self):
+        kernel = make_kernel()
+        timer = kernel.init_timer(site=("t",), owner=kernel.tasks.kernel,
+                                  deferrable=True)
+        kernel.mod_timer_rel(timer, 5)
+        assert kernel.timers.has_work_at(kernel.jiffies + 5,
+                                         include_deferrable=True)
+        assert not kernel.timers.has_work_at(kernel.jiffies + 5,
+                                             include_deferrable=False)

@@ -1,0 +1,152 @@
+"""Tests for the cascading timer wheel, including hypothesis properties."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linuxkern.wheel import MAX_TVAL, TimerWheel, WheelTimer
+
+
+def collect_firings(wheel, upto):
+    fired = []
+    wheel.run_timers(upto, lambda t: fired.append((wheel.timer_jiffies,
+                                                   t.expires)))
+    return fired
+
+
+class TestBasics:
+    def test_add_and_fire_at_expiry(self):
+        wheel = TimerWheel()
+        timer = WheelTimer()
+        wheel.add(timer, 10)
+        fired = collect_firings(wheel, 20)
+        assert fired == [(10, 10)]
+        assert not timer.pending
+
+    def test_fire_order_across_slots(self):
+        wheel = TimerWheel()
+        timers = [WheelTimer() for _ in range(5)]
+        for i, timer in enumerate(timers):
+            wheel.add(timer, 5 * (i + 1))
+        fired = collect_firings(wheel, 100)
+        assert [f[1] for f in fired] == [5, 10, 15, 20, 25]
+
+    def test_remove_pending(self):
+        wheel = TimerWheel()
+        timer = WheelTimer()
+        wheel.add(timer, 10)
+        assert wheel.remove(timer) is True
+        assert wheel.remove(timer) is False
+        assert collect_firings(wheel, 50) == []
+
+    def test_double_add_rejected(self):
+        wheel = TimerWheel()
+        timer = WheelTimer()
+        wheel.add(timer, 10)
+        with pytest.raises(ValueError):
+            wheel.add(timer, 20)
+
+    def test_past_expiry_fires_next_processed_jiffy(self):
+        wheel = TimerWheel()
+        wheel.run_timers(100, lambda t: None)
+        timer = WheelTimer()
+        wheel.add(timer, 50)       # already in the past
+        fired = collect_firings(wheel, 101)
+        assert len(fired) == 1
+
+    def test_callback_may_rearm(self):
+        wheel = TimerWheel()
+        timer = WheelTimer()
+        count = []
+
+        def periodic(t):
+            count.append(wheel.timer_jiffies)
+            if len(count) < 3:
+                wheel.add(t, t.expires + 10)
+
+        wheel.add(timer, 10)
+        wheel.run_timers(100, periodic)
+        assert count == [10, 20, 30]
+
+    def test_pending_count_tracks(self):
+        wheel = TimerWheel()
+        timers = [WheelTimer() for _ in range(10)]
+        for i, timer in enumerate(timers):
+            wheel.add(timer, 1000 + i * 300)
+        assert wheel.pending_count == 10
+        wheel.remove(timers[0])
+        assert wheel.pending_count == 9
+
+
+class TestCascading:
+    def test_long_timeout_lands_in_higher_level_and_fires(self):
+        wheel = TimerWheel()
+        timer = WheelTimer()
+        wheel.add(timer, 300)      # beyond tv1 (256)
+        assert any(timer in bucket for bucket in wheel.tvn[0])
+        fired = collect_firings(wheel, 400)
+        assert fired == [(300, 300)]
+        assert wheel.cascades > 0
+
+    def test_very_long_timeout_fires_exactly(self):
+        wheel = TimerWheel()
+        timer = WheelTimer()
+        expires = 256 * 64 + 12345   # tv3 territory
+        wheel.add(timer, expires)
+        fired = collect_firings(wheel, expires + 1)
+        assert fired == [(expires, expires)]
+
+    def test_clamping_of_huge_timeout(self):
+        wheel = TimerWheel()
+        timer = WheelTimer()
+        wheel.add(timer, MAX_TVAL * 3)
+        assert timer.pending   # parked at the wheel horizon
+
+    def test_next_expiry(self):
+        wheel = TimerWheel()
+        a, b = WheelTimer(), WheelTimer()
+        wheel.add(a, 500)
+        wheel.add(b, 90)
+        assert wheel.next_expiry() == 90
+        wheel.remove(b)
+        assert wheel.next_expiry() == 500
+
+    def test_next_expiry_empty(self):
+        assert TimerWheel().next_expiry() is None
+
+
+class TestAgainstReferenceHeap:
+    """The wheel must fire the same timers at the same jiffies as a
+    straightforward priority queue (the correctness oracle)."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 5000),     # arm at jiffy
+                              st.integers(1, 20000)),   # relative delay
+                    min_size=1, max_size=60))
+    def test_same_firing_schedule(self, arms):
+        arms = sorted(arms)
+        wheel = TimerWheel()
+        fired = []
+
+        horizon = max(at + delay for at, delay in arms) + 2
+        by_arm_time: dict[int, list] = {}
+        for index, (at, delay) in enumerate(arms):
+            by_arm_time.setdefault(at, []).append((index, at + delay))
+
+        timers = {}
+        for jiffy in range(horizon + 1):
+            for index, expires in by_arm_time.get(jiffy, []):
+                timer = WheelTimer()
+                timers[id(timer)] = index
+                wheel.add(timer, expires)
+            wheel.run_timers(jiffy, lambda t: fired.append(
+                (wheel.timer_jiffies, timers[id(t)])))
+
+        # Every timer fires exactly once...
+        assert sorted(idx for _, idx in fired) == list(range(len(arms)))
+        # ...at exactly its expiry jiffy (never early, never late).
+        for jiffy, idx in fired:
+            at, delay = arms[idx]
+            assert jiffy == at + delay

@@ -1,0 +1,168 @@
+"""Tests for time units, tick/one-shot devices, RNG and power meter."""
+
+import pytest
+
+from repro.sim import (Engine, JIFFY, OneShotDevice, PowerMeter,
+                       RngRegistry, SECOND, TickDevice, jiffies, millis,
+                       seconds, to_jiffies)
+from repro.sim.clock import fmt_time, to_seconds
+
+
+class TestClock:
+    def test_seconds_conversion_roundtrip(self):
+        assert seconds(1.5) == 1_500_000_000
+        assert to_seconds(seconds(1.5)) == pytest.approx(1.5)
+
+    def test_jiffy_is_4ms_at_hz250(self):
+        assert JIFFY == 4_000_000
+        assert jiffies(250) == SECOND
+
+    def test_to_jiffies_rounds_up(self):
+        assert to_jiffies(1) == 1
+        assert to_jiffies(JIFFY) == 1
+        assert to_jiffies(JIFFY + 1) == 2
+        assert to_jiffies(0) == 0
+        assert to_jiffies(-5) == 0
+
+    def test_fmt_time_units(self):
+        assert fmt_time(0) == "0s"
+        assert fmt_time(seconds(5)) == "5s"
+        assert fmt_time(millis(12)) == "12ms"
+        assert fmt_time(500) == "500ns"
+
+
+class TestTickDevice:
+    def test_ticks_at_fixed_period(self):
+        engine = Engine()
+        ticks = []
+        device = TickDevice(engine, millis(10), lambda n: ticks.append(
+            (n, engine.now)))
+        device.start()
+        engine.run_until(millis(35))
+        assert ticks == [(1, millis(10)), (2, millis(20)), (3, millis(30))]
+
+    def test_stop_halts_ticking(self):
+        engine = Engine()
+        count = []
+        device = TickDevice(engine, millis(10), lambda n: count.append(n))
+        device.start()
+        engine.run_until(millis(25))
+        device.stop()
+        engine.run_until(millis(100))
+        assert len(count) == 2
+
+    def test_idle_predicate_skips_handler_but_counts_ticks(self):
+        engine = Engine()
+        fired = []
+        device = TickDevice(engine, millis(10), lambda n: fired.append(n),
+                            idle_predicate=lambda: True)
+        device.start()
+        engine.run_until(millis(50))
+        assert fired == []
+        assert device.ticks == 5
+
+    def test_skipped_ticks_do_not_charge_power(self):
+        engine = Engine()
+        power = PowerMeter()
+        device = TickDevice(engine, millis(10), lambda n: None,
+                            power=power, idle_predicate=lambda: True)
+        device.start()
+        engine.run_until(millis(100))
+        assert power.wakeups == 0
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ValueError):
+            TickDevice(Engine(), 0, lambda n: None)
+
+
+class TestOneShotDevice:
+    def test_fires_at_programmed_time(self):
+        engine = Engine()
+        fired = []
+        device = OneShotDevice(engine, lambda: fired.append(engine.now))
+        device.program(millis(7))
+        engine.run()
+        assert fired == [millis(7)]
+
+    def test_reprogram_replaces_deadline(self):
+        engine = Engine()
+        fired = []
+        device = OneShotDevice(engine, lambda: fired.append(engine.now))
+        device.program(millis(7))
+        device.program(millis(3))
+        engine.run()
+        assert fired == [millis(3)]
+
+    def test_min_delta_clamp(self):
+        engine = Engine()
+        device = OneShotDevice(engine, lambda: None, min_delta_ns=1000)
+        effective = device.program(0)
+        assert effective == 1000
+
+    def test_cancel_disarms(self):
+        engine = Engine()
+        fired = []
+        device = OneShotDevice(engine, lambda: fired.append(1))
+        device.program(millis(5))
+        device.cancel()
+        engine.run()
+        assert fired == []
+
+
+class TestRng:
+    def test_streams_are_deterministic(self):
+        a = RngRegistry(seed=42).stream("x").random()
+        b = RngRegistry(seed=42).stream("x").random()
+        assert a == b
+
+    def test_streams_are_independent(self):
+        reg = RngRegistry(seed=42)
+        x = reg.stream("x")
+        first = x.random()
+        # Drawing from another stream must not perturb x's sequence.
+        reg2 = RngRegistry(seed=42)
+        reg2.stream("y").random()
+        x2 = reg2.stream("x")
+        assert x2.random() == first
+
+    def test_stream_identity_cached(self):
+        reg = RngRegistry(seed=1)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_exponential_mean(self):
+        rng = RngRegistry(seed=7).stream("exp")
+        samples = [rng.exponential(100.0) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(100.0, rel=0.05)
+
+    def test_lognormal_median(self):
+        rng = RngRegistry(seed=7).stream("ln")
+        samples = sorted(rng.lognormal_latency(50.0) for _ in range(9999))
+        assert samples[len(samples) // 2] == pytest.approx(50.0, rel=0.1)
+
+
+class TestPowerMeter:
+    def test_wakeups_counted_when_idle(self):
+        meter = PowerMeter()
+        meter.interrupt(cpu_was_idle=True)
+        meter.interrupt(cpu_was_idle=False)
+        assert meter.wakeups == 1
+        assert meter.interrupts == 2
+
+    def test_energy_increases_with_wakeups(self):
+        idle = PowerMeter()
+        busy = PowerMeter()
+        for _ in range(1000):
+            busy.interrupt(cpu_was_idle=True)
+        assert busy.energy_joules(seconds(10)) > idle.energy_joules(
+            seconds(10))
+
+    def test_wakeups_per_second(self):
+        meter = PowerMeter()
+        for _ in range(250):
+            meter.interrupt(cpu_was_idle=True)
+        assert meter.wakeups_per_second(seconds(1)) == pytest.approx(250)
+
+    def test_average_watts_bounded_by_states(self):
+        meter = PowerMeter()
+        watts = meter.average_watts(seconds(10))
+        assert 0 < watts < 21

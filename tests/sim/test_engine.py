@@ -1,0 +1,127 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError, seconds
+from repro.sim.clock import MILLISECOND
+
+
+def test_events_run_in_time_order():
+    engine = Engine()
+    order = []
+    engine.call_at(300, lambda: order.append("c"))
+    engine.call_at(100, lambda: order.append("a"))
+    engine.call_at(200, lambda: order.append("b"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_scheduling_order():
+    engine = Engine()
+    order = []
+    engine.call_at(100, lambda: order.append(1))
+    engine.call_at(100, lambda: order.append(2))
+    engine.call_at(100, lambda: order.append(3))
+    engine.run()
+    assert order == [1, 2, 3]
+
+
+def test_run_until_stops_and_sets_now():
+    engine = Engine()
+    fired = []
+    engine.call_at(100, lambda: fired.append(100))
+    engine.call_at(500, lambda: fired.append(500))
+    engine.run_until(250)
+    assert fired == [100]
+    assert engine.now == 250
+    engine.run_until(600)
+    assert fired == [100, 500]
+    assert engine.now == 600
+
+
+def test_run_until_includes_deadline_events():
+    engine = Engine()
+    fired = []
+    engine.call_at(250, lambda: fired.append("x"))
+    engine.run_until(250)
+    assert fired == ["x"]
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.call_at(100, lambda: fired.append("x"))
+    event.cancel()
+    engine.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    event = engine.call_at(100, lambda: None)
+    event.cancel()
+    event.cancel()
+    engine.run()
+
+
+def test_cannot_schedule_in_past():
+    engine = Engine()
+    engine.call_at(100, lambda: None)
+    engine.run_until(200)
+    with pytest.raises(SimulationError):
+        engine.call_at(150, lambda: None)
+
+
+def test_call_after_relative():
+    engine = Engine()
+    engine.run_until(seconds(1))
+    times = []
+    engine.call_after(MILLISECOND, lambda: times.append(engine.now))
+    engine.run_until(seconds(2))
+    assert times == [seconds(1) + MILLISECOND]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.call_after(-1, lambda: None)
+
+
+def test_callback_scheduling_more_events():
+    engine = Engine()
+    counter = []
+
+    def recur():
+        if len(counter) < 5:
+            counter.append(engine.now)
+            engine.call_after(100, recur)
+
+    engine.call_after(100, recur)
+    engine.run()
+    assert counter == [100, 200, 300, 400, 500]
+
+
+def test_peek_next_skips_cancelled():
+    engine = Engine()
+    first = engine.call_at(100, lambda: None)
+    engine.call_at(200, lambda: None)
+    first.cancel()
+    assert engine.peek_next() == 200
+
+
+def test_pending_count_excludes_cancelled():
+    engine = Engine()
+    keep = engine.call_at(100, lambda: None)
+    drop = engine.call_at(200, lambda: None)
+    drop.cancel()
+    assert engine.pending_count() == 1
+    keep.cancel()
+    assert engine.pending_count() == 0
+
+
+def test_dispatched_counter():
+    engine = Engine()
+    for i in range(10):
+        engine.call_at(i * 10, lambda: None)
+    engine.run()
+    assert engine.dispatched == 10

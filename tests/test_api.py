@@ -1,0 +1,28 @@
+"""The public API surface stays importable and coherent."""
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_headline_functions(self):
+        run = repro.run_workload("linux", "idle", 5_000_000_000, seed=1)
+        summary = repro.summarize(run.trace)
+        assert summary.timers > 0
+        assert repro.pattern_breakdown(run.trace).total > 0
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.core, repro.linuxkern, repro.vistakern, \
+            repro.tracing, repro.sim, repro.workloads, repro.userspace
+        for module in (repro.core, repro.linuxkern, repro.vistakern,
+                       repro.tracing, repro.sim, repro.workloads,
+                       repro.userspace):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, \
+                    f"{module.__name__}.{name}"

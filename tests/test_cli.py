@@ -1,0 +1,103 @@
+"""End-to-end tests for the timerstudy CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_os(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "beos", "idle"])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "linux", "compile"])
+
+
+class TestRunAndAnalyze:
+    def test_run_writes_trace(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.jsonl.gz")
+        assert main(["run", "linux", "idle", "--minutes", "0.5",
+                     "--out", out]) == 0
+        from repro.tracing import Trace
+        trace = Trace.load(out)
+        assert trace.os_name == "linux"
+        assert len(trace) > 100
+
+    def test_analyze_prints_all_sections(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.jsonl.gz")
+        main(["run", "linux", "idle", "--minutes", "0.5", "--out", out])
+        capsys.readouterr()
+        assert main(["analyze", out, "--filter-x"]) == 0
+        text = capsys.readouterr().out
+        for section in ("Summary", "Usage patterns", "Common timeout",
+                        "Observed durations", "Origins",
+                        "Value adaptivity"):
+            assert section in text
+
+    def test_vista_run(self, tmp_path):
+        out = str(tmp_path / "v.jsonl.gz")
+        assert main(["run", "vista", "idle", "--minutes", "0.25",
+                     "--out", out]) == 0
+
+
+class TestBrowse:
+    def test_unreachable(self, capsys):
+        assert main(["browse", "--unreachable"]) == 0
+        text = capsys.readouterr().out
+        assert "unreachable" in text
+        assert "NFS/SunRPC gave up" in text
+
+    def test_adaptive(self, capsys):
+        assert main(["browse", "--unreachable", "--adaptive"]) == 0
+        text = capsys.readouterr().out
+        assert "unreachable after 0." in text
+
+    def test_healthy(self, capsys):
+        assert main(["browse"]) == 0
+        assert "connected" in capsys.readouterr().out
+
+
+class TestStudy:
+    def test_condensed_study_runs(self, capsys):
+        assert main(["study", "--minutes", "0.25"]) == 0
+        text = capsys.readouterr().out
+        assert "Table 1" in text and "Table 2" in text
+        assert "Figure 1" in text
+        assert "Fig2" in text
+
+
+class TestReport:
+    def test_report_written(self, tmp_path):
+        out = str(tmp_path / "report.md")
+        assert main(["report", "--minutes", "0.25", "--out", out]) == 0
+        text = open(out, encoding="utf-8").read()
+        for section in ("Table 1", "Table 2", "Figure 2", "Figure 7",
+                        "Table 3", "Figure 11", "value adaptivity",
+                        "Figure 1"):
+            assert section in text
+
+
+class TestCompareAndBinary:
+    def test_binary_roundtrip_via_cli(self, tmp_path):
+        out = str(tmp_path / "trace.bin")
+        assert main(["run", "linux", "idle", "--minutes", "0.5",
+                     "--out", out]) == 0
+        assert main(["analyze", out]) == 0
+
+    def test_compare_two_traces(self, tmp_path, capsys):
+        a = str(tmp_path / "a.bin")
+        b = str(tmp_path / "b.bin")
+        main(["run", "linux", "idle", "--minutes", "0.5", "--out", a])
+        main(["run", "linux", "webserver", "--minutes", "0.5",
+              "--out", b])
+        capsys.readouterr()
+        assert main(["compare", a, b]) == 0
+        text = capsys.readouterr().out
+        assert "ratio" in text
+        assert "value-distribution distance" in text

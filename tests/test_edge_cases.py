@@ -1,0 +1,168 @@
+"""Edge cases at subsystem boundaries."""
+
+import pytest
+
+from repro.linuxkern import LinuxKernel
+from repro.linuxkern.wheel import TVR_SIZE, TimerWheel, WheelTimer
+from repro.sim import JIFFY, millis, seconds
+from repro.sim.clock import SECOND
+from repro.tracing import EventKind, TimerEvent, Trace
+from repro.tracing.events import FLAG_WAIT_SATISFIED
+from repro.vistakern import VistaKernel
+from repro.core import classify_trace, summarize, value_histogram
+from repro.core.classify import TimerClass
+
+
+class TestWheelBoundaries:
+    def test_expiry_exactly_at_tv1_wrap(self):
+        """Timers landing on multiples of 256 cross the cascade point."""
+        wheel = TimerWheel()
+        fired = []
+        for multiple in (1, 2, 3):
+            timer = WheelTimer()
+            wheel.add(timer, multiple * TVR_SIZE)
+            fired_at = []
+        wheel.run_timers(4 * TVR_SIZE,
+                         lambda t: fired.append(t.expires))
+        assert fired == [TVR_SIZE, 2 * TVR_SIZE, 3 * TVR_SIZE]
+
+    def test_timer_armed_during_cascade_window(self):
+        """Arming just before a wrap still fires exactly on time."""
+        wheel = TimerWheel()
+        wheel.run_timers(TVR_SIZE - 2, lambda t: None)
+        timer = WheelTimer()
+        wheel.add(timer, TVR_SIZE + 5)
+        fired = []
+        wheel.run_timers(TVR_SIZE + 10,
+                         lambda t: fired.append(wheel.timer_jiffies))
+        assert fired == [TVR_SIZE + 5]
+
+    def test_distant_then_near_rearm(self):
+        wheel = TimerWheel()
+        timer = WheelTimer()
+        wheel.add(timer, 100_000)        # tv3+
+        wheel.remove(timer)
+        wheel.add(timer, 3)
+        fired = []
+        wheel.run_timers(10, lambda t: fired.append(t.expires))
+        assert fired == [3]
+
+
+class TestKernelCallbackReentrancy:
+    def test_callback_arming_other_timers(self):
+        kernel = LinuxKernel(seed=0)
+        fired = []
+        second = kernel.init_timer(lambda t: fired.append("second"),
+                                   site=("b",), owner=kernel.tasks.kernel)
+
+        def first_fires(timer):
+            fired.append("first")
+            kernel.mod_timer_rel(second, 1)
+
+        first = kernel.init_timer(first_fires, site=("a",),
+                                  owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(first, 5)
+        kernel.run_for(seconds(1))
+        assert fired == ["first", "second"]
+
+    def test_callback_cancelling_sibling_same_jiffy(self):
+        """A timer firing may cancel another timer due the same jiffy;
+        the sibling must not fire."""
+        kernel = LinuxKernel(seed=0)
+        fired = []
+        sibling = kernel.init_timer(lambda t: fired.append("sibling"),
+                                    site=("s",),
+                                    owner=kernel.tasks.kernel)
+
+        def killer(timer):
+            fired.append("killer")
+            kernel.del_timer(sibling)
+
+        first = kernel.init_timer(killer, site=("k",),
+                                  owner=kernel.tasks.kernel)
+        kernel.mod_timer_rel(first, 5)
+        kernel.mod_timer_rel(sibling, 5)
+        kernel.run_for(seconds(1))
+        assert fired == ["killer"]
+
+    def test_vista_dpc_rearming_same_timer(self):
+        kernel = VistaKernel(seed=0)
+        fired = []
+        timer = kernel.alloc_ktimer(site=("t",), owner=kernel.tasks.kernel)
+
+        def dpc(kt):
+            fired.append(kernel.engine.now)
+            if len(fired) < 3:
+                kernel.set_timer(timer, millis(50))
+
+        kernel.set_timer(timer, millis(50), dpc=dpc)
+        kernel.run_for(seconds(1))
+        assert len(fired) == 3
+
+    def test_vista_cancel_inside_own_dpc_is_harmless(self):
+        kernel = VistaKernel(seed=0)
+        fired = []
+        timer = kernel.alloc_ktimer(site=("t",), owner=kernel.tasks.kernel)
+
+        def dpc(kt):
+            fired.append(1)
+            assert kernel.cancel_timer(timer) is False   # already fired
+
+        kernel.set_timer(timer, millis(50), dpc=dpc)
+        kernel.run_for(seconds(1))
+        assert fired == [1]
+
+
+class TestAnalysisEdges:
+    def _wait_only_trace(self):
+        events = []
+        block = 0
+        for i in range(10):
+            unblock = block + SECOND
+            events.append(TimerEvent(
+                EventKind.WAIT_UNBLOCK, unblock, 7, 3, "svchost.exe",
+                "user", ("wait",), SECOND, block,
+                0 if i % 3 else FLAG_WAIT_SATISFIED))
+            block = unblock + 1000
+        return Trace(os_name="vista", workload="waits",
+                     duration_ns=20 * SECOND, events=events)
+
+    def test_wait_only_stream_summarizes(self):
+        summary = summarize(self._wait_only_trace())
+        assert summary.set_count == 10
+        assert summary.expired + summary.canceled == 10
+
+    def test_wait_only_stream_classifies(self):
+        verdicts = classify_trace(self._wait_only_trace())
+        assert len(verdicts) == 1
+        assert verdicts[0].set_count == 10
+        # Mixed satisfied/timed-out waits at one constant value: the
+        # classifier must produce a verdict without choking on the
+        # self-contained WAIT records.
+        assert isinstance(verdicts[0].timer_class, TimerClass)
+        assert verdicts[0].dominant_value_ns == SECOND
+
+    def test_empty_trace_everything(self):
+        trace = Trace(os_name="linux", workload="empty", duration_ns=1)
+        assert summarize(trace).accesses == 0
+        assert classify_trace(trace) == []
+        assert value_histogram(trace).common_values() == []
+
+    def test_single_event_trace(self):
+        trace = Trace(os_name="linux", workload="one", duration_ns=10,
+                      events=[TimerEvent(EventKind.SET, 0, 1, 1, "a",
+                                         "user", ("s",), 100, 100)])
+        summary = summarize(trace)
+        assert summary.set_count == 1
+        assert summary.concurrency == 1
+
+
+class TestTraceDurations:
+    def test_unresolved_pending_timer_counts_in_concurrency(self):
+        """A timer still pending at trace end occupies a slot to the
+        very end (the keepalive case)."""
+        events = [TimerEvent(EventKind.SET, 0, 1, 0, "kernel", "kernel",
+                             ("ka",), 7200 * SECOND, 7200 * SECOND)]
+        trace = Trace(os_name="linux", workload="ka",
+                      duration_ns=60 * SECOND, events=events)
+        assert summarize(trace).concurrency == 1

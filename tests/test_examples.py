@@ -1,0 +1,30 @@
+"""Every shipped example must run to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+CASES = [
+    ("quickstart.py", []),
+    ("adaptive_timeouts.py", []),
+    ("power_batching.py", []),
+    ("layered_timeouts.py", []),
+    ("typed_interfaces.py", []),
+    ("userspace_reactor.py", []),
+    ("smp_forest.py", []),
+    ("paper_study.py", ["--minutes", "0.25"]),
+]
+
+
+@pytest.mark.parametrize("script,args",
+                         CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run([sys.executable, path, *args],
+                            capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"

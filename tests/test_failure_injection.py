@@ -1,0 +1,136 @@
+"""Failure-injection tests: overflowing buffers, dead networks, stuck
+disks, pathological inputs — the system degrades the way the modelled
+systems do, and the analyses stay usable."""
+
+import pytest
+
+from repro.sim import Engine, SECOND, millis, seconds
+from repro.linuxkern import LinuxKernel
+from repro.linuxkern.subsystems import BlockLayer, TcpConnection, TcpStack
+from repro.tracing import RelayBuffer, Trace
+from repro.tracing.relay import APPROX_RECORD_BYTES
+from repro.core import summarize
+from repro.core.timespec import FlexibleTimerQueue, Window
+from repro.workloads.base import LinuxMachine
+from repro.workloads.idle import build_linux_idle_base
+
+
+class TestRelayOverflow:
+    def test_small_buffer_drops_but_keeps_order(self):
+        """The paper sized its buffer so nothing dropped; if it HAD
+        overflowed, relayfs keeps old data and drops new."""
+        sink = RelayBuffer(capacity_bytes=200 * APPROX_RECORD_BYTES)
+        machine = LinuxMachine(seed=1)
+        machine.kernel.sink = sink
+        machine.kernel.timers.sink = sink
+        build_linux_idle_base(machine)
+        machine.kernel.run_for(60 * SECOND)
+        assert sink.dropped > 0
+        assert len(sink) == 200
+        timestamps = [e.ts for e in sink]
+        assert timestamps == sorted(timestamps)
+
+    def test_truncated_trace_still_analyzable(self):
+        sink = RelayBuffer(capacity_bytes=500 * APPROX_RECORD_BYTES)
+        machine = LinuxMachine(seed=1)
+        machine.kernel.sink = sink
+        machine.kernel.timers.sink = sink
+        build_linux_idle_base(machine)
+        machine.kernel.run_for(60 * SECOND)
+        trace = Trace(os_name="linux", workload="truncated",
+                      duration_ns=60 * SECOND, events=list(sink))
+        summary = summarize(trace)
+        assert summary.set_count > 0
+        # Unresolved timers (their endings were dropped) are tolerated.
+        from repro.core import classify_trace
+        assert classify_trace(trace)
+
+
+class TestDeadNetwork:
+    def test_total_loss_exhausts_retransmits_and_closes(self):
+        kernel = LinuxKernel(seed=2)
+        stack = TcpStack(kernel, kernel.rng.stream("tcp"), loss_rate=1.0)
+        closed = []
+        conn = TcpConnection(stack, server_side=True,
+                             on_close=lambda: closed.append(1))
+        conn.start()
+        kernel.run_for(600 * seconds(1))
+        assert closed == [1]
+        assert conn.retransmits > 5
+
+    def test_socket_pool_does_not_leak_under_failures(self):
+        kernel = LinuxKernel(seed=2)
+        stack = TcpStack(kernel, kernel.rng.stream("tcp"), loss_rate=1.0)
+        for _ in range(10):
+            TcpConnection(stack, server_side=True).start()
+            kernel.run_for(300 * seconds(1))
+        # All failed connections returned their socket to the pool.
+        assert len(stack._pool) == stack._sock_count
+        assert stack._sock_count <= 10
+
+
+class TestStuckDisk:
+    def test_ide_command_timeout_fires_on_hung_disk(self):
+        kernel = LinuxKernel(seed=3)
+        block = BlockLayer(kernel, kernel.rng.stream("blk"),
+                           io_burst_mean_ns=seconds(10),
+                           service_mean_ns=seconds(120))   # disk wedged
+        block.start()
+        kernel.run_for(600 * seconds(1))
+        assert block.command_timeouts > 0
+
+
+class TestPathologicalInputs:
+    def test_engine_reentrancy_rejected(self):
+        from repro.sim import SimulationError
+        engine = Engine()
+
+        def reenter():
+            with pytest.raises(SimulationError):
+                engine.run_until(seconds(10))
+
+        engine.call_at(100, reenter)
+        engine.run_until(seconds(1))
+
+    def test_callback_exception_propagates_and_engine_recovers(self):
+        engine = Engine()
+
+        def boom():
+            raise RuntimeError("callback failed")
+
+        engine.call_at(100, boom)
+        engine.call_at(200, lambda: None)
+        with pytest.raises(RuntimeError):
+            engine.run_until(seconds(1))
+        # The engine is not wedged: remaining events still run.
+        engine.run_until(seconds(1))
+        assert engine.pending_count() == 0
+
+    def test_flexible_queue_cancel_after_fire(self):
+        engine = Engine()
+        queue = FlexibleTimerQueue(engine)
+        timer = queue.submit(Window(millis(1), millis(2)), lambda: None)
+        engine.run_until(seconds(1))
+        assert timer.fired_at is not None
+        assert queue.cancel(timer) is False
+
+    def test_select_with_negative_timeout_treated_as_zero(self):
+        """Linux returns EINVAL; our model clamps — either way no hang."""
+        from repro.linuxkern import SyscallInterface, WakeReason
+        kernel = LinuxKernel(seed=0)
+        syscalls = SyscallInterface(kernel)
+        task = kernel.tasks.spawn("app")
+        results = []
+        syscalls.select(task, 0, lambda r, rem: results.append(r))
+        assert results == [WakeReason.TIMEOUT]
+
+    def test_vista_lookaside_bounded_under_churn(self):
+        from repro.vistakern import VistaKernel, Winsock
+        kernel = VistaKernel(seed=1)
+        winsock = Winsock(kernel)
+        task = kernel.tasks.spawn("app")
+        for _ in range(500):
+            winsock.select(task, millis(1), lambda to: None)
+            kernel.run_for(millis(20))
+        ids = {e.timer_id for e in kernel.sink}
+        assert len(ids) <= 4       # sequential churn reuses addresses

@@ -1,0 +1,132 @@
+"""Cross-cutting property tests: invariants that must hold for any
+trace the machines can produce."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, SECOND, millis, seconds
+from repro.sim.clock import JIFFY
+from repro.tracing import EventKind
+from repro.workloads import run_workload
+from repro.core import summarize
+from repro.core.episodes import Outcome, extract_episodes
+
+
+@pytest.fixture(scope="module", params=["linux", "vista"])
+def short_run(request):
+    return run_workload(request.param, "idle", 45 * SECOND, seed=13)
+
+
+class TestTraceInvariants:
+    def test_events_are_time_ordered(self, short_run):
+        timestamps = [e.ts for e in short_run.trace.events]
+        assert timestamps == sorted(timestamps)
+
+    def test_expire_only_when_pending(self, short_run):
+        """A timer address never EXPIREs unless it was SET and neither
+        expired nor (pending-)cancelled since."""
+        pending = set()
+        for event in short_run.trace.events:
+            if event.kind == EventKind.SET:
+                pending.add(event.timer_id)
+            elif event.kind == EventKind.EXPIRE:
+                assert event.timer_id in pending, event
+                pending.discard(event.timer_id)
+            elif event.kind == EventKind.CANCEL:
+                if event.expires_ns is not None:
+                    assert event.timer_id in pending, event
+                pending.discard(event.timer_id)
+
+    def test_pending_cancel_flag_is_truthful(self, short_run):
+        """CANCEL carries expires_ns exactly when the timer was armed."""
+        pending = set()
+        for event in short_run.trace.events:
+            if event.kind == EventKind.SET:
+                pending.add(event.timer_id)
+            elif event.kind == EventKind.EXPIRE:
+                pending.discard(event.timer_id)
+            elif event.kind == EventKind.CANCEL:
+                was_pending = event.timer_id in pending
+                assert (event.expires_ns is not None) == was_pending
+                pending.discard(event.timer_id)
+
+    def test_episodes_partition_sets(self, short_run):
+        """Every SET starts exactly one episode."""
+        trace = short_run.trace
+        groups = trace.instances()
+        total_sets = sum(1 for e in trace.events
+                         if e.kind == EventKind.SET)
+        total_episodes = sum(
+            len([ep for ep in extract_episodes(h, trace.os_name)
+                 if ep.set_at is not None])
+            for h in groups)
+        wait_episodes = sum(1 for e in trace.events
+                            if e.kind == EventKind.WAIT_UNBLOCK
+                            and e.timeout_ns is not None)
+        assert total_episodes == total_sets + wait_episodes
+
+    def test_no_episode_ends_before_it_starts(self, short_run):
+        trace = short_run.trace
+        for history in trace.instances():
+            for episode in extract_episodes(history, trace.os_name):
+                if episode.ended_at is not None:
+                    assert episode.ended_at >= episode.set_at
+
+    def test_summary_counts_bounded_by_events(self, short_run):
+        trace = short_run.trace
+        summary = summarize(trace)
+        assert summary.set_count + summary.expired + summary.canceled \
+            <= 2 * len(trace.events)
+        assert summary.user_space + summary.kernel == summary.accesses
+
+    def test_linux_expiries_land_on_jiffy_boundaries(self, short_run):
+        if short_run.trace.os_name != "linux":
+            pytest.skip("Linux-only invariant")
+        for event in short_run.trace.events:
+            if event.kind == EventKind.EXPIRE \
+                    and event.expires_ns is not None \
+                    and event.ts == event.expires_ns:
+                assert event.expires_ns % JIFFY == 0
+
+
+class TestEngineProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 10_000),    # schedule time
+                              st.booleans()),            # cancel it?
+                    min_size=1, max_size=60))
+    def test_only_live_callbacks_fire_in_order(self, spec):
+        engine = Engine()
+        fired = []
+        events = []
+        for index, (when, _cancel) in enumerate(spec):
+            events.append(engine.call_at(
+                when, lambda i=index: fired.append(i)))
+        for (when, cancel), event in zip(spec, events):
+            if cancel:
+                event.cancel()
+        engine.run()
+        expected = [i for i, (w, c) in enumerate(spec) if not c]
+        assert sorted(fired) == expected
+        times = [spec[i][0] for i in fired]
+        assert times == sorted(times)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=30))
+    def test_run_until_is_composable(self, delays):
+        """Running to T in one go or in arbitrary chunks fires the same
+        callbacks at the same times."""
+        def run(chunks):
+            engine = Engine()
+            fired = []
+            for delay in delays:
+                engine.call_at(delay, lambda d=delay: fired.append(d))
+            position = 0
+            for chunk in chunks:
+                position += chunk
+                engine.run_until(position)
+            engine.run_until(1001)
+            return fired
+
+        assert run([1001]) == run([250, 250, 250, 251]) \
+            == run([1] * 1001)

@@ -1,0 +1,105 @@
+"""Tests for the binary trace codec, including a hypothesis roundtrip."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.clock import MINUTE, SECOND
+from repro.tracing import (EventKind, TimerEvent, Trace, dumps,
+                           load_binary, loads, save_binary)
+from repro.workloads import run_workload
+
+
+def sample_trace():
+    events = [
+        TimerEvent(EventKind.INIT, 0, 0x1040, 1, "Xorg", "user",
+                   ("sys_select", "__mod_timer"), None, None),
+        TimerEvent(EventKind.SET, 10, 0x1040, 1, "Xorg", "user",
+                   ("sys_select", "__mod_timer"), 600 * SECOND,
+                   600 * SECOND + 10),
+        TimerEvent(EventKind.CANCEL, 999, 0x1040, 1, "Xorg", "user",
+                   ("sys_select", "__mod_timer"), None, 600 * SECOND),
+        TimerEvent(EventKind.EXPIRE, 2000, 0x2000, 0, "kernel",
+                   "kernel", ("wb_timer_fn",), None, 2000, 3),
+    ]
+    return Trace(os_name="linux", workload="unit", duration_ns=MINUTE,
+                 events=events)
+
+
+class TestRoundtrip:
+    def test_bytes_roundtrip(self):
+        trace = sample_trace()
+        clone = loads(dumps(trace))
+        assert clone.os_name == trace.os_name
+        assert clone.workload == trace.workload
+        assert clone.duration_ns == trace.duration_ns
+        assert len(clone.events) == len(trace.events)
+        for a, b in zip(trace.events, clone.events):
+            for attr in ("kind", "ts", "timer_id", "pid", "comm",
+                         "domain", "site", "timeout_ns", "expires_ns",
+                         "flags"):
+                assert getattr(a, attr) == getattr(b, attr)
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = str(tmp_path / "trace.bin")
+        save_binary(trace, path)
+        clone = load_binary(path)
+        assert len(clone.events) == len(trace.events)
+
+    def test_sites_are_interned_on_load(self):
+        clone = loads(dumps(sample_trace()))
+        assert clone.events[0].site is clone.events[1].site
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            loads(b"NOTATRACE" + b"\x00" * 64)
+
+    def test_binary_is_smaller_than_json(self, tmp_path):
+        run = run_workload("linux", "idle", 30 * SECOND, seed=1)
+        binary = dumps(run.trace)
+        json_path = tmp_path / "t.jsonl.gz"
+        run.trace.save(str(json_path))
+        import gzip
+        with gzip.open(json_path, "rb") as fh:
+            json_size = len(fh.read())
+        assert len(binary) < json_size
+
+    def test_workload_trace_roundtrip(self):
+        run = run_workload("vista", "idle", 20 * SECOND, seed=3)
+        clone = loads(dumps(run.trace))
+        assert len(clone.events) == len(run.trace.events)
+        from repro.core import summarize
+        assert summarize(clone) == summarize(run.trace)
+
+
+event_strategy = st.builds(
+    TimerEvent,
+    kind=st.sampled_from(list(EventKind)),
+    ts=st.integers(0, 2**60),
+    timer_id=st.integers(0, 2**63),
+    pid=st.integers(0, 2**31 - 1),
+    comm=st.text(min_size=0, max_size=16),
+    domain=st.sampled_from(["user", "kernel"]),
+    site=st.lists(st.text(min_size=1, max_size=12), min_size=1,
+                  max_size=4).map(tuple),
+    timeout_ns=st.one_of(st.none(), st.integers(0, 2**60)),
+    expires_ns=st.one_of(st.none(), st.integers(0, 2**60)),
+    flags=st.integers(0, 255),
+)
+
+
+class TestProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(event_strategy, max_size=40),
+           st.sampled_from(["linux", "vista"]))
+    def test_arbitrary_events_roundtrip(self, events, os_name):
+        events.sort(key=lambda e: e.ts)
+        trace = Trace(os_name=os_name, workload="prop",
+                      duration_ns=2**50, events=events)
+        clone = loads(dumps(trace))
+        assert len(clone.events) == len(events)
+        for a, b in zip(events, clone.events):
+            assert a.to_dict() == b.to_dict()

@@ -1,0 +1,101 @@
+"""Tests for request-scoped timeout provenance (§5.2 tracing)."""
+
+import pytest
+
+from repro.sim.clock import SECOND, millis, seconds
+from repro.tracing import RequestTracker
+from repro.workloads import browse
+from repro.workloads.filebrowser import schedule_total_ns
+
+
+class TestTree:
+    def _request(self):
+        tracker = RequestTracker()
+        request = tracker.begin("op", now_ns=0)
+        outer = tracker.arm(request, "rpc", "app", seconds(30))
+        tracker.arm(request, "tcp-syn", "net", seconds(3),
+                    parent=outer)
+        tracker.arm(request, "tcp-rto", "net", millis(204),
+                    parent=outer)
+        return tracker, request, outer
+
+    def test_structure(self):
+        _tracker, request, outer = self._request()
+        assert request.timer_count == 3
+        assert len(request.roots) == 1
+        assert [c.name for c in outer.children] == ["tcp-syn",
+                                                    "tcp-rto"]
+
+    def test_worst_case_is_outer_when_outer_dominates(self):
+        _tracker, request, _outer = self._request()
+        assert request.worst_case_ns() == seconds(30)
+
+    def test_worst_case_is_children_when_they_outlast(self):
+        tracker = RequestTracker()
+        request = tracker.begin("op")
+        outer = tracker.arm(request, "ui", "app", seconds(5))
+        tracker.arm(request, "nfs", "fs", seconds(63), parent=outer)
+        assert request.worst_case_ns() == seconds(63)
+        path = request.dominant_path()
+        assert [n.name for n in path] == ["ui", "nfs"]
+
+    def test_resolution_recorded(self):
+        _tracker, request, outer = self._request()
+        outer.resolve("cancelled", millis(40))
+        assert outer.outcome == "cancelled"
+        assert outer.resolved_at_ns == millis(40)
+
+    def test_render(self):
+        _tracker, request, _outer = self._request()
+        text = request.render()
+        assert "rpc" in text and "tcp-rto" in text
+        assert "worst case 30.0s" in text
+
+    def test_empty_request(self):
+        tracker = RequestTracker()
+        request = tracker.begin("noop")
+        assert request.worst_case_ns() == 0
+        assert request.dominant_path() == []
+
+    def test_slowest_requests(self):
+        tracker = RequestTracker()
+        fast = tracker.begin("fast", now_ns=0)
+        fast.finish("ok", millis(100))
+        slow = tracker.begin("slow", now_ns=0)
+        slow.finish("ok", seconds(60))
+        assert tracker.slowest_requests(1) == [slow]
+
+
+class TestFileBrowserIntegration:
+    def test_tree_explains_the_observed_minute(self):
+        tracker = RequestTracker()
+        result = browse(name_resolves=True, server_reachable=False,
+                        tracker=tracker)
+        request = tracker.requests[0]
+        assert request.outcome == "unreachable"
+        # The provenance tree's worst case predicts the observed delay.
+        assert request.worst_case_ns() == pytest.approx(
+            result.elapsed_ns, rel=0.01)
+        # ...and points the finger at the SunRPC backoff chain.
+        path = request.dominant_path()
+        assert any("NFS" in node.name for node in path)
+
+    def test_per_retry_children_recorded(self):
+        tracker = RequestTracker()
+        browse(name_resolves=True, server_reachable=False,
+               tracker=tracker)
+        request = tracker.requests[0]
+        nfs = next(r for r in request.roots if "NFS" in r.name)
+        assert len(nfs.children) == 7
+        assert sum(c.timeout_ns for c in nfs.children) \
+            == schedule_total_ns(millis(500), 7, 2.0)
+
+    def test_healthy_request_mostly_cancelled(self):
+        tracker = RequestTracker()
+        browse(name_resolves=True, server_reachable=True,
+               tracker=tracker)
+        request = tracker.requests[0]
+        assert request.outcome == "connected"
+        cancelled = [n for n in request.all_nodes()
+                     if n.outcome == "cancelled"]
+        assert cancelled          # the winning resolver + protocol

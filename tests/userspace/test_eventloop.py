@@ -1,0 +1,181 @@
+"""Tests for the user-level select-loop reactor."""
+
+import pytest
+
+from repro.sim.clock import JIFFY, MINUTE, SECOND, millis, seconds
+from repro.tracing import EventKind, RelayBuffer, Trace
+from repro.userspace import UserEventLoop
+from repro.workloads.base import LinuxMachine
+from repro.core import TimerClass, classify_trace, value_histogram
+
+
+@pytest.fixture
+def machine():
+    return LinuxMachine(seed=6)
+
+
+def make_loop(machine, **kwargs):
+    loop = UserEventLoop(machine, "reactor", **kwargs)
+    loop.start()
+    return loop
+
+
+class TestUserTimers:
+    def test_call_later_fires_once(self, machine):
+        loop = make_loop(machine)
+        fired = []
+        loop.call_later(millis(100),
+                        lambda: fired.append(machine.kernel.engine.now))
+        machine.kernel.run_for(seconds(1))
+        assert len(fired) == 1
+        # Delivered at or shortly after the due time (select rounds up
+        # to jiffies and adds its margin).
+        assert millis(100) <= fired[0] <= millis(100) + 3 * JIFFY
+
+    def test_many_timers_fire_in_order(self, machine):
+        loop = make_loop(machine)
+        fired = []
+        for delay in (millis(300), millis(100), millis(200)):
+            loop.call_later(delay, lambda d=delay: fired.append(d))
+        machine.kernel.run_for(seconds(1))
+        assert fired == [millis(100), millis(200), millis(300)]
+
+    def test_periodic(self, machine):
+        loop = make_loop(machine)
+        ticks = []
+        loop.call_periodic(millis(250), lambda: ticks.append(1))
+        machine.kernel.run_for(seconds(5))
+        assert 15 <= len(ticks) <= 20
+
+    def test_cancel(self, machine):
+        loop = make_loop(machine)
+        fired = []
+        timer = loop.call_later(millis(100), lambda: fired.append(1))
+        assert loop.cancel(timer) is True
+        assert loop.cancel(timer) is False
+        machine.kernel.run_for(seconds(1))
+        assert fired == []
+
+    def test_reset(self, machine):
+        loop = make_loop(machine)
+        fired = []
+        timer = loop.call_later(
+            millis(100), lambda: fired.append(machine.kernel.engine.now))
+        loop.reset(timer, millis(500))
+        machine.kernel.run_for(seconds(1))
+        assert len(fired) == 1
+        assert fired[0] >= millis(500)
+
+    def test_earlier_timer_added_while_blocked(self, machine):
+        """Arming a sooner timer must shorten the pending select."""
+        loop = make_loop(machine)
+        fired = []
+        loop.call_later(seconds(10), lambda: fired.append("late"))
+        machine.kernel.run_for(millis(50))
+        loop.call_later(millis(100), lambda: fired.append("early"))
+        machine.kernel.run_for(seconds(1))
+        assert fired == ["early"]
+
+    def test_invalid_interval(self, machine):
+        loop = make_loop(machine)
+        with pytest.raises(ValueError):
+            loop.call_periodic(0, lambda: None)
+
+    def test_stop_halts_loop(self, machine):
+        loop = make_loop(machine)
+        ticks = []
+        loop.call_periodic(millis(200), lambda: ticks.append(1))
+        machine.kernel.run_for(seconds(1))
+        loop.stop()
+        count = len(ticks)
+        machine.kernel.run_for(seconds(5))
+        assert len(ticks) == count
+
+
+class TestEventDelivery:
+    def test_deliver_runs_callback(self, machine):
+        loop = make_loop(machine)
+        got = []
+        loop.call_later(seconds(10), lambda: None)   # loop is blocked
+        machine.kernel.run_for(millis(10))
+        loop.deliver(lambda: got.append(machine.kernel.engine.now))
+        machine.kernel.run_for(millis(10))
+        assert len(got) == 1
+
+    def test_delivery_does_not_lose_timers(self, machine):
+        loop = make_loop(machine)
+        fired = []
+        loop.call_later(millis(200), lambda: fired.append("timer"))
+        rng = machine.rng.stream("test.delivery")
+        for i in range(10):
+            machine.kernel.engine.call_after(
+                millis(10 + 15 * i), loop.deliver, lambda: None)
+        machine.kernel.run_for(seconds(1))
+        assert fired == ["timer"]
+
+
+class TestTwoLayerVisibility:
+    """The paper's Section 3 problem, demonstrated."""
+
+    def _run_app(self, machine):
+        user_sink = RelayBuffer()
+        loop = make_loop(machine, user_sink=user_sink)
+        loop.call_periodic(millis(500), lambda: None,
+                           site=("app.heartbeat",))
+        loop.call_periodic(seconds(2), lambda: None,
+                           site=("app.cache_sweep",))
+        # An RPC-style timeout that is always cancelled by the reply.
+        rng = machine.rng.stream("test.rpc")
+
+        def rpc():
+            timer = loop.call_later(seconds(5), lambda: None,
+                                    site=("app.rpc_guard",))
+            loop_cancel_at = max(1, int(rng.exponential(millis(40))))
+            machine.kernel.engine.call_after(
+                loop_cancel_at, lambda t=timer: loop.cancel(t))
+            machine.kernel.engine.call_after(
+                loop_cancel_at + millis(300), rpc)
+
+        rpc()
+        machine.kernel.run_for(2 * MINUTE)
+        kernel_trace = Trace(os_name="linux", workload="two-layer",
+                             duration_ns=2 * MINUTE,
+                             events=[e for e in machine.kernel.sink
+                                     if e.pid == loop.task.pid])
+        user_trace = Trace(os_name="linux", workload="two-layer",
+                           duration_ns=2 * MINUTE,
+                           events=list(user_sink))
+        return kernel_trace, user_trace
+
+    def test_kernel_sees_one_timer_user_sees_many(self, machine):
+        kernel_trace, user_trace = self._run_app(machine)
+        kernel_ids = {e.timer_id for e in kernel_trace.events}
+        user_ids = {e.timer_id for e in user_trace.events}
+        assert len(kernel_ids) == 1          # the single select timer
+        # Two periodic timers plus one DelayedCall per RPC.
+        assert len(user_ids) > 100
+
+    def test_kernel_values_are_mangled_user_values_exact(self, machine):
+        kernel_trace, user_trace = self._run_app(machine)
+        user_hist = value_histogram(user_trace)
+        # User layer: the three programmer constants, verbatim.
+        assert set(user_hist.counts) == {millis(500), seconds(2),
+                                         seconds(5)}
+        # Kernel layer: a blur of residual values.
+        kernel_hist = value_histogram(kernel_trace)
+        assert len(kernel_hist.counts) > 5
+
+    def test_user_layer_classification_recovers_intent(self, machine):
+        kernel_trace, user_trace = self._run_app(machine)
+        # Cluster by call site: the per-RPC DelayedCalls are fresh
+        # objects, exactly like Vista's dynamically allocated KTIMERs.
+        verdicts = {v.history.site[0]: v.timer_class
+                    for v in classify_trace(user_trace, logical=True)}
+        assert verdicts["app.heartbeat"] == TimerClass.PERIODIC
+        assert verdicts["app.cache_sweep"] == TimerClass.PERIODIC
+        assert verdicts["app.rpc_guard"] == TimerClass.TIMEOUT
+        # Kernel layer: the single select timer cannot be classified as
+        # any of those.
+        kernel_verdicts = [v.timer_class for v in
+                           classify_trace(kernel_trace, logical=False)]
+        assert TimerClass.PERIODIC not in kernel_verdicts

@@ -1,0 +1,111 @@
+"""Tests for timer coalescing and tick skipping (the §5.3 extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import millis, seconds
+from repro.sim.clock import SECOND
+from repro.vistakern import (TickSkippingVistaKernel, VistaKernel,
+                             coalesced_deadline, set_coalescable_timer)
+
+
+class TestCoalescedDeadline:
+    def test_zero_tolerance_is_exact(self):
+        assert coalesced_deadline(123_456_789, 0) == 123_456_789
+
+    def test_aligns_up_to_coarsest_period(self):
+        due = seconds(3) + millis(120)
+        # Tolerance of 1s allows alignment to the next whole second.
+        assert coalesced_deadline(due, seconds(1)) == seconds(4)
+
+    def test_never_fires_early(self):
+        due = seconds(3) + millis(120)
+        for tolerance in (millis(20), millis(100), seconds(1)):
+            assert coalesced_deadline(due, tolerance) >= due
+
+    def test_never_exceeds_tolerance(self):
+        due = seconds(3) + millis(120)
+        for tolerance in (millis(20), millis(100), millis(300),
+                          seconds(1)):
+            adjusted = coalesced_deadline(due, tolerance)
+            assert adjusted <= due + tolerance
+
+    def test_small_tolerance_uses_fine_alignment(self):
+        due = seconds(1) + millis(7)
+        adjusted = coalesced_deadline(due, millis(60))
+        assert adjusted % (50 * millis(1)) == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 100 * SECOND), st.integers(0, 5 * SECOND))
+    def test_contract_property(self, due, tolerance):
+        adjusted = coalesced_deadline(due, tolerance)
+        assert due <= adjusted <= due + tolerance
+
+
+class TestTickSkipping:
+    def test_idle_machine_has_no_wakeups(self):
+        kernel = TickSkippingVistaKernel(seed=0)
+        kernel.run_for(seconds(10))
+        assert kernel.power.wakeups == 0
+
+    def test_timers_still_fire_on_time(self):
+        kernel = TickSkippingVistaKernel(seed=0)
+        fired = []
+        timer = kernel.alloc_ktimer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.set_timer(timer, millis(100),
+                         dpc=lambda t: fired.append(kernel.engine.now))
+        kernel.run_for(seconds(1))
+        assert len(fired) == 1
+        assert millis(100) <= fired[0] <= millis(100) + 16 * millis(1)
+
+    def test_stock_kernel_wakes_every_tick(self):
+        stock = VistaKernel(seed=0)
+        stock.run_for(seconds(10))
+        assert stock.power.wakeups == pytest.approx(640, abs=5)
+
+
+class TestCoalescingReducesWakeups:
+    def _populate(self, kernel, *, tolerance_ns):
+        """20 staggered periodic-ish timers re-armed on each expiry."""
+        rng = kernel.rng.stream("pop")
+        for index in range(20):
+            period = millis(200) + index * millis(37)
+            timer = kernel.alloc_ktimer(site=(f"svc{index}",),
+                                        owner=kernel.tasks.kernel)
+
+            def rearm(kt, timer=timer, period=period):
+                # dpc omitted: the timer keeps its existing routine.
+                set_coalescable_timer(kernel, timer, period,
+                                      tolerance_ns)
+
+            set_coalescable_timer(
+                kernel, timer, period + rng.randrange(millis(100)),
+                tolerance_ns, dpc=rearm)
+
+    def test_tolerance_cuts_wakeups(self):
+        precise = TickSkippingVistaKernel(seed=1)
+        self._populate(precise, tolerance_ns=0)
+        precise.run_for(seconds(30))
+
+        coalesced = TickSkippingVistaKernel(seed=1)
+        self._populate(coalesced, tolerance_ns=seconds(1))
+        coalesced.run_for(seconds(30))
+
+        assert coalesced.power.wakeups < precise.power.wakeups * 0.6
+
+    def test_work_is_preserved(self):
+        kernel = TickSkippingVistaKernel(seed=1)
+        fired = []
+        timer = kernel.alloc_ktimer(site=("w",), owner=kernel.tasks.kernel)
+
+        def rearm(kt):
+            fired.append(kernel.engine.now)
+            set_coalescable_timer(kernel, timer, millis(333),
+                                  seconds(1), dpc=rearm)
+
+        set_coalescable_timer(kernel, timer, millis(333), seconds(1),
+                              dpc=rearm)
+        kernel.run_for(seconds(30))
+        # Average rate holds even though individual firings batch.
+        assert 20 <= len(fired) <= 95

@@ -1,0 +1,144 @@
+"""Tests for the KTIMER ring and the Vista machine model."""
+
+import pytest
+
+from repro.sim import millis, seconds
+from repro.tracing import EventKind
+from repro.vistakern import (DEFAULT_CLOCK_PERIOD_NS, VistaKernel)
+
+
+def make_kernel():
+    return VistaKernel(seed=0)
+
+
+def events_of(kernel, kind):
+    return [e for e in kernel.sink if e.kind == kind]
+
+
+class TestKeSetCancel:
+    def test_set_and_fire(self):
+        kernel = make_kernel()
+        fired = []
+        timer = kernel.alloc_ktimer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.set_timer(timer, millis(100),
+                         dpc=lambda t: fired.append(kernel.engine.now))
+        kernel.run_for(seconds(1))
+        assert len(fired) == 1
+        # Fires at the first clock interrupt at or after the due time.
+        assert fired[0] >= millis(100)
+        assert fired[0] <= millis(100) + DEFAULT_CLOCK_PERIOD_NS
+
+    def test_clock_granularity_makes_short_timers_very_late(self):
+        """A 1 ms timer under the 15.625 ms clock is delivered a large
+        multiple of its value late — the paper's Figures 8–11(b)."""
+        kernel = make_kernel()
+        fired = []
+        timer = kernel.alloc_ktimer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.set_timer(timer, millis(1),
+                         dpc=lambda t: fired.append(kernel.engine.now))
+        kernel.run_for(seconds(1))
+        assert fired[0] == DEFAULT_CLOCK_PERIOD_NS   # 15.625x the request
+
+    def test_cancel_returns_insertion_state(self):
+        kernel = make_kernel()
+        timer = kernel.alloc_ktimer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.set_timer(timer, seconds(1))
+        assert kernel.cancel_timer(timer) is True
+        assert kernel.cancel_timer(timer) is False
+
+    def test_set_returns_whether_already_inserted(self):
+        kernel = make_kernel()
+        timer = kernel.alloc_ktimer(site=("t",), owner=kernel.tasks.kernel)
+        assert kernel.set_timer(timer, seconds(1)) is False
+        assert kernel.set_timer(timer, seconds(2)) is True
+
+    def test_past_due_fires_synchronously(self):
+        kernel = make_kernel()
+        kernel.run_for(seconds(1))
+        fired = []
+        timer = kernel.alloc_ktimer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.set_timer(timer, millis(500), absolute=True,
+                         dpc=lambda t: fired.append(kernel.engine.now))
+        assert fired == [seconds(1)]
+
+    def test_absolute_due_time(self):
+        kernel = make_kernel()
+        fired = []
+        timer = kernel.alloc_ktimer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.set_timer(timer, seconds(2), absolute=True,
+                         dpc=lambda t: fired.append(kernel.engine.now))
+        kernel.run_for(seconds(3))
+        assert seconds(2) <= fired[0] <= seconds(2) + DEFAULT_CLOCK_PERIOD_NS
+
+    def test_periodic_reinsert_without_set_events(self):
+        """Periodic KTIMER re-insertion happens inside the expiry DPC,
+        so only one SET appears for many EXPIREs."""
+        kernel = make_kernel()
+        timer = kernel.alloc_ktimer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.set_timer(timer, millis(100), period_ns=millis(100))
+        kernel.run_for(seconds(2))
+        assert len(events_of(kernel, EventKind.SET)) == 1
+        assert len(events_of(kernel, EventKind.EXPIRE)) >= 15
+
+
+class TestLookaside:
+    def test_freed_addresses_are_reused(self):
+        kernel = make_kernel()
+        first = kernel.alloc_ktimer(site=("a",), owner=kernel.tasks.kernel)
+        first_id = first.timer_id
+        kernel.free_ktimer(first)
+        second = kernel.alloc_ktimer(site=("b",),
+                                     owner=kernel.tasks.kernel)
+        assert second.timer_id == first_id
+
+    def test_distinct_while_both_live(self):
+        kernel = make_kernel()
+        a = kernel.alloc_ktimer(site=("a",), owner=kernel.tasks.kernel)
+        b = kernel.alloc_ktimer(site=("b",), owner=kernel.tasks.kernel)
+        assert a.timer_id != b.timer_id
+
+    def test_free_cancels_pending(self):
+        kernel = make_kernel()
+        timer = kernel.alloc_ktimer(site=("t",), owner=kernel.tasks.kernel)
+        fired = []
+        kernel.set_timer(timer, millis(10), dpc=lambda t: fired.append(1))
+        kernel.free_ktimer(timer)
+        kernel.run_for(seconds(1))
+        assert fired == []
+
+
+class TestClockResolution:
+    def test_time_begin_period_raises_resolution(self):
+        kernel = make_kernel()
+        task = kernel.tasks.spawn("media.exe")
+        kernel.request_clock_resolution(task, millis(1))
+        assert kernel.clock_period_ns == millis(1)
+        fired = []
+        timer = kernel.alloc_ktimer(site=("t",), owner=kernel.tasks.kernel)
+        kernel.set_timer(timer, millis(2),
+                         dpc=lambda t: fired.append(kernel.engine.now))
+        kernel.run_for(seconds(1))
+        assert fired[0] <= millis(3) + millis(1)
+
+    def test_release_restores_default(self):
+        kernel = make_kernel()
+        task = kernel.tasks.spawn("media.exe")
+        kernel.request_clock_resolution(task, millis(1))
+        kernel.release_clock_resolution(task)
+        assert kernel.clock_period_ns == DEFAULT_CLOCK_PERIOD_NS
+
+    def test_minimum_clamped_to_1ms(self):
+        kernel = make_kernel()
+        task = kernel.tasks.spawn("media.exe")
+        kernel.request_clock_resolution(task, 1)
+        assert kernel.clock_period_ns == millis(1)
+
+    def test_lowest_request_wins(self):
+        kernel = make_kernel()
+        a = kernel.tasks.spawn("a")
+        b = kernel.tasks.spawn("b")
+        kernel.request_clock_resolution(a, millis(5))
+        kernel.request_clock_resolution(b, millis(1))
+        assert kernel.clock_period_ns == millis(1)
+        kernel.release_clock_resolution(b)
+        assert kernel.clock_period_ns == millis(5)

@@ -1,0 +1,274 @@
+"""Tests for the Vista timer layers above KTIMER: waits, NT API,
+threadpool, Win32 timers, winsock select, registry lazy close."""
+
+import pytest
+
+from repro.sim import millis, seconds
+from repro.tracing import EventKind
+from repro.tracing.events import FLAG_WAIT_SATISFIED
+from repro.vistakern import (DispatcherWaits, MessageQueue, NtTimerApi,
+                             RegistryLazyCloser, Threadpool, VistaKernel,
+                             WaitableTimers, Winsock, WAIT_OBJECT_0,
+                             WAIT_TIMEOUT)
+
+
+@pytest.fixture
+def kernel():
+    return VistaKernel(seed=1)
+
+
+def events_of(kernel, kind):
+    return [e for e in kernel.sink if e.kind == kind]
+
+
+class TestDispatcherWaits:
+    def test_wait_times_out(self, kernel):
+        waits = DispatcherWaits(kernel)
+        task = kernel.tasks.spawn("app")
+        statuses = []
+        waits.wait_for_single_object(task, millis(100), statuses.append)
+        kernel.run_for(seconds(1))
+        assert statuses == [WAIT_TIMEOUT]
+
+    def test_wait_satisfied(self, kernel):
+        waits = DispatcherWaits(kernel)
+        task = kernel.tasks.spawn("app")
+        statuses = []
+        handle = waits.wait_for_single_object(task, seconds(5),
+                                              statuses.append)
+        kernel.engine.call_after(millis(50), handle.signal)
+        kernel.run_for(seconds(1))
+        assert statuses == [WAIT_OBJECT_0]
+
+    def test_unblock_event_schema(self, kernel):
+        """The paper's one custom event: both timestamps, the timeout,
+        and the satisfied boolean."""
+        waits = DispatcherWaits(kernel)
+        task = kernel.tasks.spawn("app")
+        handle = waits.wait_for_single_object(task, seconds(5),
+                                              lambda s: None)
+        kernel.engine.call_after(millis(50), handle.signal)
+        kernel.run_for(seconds(1))
+        event = events_of(kernel, EventKind.WAIT_UNBLOCK)[0]
+        assert event.timeout_ns == seconds(5)
+        assert event.expires_ns == 0             # blocked at t=0
+        assert event.ts == millis(50)
+        assert event.flags & FLAG_WAIT_SATISFIED
+
+    def test_no_keset_events_for_wait_fast_path(self, kernel):
+        waits = DispatcherWaits(kernel)
+        task = kernel.tasks.spawn("app")
+        waits.wait_for_single_object(task, millis(100), lambda s: None)
+        kernel.run_for(seconds(1))
+        assert events_of(kernel, EventKind.SET) == []
+        assert events_of(kernel, EventKind.EXPIRE) == []
+
+    def test_infinite_wait(self, kernel):
+        waits = DispatcherWaits(kernel)
+        task = kernel.tasks.spawn("app")
+        statuses = []
+        handle = waits.wait_for_single_object(task, None, statuses.append)
+        kernel.run_for(seconds(5))
+        assert statuses == []
+        handle.signal()
+        assert statuses == [WAIT_OBJECT_0]
+        assert events_of(kernel, EventKind.WAIT_UNBLOCK)[0].timeout_ns \
+            is None
+
+    def test_sleep(self, kernel):
+        waits = DispatcherWaits(kernel)
+        task = kernel.tasks.spawn("app")
+        statuses = []
+        waits.sleep(task, millis(200), statuses.append)
+        kernel.run_for(seconds(1))
+        assert statuses == [WAIT_TIMEOUT]
+
+    def test_per_thread_timer_identity(self, kernel):
+        waits = DispatcherWaits(kernel)
+        task = kernel.tasks.spawn("app")
+        waits.wait_for_single_object(task, millis(10), lambda s: None,
+                                     thread=0)
+        waits.wait_for_single_object(task, millis(10), lambda s: None,
+                                     thread=1)
+        kernel.run_for(seconds(1))
+        ids = {e.timer_id for e in events_of(kernel,
+                                             EventKind.WAIT_UNBLOCK)}
+        assert len(ids) == 2
+
+
+class TestNtApiAndWaitable:
+    def test_apc_delivery(self, kernel):
+        nt = NtTimerApi(kernel)
+        task = kernel.tasks.spawn("app")
+        handle = nt.nt_create_timer(task)
+        hits = []
+        nt.nt_set_timer(handle, millis(100), apc_routine=lambda:
+                        hits.append(kernel.engine.now))
+        kernel.run_for(seconds(1))
+        assert len(hits) == 1
+
+    def test_cancel(self, kernel):
+        nt = NtTimerApi(kernel)
+        task = kernel.tasks.spawn("app")
+        handle = nt.nt_create_timer(task)
+        hits = []
+        nt.nt_set_timer(handle, millis(100), apc_routine=lambda:
+                        hits.append(1))
+        assert nt.nt_cancel_timer(handle) is True
+        kernel.run_for(seconds(1))
+        assert hits == []
+
+    def test_close_recycles_ktimer(self, kernel):
+        nt = NtTimerApi(kernel)
+        task = kernel.tasks.spawn("app")
+        handle = nt.nt_create_timer(task)
+        timer_id = nt._handles[handle].ktimer.timer_id
+        nt.nt_close(handle)
+        fresh = kernel.alloc_ktimer(site=("x",), owner=task)
+        assert fresh.timer_id == timer_id
+
+    def test_waitable_wrapper(self, kernel):
+        nt = NtTimerApi(kernel)
+        waitable = WaitableTimers(nt)
+        task = kernel.tasks.spawn("app")
+        handle = waitable.create(task)
+        hits = []
+        waitable.set(handle, millis(50), completion=lambda: hits.append(1))
+        kernel.run_for(seconds(1))
+        assert hits == [1]
+
+
+class TestThreadpool:
+    def test_single_backing_timer_for_many_entries(self, kernel):
+        """The user-level ring multiplexes onto ONE kernel timer."""
+        task = kernel.tasks.spawn("app")
+        pool = Threadpool(kernel, task)
+        fired = []
+        for i in range(10):
+            entry = pool.create_timer(
+                lambda t, i=i: fired.append((i, kernel.engine.now)))
+            pool.set_timer(entry, millis(50 + 20 * i))
+        kernel.run_for(seconds(2))
+        assert len(fired) == 10
+        set_ids = {e.timer_id for e in events_of(kernel, EventKind.SET)}
+        assert len(set_ids) == 1
+
+    def test_periodic_pool_timer(self, kernel):
+        task = kernel.tasks.spawn("app")
+        pool = Threadpool(kernel, task)
+        entry = pool.create_timer(lambda t: None)
+        pool.set_timer(entry, millis(100), period_ns=millis(100))
+        kernel.run_for(seconds(2))
+        assert entry.fired_count >= 15
+
+    def test_cancel_entry(self, kernel):
+        task = kernel.tasks.spawn("app")
+        pool = Threadpool(kernel, task)
+        fired = []
+        entry = pool.create_timer(lambda t: fired.append(1))
+        pool.set_timer(entry, millis(100))
+        pool.cancel_timer(entry)
+        kernel.run_for(seconds(1))
+        assert fired == []
+
+    def test_earliest_due_drives_backing(self, kernel):
+        task = kernel.tasks.spawn("app")
+        pool = Threadpool(kernel, task)
+        fired = []
+        late = pool.create_timer(lambda t: fired.append("late"))
+        pool.set_timer(late, seconds(10))
+        early = pool.create_timer(lambda t: fired.append("early"))
+        pool.set_timer(early, millis(50))
+        kernel.run_for(seconds(1))
+        assert fired == ["early"]
+
+
+class TestWin32MessageTimers:
+    def test_wm_timer_delivery_via_pump(self, kernel):
+        task = kernel.tasks.spawn("gui.exe")
+        queue = MessageQueue(kernel, task)
+        ticks = []
+        queue.set_timer(1, millis(100), lambda tid: ticks.append(
+            kernel.engine.now))
+        kernel.run_for(seconds(2))
+        assert len(ticks) >= 10
+        # Delivery includes clock quantisation plus pump latency.
+        assert ticks[0] > millis(100)
+
+    def test_user_timer_minimum(self, kernel):
+        task = kernel.tasks.spawn("gui.exe")
+        queue = MessageQueue(kernel, task)
+        ticks = []
+        queue.set_timer(1, millis(1), lambda tid: ticks.append(
+            kernel.engine.now))
+        kernel.run_for(seconds(1))
+        # Clamped to USER_TIMER_MINIMUM (10 ms): ~60-70 ticks, not 1000.
+        assert 30 <= len(ticks) <= 100
+
+    def test_kill_timer(self, kernel):
+        task = kernel.tasks.spawn("gui.exe")
+        queue = MessageQueue(kernel, task)
+        ticks = []
+        queue.set_timer(1, millis(100), lambda tid: ticks.append(1))
+        kernel.run_for(millis(450))
+        assert queue.kill_timer(1) is True
+        count = len(ticks)
+        kernel.run_for(seconds(2))
+        assert len(ticks) == count
+        assert queue.kill_timer(1) is False
+
+
+class TestWinsockSelect:
+    def test_fresh_ktimer_per_call_with_reuse(self, kernel):
+        """Each select allocates a fresh KTIMER; the lookaside recycles
+        the address across sequential calls — the paper's correlation
+        problem."""
+        winsock = Winsock(kernel)
+        task = kernel.tasks.spawn("app")
+        outcomes = []
+        winsock.select(task, millis(10), outcomes.append)
+        kernel.run_for(millis(100))
+        winsock.select(task, millis(10), outcomes.append)
+        kernel.run_for(millis(100))
+        assert outcomes == [True, True]
+        ids = {e.timer_id for e in events_of(kernel, EventKind.SET)}
+        assert len(ids) == 1          # address recycled
+
+    def test_concurrent_selects_use_distinct_timers(self, kernel):
+        winsock = Winsock(kernel)
+        task = kernel.tasks.spawn("app")
+        winsock.select(task, seconds(1), lambda to: None)
+        winsock.select(task, seconds(1), lambda to: None)
+        ids = {e.timer_id for e in events_of(kernel, EventKind.SET)}
+        assert len(ids) == 2
+
+    def test_fd_ready_cancels(self, kernel):
+        winsock = Winsock(kernel)
+        task = kernel.tasks.spawn("app")
+        outcomes = []
+        call = winsock.select(task, seconds(5), outcomes.append)
+        kernel.engine.call_after(millis(20), call.fd_ready)
+        kernel.run_for(seconds(1))
+        assert outcomes == [False]
+        assert len(events_of(kernel, EventKind.CANCEL)) == 1
+
+    def test_zero_timeout_completes_inline(self, kernel):
+        winsock = Winsock(kernel)
+        task = kernel.tasks.spawn("app")
+        outcomes = []
+        winsock.select(task, 0, outcomes.append)
+        assert outcomes == [True]
+
+
+class TestRegistryLazyClose:
+    def test_deferred_pattern(self, kernel):
+        closer = RegistryLazyCloser(kernel, kernel.rng.stream("reg"),
+                                    delay_ns=seconds(5),
+                                    touch_mean_ns=seconds(2))
+        closer.start()
+        kernel.run_for(seconds(600))
+        assert closer.flushes > 3
+        sets = events_of(kernel, EventKind.SET)
+        expires = events_of(kernel, EventKind.EXPIRE)
+        # Deferred: many more re-arms than expiries, but expiries occur.
+        assert len(sets) > 2 * len(expires) > 0

@@ -1,0 +1,110 @@
+"""Tests for the per-CPU TCP timing wheels."""
+
+import pytest
+
+from repro.sim import millis, seconds
+from repro.vistakern import VistaKernel
+from repro.vistakern.tcpwheel import (PerCpuTcpTimers, TcpTimingWheel,
+                                      TCP_TICK_NS, WHEEL_SLOTS,
+                                      WheelTimeout)
+
+
+@pytest.fixture
+def kernel():
+    return VistaKernel(seed=0)
+
+
+def wired_wheel(kernel):
+    timers = PerCpuTcpTimers(kernel, cpus=1)
+    return timers.wheels[0]
+
+
+class TestWheelBasics:
+    def test_fires_at_tick_granularity(self, kernel):
+        wheel = wired_wheel(kernel)
+        fired = []
+        timeout = WheelTimeout()
+        wheel.arm(timeout, millis(250),
+                  lambda: fired.append(kernel.engine.now))
+        kernel.run_for(seconds(2))
+        assert len(fired) == 1
+        # Coarse by design: within one TCP tick + one clock tick.
+        assert millis(250) <= fired[0] \
+            <= millis(250) + TCP_TICK_NS + 16 * millis(1)
+
+    def test_cancel_prevents_fire(self, kernel):
+        wheel = wired_wheel(kernel)
+        fired = []
+        timeout = WheelTimeout()
+        wheel.arm(timeout, millis(300), lambda: fired.append(1))
+        assert wheel.cancel(timeout) is True
+        assert wheel.cancel(timeout) is False
+        kernel.run_for(seconds(2))
+        assert fired == []
+
+    def test_rearm_moves_deadline(self, kernel):
+        wheel = wired_wheel(kernel)
+        fired = []
+        timeout = WheelTimeout()
+        wheel.arm(timeout, millis(200),
+                  lambda: fired.append(kernel.engine.now))
+        wheel.arm(timeout, seconds(1),
+                  lambda: fired.append(kernel.engine.now))
+        kernel.run_for(seconds(3))
+        assert len(fired) == 1
+        assert fired[0] >= seconds(1)
+
+    def test_long_timeouts_survive_rotations(self, kernel):
+        wheel = wired_wheel(kernel)
+        fired = []
+        timeout = WheelTimeout()
+        delay = TCP_TICK_NS * (WHEEL_SLOTS + 10)   # > one rotation
+        wheel.arm(timeout, delay,
+                  lambda: fired.append(kernel.engine.now))
+        kernel.run_for(delay + seconds(2))
+        assert len(fired) == 1
+        assert fired[0] >= delay
+
+    def test_many_connections_cancel_storm(self, kernel):
+        """The webserver pattern: RTOs armed and cancelled constantly."""
+        wheel = wired_wheel(kernel)
+        fired = []
+        for i in range(500):
+            timeout = WheelTimeout()
+            wheel.arm(timeout, millis(300), lambda: fired.append(1))
+            if i % 10 != 0:                 # 90% ACKed in time
+                wheel.cancel(timeout)
+        kernel.run_for(seconds(2))
+        assert len(fired) == 50
+        assert wheel.arms == 500
+        assert wheel.cancels == 450
+
+
+class TestPerCpu:
+    def test_connections_hash_to_cpus(self, kernel):
+        timers = PerCpuTcpTimers(kernel, cpus=4)
+        wheels = {timers.wheel_for(conn).cpu for conn in range(16)}
+        assert wheels == {0, 1, 2, 3}
+
+    def test_all_wheels_advance(self, kernel):
+        timers = PerCpuTcpTimers(kernel, cpus=2)
+        fired = []
+        for conn in range(4):
+            timeout = WheelTimeout()
+            timers.wheel_for(conn).arm(
+                timeout, millis(200), lambda c=conn: fired.append(c))
+        kernel.run_for(seconds(1))
+        assert sorted(fired) == [0, 1, 2, 3]
+
+    def test_no_ktimer_traffic(self, kernel):
+        """The point of the re-architecture: TCP timeouts generate no
+        KTIMER ring operations at all."""
+        timers = PerCpuTcpTimers(kernel, cpus=2)
+        for conn in range(100):
+            timeout = WheelTimeout()
+            timers.wheel_for(conn).arm(timeout, millis(300),
+                                       lambda: None)
+            timers.wheel_for(conn).cancel(timeout)
+        kernel.run_for(seconds(1))
+        assert len(kernel.sink) == 0
+        assert timers.total_operations == 200

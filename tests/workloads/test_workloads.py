@@ -1,0 +1,242 @@
+"""Integration tests: the workloads reproduce the paper's signatures."""
+
+import pytest
+
+from repro.sim.clock import JIFFY, SECOND, millis, seconds
+from repro.core import (TimerClass, countdown_series, duration_scatter,
+                        pattern_breakdown, rate_series, summarize,
+                        value_histogram)
+from repro.core.episodes import Outcome
+from repro.workloads import (browse, browse_adaptive, run_workload,
+                             run_vista_desktop)
+
+DURATION = 90 * SECOND
+
+
+@pytest.fixture(scope="module")
+def linux_runs():
+    return {wl: run_workload("linux", wl, DURATION, seed=7)
+            for wl in ("idle", "skype", "firefox", "webserver")}
+
+
+@pytest.fixture(scope="module")
+def vista_runs():
+    return {wl: run_workload("vista", wl, DURATION, seed=7)
+            for wl in ("idle", "skype", "firefox", "webserver")}
+
+
+class TestLinuxSummaries:
+    def test_access_ordering_matches_table1(self, linux_runs):
+        """Idle < Webserver < Skype << Firefox in total accesses."""
+        acc = {wl: summarize(run.trace).accesses
+               for wl, run in linux_runs.items()}
+        assert acc["idle"] < acc["webserver"] < acc["skype"] \
+            < acc["firefox"]
+        assert acc["firefox"] > 5 * acc["webserver"]
+
+    def test_webserver_is_kernel_dominated(self, linux_runs):
+        """Table 1: only the webserver has kernel >> user accesses."""
+        for wl, run in linux_runs.items():
+            summary = summarize(run.trace)
+            if wl == "webserver":
+                assert summary.kernel > 2 * summary.user_space
+            else:
+                assert summary.user_space > summary.kernel
+
+    def test_firefox_cancels_dominate(self, linux_runs):
+        summary = summarize(linux_runs["firefox"].trace)
+        assert summary.canceled > 3 * summary.expired
+
+    def test_idle_expiries_exceed_cancels(self, linux_runs):
+        summary = summarize(linux_runs["idle"].trace)
+        assert summary.expired > summary.canceled * 0.6
+
+    def test_timer_counts_are_dozens_not_thousands(self, linux_runs):
+        for run in linux_runs.values():
+            summary = summarize(run.trace)
+            assert 20 <= summary.timers <= 200
+            assert summary.concurrency <= summary.timers
+
+
+class TestVistaSummaries:
+    def test_expiries_dominate_cancels(self, vista_runs):
+        """Table 2: on Vista timers more often expire; on Linux more
+        are cancelled (for the interactive workloads)."""
+        for run in vista_runs.values():
+            summary = summarize(run.trace)
+            assert summary.expired > 3 * summary.canceled
+
+    def test_accesses_scale(self, vista_runs):
+        acc = {wl: summarize(run.trace).accesses
+               for wl, run in vista_runs.items()}
+        assert acc["idle"] < acc["skype"] < acc["firefox"]
+
+    def test_no_7200s_keepalive_on_vista_webserver(self, vista_runs):
+        hist = value_histogram(vista_runs["webserver"].trace)
+        assert hist.counts.get(seconds(7200), 0) == 0
+
+
+class TestFigure2Patterns:
+    def test_idle_dominated_by_periodic(self, linux_runs):
+        row = pattern_breakdown(linux_runs["idle"].trace).figure2_row()
+        assert row["periodic"] == max(row.values())
+        assert row["watchdog"] < 5.0
+
+    def test_webserver_watchdogs_and_timeouts(self, linux_runs):
+        row = pattern_breakdown(
+            linux_runs["webserver"].trace).figure2_row()
+        assert row["watchdog"] > 5.0
+        assert row["timeout"] > 30.0
+
+    def test_soft_realtime_workloads_have_big_other(self, linux_runs):
+        for wl in ("skype", "firefox"):
+            row = pattern_breakdown(linux_runs[wl].trace).figure2_row()
+            assert row["other"] > 25.0
+
+
+class TestFigure3to6Values:
+    def test_webserver_round_and_adapted_values(self, linux_runs):
+        hist = value_histogram(linux_runs["webserver"].trace)
+        common = dict(hist.common_values(2.0))
+        assert millis(40) in common          # delack
+        assert 51 * JIFFY in common          # adapted RTO, 0.204 s
+        assert seconds(3) in common          # SYN retransmit
+        assert seconds(7200) in common       # keepalive
+        assert hist.coverage(2.0) > 80.0
+
+    def test_no_sub_jiffy_values_on_linux(self, linux_runs):
+        for run in linux_runs.values():
+            hist = value_histogram(run.trace)
+            for value in hist.counts:
+                assert value == 0 or value >= JIFFY
+
+    def test_firefox_jiffy_scale_polling(self, linux_runs):
+        hist = value_histogram(linux_runs["firefox"].trace)
+        common = dict(hist.common_values(2.0))
+        assert JIFFY in common and 2 * JIFFY in common \
+            and 3 * JIFFY in common
+
+    def test_xorg_countdown_sawtooth(self, linux_runs):
+        series = countdown_series(linux_runs["idle"].trace, "Xorg")
+        assert len(series) > 50
+        values = [v for _, v in series]
+        drops = sum(b < a for a, b in zip(values, values[1:]))
+        assert drops / (len(values) - 1) > 0.9
+        assert max(values) == 600 * SECOND
+
+    def test_filtering_x_changes_histogram(self, linux_runs):
+        trace = linux_runs["idle"].trace
+        unfiltered = value_histogram(trace)
+        filtered = value_histogram(trace.without_comms(["Xorg",
+                                                        "icewm"]))
+        assert filtered.total_sets < unfiltered.total_sets
+
+    def test_skype_syscall_constants(self, linux_runs):
+        hist = value_histogram(linux_runs["skype"].trace, domain="user")
+        assert hist.percentage_of(0) > 15.0
+        assert hist.counts.get(millis(499.9), 0) > 0
+        assert hist.counts.get(millis(500), 0) > 0
+
+
+class TestFigure7VistaValues:
+    def test_sub_10ms_values_present(self, vista_runs):
+        hist = value_histogram(vista_runs["firefox"].trace)
+        small = sum(count for value, count in hist.counts.items()
+                    if 0 < value < millis(10))
+        assert small / hist.total_sets > 0.3
+
+
+class TestDurations:
+    def test_vista_delivers_later_than_linux(self, linux_runs,
+                                             vista_runs):
+        linux = duration_scatter(linux_runs["idle"].trace)
+        vista = duration_scatter(vista_runs["idle"].trace)
+        assert vista.share_above_100pct() > linux.share_above_100pct()
+
+    def test_skype_sub_second_cancel_cluster(self, linux_runs):
+        scatter = duration_scatter(linux_runs["skype"].trace)
+        assert scatter.cancel_share(value_max_ns=SECOND) > 0.4
+
+    def test_webserver_journal_cluster(self, linux_runs):
+        scatter = duration_scatter(linux_runs["webserver"].trace)
+        points = scatter.points_near(seconds(4.9), rel_tol=0.04)
+        cancels = [p for p in points
+                   if p.outcome == Outcome.CANCELED
+                   and 75 <= p.fraction_pct <= 101]
+        assert sum(p.count for p in cancels) >= 5
+
+    def test_arp_5s_column_cancelled_at_random(self, linux_runs):
+        scatter = duration_scatter(linux_runs["idle"].trace)
+        low, high = scatter.fraction_spread(seconds(5), rel_tol=0.01)
+        assert high - low > 40.0
+
+
+class TestFigure1Desktop:
+    def test_rates_shape(self):
+        run = run_vista_desktop(seed=3)
+        rates = rate_series(run.trace)
+        assert 400 < rates.mean("Kernel") < 2000
+        assert 10 < rates.mean("Browser") < 150
+        assert rates.peak("Outlook") > 1000       # the burst idiom
+        assert rates.mean("System") < rates.mean("Kernel")
+
+
+class TestFileBrowser:
+    def test_unreachable_server_takes_over_a_minute(self):
+        result = browse(name_resolves=True, server_reachable=False)
+        assert result.outcome == "unreachable"
+        assert result.elapsed_seconds > 60.0
+
+    def test_typo_name_takes_several_seconds(self):
+        result = browse(name_resolves=False, server_reachable=True)
+        assert result.outcome == "name-error"
+        assert result.elapsed_seconds >= 7.0
+
+    def test_healthy_server_is_rtt_fast(self):
+        result = browse(name_resolves=True, server_reachable=True,
+                        rtt_ns=millis(130))
+        assert result.outcome == "connected"
+        assert result.elapsed_seconds < 0.5
+
+    def test_adaptive_flattening_reports_failure_fast(self):
+        slow = browse(name_resolves=True, server_reachable=False)
+        fast = browse_adaptive(name_resolves=True,
+                               server_reachable=False)
+        assert fast.outcome == "unreachable"
+        assert fast.elapsed_ns < slow.elapsed_ns / 50
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = run_workload("linux", "idle", 20 * SECOND, seed=11)
+        b = run_workload("linux", "idle", 20 * SECOND, seed=11)
+        assert len(a.trace) == len(b.trace)
+        for ea, eb in zip(a.trace.events, b.trace.events):
+            assert (ea.kind, ea.ts, ea.timer_id, ea.timeout_ns) == \
+                (eb.kind, eb.ts, eb.timer_id, eb.timeout_ns)
+
+    def test_different_seed_different_trace(self):
+        a = run_workload("linux", "skype", 20 * SECOND, seed=1)
+        b = run_workload("linux", "skype", 20 * SECOND, seed=2)
+        assert len(a.trace) != len(b.trace)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            run_workload("linux", "nope")
+
+
+class TestVistaDeferredPattern:
+    def test_registry_lazy_close_classified_deferred(self, vista_runs):
+        """Section 4.1.1's fifth, Vista-only pattern appears in the
+        idle trace via the registry lazy flush."""
+        from repro.core import classify_trace
+        trace = vista_runs["idle"].trace
+        verdicts = classify_trace(trace)
+        by_site = {v.history.site[0][0] if isinstance(
+            v.history.key, tuple) else "": v for v in verdicts
+            if v.history.site and "CmpLazyFlushWorker"
+            in v.history.site[0]}
+        assert by_site, "registry lazy-close timer missing from trace"
+        verdict = next(iter(by_site.values()))
+        assert verdict.timer_class in (TimerClass.DEFERRED,
+                                       TimerClass.WATCHDOG)
