@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""End-to-end study pipeline benchmark.
+
+Times the two phases of ``timerstudy study`` on the paper's four
+workloads (both OSes, plus the Figure 1 desktop trace):
+
+* **run phase** — the simulations themselves, serial versus the
+  ``multiprocessing`` driver (:func:`repro.workloads.run_study_traces`),
+  verifying the parallel traces are byte-identical to the serial ones;
+* **analyze phase** — the full per-trace analysis battery (Tables 1–3,
+  Figures 2–11, adaptivity, nesting), with the pre-index behaviour
+  (every analysis re-groups and re-extracts episodes from scratch)
+  versus the shared single-pass :class:`repro.core.index.TraceIndex`,
+  verifying both produce identical output.
+
+Results go to ``BENCH_pipeline.json`` so successive PRs can track the
+perf trajectory.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py            # full
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke    # CI
+
+The pre-index baseline is reconstructed by handing every analysis a
+fresh ``Trace`` wrapper around the same event list: each call then
+builds its own groupings and episodes, which is exactly the work the
+analyses used to repeat privately before the index existed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):   # direct invocation without PYTHONPATH
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if _src not in sys.path and os.path.isdir(_src):
+        sys.path.insert(0, _src)
+
+from repro.core import (adaptivity_report, duration_scatter, infer_nesting,
+                        origin_table, pattern_breakdown, rate_series,
+                        render_histogram, render_nesting,
+                        render_origin_table, render_rates, render_scatter,
+                        round_value_share, summarize, value_histogram)
+from repro.sim.clock import MINUTE
+from repro.tracing import Trace
+from repro.tracing.binfmt import dumps
+from repro.workloads import run_study_traces
+
+WORKLOADS = ("idle", "skype", "firefox", "webserver")
+STUDY_ORDER = [(os_name, workload) for os_name in ("linux", "vista")
+               for workload in WORKLOADS] + [("vista", "desktop")]
+
+
+def fresh_copy(trace: Trace) -> Trace:
+    """Same events, no cached index: forces the pre-index re-scan."""
+    return Trace(os_name=trace.os_name, workload=trace.workload,
+                 duration_ns=trace.duration_ns, events=trace.events)
+
+
+def analysis_battery(trace: Trace, get) -> str:
+    """The ``timerstudy analyze`` battery; ``get(trace)`` supplies the
+    trace each analysis sees (fresh copies defeat the shared index)."""
+    out = []
+    out.append(str(summarize(get(trace)).as_row()))
+    out.append(str(pattern_breakdown(get(trace)).figure2_row()))
+    hist = value_histogram(get(trace))
+    out.append(render_histogram(hist))
+    out.append(f"{round_value_share(hist):.6f}")
+    scatter = duration_scatter(get(trace))
+    out.append(render_scatter(scatter))
+    out.append(f"{scatter.share_above_100pct():.6f}")
+    out.append(render_origin_table(origin_table(get(trace), min_sets=5)))
+    out.append(adaptivity_report(get(trace)).render())
+    out.append(render_nesting(infer_nesting(get(trace))[:10]))
+    return "\n".join(out)
+
+
+def figure1(trace: Trace, get) -> str:
+    return render_rates(rate_series(get(trace)),
+                        groups=["Outlook", "Browser", "System", "Kernel"],
+                        max_rows=10)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--minutes", type=float, default=2.0,
+                        help="virtual minutes per workload (default 2)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel workers (default: one per CPU)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI mode: short traces, skips the "
+                             "duplicate serial run phase")
+    parser.add_argument("--out", default="BENCH_pipeline.json")
+    args = parser.parse_args(argv)
+
+    minutes = 0.2 if args.smoke else args.minutes
+    duration = int(minutes * MINUTE)
+    jobs = [(os_name, workload,
+             None if workload == "desktop" else duration, args.seed)
+            for os_name, workload in STUDY_ORDER]
+
+    # -- run phase ------------------------------------------------------
+    print(f"run phase: {len(jobs)} simulations x {minutes:g} virtual "
+          "minutes", file=sys.stderr)
+    t0 = time.perf_counter()
+    parallel_traces = run_study_traces(jobs, processes=args.jobs)
+    parallel_s = time.perf_counter() - t0
+
+    run_phase = {"parallel_s": round(parallel_s, 4),
+                 "workers": args.jobs or (os.cpu_count() or 1)}
+    if not args.smoke:
+        t0 = time.perf_counter()
+        serial_traces = run_study_traces(jobs, processes=1)
+        serial_s = time.perf_counter() - t0
+        identical = all(dumps(a) == dumps(b) for a, b in
+                        zip(serial_traces, parallel_traces))
+        run_phase.update(serial_s=round(serial_s, 4),
+                         speedup=round(serial_s / parallel_s, 3),
+                         identical_traces=identical)
+        if not identical:
+            print("FATAL: parallel traces differ from serial run",
+                  file=sys.stderr)
+            return 1
+
+    traces = dict(zip(STUDY_ORDER, parallel_traces))
+
+    # -- analyze phase --------------------------------------------------
+    per_trace = {}
+    baseline_total = indexed_total = 0.0
+    identical_output = True
+    study_hash = hashlib.sha256()
+    for (os_name, workload), trace in traces.items():
+        battery = figure1 if workload == "desktop" else analysis_battery
+        print(f"analyzing {os_name}/{workload} "
+              f"({len(trace)} events)", file=sys.stderr)
+        t0 = time.perf_counter()
+        baseline_out = battery(trace, fresh_copy)
+        baseline_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        indexed_out = battery(trace, lambda t: t)
+        indexed_s = time.perf_counter() - t0
+        if indexed_out != baseline_out:
+            identical_output = False
+            print(f"FATAL: {os_name}/{workload} indexed output differs",
+                  file=sys.stderr)
+        study_hash.update(indexed_out.encode("utf-8"))
+        baseline_total += baseline_s
+        indexed_total += indexed_s
+        per_trace[f"{os_name}/{workload}"] = {
+            "events": len(trace),
+            "baseline_s": round(baseline_s, 4),
+            "indexed_s": round(indexed_s, 4),
+            "speedup": round(baseline_s / indexed_s, 3)
+            if indexed_s else None,
+        }
+
+    result = {
+        "config": {"minutes": minutes, "seed": args.seed,
+                   "jobs": args.jobs, "smoke": args.smoke,
+                   "cpus": os.cpu_count()},
+        "run_phase": run_phase,
+        "analyze_phase": {
+            "baseline_s": round(baseline_total, 4),
+            "indexed_s": round(indexed_total, 4),
+            "speedup": round(baseline_total / indexed_total, 3)
+            if indexed_total else None,
+            "identical_output": identical_output,
+            "study_output_sha256": study_hash.hexdigest(),
+            "per_trace": per_trace,
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    speedup = result["analyze_phase"]["speedup"]
+    print(f"\nanalyze phase: baseline {baseline_total:.2f}s, "
+          f"indexed {indexed_total:.2f}s -> {speedup:.2f}x", file=sys.stderr)
+    if "speedup" in run_phase:
+        print(f"run phase: serial {run_phase['serial_s']:.2f}s, "
+              f"parallel {run_phase['parallel_s']:.2f}s "
+              f"({run_phase['workers']} workers) -> "
+              f"{run_phase['speedup']:.2f}x", file=sys.stderr)
+    print(f"results -> {args.out}", file=sys.stderr)
+    return 0 if identical_output else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,22 +25,15 @@ from .core import (adaptivity_report, duration_scatter, infer_nesting,
                    summarize, summary_table, value_histogram)
 from .tracing import Trace
 from .workloads import (LINUX_WORKLOADS, VISTA_WORKLOADS, browse,
-                        browse_adaptive, run_vista_desktop, run_workload)
+                        browse_adaptive, run_study_traces,
+                        run_workload)
 
 
-def _save_trace(trace: Trace, path: str) -> None:
-    if path.endswith(".bin"):
-        from .tracing import save_binary
-        save_binary(trace, path)
-    else:
-        trace.save(path)
-
-
-def _load_trace(path: str) -> Trace:
-    if path.endswith(".bin"):
-        from .tracing import load_binary
-        return load_binary(path)
-    return Trace.load(path)
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel simulation processes (default: one per CPU; "
+             "1 = serial; output is identical either way)")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -48,7 +41,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"running {args.os}/{args.workload} for {args.minutes:g} "
           f"virtual minutes (seed {args.seed})...", file=sys.stderr)
     run = run_workload(args.os, args.workload, duration, seed=args.seed)
-    _save_trace(run.trace, args.out)
+    run.trace.save(args.out)
     print(f"{len(run.trace)} events -> {args.out}", file=sys.stderr)
     return 0
 
@@ -90,15 +83,15 @@ def _analyze(trace: Trace, *, filter_x: bool = False) -> None:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    _analyze(_load_trace(args.trace), filter_x=args.filter_x)
+    _analyze(Trace.load(args.trace), filter_x=args.filter_x)
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .core.compare import (class_shift, compare_summaries,
                                trace_value_distance)
-    trace_a = _load_trace(args.a)
-    trace_b = _load_trace(args.b)
+    trace_a = Trace.load(args.a)
+    trace_b = Trace.load(args.b)
     print("=== Summary comparison ===")
     print(compare_summaries(trace_a, trace_b).render())
     print("\n=== Usage-pattern shift (Figure 2 classes) ===")
@@ -109,18 +102,32 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+STUDY_WORKLOADS = ("idle", "skype", "firefox", "webserver")
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     duration = int(args.minutes * MINUTE)
+    # All nine simulations (4 workloads x 2 OSes + the Figure 1
+    # desktop) are independent; run them through the parallel driver,
+    # then render in the fixed order so stdout is byte-identical for a
+    # given seed regardless of --jobs.
+    order = [(os_name, workload) for os_name in ("linux", "vista")
+             for workload in STUDY_WORKLOADS] + [("vista", "desktop")]
+    for os_name, workload in order:
+        print(f"tracing {os_name}/{workload}...", file=sys.stderr)
+    jobs = [(os_name, workload,
+             None if workload == "desktop" else duration, args.seed)
+            for os_name, workload in order]
+    traces = dict(zip(order, run_study_traces(jobs, processes=args.jobs)))
+
     for os_name in ("linux", "vista"):
         table = "Table 1" if os_name == "linux" else "Table 2"
         summaries = []
-        for workload in ("idle", "skype", "firefox", "webserver"):
-            print(f"tracing {os_name}/{workload}...", file=sys.stderr)
-            run = run_workload(os_name, workload, duration,
-                               seed=args.seed)
-            summaries.append(summarize(run.trace))
+        for workload in STUDY_WORKLOADS:
+            trace = traces[(os_name, workload)]
+            summaries.append(summarize(trace))
             if os_name == "linux":
-                breakdown = pattern_breakdown(run.trace)
+                breakdown = pattern_breakdown(trace)
                 row = "  ".join(f"{k}={v:4.1f}" for k, v in
                                 breakdown.figure2_row().items())
                 print(f"  Fig2 {workload:<10} {row}")
@@ -128,8 +135,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
         print(summary_table(summaries))
         print()
     print("=== Figure 1: Vista desktop set rates ===")
-    desktop = run_vista_desktop(seed=args.seed)
-    print(render_rates(rate_series(desktop.trace),
+    print(render_rates(rate_series(traces[("vista", "desktop")]),
                        groups=["Outlook", "Browser", "System",
                                "Kernel"], max_rows=10))
     return 0
@@ -138,7 +144,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .core.report import generate_report
     text = generate_report(minutes=args.minutes, seed=args.seed,
-                           progress=lambda m: print(m, file=sys.stderr))
+                           progress=lambda m: print(m, file=sys.stderr),
+                           jobs=args.jobs)
     with open(args.out, "w", encoding="utf-8") as fh:
         fh.write(text)
     print(f"report written to {args.out}", file=sys.stderr)
@@ -183,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     st_p = sub.add_parser("study", help="run the condensed full study")
     st_p.add_argument("--minutes", type=float, default=2.0)
     st_p.add_argument("--seed", type=int, default=0)
+    _add_jobs_arg(st_p)
     st_p.set_defaults(func=_cmd_study)
 
     cp_p = sub.add_parser("compare", help="compare two saved traces")
@@ -195,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     rp_p.add_argument("--minutes", type=float, default=2.0)
     rp_p.add_argument("--seed", type=int, default=0)
     rp_p.add_argument("--out", default="report.md")
+    _add_jobs_arg(rp_p)
     rp_p.set_defaults(func=_cmd_report)
 
     br_p = sub.add_parser("browse",

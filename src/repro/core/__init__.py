@@ -6,7 +6,8 @@ Analysis side: :mod:`~repro.core.summary` (Tables 1–2),
 :mod:`~repro.core.values` (common values, Figures 3–7),
 :mod:`~repro.core.durations` (expiry/cancel fractions, Figures 8–11),
 :mod:`~repro.core.origins` (Table 3), :mod:`~repro.core.rates`
-(Figure 1).
+(Figure 1) — all consuming the shared single-pass
+:mod:`~repro.core.index` instead of re-scanning the trace.
 
 Design side: :mod:`~repro.core.adaptive` (5.1),
 :mod:`~repro.core.provenance` (5.2), :mod:`~repro.core.timespec` (5.3),
@@ -28,6 +29,7 @@ from .durations import (DurationScatter, ScatterPoint, duration_scatter,
                         render_scatter)
 from .episodes import (DEFAULT_TOLERANCE_NS, Episode, Outcome,
                        dominant_value, extract_episodes, nominal_value_ns)
+from .index import TraceIndex
 from .interfaces import (DeferredAction, DelayTimer, PeriodicTicker,
                          ScopedTimeout, Watchdog)
 from .nesting import NestedPair, infer_nesting, render_nesting

@@ -25,7 +25,8 @@ from typing import Optional, Sequence
 
 from ..tracing.trace import Trace
 from .classify import _is_countdown
-from .episodes import DEFAULT_TOLERANCE_NS, extract_episodes
+from .episodes import DEFAULT_TOLERANCE_NS
+from .index import TraceIndex
 
 
 class ValueBehavior(enum.Enum):
@@ -104,12 +105,11 @@ def adaptivity_report(trace: Trace, *, logical: Optional[bool] = None,
                       tolerance_ns: int = DEFAULT_TOLERANCE_NS
                       ) -> AdaptivityReport:
     """Measure how much of a trace's timer traffic is adaptive."""
+    index = TraceIndex.of(trace)
     if logical is None:
-        logical = trace.os_name == "vista"
-    groups = trace.logical_timers() if logical else trace.instances()
+        logical = index.default_logical
     report = AdaptivityReport(trace.workload, trace.os_name)
-    for history in groups:
-        episodes = extract_episodes(history, trace.os_name)
+    for _history, episodes in index.grouped(logical):
         values = [e.value_ns for e in episodes]
         if not values:
             continue

@@ -31,6 +31,7 @@ from typing import Optional
 from ..tracing.trace import Trace, TimerHistory
 from .episodes import (DEFAULT_TOLERANCE_NS, Episode, Outcome,
                        dominant_value, extract_episodes)
+from .index import TraceIndex
 
 
 class TimerClass(enum.Enum):
@@ -174,9 +175,13 @@ def classify_episodes(episodes: list[Episode], *,
 
 
 def classify_timer(history: TimerHistory, os_name: str, *,
-                   tolerance_ns: int = DEFAULT_TOLERANCE_NS
+                   tolerance_ns: int = DEFAULT_TOLERANCE_NS,
+                   episodes: Optional[list[Episode]] = None
                    ) -> Classification:
-    episodes = extract_episodes(history, os_name)
+    """Classify one timer; ``episodes`` may be passed pre-extracted
+    (the :class:`~repro.core.index.TraceIndex` cache)."""
+    if episodes is None:
+        episodes = extract_episodes(history, os_name)
     timer_class, value = classify_episodes(episodes,
                                            tolerance_ns=tolerance_ns)
     return Classification(history, episodes, timer_class, value)
@@ -219,11 +224,18 @@ def classify_trace(trace: Trace, *, logical: Optional[bool] = None,
     timer addresses are dynamically reused) versus per-address grouping
     (default for Linux).
     """
+    index = TraceIndex.of(trace)
     if logical is None:
-        logical = trace.os_name == "vista"
-    groups = trace.logical_timers() if logical else trace.instances()
-    return [classify_timer(g, trace.os_name, tolerance_ns=tolerance_ns)
-            for g in groups]
+        logical = index.default_logical
+    key = ("classify", logical, tolerance_ns)
+    verdicts = index.memo.get(key)
+    if verdicts is None:
+        verdicts = [classify_timer(history, trace.os_name,
+                                   tolerance_ns=tolerance_ns,
+                                   episodes=episodes)
+                    for history, episodes in index.grouped(logical)]
+        index.memo[key] = verdicts
+    return verdicts
 
 
 def pattern_breakdown(trace: Trace, **kwargs) -> PatternBreakdown:

@@ -17,7 +17,8 @@ from typing import Optional
 
 from ..sim.clock import SECOND
 from ..tracing.trace import Trace
-from .episodes import Outcome, extract_episodes
+from .episodes import Outcome
+from .index import TraceIndex
 
 CUTOFF_PCT = 250.0
 
@@ -88,13 +89,13 @@ class DurationScatter:
 def duration_scatter(trace: Trace, *, logical: Optional[bool] = None,
                      cutoff_pct: float = CUTOFF_PCT) -> DurationScatter:
     """Build the Figure 8–11 scatter for one trace."""
+    index = TraceIndex.of(trace)
     if logical is None:
-        logical = trace.os_name == "vista"
-    groups = trace.logical_timers() if logical else trace.instances()
+        logical = index.default_logical
     scatter = DurationScatter(trace.workload, trace.os_name)
     agg: dict[tuple[int, float, Outcome], int] = {}
-    for history in groups:
-        for episode in extract_episodes(history, trace.os_name):
+    for _history, episodes in index.grouped(logical):
+        for episode in episodes:
             if episode.outcome in (Outcome.UNRESOLVED, Outcome.REARMED):
                 continue
             if episode.value_ns <= 0:

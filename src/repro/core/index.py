@@ -1,0 +1,189 @@
+"""Single-pass trace indexing shared by every analysis.
+
+Historically each analysis in :mod:`repro.core` independently re-grouped
+the whole event list (``trace.instances()`` / ``trace.logical_timers()``)
+and re-ran :func:`~repro.core.episodes.extract_episodes`, so a full
+study re-scanned a multi-million-event trace roughly ten times.  The
+:class:`TraceIndex` computes everything those analyses need in one pass:
+
+* both timer groupings (per-address *instances* and per-(site, pid)
+  *logical* clusters), byte-identical to the direct scans,
+* the "set-like" event list (SET plus WAIT_UNBLOCK, in trace order)
+  that the value/rate analyses iterate,
+* per-kind, per-pid and per-comm event views (lazy: each is built by
+  its own single pass on first use, then shared),
+* lazily-extracted, cached episode lists per grouping, and
+* a ``memo`` dict where analyses cache derived results (the usage
+  classification, the Table 1/2 summary) so e.g. Table 3 reuses the
+  Figure 2 classification instead of recomputing it.
+
+The index is cached on the :class:`~repro.tracing.trace.Trace` itself
+(``trace._index``) and rebuilt automatically if the event list grows,
+so callers just write ``TraceIndex.of(trace)`` and share the work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from ..tracing.events import EventKind, TimerEvent
+from ..tracing.trace import TimerHistory, Trace
+from .episodes import Episode, extract_episodes
+
+#: Event kinds that arm a timer (or describe a timed wait): the events
+#: the value histograms and rate series iterate.
+SET_LIKE_KINDS = (EventKind.SET, EventKind.WAIT_UNBLOCK)
+
+
+class TraceIndex:
+    """Every shared grouping/view of one trace, built in a single pass."""
+
+    __slots__ = ("trace", "os_name", "n_events", "instances", "logical",
+                 "set_like", "memo", "_by_kind", "_by_pid", "_by_comm",
+                 "_instance_episodes", "_logical_episodes")
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self.os_name = trace.os_name
+        self.n_events = len(trace.events)
+
+        instance_groups: dict[int, list[TimerEvent]] = {}
+        site_of_id: dict[int, Tuple[Tuple[str, ...], int]] = {}
+        logical_groups: dict[Tuple[Tuple[str, ...], int],
+                             list[TimerEvent]] = {}
+        set_like: list[TimerEvent] = []
+
+        set_kind = EventKind.SET
+        wait_kind = EventKind.WAIT_UNBLOCK
+        init_kind = EventKind.INIT
+        for event in trace.events:
+            kind = event.kind
+
+            # Per-address grouping (Trace.instances).
+            group = instance_groups.get(event.timer_id)
+            if group is None:
+                group = instance_groups[event.timer_id] = []
+            group.append(event)
+
+            # Per-(set-site, pid) clustering (Trace.logical_timers):
+            # events on a timer id join the cluster of that id's most
+            # recent SET/INIT/WAIT site.
+            if kind == set_kind or kind == init_kind or kind == wait_kind:
+                key = (event.site, event.pid)
+                site_of_id[event.timer_id] = key
+                if kind != init_kind:
+                    set_like.append(event)
+            else:
+                key = site_of_id.get(event.timer_id,
+                                     (event.site, event.pid))
+            group = logical_groups.get(key)
+            if group is None:
+                group = logical_groups[key] = []
+            group.append(event)
+
+        self.instances = [TimerHistory(tid, evs)
+                          for tid, evs in instance_groups.items()]
+        self.logical = [TimerHistory(key, evs)
+                        for key, evs in logical_groups.items()]
+        self.set_like = set_like
+        self.memo: dict = {}
+        self._by_kind: Optional[dict] = None
+        self._by_pid: Optional[dict] = None
+        self._by_comm: Optional[dict] = None
+        self._instance_episodes: Optional[list[list[Episode]]] = None
+        self._logical_episodes: Optional[list[list[Episode]]] = None
+
+    # -- access ---------------------------------------------------------
+
+    @classmethod
+    def of(cls, trace: Trace) -> "TraceIndex":
+        """The trace's cached index, building (or rebuilding) it if the
+        event list changed length since the last build."""
+        index = getattr(trace, "_index", None)
+        if index is None or index.n_events != len(trace.events):
+            index = cls(trace)
+            trace._index = index
+        return index
+
+    @classmethod
+    def peek(cls, trace: Trace) -> "Optional[TraceIndex]":
+        """The cached index if one is already built and current, else
+        ``None`` — for analyses that can run off a plain scan and only
+        want the index when it is free."""
+        index = getattr(trace, "_index", None)
+        if index is not None and index.n_events == len(trace.events):
+            return index
+        return None
+
+    @property
+    def default_logical(self) -> bool:
+        """Vista needs call-site clustering (Section 3.3); Linux groups
+        by the statically allocated timer address."""
+        return self.os_name == "vista"
+
+    def histories(self, logical: bool) -> list[TimerHistory]:
+        return self.logical if logical else self.instances
+
+    def episodes(self, logical: bool) -> list[list[Episode]]:
+        """Episode lists parallel to :meth:`histories`, extracted once."""
+        cached = self._logical_episodes if logical \
+            else self._instance_episodes
+        if cached is None:
+            cached = [extract_episodes(history, self.os_name)
+                      for history in self.histories(logical)]
+            if logical:
+                self._logical_episodes = cached
+            else:
+                self._instance_episodes = cached
+        return cached
+
+    def grouped(self, logical: Optional[bool] = None
+                ) -> Iterator[tuple[TimerHistory, list[Episode]]]:
+        """Iterate (history, episodes) pairs for one grouping."""
+        if logical is None:
+            logical = self.default_logical
+        return zip(self.histories(logical), self.episodes(logical))
+
+    # -- lazy secondary views (built on first use, then shared) ---------
+
+    @property
+    def by_kind(self) -> dict[EventKind, list[TimerEvent]]:
+        if self._by_kind is None:
+            view: dict[EventKind, list[TimerEvent]] = \
+                {kind: [] for kind in EventKind}
+            for event in self.trace.events:
+                view[event.kind].append(event)
+            self._by_kind = view
+        return self._by_kind
+
+    @property
+    def by_pid(self) -> dict[int, list[TimerEvent]]:
+        if self._by_pid is None:
+            view: dict[int, list[TimerEvent]] = {}
+            for event in self.trace.events:
+                group = view.get(event.pid)
+                if group is None:
+                    group = view[event.pid] = []
+                group.append(event)
+            self._by_pid = view
+        return self._by_pid
+
+    @property
+    def by_comm(self) -> dict[str, list[TimerEvent]]:
+        if self._by_comm is None:
+            view: dict[str, list[TimerEvent]] = {}
+            for event in self.trace.events:
+                group = view.get(event.comm)
+                if group is None:
+                    group = view[event.comm] = []
+                group.append(event)
+            self._by_comm = view
+        return self._by_comm
+
+    def events_of_kind(self, kind: EventKind) -> list[TimerEvent]:
+        return self.by_kind[kind]
+
+    def __repr__(self) -> str:
+        return (f"<TraceIndex {self.os_name}/{self.trace.workload} "
+                f"{self.n_events} events, {len(self.instances)} timers, "
+                f"{len(self.logical)} logical>")

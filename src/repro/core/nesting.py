@@ -16,11 +16,13 @@ candidate for elision (see :class:`repro.core.interfaces.ScopedTimeout`).
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..tracing.trace import Trace
-from .episodes import Episode, extract_episodes
+from .episodes import Episode
+from .index import TraceIndex
 
 
 @dataclass
@@ -59,6 +61,139 @@ def _resolved_intervals(episodes: list[Episode]
     return out
 
 
+class _TimerIntervals:
+    """One timer's resolved episodes plus the search structures the
+    pairwise containment test needs.
+
+    Containment asks, per inner episode, for the *first* (in episode
+    order) outer episode with ``o_start <= i_start`` and
+    ``i_end <= o_end``.  The first episode whose end reaches ``i_end``
+    is always a running-maximum *record* of the ends sequence (an
+    earlier episode with a greater-or-equal end would match first), and
+    the records' ends are strictly increasing — so a single ``bisect``
+    over the record ends answers each query in O(log n).  The start
+    constraint then reduces to one comparison because starts are
+    chronological for almost every timer; unsorted starts (mixed
+    SET/WAIT clusters) fall back to the plain first-match scan.
+    Results are identical to the brute-force pairwise scan either way.
+    """
+
+    __slots__ = ("site", "intervals", "starts", "sorted_starts",
+                 "min_start", "max_start", "min_end", "max_end",
+                 "record_ends", "record_at")
+
+    def __init__(self, site, intervals: list[tuple[int, int, int]]):
+        self.site = site
+        self.intervals = intervals
+        starts = [iv[0] for iv in intervals]
+        self.starts = starts
+        self.sorted_starts = all(a <= b for a, b in
+                                 zip(starts, starts[1:]))
+        self.min_start = min(starts)
+        self.max_start = max(starts)
+        self.min_end = min(iv[1] for iv in intervals)
+        record_ends: list[int] = []
+        record_at: list[int] = []
+        peak = -1
+        for j, (_start, end, _deadline) in enumerate(intervals):
+            if end > peak:
+                peak = end
+                record_ends.append(end)
+                record_at.append(j)
+        self.max_end = peak
+        self.record_ends = record_ends
+        self.record_at = record_at
+
+    def first_containing(self, i_start: int, i_end: int
+                         ) -> Optional[tuple[int, int, int]]:
+        """First episode containing [i_start, i_end] (an identical
+        interval does not count as containing itself)."""
+        intervals = self.intervals
+        if self.sorted_starts:
+            record_ends = self.record_ends
+            k = bisect_left(record_ends, i_end)
+            if k == len(record_ends):
+                return None
+            j = self.record_at[k]
+            candidate = intervals[j]
+            # Sorted starts make "index < bisect(starts, i_start)"
+            # equivalent to this one comparison.
+            if candidate[0] > i_start:
+                return None
+            if candidate[0] != i_start or candidate[1] != i_end:
+                return candidate
+            # Rare: the first match is the identical interval (another
+            # timer armed and ended at exactly the same instants).
+            # Fall through to the ordered scan past it.
+            hi = bisect_right(self.starts, i_start)
+            for j2 in range(j + 1, hi):
+                candidate = intervals[j2]
+                if candidate[1] >= i_end and \
+                        (candidate[0] != i_start or candidate[1] != i_end):
+                    return candidate
+            return None
+        for candidate in intervals:
+            o_start, o_end, _o_deadline = candidate
+            if o_start <= i_start and i_end <= o_end \
+                    and (o_start, o_end) != (i_start, i_end):
+                return candidate
+        return None
+
+
+def _batch_first_containing(outer: _TimerIntervals,
+                            queries: list[tuple[int, int]]
+                            ) -> list[Optional[tuple[int, int, int]]]:
+    """Answer :meth:`_TimerIntervals.first_containing` for many queries
+    against an unsorted-starts outer in O((n + q) log n) total.
+
+    The first match in episode-list order is the *minimum list index*
+    among episodes with ``start <= i_start`` and ``end >= i_end``.
+    Sweep queries in ``i_start`` order, admitting episodes as their
+    start is passed, and keep a min-index Fenwick tree over the
+    (compressed, reversed) episode ends so "min index with end >= Y"
+    is a prefix query.
+    """
+    intervals = outer.intervals
+    n = len(intervals)
+    by_start = sorted(range(n), key=lambda j: intervals[j][0])
+    ends_sorted = sorted({iv[1] for iv in intervals})
+    end_pos = {end: pos for pos, end in enumerate(ends_sorted)}
+    m = len(ends_sorted)
+    tree = [n] * (m + 1)    # min-BIT over reversed end positions
+
+    answers: list[Optional[tuple[int, int, int]]] = [None] * len(queries)
+    order = sorted(range(len(queries)), key=lambda q: queries[q][0])
+    ptr = 0
+    for q in order:
+        i_start, i_end = queries[q]
+        while ptr < n and intervals[by_start[ptr]][0] <= i_start:
+            j = by_start[ptr]
+            node = m - end_pos[intervals[j][1]]
+            while node <= m:
+                if tree[node] > j:
+                    tree[node] = j
+                node += node & -node
+            ptr += 1
+        kpos = bisect_left(ends_sorted, i_end)
+        if kpos == m:
+            continue
+        node = m - kpos
+        best = n
+        while node > 0:
+            if tree[node] < best:
+                best = tree[node]
+            node -= node & -node
+        if best == n:
+            continue
+        candidate = intervals[best]
+        if candidate[0] == i_start and candidate[1] == i_end:
+            # Rare identical interval: redo this one query with the
+            # exclusion-aware linear scan.
+            candidate = outer.first_containing(i_start, i_end)
+        answers[q] = candidate
+    return answers
+
+
 def infer_nesting(trace: Trace, *, min_support: int = 3,
                   min_containment: float = 0.6,
                   logical: Optional[bool] = None) -> list[NestedPair]:
@@ -68,41 +203,79 @@ def infer_nesting(trace: Trace, *, min_support: int = 3,
     armed first) and inclusive on the end side.  Pairs must share a
     pid: nesting across processes is not meaningful at this level.
     """
+    index = TraceIndex.of(trace)
     if logical is None:
-        logical = trace.os_name == "vista"
-    groups = trace.logical_timers() if logical else trace.instances()
+        logical = index.default_logical
     per_pid: dict[int, list] = {}
-    for history in groups:
-        episodes = extract_episodes(history, trace.os_name)
+    for history, episodes in index.grouped(logical):
         if episodes:
             per_pid.setdefault(history.pid, []).append(
                 (history.site, episodes))
 
     pairs: list[NestedPair] = []
     for pid, timers in per_pid.items():
-        for outer_site, outer_eps in timers:
-            outer_iv = _resolved_intervals(outer_eps)
-            if not outer_iv:
-                continue
-            for inner_site, inner_eps in timers:
-                if inner_site is outer_site:
-                    continue
-                inner_iv = _resolved_intervals(inner_eps)
-                if not inner_iv:
-                    continue
-                support = elidable = 0
-                for i_start, i_end, i_deadline in inner_iv:
-                    for o_start, o_end, o_deadline in outer_iv:
-                        if o_start <= i_start and i_end <= o_end \
-                                and (o_start, o_end) != (i_start, i_end):
-                            support += 1
-                            if i_deadline >= o_deadline:
-                                elidable += 1
-                            break
-                containment = support / len(inner_iv)
+        prepared = []
+        for site, episodes in timers:
+            intervals = _resolved_intervals(episodes)
+            if intervals:
+                prepared.append(_TimerIntervals(site, intervals))
+        for outer in prepared:
+            o_intervals = outer.intervals
+            record_ends = outer.record_ends
+            record_at = outer.record_at
+            n_records = len(record_ends)
+            # Pair-level reject: no outer episode starts early enough /
+            # ends late enough for any inner episode.
+            eligible = [inner for inner in prepared
+                        if inner.site is not outer.site
+                        and outer.min_start <= inner.max_start
+                        and outer.max_end >= inner.min_end]
+            tallies: dict[int, tuple[int, int]] = {}
+            if outer.sorted_starts:
+                # Inlined fast path of first_containing (this double
+                # loop dominates the whole analysis battery on busy
+                # traces).
+                for idx, inner in enumerate(eligible):
+                    support = elidable = 0
+                    for i_start, i_end, i_deadline in inner.intervals:
+                        k = bisect_left(record_ends, i_end)
+                        if k == n_records:
+                            continue
+                        match = o_intervals[record_at[k]]
+                        if match[0] > i_start:
+                            continue
+                        if match[0] == i_start and match[1] == i_end:
+                            # Identical interval: rare, let the method
+                            # handle the scan past it.
+                            match = outer.first_containing(i_start, i_end)
+                            if match is None:
+                                continue
+                        support += 1
+                        if i_deadline >= match[2]:
+                            elidable += 1
+                    tallies[idx] = (support, elidable)
+            else:
+                # Unsorted starts (interleaved SET/WAIT clusters): one
+                # offline sweep answers every inner's queries at once.
+                queries = []
+                meta = []
+                for idx, inner in enumerate(eligible):
+                    for i_start, i_end, i_deadline in inner.intervals:
+                        queries.append((i_start, i_end))
+                        meta.append((idx, i_deadline))
+                for (idx, i_deadline), match in zip(
+                        meta, _batch_first_containing(outer, queries)):
+                    if match is not None:
+                        support, elidable = tallies.get(idx, (0, 0))
+                        tallies[idx] = (support + 1, elidable +
+                                        (1 if i_deadline >= match[2]
+                                         else 0))
+            for idx, inner in enumerate(eligible):
+                support, elidable = tallies.get(idx, (0, 0))
+                containment = support / len(inner.intervals)
                 if support >= min_support \
                         and containment >= min_containment:
-                    pairs.append(NestedPair(outer_site, inner_site,
+                    pairs.append(NestedPair(outer.site, inner.site,
                                             pid, support, containment,
                                             elidable))
     pairs.sort(key=lambda p: -p.support)

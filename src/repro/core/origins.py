@@ -19,6 +19,7 @@ from ..tracing.events import EventKind
 from ..tracing.trace import Trace
 from .classify import TimerClass, classify_trace
 from .episodes import nominal_value_ns
+from .index import TraceIndex
 
 #: (needle, where, origin label).  ``where`` is "site" to search stack
 #: frames or "comm" to match the process name.
@@ -124,9 +125,7 @@ def value_origins(trace: Trace, value_ns: int,
     """Which origins set (approximately) this value, with counts —
     supports spot checks like 'who sets 5 s timers?'."""
     counts: dict[str, int] = {}
-    for event in trace.events:
-        if event.kind != EventKind.SET:
-            continue
+    for event in TraceIndex.of(trace).events_of_kind(EventKind.SET):
         value = nominal_value_ns(event, trace.os_name)
         if abs(value - value_ns) <= tolerance_ns:
             origin = attribute_origin(event.site, event.comm)

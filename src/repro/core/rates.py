@@ -15,6 +15,7 @@ from typing import Callable, Optional
 from ..sim.clock import SECOND
 from ..tracing.events import EventKind, TimerEvent
 from ..tracing.trace import Trace
+from .index import SET_LIKE_KINDS, TraceIndex
 
 
 @dataclass
@@ -63,7 +64,14 @@ def rate_series(trace: Trace, *, bucket_ns: int = SECOND,
     total = duration_ns if duration_ns is not None else trace.duration_ns
     n_buckets = max(1, -(-total // bucket_ns))
     series: dict[str, list[int]] = {}
-    for event in trace.events:
+    # The default kinds are exactly the index's set-like view.  Use it
+    # when an index is already cached; a rate series alone is a single
+    # scan either way, so never force a full index build for it.
+    index = TraceIndex.peek(trace)
+    events = index.set_like \
+        if index is not None and tuple(kinds) == SET_LIKE_KINDS \
+        else trace.events
+    for event in events:
         if event.kind not in kinds:
             continue
         ts = event.ts

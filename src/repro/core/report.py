@@ -24,12 +24,14 @@ X_COMMS = ("Xorg", "icewm")
 
 
 def generate_report(*, minutes: float = 2.0, seed: int = 0,
-                    progress=None) -> str:
+                    progress=None, jobs=None) -> str:
     """Run the full study and return it as markdown.
 
     ``progress`` is an optional callable receiving status strings.
+    ``jobs`` is the number of parallel simulation processes (``None``
+    = one per CPU); the rendered report is identical either way.
     """
-    from ..workloads import run_vista_desktop, run_workload
+    from ..workloads import run_study_traces
 
     def note(message: str) -> None:
         if progress is not None:
@@ -41,12 +43,15 @@ def generate_report(*, minutes: float = 2.0, seed: int = 0,
     out.write(f"Workload length: {minutes:g} virtual minutes "
               f"(paper: 30).  Seed {seed}.\n\n")
 
-    traces: dict[tuple[str, str], Trace] = {}
-    for os_name in ("linux", "vista"):
-        for workload in WORKLOADS:
-            note(f"tracing {os_name}/{workload}")
-            traces[(os_name, workload)] = run_workload(
-                os_name, workload, duration, seed=seed).trace
+    order = [(os_name, workload) for os_name in ("linux", "vista")
+             for workload in WORKLOADS] + [("vista", "desktop")]
+    for os_name, workload in order:
+        note(f"tracing {os_name}/{workload}")
+    trace_jobs = [(os_name, workload,
+                   None if workload == "desktop" else duration, seed)
+                  for os_name, workload in order]
+    traces: dict[tuple[str, str], Trace] = dict(
+        zip(order, run_study_traces(trace_jobs, processes=jobs)))
 
     for os_name, table in (("linux", "Table 1"), ("vista", "Table 2")):
         out.write(f"## {table}: {os_name} trace summary\n\n```\n")
@@ -100,10 +105,8 @@ def generate_report(*, minutes: float = 2.0, seed: int = 0,
         out.write(f"--- {workload} ---\n{report.render()}\n")
     out.write("```\n\n")
 
-    note("tracing vista desktop (Figure 1)")
-    desktop = run_vista_desktop(seed=seed)
     out.write("## Figure 1: Vista desktop set rates\n\n```\n")
-    out.write(render_rates(rate_series(desktop.trace),
+    out.write(render_rates(rate_series(traces[("vista", "desktop")]),
                            groups=["Outlook", "Browser", "System",
                                    "Kernel"], max_rows=12))
     out.write("\n```\n")

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..tracing.events import FLAG_WAIT_SATISFIED, EventKind
 from ..tracing.trace import Trace
+from .index import TraceIndex
 
 
 @dataclass
@@ -49,7 +50,16 @@ class TraceSummary:
 
 
 def summarize(trace: Trace) -> TraceSummary:
-    """Compute the Table 1/2 metrics for one trace."""
+    """Compute the Table 1/2 metrics for one trace (memoised on the
+    trace's :class:`~repro.core.index.TraceIndex`)."""
+    index = TraceIndex.of(trace)
+    summary = index.memo.get("summary")
+    if summary is None:
+        summary = index.memo["summary"] = _compute_summary(trace)
+    return summary
+
+
+def _compute_summary(trace: Trace) -> TraceSummary:
     timer_ids: set[int] = set()
     pending_since: dict[int, int] = {}
     intervals: list[tuple[int, int]] = []   # (ts, +1/-1) endpoints

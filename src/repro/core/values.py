@@ -20,6 +20,7 @@ from ..sim.clock import JIFFY, MILLISECOND, SECOND, to_seconds
 from ..tracing.events import EventKind
 from ..tracing.trace import Trace
 from .episodes import nominal_value_ns
+from .index import TraceIndex
 
 
 @dataclass
@@ -65,14 +66,10 @@ def value_histogram(trace: Trace, *, domain: Optional[str] = None,
     """
     counts: dict[int, int] = {}
     total = 0
-    for event in trace.events:
-        if event.kind == EventKind.SET:
-            pass
-        elif event.kind == EventKind.WAIT_UNBLOCK and include_waits:
-            if event.timeout_ns is None:
+    for event in TraceIndex.of(trace).set_like:
+        if event.kind == EventKind.WAIT_UNBLOCK:
+            if not include_waits or event.timeout_ns is None:
                 continue
-        else:
-            continue
         if domain is not None and event.domain != domain:
             continue
         value = nominal_value_ns(event, trace.os_name) \
@@ -84,8 +81,9 @@ def value_histogram(trace: Trace, *, domain: Optional[str] = None,
 
 def countdown_series(trace: Trace, comm: str) -> list[tuple[int, int]]:
     """(timestamp, set value) pairs for one process — Figure 4's dots."""
-    return [(e.ts, e.timeout_ns or 0) for e in trace.events
-            if e.kind == EventKind.SET and e.comm == comm]
+    return [(e.ts, e.timeout_ns or 0)
+            for e in TraceIndex.of(trace).by_comm.get(comm, [])
+            if e.kind == EventKind.SET]
 
 
 #: Values humans pick: multiples of these read as "round".

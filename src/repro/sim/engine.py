@@ -30,19 +30,28 @@ class Event:
     This is the standard lazy-deletion trick and keeps ``cancel`` O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled",
+                 "engine")
 
     def __init__(self, time: int, seq: int,
-                 callback: Callable[..., Any], args: tuple):
+                 callback: Callable[..., Any], args: tuple,
+                 engine: "Optional[Engine]" = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Owning engine while the event is live in its heap; cleared
+        #: on dispatch so the live-event counter stays exact.
+        self.engine = engine
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.engine is not None:
+                self.engine._live -= 1
+                self.engine = None
         # Drop references so cancelled events pinned in the heap do not
         # keep workload objects alive for the rest of the run.
         self.callback = _cancelled_callback
@@ -75,6 +84,9 @@ class Engine:
         self._heap: list[Event] = []
         self._seq: int = 0
         self._running = False
+        #: Live (non-cancelled, undispatched) events; kept in sync on
+        #: push/dispatch/cancel so pending_count() is O(1).
+        self._live: int = 0
         #: Number of callbacks actually dispatched (for engine stats).
         self.dispatched: int = 0
 
@@ -92,8 +104,9 @@ class Engine:
                 f"cannot schedule at {fmt_time(when)}; "
                 f"now is {fmt_time(self.now)}")
         self._seq += 1
-        event = Event(when, self._seq, callback, args)
+        event = Event(when, self._seq, callback, args, self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def call_after(self, delay: int, callback: Callable[..., Any],
@@ -123,6 +136,8 @@ class Engine:
                 heapq.heappop(heap)
                 if event.cancelled:
                     continue
+                self._live -= 1
+                event.engine = None
                 self.now = event.time
                 self.dispatched += 1
                 event.callback(*event.args)
@@ -141,6 +156,8 @@ class Engine:
                 event = heapq.heappop(heap)
                 if event.cancelled:
                     continue
+                self._live -= 1
+                event.engine = None
                 self.now = event.time
                 self.dispatched += 1
                 event.callback(*event.args)
@@ -155,5 +172,9 @@ class Engine:
         return heap[0].time if heap else None
 
     def pending_count(self) -> int:
-        """Number of live events still queued (cancelled ones excluded)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live events still queued (cancelled ones excluded).
+
+        O(1): a live-event counter is maintained on push/dispatch/cancel
+        instead of scanning the whole heap.
+        """
+        return self._live

@@ -3,7 +3,8 @@
 from .apps import (ApacheServer, FixedIntervalDaemon, HttperfDriver,
                    SelectCountdownApp, SkypeApp, SoftRealtimePoller)
 from .base import (DEFAULT_DURATION_NS, PAPER_DURATION_NS, LinuxMachine,
-                   VistaMachine, WorkloadRun)
+                   TraceJob, VistaMachine, WorkloadRun,
+                   run_study_traces)
 from .desktop_vista import FIGURE1_DURATION_NS, run_vista_desktop
 from .filebrowser import (BrowseResult, browse, browse_adaptive,
                           schedule_total_ns)

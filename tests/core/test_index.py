@@ -1,0 +1,190 @@
+"""Tests for the shared single-pass TraceIndex and the parallel
+study-pipeline driver.
+
+The index must be invisible: every analysis run against an indexed
+trace has to produce exactly what it produced when it re-scanned the
+event list privately.  The equivalence tests therefore compare each
+analysis on the same event list twice — once through a fresh ``Trace``
+wrapper (no cached index, the pre-index behaviour) and once through the
+shared index.
+"""
+
+import pytest
+
+from repro.core import (TraceIndex, adaptivity_report, classify_trace,
+                        duration_scatter, infer_nesting, origin_table,
+                        pattern_breakdown, rate_series, render_histogram,
+                        render_nesting, render_origin_table, render_rates,
+                        render_scatter, summarize, value_histogram)
+from repro.core.episodes import extract_episodes
+from repro.sim.clock import MINUTE, SECOND
+from repro.tracing import EventKind, Trace, dumps
+from repro.workloads import run_study_traces, run_workload
+
+from .helpers import TraceBuilder, periodic_timer, watchdog_timer
+
+DURATION = 12 * SECOND
+WORKLOADS = ("idle", "skype", "firefox", "webserver")
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {(os_name, wl): run_workload(os_name, wl, DURATION,
+                                        seed=3).trace
+            for os_name in ("linux", "vista") for wl in WORKLOADS}
+
+
+def fresh(trace):
+    """Same events, no cached index: the pre-index scan behaviour."""
+    return Trace(os_name=trace.os_name, workload=trace.workload,
+                 duration_ns=trace.duration_ns, events=trace.events)
+
+
+class TestGroupingEquivalence:
+    def test_instances_match_direct_scan(self, traces):
+        for trace in traces.values():
+            index = TraceIndex.of(trace)
+            direct = fresh(trace).instances()
+            assert [h.key for h in index.instances] \
+                == [h.key for h in direct]
+            assert [h.events for h in index.instances] \
+                == [h.events for h in direct]
+
+    def test_logical_match_direct_scan(self, traces):
+        for trace in traces.values():
+            index = TraceIndex.of(trace)
+            direct = fresh(trace).logical_timers()
+            assert [h.key for h in index.logical] \
+                == [h.key for h in direct]
+            assert [h.events for h in index.logical] \
+                == [h.events for h in direct]
+
+    def test_episodes_match_direct_extraction(self, traces):
+        for trace in traces.values():
+            index = TraceIndex.of(trace)
+            for logical in (False, True):
+                direct = [extract_episodes(h, trace.os_name)
+                          for h in index.histories(logical)]
+                assert index.episodes(logical) == direct
+
+    def test_set_like_preserves_trace_order(self, traces):
+        for trace in traces.values():
+            index = TraceIndex.of(trace)
+            expected = [e for e in trace.events
+                        if e.kind in (EventKind.SET,
+                                      EventKind.WAIT_UNBLOCK)]
+            assert index.set_like == expected
+
+    def test_default_grouping_follows_os(self, traces):
+        assert not TraceIndex.of(
+            traces[("linux", "idle")]).default_logical
+        assert TraceIndex.of(traces[("vista", "idle")]).default_logical
+
+
+class TestAnalysisEquivalence:
+    """Each analysis: indexed output == pre-index fresh-scan output."""
+
+    @staticmethod
+    def _verdict_rows(verdicts):
+        # Classification.history compares by identity; compare the
+        # semantically meaningful fields.
+        return [(v.history.key, v.episodes, v.timer_class,
+                 v.dominant_value_ns) for v in verdicts]
+
+    def test_classify(self, traces):
+        for trace in traces.values():
+            assert self._verdict_rows(classify_trace(trace)) \
+                == self._verdict_rows(classify_trace(fresh(trace)))
+
+    def test_summary(self, traces):
+        for trace in traces.values():
+            assert summarize(trace).as_row() \
+                == summarize(fresh(trace)).as_row()
+
+    def test_pattern_breakdown(self, traces):
+        for trace in traces.values():
+            assert pattern_breakdown(trace).figure2_row() \
+                == pattern_breakdown(fresh(trace)).figure2_row()
+
+    def test_value_histogram(self, traces):
+        for trace in traces.values():
+            assert render_histogram(value_histogram(trace)) \
+                == render_histogram(value_histogram(fresh(trace)))
+
+    def test_duration_scatter(self, traces):
+        for trace in traces.values():
+            assert render_scatter(duration_scatter(trace)) \
+                == render_scatter(duration_scatter(fresh(trace)))
+
+    def test_origin_table(self, traces):
+        for trace in traces.values():
+            assert render_origin_table(origin_table(trace, min_sets=5)) \
+                == render_origin_table(origin_table(fresh(trace),
+                                                    min_sets=5))
+
+    def test_adaptivity(self, traces):
+        for trace in traces.values():
+            assert adaptivity_report(trace).render() \
+                == adaptivity_report(fresh(trace)).render()
+
+    def test_nesting(self, traces):
+        for trace in traces.values():
+            assert render_nesting(infer_nesting(trace)) \
+                == render_nesting(infer_nesting(fresh(trace)))
+
+    def test_rate_series(self, traces):
+        for trace in traces.values():
+            indexed = rate_series(trace)
+            plain = rate_series(fresh(trace))
+            assert indexed.series == plain.series
+
+
+class TestCaching:
+    def test_index_is_cached_on_trace(self):
+        trace = periodic_timer(TraceBuilder()).build()
+        assert TraceIndex.of(trace) is TraceIndex.of(trace)
+
+    def test_peek_only_returns_built_index(self):
+        trace = periodic_timer(TraceBuilder()).build()
+        assert TraceIndex.peek(trace) is None
+        index = TraceIndex.of(trace)
+        assert TraceIndex.peek(trace) is index
+
+    def test_classification_is_memoized(self):
+        trace = watchdog_timer(TraceBuilder()).build()
+        assert classify_trace(trace) is classify_trace(trace)
+
+    def test_extend_invalidates_index(self):
+        builder = TraceBuilder()
+        periodic_timer(builder, count=5)
+        trace = builder.build()
+        stale = TraceIndex.of(trace)
+        more = periodic_timer(TraceBuilder(), count=3,
+                              timer_id=9).build().events
+        trace.extend(more)
+        rebuilt = TraceIndex.of(trace)
+        assert rebuilt is not stale
+        assert rebuilt.n_events == len(trace.events)
+        assert any(h.key == 9 for h in rebuilt.instances)
+
+
+class TestParallelDriver:
+    JOBS = [("linux", "idle", 6 * SECOND, 5),
+            ("vista", "idle", 6 * SECOND, 5),
+            ("linux", "skype", 6 * SECOND, 5)]
+
+    def test_serial_matches_parallel_byte_for_byte(self):
+        serial = run_study_traces(self.JOBS, processes=1)
+        parallel = run_study_traces(self.JOBS, processes=2)
+        assert [dumps(t) for t in serial] == [dumps(t) for t in parallel]
+
+    def test_job_order_is_preserved(self):
+        results = run_study_traces(self.JOBS, processes=2)
+        assert [(t.os_name, t.workload) for t in results] \
+            == [(os_name, wl) for os_name, wl, _, _ in self.JOBS]
+
+    def test_desktop_duration_none_uses_default(self):
+        (trace,) = run_study_traces(
+            [("vista", "desktop", None, 0)], processes=1)
+        assert trace.workload == "desktop"
+        assert trace.duration_ns >= MINUTE

@@ -103,3 +103,48 @@ class TestProperty:
         assert len(clone.events) == len(events)
         for a, b in zip(events, clone.events):
             assert a.to_dict() == b.to_dict()
+
+
+EVENT_FIELDS = ("kind", "ts", "timer_id", "pid", "comm", "domain",
+                "site", "timeout_ns", "expires_ns", "flags")
+
+
+def events_equal(a, b):
+    return all(getattr(x, f) == getattr(y, f)
+               for x, y in zip(a.events, b.events)
+               for f in EVENT_FIELDS) and len(a.events) == len(b.events)
+
+
+class TestFormatDispatch:
+    """Trace.save/load pick the codec from the extension; both formats
+    preserve every event field, so jsonl <-> binary round-trips are
+    lossless in either direction."""
+
+    def test_save_load_dispatches_on_extension(self, tmp_path):
+        trace = sample_trace()
+        bin_path = str(tmp_path / "t.bin")
+        jsonl_path = str(tmp_path / "t.jsonl.gz")
+        trace.save(bin_path)
+        trace.save(jsonl_path)
+        with open(bin_path, "rb") as fh:
+            assert fh.read(8) == b"TMRTRACE"
+        for path in (bin_path, jsonl_path):
+            clone = Trace.load(path)
+            assert clone.os_name == trace.os_name
+            assert clone.workload == trace.workload
+            assert clone.duration_ns == trace.duration_ns
+            assert events_equal(clone, trace)
+
+    def test_jsonl_binfmt_cross_roundtrip(self, tmp_path):
+        """jsonl -> binary -> jsonl keeps every field of every event."""
+        run = run_workload("vista", "skype", 15 * SECOND, seed=9)
+        jsonl_path = str(tmp_path / "a.jsonl.gz")
+        run.trace.save(jsonl_path)
+        via_jsonl = Trace.load(jsonl_path)
+        bin_path = str(tmp_path / "b.bin")
+        via_jsonl.save(bin_path)
+        via_bin = Trace.load(bin_path)
+        assert events_equal(via_bin, run.trace)
+        jsonl_again = str(tmp_path / "c.jsonl.gz")
+        via_bin.save(jsonl_again)
+        assert events_equal(Trace.load(jsonl_again), run.trace)
