@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Streaming-vs-batch analysis benchmark.
+
+Two claims back the :mod:`repro.core.streaming` reducers:
+
+* **exactness** — folding the event stream through
+  :class:`~repro.core.streaming.StreamingSuite` produces results
+  byte-identical to the batch analyses of the same trace (rendered
+  through the same formatters), on both OSes (Vista exercises the
+  wait-fast-path retroactive inserts and the watermarked sweep);
+* **bounded memory** — the suite's transient aggregation state stays
+  flat as the trace grows: peak state entries for a 30-virtual-minute
+  idle run must be within 2x of the 2-minute run, while the batch
+  pipeline's retained event count grows linearly (~15x).
+
+It also times the pure analysis paths over identical event streams:
+batch battery (index build + every analysis) versus a streaming
+replay (``emit`` loop + ``finish``), in events/second, plus the
+Python-heap peak (``tracemalloc``) of running each pipeline in flight.
+
+Results go to ``BENCH_streaming.json``.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py           # full
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import tracemalloc
+
+if __package__ in (None, ""):   # direct invocation without PYTHONPATH
+    _src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if _src not in sys.path and os.path.isdir(_src):
+        sys.path.insert(0, _src)
+
+from repro.core import (TraceIndex, pattern_breakdown, duration_scatter,
+                        origin_table, rate_series, render_histogram,
+                        render_origin_table, render_rates,
+                        render_scatter, summarize, summary_table,
+                        value_histogram)
+from repro.core.streaming import StreamingSuite
+from repro.sim.clock import MINUTE
+from repro.tracing import Trace
+from repro.workloads import run_workload
+
+
+def render_battery(summary, breakdown, hist, scatter, rates,
+                   origins) -> str:
+    """One canonical rendering of the analysis battery; batch and
+    streaming results go through this identically."""
+    return "\n".join([
+        summary_table([summary]),
+        str(breakdown.figure2_row()),
+        render_histogram(hist),
+        render_scatter(scatter),
+        f"skipped={scatter.skipped} clipped={scatter.clipped}",
+        render_origin_table(origins),
+        render_rates(rates, max_rows=10),
+    ])
+
+
+def batch_battery(trace: Trace) -> str:
+    index = TraceIndex.of(trace)
+    return render_battery(
+        summarize(index), pattern_breakdown(index),
+        value_histogram(index), duration_scatter(index),
+        rate_series(index, duration_ns=trace.duration_ns),
+        origin_table(index, min_sets=3))
+
+
+def stream_replay(trace: Trace) -> tuple[str, StreamingSuite, float]:
+    """Fold the trace's events through a fresh suite; returns the
+    rendered battery, the suite and the replay seconds."""
+    suite = StreamingSuite(trace.os_name, trace.workload)
+    emit = suite.emit
+    t0 = time.perf_counter()
+    for event in trace.events:
+        emit(event)
+    suite.finish(trace.duration_ns)
+    elapsed = time.perf_counter() - t0
+    text = render_battery(suite.summary, suite.breakdown,
+                          suite.histogram, suite.scatter, suite.rates,
+                          suite.origin_table(min_sets=3))
+    return text, suite, elapsed
+
+
+def in_flight(os_name: str, workload: str, duration_ns: int, seed: int,
+              streaming: bool) -> dict:
+    """Run one simulation with the given pipeline attached and
+    measure its Python-heap peak and retained state."""
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    if streaming:
+        suite = StreamingSuite(os_name, workload)
+        run = run_workload(os_name, workload, duration_ns, seed=seed,
+                           sinks=[suite], retain_events=False)
+        suite.finish(run.trace.duration_ns)
+        events, state = suite.n_events, suite.peak_state
+    else:
+        run = run_workload(os_name, workload, duration_ns, seed=seed)
+        TraceIndex.of(run.trace)
+        events, state = len(run.trace), len(run.trace)
+    elapsed = time.perf_counter() - t0
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {"events": events, "state_entries": state,
+            "heap_peak_kib": peak // 1024, "wall_s": round(elapsed, 3)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI mode: 0.2 vs 2 virtual minutes "
+                             "instead of 2 vs 30")
+    parser.add_argument("--out", default="BENCH_streaming.json")
+    args = parser.parse_args(argv)
+
+    short_min, long_min = (0.2, 2.0) if args.smoke else (2.0, 30.0)
+
+    # -- exactness + analysis throughput --------------------------------
+    exact = {}
+    identical = True
+    for os_name in ("linux", "vista"):
+        duration = int(short_min * MINUTE)
+        print(f"exactness: {os_name}/idle {short_min:g} min",
+              file=sys.stderr)
+        trace = run_workload(os_name, "idle", duration,
+                             seed=args.seed).trace
+        t0 = time.perf_counter()
+        batch_text = batch_battery(trace)
+        batch_s = time.perf_counter() - t0
+        stream_text, suite, stream_s = stream_replay(trace)
+        same = stream_text == batch_text
+        identical = identical and same and suite.late_waits == 0
+        exact[f"{os_name}/idle"] = {
+            "events": len(trace),
+            "identical_output": same,
+            "late_waits": suite.late_waits,
+            "batch_events_per_s": round(len(trace) / batch_s)
+            if batch_s else None,
+            "stream_events_per_s": round(len(trace) / stream_s)
+            if stream_s else None,
+        }
+        if not same:
+            print(f"FATAL: {os_name}/idle streaming output differs",
+                  file=sys.stderr)
+
+    # -- bounded memory -------------------------------------------------
+    bounded = {}
+    for label, minutes in (("short", short_min), ("long", long_min)):
+        duration = int(minutes * MINUTE)
+        print(f"bounded: linux/idle {minutes:g} min "
+              "(streaming, then batch)", file=sys.stderr)
+        bounded[label] = {
+            "minutes": minutes,
+            "streaming": in_flight("linux", "idle", duration,
+                                   args.seed, streaming=True),
+            "batch": in_flight("linux", "idle", duration,
+                               args.seed, streaming=False),
+        }
+    short_peak = bounded["short"]["streaming"]["state_entries"]
+    long_peak = bounded["long"]["streaming"]["state_entries"]
+    state_ratio = long_peak / short_peak if short_peak else None
+    event_ratio = (bounded["long"]["batch"]["state_entries"]
+                   / bounded["short"]["batch"]["state_entries"])
+    bounded_ok = state_ratio is not None and state_ratio <= 2.0
+    bounded["verdict"] = {
+        "streaming_state_growth": round(state_ratio, 3)
+        if state_ratio else None,
+        "batch_state_growth": round(event_ratio, 3),
+        "within_2x": bounded_ok,
+    }
+
+    result = {
+        "config": {"seed": args.seed, "smoke": args.smoke,
+                   "short_minutes": short_min, "long_minutes": long_min,
+                   "cpus": os.cpu_count()},
+        "exactness": exact,
+        "bounded_memory": bounded,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    print(f"\nstreaming state growth {short_min:g}->{long_min:g} min: "
+          f"{state_ratio:.2f}x (batch events: {event_ratio:.1f}x); "
+          f"exact: {identical}", file=sys.stderr)
+    print(f"results -> {args.out}", file=sys.stderr)
+    return 0 if identical and bounded_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

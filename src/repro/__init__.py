@@ -19,24 +19,37 @@ The package is organised the way the paper is:
 
 Quick start::
 
-    from repro import run_workload, summarize, pattern_breakdown
+    from repro import analyze, run_workload
     run = run_workload("linux", "idle")
-    print(summarize(run.trace))
+    print(analyze(run.trace).summary())
+
+Bounded-memory variant — analyze events in flight instead of
+buffering the trace::
+
+    from repro import StreamingSuite, analyze, run_workload
+    suite = StreamingSuite("linux", "idle")
+    run = run_workload("linux", "idle", sinks=[suite],
+                       retain_events=False)
+    print(analyze(suite, duration_ns=run.trace.duration_ns).summary())
 """
 
 from . import core, linuxkern, sim, tracing, vistakern, workloads
-from .core import (classify_trace, duration_scatter, origin_table,
-                   pattern_breakdown, rate_series, summarize,
+from .core import (Analysis, StreamingSuite, TraceIndex, analyze,
+                   as_index, classify_trace, duration_scatter,
+                   generate_report, origin_table, pattern_breakdown,
+                   rate_series, render_analysis, summarize,
                    summary_table, value_histogram)
 from .tracing import Trace
-from .workloads import run_vista_desktop, run_workload
+from .workloads import run_study_traces, run_vista_desktop, run_workload
 
 __version__ = "0.1.0"
 
 __all__ = [
     "core", "linuxkern", "sim", "tracing", "vistakern", "workloads",
-    "classify_trace", "duration_scatter", "origin_table",
-    "pattern_breakdown", "rate_series", "summarize", "summary_table",
-    "value_histogram", "Trace", "run_vista_desktop", "run_workload",
+    "Analysis", "StreamingSuite", "TraceIndex", "analyze", "as_index",
+    "classify_trace", "duration_scatter", "generate_report",
+    "origin_table", "pattern_breakdown", "rate_series",
+    "render_analysis", "summarize", "summary_table", "value_histogram",
+    "Trace", "run_study_traces", "run_vista_desktop", "run_workload",
     "__version__",
 ]

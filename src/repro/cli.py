@@ -3,6 +3,7 @@
 Subcommands::
 
     timerstudy run linux idle --minutes 5 --out idle.jsonl.gz
+    timerstudy run linux idle --minutes 30 --stream   # bounded memory
     timerstudy analyze idle.jsonl.gz [--filter-x]
     timerstudy study --minutes 2          # the whole paper, condensed
     timerstudy browse --unreachable       # the Section 2.2.2 scenario
@@ -18,11 +19,10 @@ import argparse
 import sys
 
 from .sim.clock import MINUTE, SECOND, millis
-from .core import (adaptivity_report, duration_scatter, infer_nesting,
-                   origin_table, pattern_breakdown, rate_series,
-                   render_histogram, render_nesting, render_origin_table,
-                   render_rates, render_scatter, round_value_share,
-                   summarize, summary_table, value_histogram)
+from .core import (pattern_breakdown, rate_series, render_rates,
+                   summarize, summary_table)
+from .core.report import render_analysis
+from .core.streaming import ProgressSink, StreamingSuite
 from .tracing import Trace
 from .workloads import (LINUX_WORKLOADS, VISTA_WORKLOADS, browse,
                         browse_adaptive, run_study_traces,
@@ -38,52 +38,35 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     duration = int(args.minutes * MINUTE)
-    print(f"running {args.os}/{args.workload} for {args.minutes:g} "
-          f"virtual minutes (seed {args.seed})...", file=sys.stderr)
+    mode = "streaming " if args.stream else ""
+    print(f"{mode}running {args.os}/{args.workload} for "
+          f"{args.minutes:g} virtual minutes (seed {args.seed})...",
+          file=sys.stderr)
+    if args.stream:
+        # Bounded-memory path: events flow through the incremental
+        # reducers as the kernel emits them; nothing is buffered, so
+        # there is no trace to save.
+        suite = StreamingSuite(args.os, args.workload)
+        progress = ProgressSink(label=f"{args.os}/{args.workload}: ")
+        run = run_workload(args.os, args.workload, duration,
+                           seed=args.seed, sinks=[suite, progress],
+                           retain_events=False)
+        progress.finish(run.trace.duration_ns)
+        suite.finish(run.trace.duration_ns)
+        print(f"{suite.n_events} events analyzed in flight "
+              f"(peak aggregation state {suite.peak_state} entries); "
+              f"no trace file written", file=sys.stderr)
+        print(render_analysis(suite), end="")
+        return 0
     run = run_workload(args.os, args.workload, duration, seed=args.seed)
     run.trace.save(args.out)
     print(f"{len(run.trace)} events -> {args.out}", file=sys.stderr)
     return 0
 
 
-def _analyze(trace: Trace, *, filter_x: bool = False) -> None:
-    print(f"Trace: {trace.os_name}/{trace.workload}, "
-          f"{len(trace)} events over "
-          f"{trace.duration_ns / MINUTE:.1f} virtual minutes\n")
-    print("=== Summary (Tables 1/2 schema) ===")
-    print(summary_table([summarize(trace)]))
-
-    print("\n=== Usage patterns (Figure 2 schema) ===")
-    breakdown = pattern_breakdown(trace)
-    for name, pct in breakdown.figure2_row().items():
-        print(f"  {name:<10} {pct:5.1f}%")
-
-    shown = trace.without_comms(["Xorg", "icewm"]) if filter_x else trace
-    print("\n=== Common timeout values (Figures 3-7 schema) ===")
-    hist = value_histogram(shown)
-    print(render_histogram(hist))
-    print(f"round-number share: {round_value_share(hist) * 100:.1f}%")
-
-    print("\n=== Observed durations (Figures 8-11 schema) ===")
-    scatter = duration_scatter(trace)
-    print(render_scatter(scatter))
-    print(f"late deliveries (>100% of set value): "
-          f"{scatter.share_above_100pct() * 100:.1f}%")
-
-    print("\n=== Origins (Table 3 schema) ===")
-    print(render_origin_table(origin_table(trace, min_sets=5)))
-
-    print("\n=== Value adaptivity (Section 4.2's claim) ===")
-    print(adaptivity_report(trace).render())
-
-    nested = infer_nesting(trace)
-    if nested:
-        print("\n=== Inferred nested timeouts (Section 5.2) ===")
-        print(render_nesting(nested[:10]))
-
-
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    _analyze(Trace.load(args.trace), filter_x=args.filter_x)
+    print(render_analysis(Trace.load(args.trace),
+                          filter_x=args.filter_x), end="")
     return 0
 
 
@@ -179,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--minutes", type=float, default=5.0)
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--out", default="trace.jsonl.gz")
+    run_p.add_argument("--stream", action="store_true",
+                       help="analyze events in flight with bounded "
+                            "memory; prints the analysis instead of "
+                            "saving a trace")
     run_p.set_defaults(func=_cmd_run)
 
     an_p = sub.add_parser("analyze", help="analyze a saved trace")

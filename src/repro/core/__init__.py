@@ -9,6 +9,12 @@ Analysis side: :mod:`~repro.core.summary` (Tables 1–2),
 (Figure 1) — all consuming the shared single-pass
 :mod:`~repro.core.index` instead of re-scanning the trace.
 
+One roof over all of it: :func:`~repro.core.analyze.analyze` wraps a
+trace, index, saved file, event stream or finished
+:class:`~repro.core.streaming.StreamingSuite` in a lazy
+:class:`~repro.core.analyze.Analysis`; :mod:`~repro.core.streaming`
+holds the bounded-memory incremental reducers behind it.
+
 Design side: :mod:`~repro.core.adaptive` (5.1),
 :mod:`~repro.core.provenance` (5.2), :mod:`~repro.core.timespec` (5.3),
 :mod:`~repro.core.interfaces` (5.4), :mod:`~repro.core.dispatch` (5.5).
@@ -16,6 +22,7 @@ Design side: :mod:`~repro.core.adaptive` (5.1),
 
 from .adaptivity import (AdaptivityReport, ValueBehavior,
                          adaptivity_report, classify_values)
+from .analyze import Analysis, analyze
 from .adaptive import (AdaptiveTimeout, ExponentialBackoff,
                        JacobsonEstimator, LevelShiftDetector, P2Quantile,
                        WaitOutcome, simulate_wait_policy)
@@ -29,7 +36,7 @@ from .durations import (DurationScatter, ScatterPoint, duration_scatter,
                         render_scatter)
 from .episodes import (DEFAULT_TOLERANCE_NS, Episode, Outcome,
                        dominant_value, extract_episodes, nominal_value_ns)
-from .index import TraceIndex
+from .index import TraceIndex, as_index
 from .interfaces import (DeferredAction, DelayTimer, PeriodicTicker,
                          ScopedTimeout, Watchdog)
 from .nesting import NestedPair, infer_nesting, render_nesting
@@ -42,7 +49,11 @@ from .origins import (OriginRow, attribute_origin, origin_table,
 from .provenance import (DependencyGraph, LayeredTimeoutStack, LayerSpec,
                          Relation)
 from .rates import RateSeries, default_group, rate_series, render_rates
-from .report import generate_report
+from .report import generate_report, render_analysis
+from .streaming import (EpisodeRouter, ProgressSink, StreamingClassifier,
+                        StreamingDurations, StreamingRates,
+                        StreamingSuite, StreamingSummary,
+                        StreamingValues)
 from .summary import TraceSummary, summarize, summary_table
 from .timespec import (AverageRate, Exact, FlexibleTimer,
                        FlexibleTimerQueue, Window, after, stab_windows)

@@ -23,10 +23,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from ..tracing.trace import Trace
 from .classify import _is_countdown
 from .episodes import DEFAULT_TOLERANCE_NS
-from .index import TraceIndex
+from .index import as_index
 
 
 class ValueBehavior(enum.Enum):
@@ -101,14 +100,14 @@ class AdaptivityReport:
         return "\n".join(lines)
 
 
-def adaptivity_report(trace: Trace, *, logical: Optional[bool] = None,
+def adaptivity_report(source, *, logical: Optional[bool] = None,
                       tolerance_ns: int = DEFAULT_TOLERANCE_NS
                       ) -> AdaptivityReport:
     """Measure how much of a trace's timer traffic is adaptive."""
-    index = TraceIndex.of(trace)
+    index = as_index(source)
     if logical is None:
         logical = index.default_logical
-    report = AdaptivityReport(trace.workload, trace.os_name)
+    report = AdaptivityReport(index.trace.workload, index.os_name)
     for _history, episodes in index.grouped(logical):
         values = [e.value_ns for e in episodes]
         if not values:

@@ -28,10 +28,10 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..tracing.trace import Trace, TimerHistory
+from ..tracing.trace import TimerHistory
 from .episodes import (DEFAULT_TOLERANCE_NS, Episode, Outcome,
                        dominant_value, extract_episodes)
-from .index import TraceIndex
+from .index import as_index
 
 
 class TimerClass(enum.Enum):
@@ -215,22 +215,22 @@ class PatternBreakdown:
         }
 
 
-def classify_trace(trace: Trace, *, logical: Optional[bool] = None,
+def classify_trace(source, *, logical: Optional[bool] = None,
                    tolerance_ns: int = DEFAULT_TOLERANCE_NS
                    ) -> list[Classification]:
-    """Classify every timer in a trace.
+    """Classify every timer in a trace (or pre-built index).
 
     ``logical`` selects call-site clustering (default for Vista, where
     timer addresses are dynamically reused) versus per-address grouping
     (default for Linux).
     """
-    index = TraceIndex.of(trace)
+    index = as_index(source)
     if logical is None:
         logical = index.default_logical
     key = ("classify", logical, tolerance_ns)
     verdicts = index.memo.get(key)
     if verdicts is None:
-        verdicts = [classify_timer(history, trace.os_name,
+        verdicts = [classify_timer(history, index.os_name,
                                    tolerance_ns=tolerance_ns,
                                    episodes=episodes)
                     for history, episodes in index.grouped(logical)]
@@ -238,10 +238,11 @@ def classify_trace(trace: Trace, *, logical: Optional[bool] = None,
     return verdicts
 
 
-def pattern_breakdown(trace: Trace, **kwargs) -> PatternBreakdown:
+def pattern_breakdown(source, **kwargs) -> PatternBreakdown:
     """Compute Figure 2's per-class timer percentages for one trace."""
-    breakdown = PatternBreakdown(trace.workload, trace.os_name)
-    for verdict in classify_trace(trace, **kwargs):
+    index = as_index(source)
+    breakdown = PatternBreakdown(index.trace.workload, index.os_name)
+    for verdict in classify_trace(index, **kwargs):
         breakdown.counts[verdict.timer_class] = \
             breakdown.counts.get(verdict.timer_class, 0) + 1
         breakdown.total += 1

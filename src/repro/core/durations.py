@@ -16,9 +16,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..sim.clock import SECOND
-from ..tracing.trace import Trace
 from .episodes import Outcome
-from .index import TraceIndex
+from .index import as_index
 
 CUTOFF_PCT = 250.0
 
@@ -86,13 +85,13 @@ class DurationScatter:
         return (min(fracs), max(fracs))
 
 
-def duration_scatter(trace: Trace, *, logical: Optional[bool] = None,
+def duration_scatter(source, *, logical: Optional[bool] = None,
                      cutoff_pct: float = CUTOFF_PCT) -> DurationScatter:
-    """Build the Figure 8–11 scatter for one trace."""
-    index = TraceIndex.of(trace)
+    """Build the Figure 8–11 scatter for one trace or index."""
+    index = as_index(source)
     if logical is None:
         logical = index.default_logical
-    scatter = DurationScatter(trace.workload, trace.os_name)
+    scatter = DurationScatter(index.trace.workload, index.os_name)
     agg: dict[tuple[int, float, Outcome], int] = {}
     for _history, episodes in index.grouped(logical):
         for episode in episodes:

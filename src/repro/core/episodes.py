@@ -17,6 +17,7 @@ applied when comparing values.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import Optional
 
@@ -26,6 +27,43 @@ from ..tracing.trace import TimerHistory
 
 #: The jitter allowance the paper determined from the workqueue timer.
 DEFAULT_TOLERANCE_NS = 2 * MILLISECOND
+
+
+class ValueBuckets:
+    """First-fit tolerance pooling of set values.
+
+    Each value joins the *earliest-created* bucket whose center lies
+    within the tolerance, or opens a new bucket at itself — the exact
+    semantics of scanning the bucket dict in insertion order, but
+    found through a sorted view of the centers, so countdown timers
+    (every set value distinct) cost O(log n) per episode instead of a
+    full scan.
+    """
+
+    __slots__ = ("tolerance_ns", "counts", "_seq", "_sorted")
+
+    def __init__(self, tolerance_ns: int):
+        self.tolerance_ns = tolerance_ns
+        #: center -> count, in bucket-creation order.
+        self.counts: dict[int, int] = {}
+        self._seq: dict[int, int] = {}
+        self._sorted: list[int] = []
+
+    def add(self, value: int) -> None:
+        lo = bisect_left(self._sorted, value - self.tolerance_ns)
+        hi = bisect_right(self._sorted, value + self.tolerance_ns)
+        if lo < hi:
+            center = min(self._sorted[lo:hi], key=self._seq.__getitem__)
+            self.counts[center] += 1
+        else:
+            self.counts[value] = 1
+            self._seq[value] = len(self._seq)
+            insort(self._sorted, value)
+
+    def dominant(self) -> tuple[int, int]:
+        """(center, count) of the fullest bucket; ties go to the
+        earliest-created bucket, as with ``max`` over the dict."""
+        return max(self.counts.items(), key=lambda kv: kv[1])
 
 
 class Outcome(enum.Enum):
@@ -69,50 +107,83 @@ def nominal_value_ns(event, os_name: str) -> int:
     return timeout
 
 
-def extract_episodes(history: TimerHistory, os_name: str) -> list[Episode]:
-    """Walk one timer's events and produce its episode list."""
-    episodes: list[Episode] = []
-    armed_at: Optional[int] = None
-    armed_value = 0
-    last_end: Optional[int] = None
+class EpisodeBuilder:
+    """Incremental episode extraction for one timer's event stream.
 
-    def close(outcome: Outcome, ended_at: Optional[int]) -> None:
-        nonlocal armed_at, last_end
+    The batch path (:func:`extract_episodes`) and the streaming
+    reducers (:mod:`repro.core.streaming`) share this state machine, so
+    an episode produced online is byte-identical to one produced from a
+    materialized :class:`~repro.tracing.trace.TimerHistory`.
+
+    Push events in trace order with :meth:`push`; completed episodes
+    are either appended to :attr:`episodes` or handed to the
+    ``on_episode`` callback (streaming mode, which retains only the
+    open-episode state — O(1) per timer).  Call :meth:`finish` once at
+    end of stream to close a still-armed episode as UNRESOLVED.
+    """
+
+    __slots__ = ("os_name", "on_episode", "episodes",
+                 "_armed_at", "_armed_value", "_last_end")
+
+    def __init__(self, os_name: str, on_episode=None):
+        self.os_name = os_name
+        self.on_episode = on_episode
+        self.episodes: list[Episode] = []
+        self._armed_at: Optional[int] = None
+        self._armed_value = 0
+        self._last_end: Optional[int] = None
+
+    def _close(self, outcome: Outcome, ended_at: Optional[int]) -> None:
+        armed_at = self._armed_at
         gap = None
-        if last_end is not None and armed_at is not None:
-            gap = armed_at - last_end
-        episodes.append(Episode(armed_at, armed_value, outcome,
-                                ended_at, gap))
-        last_end = ended_at if ended_at is not None else armed_at
-        armed_at = None
+        if self._last_end is not None and armed_at is not None:
+            gap = armed_at - self._last_end
+        episode = Episode(armed_at, self._armed_value, outcome,
+                          ended_at, gap)
+        if self.on_episode is not None:
+            self.on_episode(episode)
+        else:
+            self.episodes.append(episode)
+        self._last_end = ended_at if ended_at is not None else armed_at
+        self._armed_at = None
 
-    for event in history.events:
+    def push(self, event) -> None:
         kind = event.kind
         if kind == EventKind.SET:
-            if armed_at is not None:
-                close(Outcome.REARMED, event.ts)
-            armed_at = event.ts
-            armed_value = nominal_value_ns(event, os_name)
+            if self._armed_at is not None:
+                self._close(Outcome.REARMED, event.ts)
+            self._armed_at = event.ts
+            self._armed_value = nominal_value_ns(event, self.os_name)
         elif kind == EventKind.EXPIRE:
-            if armed_at is not None:
-                close(Outcome.EXPIRED, event.ts)
+            if self._armed_at is not None:
+                self._close(Outcome.EXPIRED, event.ts)
         elif kind == EventKind.CANCEL:
             # Cancels of an inactive timer carry expires_ns=None and do
             # not end an episode (they are the "repeated deletions").
-            if armed_at is not None and event.expires_ns is not None:
-                close(Outcome.CANCELED, event.ts)
+            if self._armed_at is not None and event.expires_ns is not None:
+                self._close(Outcome.CANCELED, event.ts)
         elif kind == EventKind.WAIT_UNBLOCK:
             # Self-contained: expires_ns holds the block timestamp.
             if event.timeout_ns is None:
-                continue
-            armed_at = event.expires_ns
-            armed_value = event.timeout_ns
+                return
+            self._armed_at = event.expires_ns
+            self._armed_value = event.timeout_ns
             satisfied = bool(event.flags & FLAG_WAIT_SATISFIED)
-            close(Outcome.CANCELED if satisfied else Outcome.EXPIRED,
-                  event.ts)
-    if armed_at is not None:
-        close(Outcome.UNRESOLVED, None)
-    return episodes
+            self._close(Outcome.CANCELED if satisfied else Outcome.EXPIRED,
+                        event.ts)
+
+    def finish(self) -> list[Episode]:
+        if self._armed_at is not None:
+            self._close(Outcome.UNRESOLVED, None)
+        return self.episodes
+
+
+def extract_episodes(history: TimerHistory, os_name: str) -> list[Episode]:
+    """Walk one timer's events and produce its episode list."""
+    builder = EpisodeBuilder(os_name)
+    for event in history.events:
+        builder.push(event)
+    return builder.finish()
 
 
 def dominant_value(episodes: list[Episode],
@@ -125,15 +196,8 @@ def dominant_value(episodes: list[Episode],
     """
     if not episodes:
         return None, 0.0
-    buckets: dict[int, int] = {}
+    buckets = ValueBuckets(tolerance_ns)
     for ep in episodes:
-        placed = False
-        for center in buckets:
-            if abs(ep.value_ns - center) <= tolerance_ns:
-                buckets[center] += 1
-                placed = True
-                break
-        if not placed:
-            buckets[ep.value_ns] = 1
-    best = max(buckets.items(), key=lambda kv: kv[1])
-    return best[0], best[1] / len(episodes)
+        buckets.add(ep.value_ns)
+    center, count = buckets.dominant()
+    return center, count / len(episodes)

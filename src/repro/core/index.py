@@ -17,14 +17,22 @@ study re-scanned a multi-million-event trace roughly ten times.  The
   classification, the Table 1/2 summary) so e.g. Table 3 reuses the
   Figure 2 classification instead of recomputing it.
 
+The scan is *incremental*: the grouping dicts are live state, so
+:meth:`TraceIndex.extend` can ingest new events without re-reading the
+ones already indexed (``Trace.extend`` keeps a cached index current the
+same way).  Derived views and memoized results are invalidated on
+ingestion and rebuilt lazily.
+
 The index is cached on the :class:`~repro.tracing.trace.Trace` itself
-(``trace._index``) and rebuilt automatically if the event list grows,
-so callers just write ``TraceIndex.of(trace)`` and share the work.
+(``trace._index``) and rebuilt automatically if the event list grows
+behind its back, so callers just write ``TraceIndex.of(trace)`` — or
+the public :func:`as_index`, which every analysis routes through so a
+``Trace`` and a ``TraceIndex`` are interchangeable arguments.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
 from ..tracing.events import EventKind, TimerEvent
 from ..tracing.trace import TimerHistory, Trace
@@ -38,25 +46,51 @@ SET_LIKE_KINDS = (EventKind.SET, EventKind.WAIT_UNBLOCK)
 class TraceIndex:
     """Every shared grouping/view of one trace, built in a single pass."""
 
-    __slots__ = ("trace", "os_name", "n_events", "instances", "logical",
-                 "set_like", "memo", "_by_kind", "_by_pid", "_by_comm",
+    __slots__ = ("trace", "os_name", "n_events", "set_like", "memo",
+                 "_instance_groups", "_logical_groups", "_site_of_id",
+                 "_instances", "_logical",
+                 "_by_kind", "_by_pid", "_by_comm",
                  "_instance_episodes", "_logical_episodes")
 
     def __init__(self, trace: Trace):
         self.trace = trace
         self.os_name = trace.os_name
-        self.n_events = len(trace.events)
+        self.n_events = 0
+        self._instance_groups: dict[int, list[TimerEvent]] = {}
+        self._site_of_id: dict[int, Tuple[Tuple[str, ...], int]] = {}
+        self._logical_groups: dict[Tuple[Tuple[str, ...], int],
+                                   list[TimerEvent]] = {}
+        self.set_like: list[TimerEvent] = []
+        self.memo: dict = {}
+        self._invalidate_views()
+        self.ingest(trace.events)
 
-        instance_groups: dict[int, list[TimerEvent]] = {}
-        site_of_id: dict[int, Tuple[Tuple[str, ...], int]] = {}
-        logical_groups: dict[Tuple[Tuple[str, ...], int],
-                             list[TimerEvent]] = {}
-        set_like: list[TimerEvent] = []
+    def _invalidate_views(self) -> None:
+        self._instances: Optional[list[TimerHistory]] = None
+        self._logical: Optional[list[TimerHistory]] = None
+        self._by_kind: Optional[dict] = None
+        self._by_pid: Optional[dict] = None
+        self._by_comm: Optional[dict] = None
+        self._instance_episodes: Optional[list[list[Episode]]] = None
+        self._logical_episodes: Optional[list[list[Episode]]] = None
+
+    # -- construction / incremental growth ------------------------------
+
+    def ingest(self, events: Iterable[TimerEvent]) -> None:
+        """Index ``events`` (already appended to the trace) without
+        re-scanning earlier ones.  Derived views and memos are dropped;
+        the groupings stay byte-identical to a from-scratch build."""
+        instance_groups = self._instance_groups
+        logical_groups = self._logical_groups
+        site_of_id = self._site_of_id
+        set_like = self.set_like
 
         set_kind = EventKind.SET
         wait_kind = EventKind.WAIT_UNBLOCK
         init_kind = EventKind.INIT
-        for event in trace.events:
+        count = 0
+        for event in events:
+            count += 1
             kind = event.kind
 
             # Per-address grouping (Trace.instances).
@@ -81,24 +115,22 @@ class TraceIndex:
                 group = logical_groups[key] = []
             group.append(event)
 
-        self.instances = [TimerHistory(tid, evs)
-                          for tid, evs in instance_groups.items()]
-        self.logical = [TimerHistory(key, evs)
-                        for key, evs in logical_groups.items()]
-        self.set_like = set_like
-        self.memo: dict = {}
-        self._by_kind: Optional[dict] = None
-        self._by_pid: Optional[dict] = None
-        self._by_comm: Optional[dict] = None
-        self._instance_episodes: Optional[list[list[Episode]]] = None
-        self._logical_episodes: Optional[list[list[Episode]]] = None
+        if count:
+            self.memo.clear()
+            self._invalidate_views()
+        self.n_events += count
+
+    def extend(self, events: Iterable[TimerEvent]) -> None:
+        """Append ``events`` to the underlying trace and index them
+        incrementally — the streaming-friendly growth path."""
+        self.trace.extend(list(events))   # routes back through ingest
 
     # -- access ---------------------------------------------------------
 
     @classmethod
     def of(cls, trace: Trace) -> "TraceIndex":
         """The trace's cached index, building (or rebuilding) it if the
-        event list changed length since the last build."""
+        event list changed length behind the index's back."""
         index = getattr(trace, "_index", None)
         if index is None or index.n_events != len(trace.events):
             index = cls(trace)
@@ -114,6 +146,20 @@ class TraceIndex:
         if index is not None and index.n_events == len(trace.events):
             return index
         return None
+
+    @property
+    def instances(self) -> list[TimerHistory]:
+        if self._instances is None:
+            self._instances = [TimerHistory(tid, evs) for tid, evs
+                               in self._instance_groups.items()]
+        return self._instances
+
+    @property
+    def logical(self) -> list[TimerHistory]:
+        if self._logical is None:
+            self._logical = [TimerHistory(key, evs) for key, evs
+                             in self._logical_groups.items()]
+        return self._logical
 
     @property
     def default_logical(self) -> bool:
@@ -187,3 +233,18 @@ class TraceIndex:
         return (f"<TraceIndex {self.os_name}/{self.trace.workload} "
                 f"{self.n_events} events, {len(self.instances)} timers, "
                 f"{len(self.logical)} logical>")
+
+
+def as_index(source) -> TraceIndex:
+    """Normalize an analysis argument to a :class:`TraceIndex`.
+
+    Every analysis in :mod:`repro.core` accepts either a
+    :class:`~repro.tracing.trace.Trace` or an already-built
+    :class:`TraceIndex`; this is the one place that coercion lives.
+    """
+    if isinstance(source, TraceIndex):
+        return source
+    if isinstance(source, Trace):
+        return TraceIndex.of(source)
+    raise TypeError(f"expected Trace or TraceIndex, got "
+                    f"{type(source).__name__}")

@@ -20,9 +20,8 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..tracing.trace import Trace
 from .episodes import Episode
-from .index import TraceIndex
+from .index import as_index
 
 
 @dataclass
@@ -194,16 +193,16 @@ def _batch_first_containing(outer: _TimerIntervals,
     return answers
 
 
-def infer_nesting(trace: Trace, *, min_support: int = 3,
+def infer_nesting(source, *, min_support: int = 3,
                   min_containment: float = 0.6,
                   logical: Optional[bool] = None) -> list[NestedPair]:
-    """Find nested-timeout pairs in a trace.
+    """Find nested-timeout pairs in a trace (or pre-built index).
 
     Containment is strict on the start side (the outer timer must be
     armed first) and inclusive on the end side.  Pairs must share a
     pid: nesting across processes is not meaningful at this level.
     """
-    index = TraceIndex.of(trace)
+    index = as_index(source)
     if logical is None:
         logical = index.default_logical
     per_pid: dict[int, list] = {}

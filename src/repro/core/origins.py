@@ -16,10 +16,9 @@ from typing import Optional, Tuple
 
 from ..sim.clock import to_seconds
 from ..tracing.events import EventKind
-from ..tracing.trace import Trace
 from .classify import TimerClass, classify_trace
 from .episodes import nominal_value_ns
-from .index import TraceIndex
+from .index import as_index
 
 #: (needle, where, origin label).  ``where`` is "site" to search stack
 #: frames or "comm" to match the process name.
@@ -82,16 +81,16 @@ class OriginRow:
         return to_seconds(self.timeout_ns)
 
 
-def origin_table(trace: Trace, *, min_sets: int = 3,
+def origin_table(source, *, min_sets: int = 3,
                  logical: Optional[bool] = None) -> list[OriginRow]:
-    """Regenerate Table 3 from a trace.
+    """Regenerate Table 3 from a trace or index.
 
     Groups timers by (dominant value, origin); a row's class is the
     majority classifier verdict among its timers, mirroring how the
     paper combined trace data with code inspection.
     """
     rows: dict[tuple[int, str], dict] = {}
-    for verdict in classify_trace(trace, logical=logical):
+    for verdict in classify_trace(as_index(source), logical=logical):
         if verdict.dominant_value_ns is None \
                 or verdict.dominant_value_ns <= 0:
             continue
@@ -120,13 +119,14 @@ def render_origin_table(rows: list[OriginRow]) -> str:
     return "\n".join(lines)
 
 
-def value_origins(trace: Trace, value_ns: int,
+def value_origins(source, value_ns: int,
                   tolerance_ns: int = 2_000_000) -> dict[str, int]:
     """Which origins set (approximately) this value, with counts —
     supports spot checks like 'who sets 5 s timers?'."""
+    index = as_index(source)
     counts: dict[str, int] = {}
-    for event in TraceIndex.of(trace).events_of_kind(EventKind.SET):
-        value = nominal_value_ns(event, trace.os_name)
+    for event in index.events_of_kind(EventKind.SET):
+        value = nominal_value_ns(event, index.os_name)
         if abs(value - value_ns) <= tolerance_ns:
             origin = attribute_origin(event.site, event.comm)
             counts[origin] = counts.get(origin, 0) + 1

@@ -52,22 +52,28 @@ def default_group(event: TimerEvent) -> str:
     return "System"
 
 
-def rate_series(trace: Trace, *, bucket_ns: int = SECOND,
+def rate_series(source, *, bucket_ns: int = SECOND,
                 group_fn: Callable[[TimerEvent], str] = default_group,
                 kinds: tuple = (EventKind.SET, EventKind.WAIT_UNBLOCK),
                 duration_ns: Optional[int] = None) -> RateSeries:
-    """Count timer sets per bucket per group.
+    """Count timer sets per bucket per group (trace or index input).
 
     WAIT_UNBLOCK events count as one set at their block time, matching
     the paper's instrumentation of the wait fast path.
     """
+    # The default kinds are exactly the index's set-like view.  Use an
+    # index when handed or already cached; a rate series alone is a
+    # single scan either way, so never force a full build for it.
+    if isinstance(source, TraceIndex):
+        trace, index = source.trace, source
+    elif isinstance(source, Trace):
+        trace, index = source, TraceIndex.peek(source)
+    else:
+        raise TypeError(f"expected Trace or TraceIndex, got "
+                        f"{type(source).__name__}")
     total = duration_ns if duration_ns is not None else trace.duration_ns
     n_buckets = max(1, -(-total // bucket_ns))
     series: dict[str, list[int]] = {}
-    # The default kinds are exactly the index's set-like view.  Use it
-    # when an index is already cached; a rate series alone is a single
-    # scan either way, so never force a full index build for it.
-    index = TraceIndex.peek(trace)
     events = index.set_like \
         if index is not None and tuple(kinds) == SET_LIKE_KINDS \
         else trace.events

@@ -14,6 +14,7 @@ from ..tracing.trace import Trace
 from .adaptivity import adaptivity_report
 from .classify import pattern_breakdown
 from .durations import duration_scatter, render_scatter
+from .nesting import render_nesting
 from .origins import origin_table, render_origin_table
 from .rates import rate_series, render_rates
 from .summary import summarize, summary_table
@@ -21,6 +22,66 @@ from .values import render_histogram, round_value_share, value_histogram
 
 WORKLOADS = ("idle", "skype", "firefox", "webserver")
 X_COMMS = ("Xorg", "icewm")
+
+
+def render_analysis(source, *, filter_x: bool = False) -> str:
+    """Render the ``timerstudy analyze`` battery for one trace.
+
+    ``source`` is anything :func:`~repro.core.analyze.analyze`
+    accepts, including an already-built
+    :class:`~repro.core.analyze.Analysis`.  Sections that need the
+    full trace in memory (adaptivity, nesting, the ``--filter-x``
+    histogram variant) degrade to a one-line note on a streaming
+    analysis instead of failing.
+    """
+    from .analyze import Analysis, analyze
+
+    analysis = source if isinstance(source, Analysis) else analyze(source)
+    out = io.StringIO()
+    out.write(f"Trace: {analysis.os_name}/{analysis.workload}, "
+              f"{analysis.n_events} events over "
+              f"{analysis.duration_ns / MINUTE:.1f} virtual minutes\n\n")
+    out.write("=== Summary (Tables 1/2 schema) ===\n")
+    out.write(summary_table([analysis.summary()]) + "\n")
+
+    out.write("\n=== Usage patterns (Figure 2 schema) ===\n")
+    for name, pct in analysis.pattern_breakdown().figure2_row().items():
+        out.write(f"  {name:<10} {pct:5.1f}%\n")
+
+    out.write("\n=== Common timeout values (Figures 3-7 schema) ===\n")
+    if filter_x and analysis.mode == "batch":
+        hist = value_histogram(analysis.trace.without_comms(X_COMMS))
+    else:
+        if filter_x:
+            out.write("(--filter-x ignored: streaming analysis)\n")
+        hist = analysis.value_histogram()
+    out.write(render_histogram(hist) + "\n")
+    out.write(f"round-number share: "
+              f"{round_value_share(hist) * 100:.1f}%\n")
+
+    out.write("\n=== Observed durations (Figures 8-11 schema) ===\n")
+    scatter = analysis.duration_scatter()
+    out.write(render_scatter(scatter) + "\n")
+    out.write(f"late deliveries (>100% of set value): "
+              f"{scatter.share_above_100pct() * 100:.1f}%\n")
+
+    out.write("\n=== Origins (Table 3 schema) ===\n")
+    out.write(render_origin_table(analysis.origin_table(min_sets=5))
+              + "\n")
+
+    out.write("\n=== Value adaptivity (Section 4.2's claim) ===\n")
+    if analysis.supports("adaptivity"):
+        out.write(analysis.adaptivity().render() + "\n")
+    else:
+        out.write("(unavailable on a streaming analysis)\n")
+
+    if analysis.supports("nesting"):
+        nested = analysis.nesting()
+        if nested:
+            out.write("\n=== Inferred nested timeouts "
+                      "(Section 5.2) ===\n")
+            out.write(render_nesting(nested[:10]) + "\n")
+    return out.getvalue()
 
 
 def generate_report(*, minutes: float = 2.0, seed: int = 0,

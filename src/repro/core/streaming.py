@@ -1,0 +1,775 @@
+"""Streaming incremental analyses — the online half of ``analyze()``.
+
+The batch analyses in :mod:`repro.core` read a fully materialised event
+list (the paper's 512 MiB relayfs dump read after the fact).  The
+reducers here consume :class:`~repro.tracing.events.TimerEvent` records
+one at a time through the sink protocol (anything with ``emit``), so
+they can be attached *live* to a running machine
+(:meth:`LinuxKernel.attach_sink` / :meth:`VistaKernel.attach_sink`) and
+aggregate a trace of any length in memory proportional to the number of
+*active* timers, not the number of events:
+
+* :class:`StreamingSummary` — Tables 1/2 (including exact maximum
+  concurrency, via a watermarked interval sweep),
+* :class:`StreamingClassifier` — Figure 2 usage patterns and the
+  Table 3 origin rows, from O(1)-per-timer accumulators fed by the
+  shared :class:`~repro.core.episodes.EpisodeBuilder` state machine,
+* :class:`StreamingValues` — the Figure 3–7 value histograms,
+* :class:`StreamingDurations` — the Figure 8–11 scatter, plus P²
+  online quantiles of the expiry/cancel fraction,
+* :class:`StreamingRates` — the Figure 1 set-rate series,
+* :class:`StreamingSuite` — all of the above behind one sink.
+
+Exactness: every reducer is designed to reproduce its batch counterpart
+*byte-identically* on the same event stream (the equivalence tests pin
+this).  The one subtlety is concurrency: the Vista thread-unblock
+record arrives at unblock time but describes an interval that *started*
+at block time, so the sweep buffers endpoint deltas inside a sliding
+watermark window (``wait_horizon_ns``, generously above the longest
+wait timeout any workload uses) and counts any event that still lands
+behind the watermark in :attr:`StreamingSummary.late_waits` — zero in
+every workload, asserted by the tests, so the streamed maximum equals
+the batch maximum.
+"""
+
+from __future__ import annotations
+
+import heapq
+import sys
+from typing import Callable, Iterable, Optional, Tuple
+
+from ..sim.clock import SECOND
+from ..tracing.events import (FLAG_WAIT_SATISFIED, EventKind, TimerEvent)
+from .adaptive import P2Quantile
+from .classify import PatternBreakdown, TimerClass
+from .durations import CUTOFF_PCT, DurationScatter, ScatterPoint
+from .episodes import (DEFAULT_TOLERANCE_NS, Episode, EpisodeBuilder,
+                       Outcome, ValueBuckets, nominal_value_ns)
+from .origins import OriginRow, attribute_origin
+from .rates import RateSeries, default_group
+from .summary import TraceSummary
+from .values import ValueHistogram
+
+#: Sliding-window slack for retroactive WAIT_UNBLOCK interval starts.
+#: A wait unblocks at most its timeout after it blocks; the longest
+#: timed wait any modelled workload issues is 60 s, so 120 s of slack
+#: keeps the streamed concurrency sweep exact (``late_waits == 0``)
+#: while bounding the delta buffer to a two-minute window.
+DEFAULT_WAIT_HORIZON_NS = 120 * SECOND
+
+
+class StreamingSummary:
+    """Online Table 1/2 metrics (see :func:`repro.core.summarize`).
+
+    Counters are trivially exact; distinct-timer and concurrency
+    tracking keep O(timers) and O(active + horizon window) state.
+    """
+
+    def __init__(self, os_name: str, workload: str, *,
+                 wait_horizon_ns: Optional[int] = None):
+        self.os_name = os_name
+        self.workload = workload
+        self._vista = os_name == "vista"
+        if wait_horizon_ns is None:
+            wait_horizon_ns = DEFAULT_WAIT_HORIZON_NS if self._vista else 0
+        self.wait_horizon_ns = wait_horizon_ns
+        self.n_events = 0
+        #: Interval endpoints that arrived behind the committed
+        #: watermark (would make the streamed concurrency inexact).
+        self.late_waits = 0
+        self.result: Optional[TraceSummary] = None
+        self._timer_ids: set[int] = set()
+        self._pending: set[int] = set()
+        self._deltas: dict[int, list] = {}   # ts -> [closes, opens]
+        self._heap: list[int] = []
+        self._level = 0
+        self._concurrency = 0
+        self._committed_ts = -1
+        self._user = self._kernel = 0
+        self._accesses = 0
+        self._set = self._expired = self._canceled = 0
+
+    # -- the interval sweep, incrementally ------------------------------
+
+    def _delta(self, ts: int, idx: int) -> None:
+        """Buffer one endpoint (idx 0 = close, 1 = open) at ``ts``."""
+        if ts <= self._committed_ts:
+            self.late_waits += 1
+            ts = self._committed_ts + 1
+        cell = self._deltas.get(ts)
+        if cell is None:
+            cell = self._deltas[ts] = [0, 0]
+            heapq.heappush(self._heap, ts)
+        cell[idx] += 1
+
+    def _commit(self, watermark: int) -> None:
+        """Apply every buffered instant strictly below ``watermark``.
+
+        Closes apply before opens at the same instant — the batch
+        sweep's sort places ``(ts, -1)`` before ``(ts, +1)`` — so a
+        timer re-armed at time t counts once, not twice.
+        """
+        heap, deltas = self._heap, self._deltas
+        while heap and heap[0] < watermark:
+            ts = heapq.heappop(heap)
+            closes, opens = deltas.pop(ts)
+            self._level += opens - closes
+            if self._level > self._concurrency:
+                self._concurrency = self._level
+            self._committed_ts = ts
+
+    # -- sink protocol ---------------------------------------------------
+
+    def emit(self, event: TimerEvent) -> None:
+        self.n_events += 1
+        kind = event.kind
+        ts = event.ts
+        timer_id = event.timer_id
+        self._timer_ids.add(timer_id)
+
+        if not (self._vista and (kind == EventKind.EXPIRE
+                                 or kind == EventKind.INIT)):
+            self._accesses += 1
+            if event.domain == "user":
+                self._user += 1
+            else:
+                self._kernel += 1
+
+        pending = self._pending
+        if kind == EventKind.SET:
+            self._set += 1
+            if timer_id in pending:
+                self._delta(ts, 0)
+            else:
+                pending.add(timer_id)
+            self._delta(ts, 1)
+        elif kind == EventKind.EXPIRE:
+            self._expired += 1
+            if timer_id in pending:
+                pending.discard(timer_id)
+                self._delta(ts, 0)
+        elif kind == EventKind.CANCEL:
+            if event.expires_ns is not None:
+                self._canceled += 1
+            if timer_id in pending:
+                pending.discard(timer_id)
+                self._delta(ts, 0)
+        elif kind == EventKind.WAIT_UNBLOCK:
+            if event.timeout_ns is not None:
+                self._set += 1
+                if event.flags & FLAG_WAIT_SATISFIED:
+                    self._canceled += 1
+                else:
+                    self._expired += 1
+                self._delta(event.expires_ns, 1)   # block timestamp
+                self._delta(ts, 0)
+        self._commit(ts - self.wait_horizon_ns)
+
+    def state_size(self) -> int:
+        """Entries of *transient* sweep state (pending timers plus
+        buffered endpoint instants) — the part that would be O(events)
+        if the trace were buffered instead."""
+        return len(self._pending) + len(self._deltas)
+
+    def finish(self, duration_ns: int) -> TraceSummary:
+        # Still-armed timers occupy their slot until the trace ends
+        # (their opening +1 was streamed at the SET).
+        for _timer_id in self._pending:
+            self._delta(duration_ns, 0)
+        self._commit(float("inf"))
+        self.result = TraceSummary(
+            workload=self.workload, os_name=self.os_name,
+            timers=len(self._timer_ids), concurrency=self._concurrency,
+            accesses=self._accesses, user_space=self._user,
+            kernel=self._kernel, set_count=self._set,
+            expired=self._expired, canceled=self._canceled)
+        self._timer_ids = set()
+        self._pending = set()
+        self._deltas = {}
+        self._heap = []
+        return self.result
+
+
+# ---------------------------------------------------------------------------
+# Shared per-timer episode routing
+# ---------------------------------------------------------------------------
+
+class _Group:
+    """One timer grouping (per-address or per-(site, pid) cluster)."""
+
+    __slots__ = ("key", "comm", "first_site", "set_site", "builder")
+
+    def __init__(self, key, event: TimerEvent, builder: EpisodeBuilder):
+        self.key = key
+        self.comm = event.comm
+        self.first_site = event.site
+        self.set_site: Optional[Tuple[str, ...]] = None
+        self.builder = builder
+
+    @property
+    def site(self) -> Tuple[str, ...]:
+        # TimerHistory.site: the first SET's stack, else the first
+        # event's stack.
+        return self.set_site if self.set_site is not None \
+            else self.first_site
+
+
+class EpisodeRouter:
+    """Route an event stream to per-group :class:`EpisodeBuilder`\\ s.
+
+    Replicates :class:`~repro.core.index.TraceIndex`'s grouping logic
+    incrementally: per timer address (``logical=False``) or per
+    (most-recent-SET-site, pid) cluster (``logical=True``, the Vista
+    default).  Subscribers get ``on_group(group)`` at group creation
+    (in first-event order, matching the batch grouping dicts) and
+    ``on_episode(group, episode)`` for every completed episode; only
+    the open episode per group is retained.
+    """
+
+    def __init__(self, os_name: str, *, logical: Optional[bool] = None):
+        if logical is None:
+            logical = os_name == "vista"
+        self.os_name = os_name
+        self.logical = logical
+        self._groups: dict = {}
+        self._site_of_id: dict = {}
+        self._subscribers: list = []
+
+    def subscribe(self, consumer) -> None:
+        self._subscribers.append(consumer)
+
+    def groups(self) -> Iterable[_Group]:
+        return self._groups.values()
+
+    def open_episodes(self) -> int:
+        return sum(1 for group in self._groups.values()
+                   if group.builder is not None
+                   and group.builder._armed_at is not None)
+
+    def _key_for(self, event: TimerEvent):
+        if not self.logical:
+            return event.timer_id
+        kind = event.kind
+        if kind == EventKind.SET or kind == EventKind.INIT \
+                or kind == EventKind.WAIT_UNBLOCK:
+            key = (event.site, event.pid)
+            self._site_of_id[event.timer_id] = key
+            return key
+        return self._site_of_id.get(event.timer_id,
+                                    (event.site, event.pid))
+
+    def emit(self, event: TimerEvent) -> None:
+        key = self._key_for(event)
+        group = self._groups.get(key)
+        if group is None:
+            builder = EpisodeBuilder(self.os_name)
+            group = self._groups[key] = _Group(key, event, builder)
+            subscribers = self._subscribers
+
+            def dispatch(episode: Episode, group=group,
+                         subscribers=subscribers) -> None:
+                for consumer in subscribers:
+                    consumer.on_episode(group, episode)
+
+            builder.on_episode = dispatch
+            for consumer in subscribers:
+                consumer.on_group(group)
+        if group.set_site is None and event.kind == EventKind.SET:
+            group.set_site = event.site
+        group.builder.push(event)
+
+    def finish(self) -> None:
+        """Flush still-open episodes as UNRESOLVED, then drop the
+        builders (and their dispatch closures) so finished consumers
+        pickle cleanly across process boundaries."""
+        for group in self._groups.values():
+            if group.builder is not None:
+                group.builder.finish()
+                group.builder = None
+        self._site_of_id = {}
+
+
+class _TimerStats:
+    """O(1)-per-episode accumulators reproducing
+    :func:`repro.core.classify.classify_episodes` for one group."""
+
+    __slots__ = ("n", "buckets", "n_resolved", "expired", "canceled",
+                 "rearmed", "prev_value", "decreasing", "resets",
+                 "gaps", "gaps_small", "deferrals", "run", "runs_ok",
+                 "prev_outcome", "prev_outcome_value", "tolerance_ns")
+
+    def __init__(self, tolerance_ns: int):
+        self.tolerance_ns = tolerance_ns
+        self.n = 0
+        self.buckets = ValueBuckets(tolerance_ns)
+        self.n_resolved = 0
+        self.expired = self.canceled = self.rearmed = 0
+        self.prev_value: Optional[int] = None
+        self.decreasing = self.resets = 0
+        self.gaps = self.gaps_small = 0
+        self.deferrals = 0
+        self.run = self.runs_ok = 0
+        self.prev_outcome: Optional[Outcome] = None
+        self.prev_outcome_value = 0
+
+    def add(self, episode: Episode) -> None:
+        tol = self.tolerance_ns
+        value = episode.value_ns
+        self.n += 1
+
+        # dominant_value's first-fit bucketing, in insertion order.
+        self.buckets.add(value)
+
+        # _is_countdown's pair counters (over all episodes).
+        if self.prev_value is not None:
+            if value < self.prev_value - tol:
+                self.decreasing += 1
+            elif value > self.prev_value + tol:
+                self.resets += 1
+        self.prev_value = value
+
+        # The PERIODIC/DELAY gap statistic (over all episodes).
+        gap = episode.gap_before_ns
+        if gap is not None:
+            self.gaps += 1
+            if gap <= tol:
+                self.gaps_small += 1
+
+        # _deferral_fraction: a re-arm defers outright; a cancel
+        # followed within tolerance by a same-value re-set defers too.
+        outcome = episode.outcome
+        if outcome == Outcome.REARMED:
+            self.deferrals += 1
+        if self.prev_outcome == Outcome.CANCELED and gap is not None \
+                and gap <= tol \
+                and abs(value - self.prev_outcome_value) <= tol:
+            self.deferrals += 1
+        self.prev_outcome = outcome
+        self.prev_outcome_value = value
+
+        if outcome != Outcome.UNRESOLVED:
+            self.n_resolved += 1
+            if outcome == Outcome.EXPIRED:
+                self.expired += 1
+                # _is_deferred: an expiry terminating a re-arm run.
+                if self.run >= 1:
+                    self.runs_ok += 1
+                self.run = 0
+            elif outcome == Outcome.CANCELED:
+                self.canceled += 1
+                self.run = 0
+            else:
+                self.rearmed += 1
+                self.run += 1
+
+    # -- the classify_episodes decision tree, from the counters ---------
+
+    def dominant(self) -> tuple[Optional[int], float]:
+        if self.n == 0:
+            return None, 0.0
+        center, count = self.buckets.dominant()
+        return center, count / self.n
+
+    def _is_deferred(self) -> bool:
+        if self.expired == 0 or self.rearmed == 0:
+            return False
+        return self.runs_ok >= max(1, self.expired * 0.6) \
+            and self.rearmed / self.n_resolved >= 0.4
+
+    def classify(self, *, min_observations: int = 3
+                 ) -> tuple[TimerClass, Optional[int]]:
+        value, share = self.dominant()
+        if self.n < min_observations:
+            return TimerClass.OTHER, value
+        pairs = self.n - 1
+        if self.n >= 4 and self.decreasing / pairs >= 0.55 \
+                and self.resets >= 1:
+            return TimerClass.COUNTDOWN, value
+
+        if self.n_resolved:
+            expired = self.expired / self.n_resolved
+            canceled = self.canceled / self.n_resolved
+            deferral = self.deferrals / self.n_resolved
+        else:
+            expired = canceled = deferral = 0.0
+        constant = share >= 0.7
+
+        if constant and deferral >= 0.5:
+            if expired <= 0.05:
+                return TimerClass.WATCHDOG, value
+            if self._is_deferred():
+                return TimerClass.DEFERRED, value
+            if expired <= 0.1:
+                return TimerClass.WATCHDOG, value
+        if constant and expired >= 0.85:
+            if self.gaps == 0 or self.gaps_small / self.gaps >= 0.5:
+                return TimerClass.PERIODIC, value
+            return TimerClass.DELAY, value
+        if constant and canceled >= 0.85:
+            return TimerClass.TIMEOUT, value
+        if self._is_deferred() and constant:
+            return TimerClass.DEFERRED, value
+        return TimerClass.OTHER, value
+
+
+class StreamingClassifier:
+    """Online Figure 2 / Table 3: per-group classification counters fed
+    by an :class:`EpisodeRouter` (its own unless one is shared)."""
+
+    def __init__(self, os_name: str, workload: str, *,
+                 router: Optional[EpisodeRouter] = None,
+                 logical: Optional[bool] = None,
+                 tolerance_ns: int = DEFAULT_TOLERANCE_NS):
+        self.os_name = os_name
+        self.workload = workload
+        self.tolerance_ns = tolerance_ns
+        self._own_router = router is None
+        self.router = EpisodeRouter(os_name, logical=logical) \
+            if router is None else router
+        self.router.subscribe(self)
+        #: (group, stats) in group-creation order — the iteration order
+        #: of the batch grouping dicts, which tie-breaks must match.
+        self._stats: list[tuple[_Group, _TimerStats]] = []
+        self._stats_by_id: dict[int, _TimerStats] = {}
+        self.breakdown: Optional[PatternBreakdown] = None
+        self._origin_rows: Optional[dict] = None
+
+    # -- router callbacks ------------------------------------------------
+
+    def on_group(self, group: _Group) -> None:
+        stats = _TimerStats(self.tolerance_ns)
+        self._stats.append((group, stats))
+        self._stats_by_id[id(group)] = stats
+
+    def on_episode(self, group: _Group, episode: Episode) -> None:
+        self._stats_by_id[id(group)].add(episode)
+
+    def emit(self, event: TimerEvent) -> None:
+        """Standalone-sink mode: only forward when this classifier owns
+        its router (a shared router is fed by the suite)."""
+        if self._own_router:
+            self.router.emit(event)
+
+    def state_size(self) -> int:
+        return self.router.open_episodes()
+
+    # -- results ---------------------------------------------------------
+
+    def finish(self, duration_ns: int = 0) -> PatternBreakdown:
+        if self._own_router:
+            self.router.finish()
+        breakdown = PatternBreakdown(self.workload, self.os_name)
+        origin_rows: dict = {}
+        for group, stats in self._stats:
+            timer_class, value = stats.classify()
+            breakdown.counts[timer_class] = \
+                breakdown.counts.get(timer_class, 0) + 1
+            breakdown.total += 1
+            if value is None or value <= 0:
+                continue
+            origin = attribute_origin(group.site, group.comm)
+            key = (value, origin)
+            entry = origin_rows.get(key)
+            if entry is None:
+                entry = origin_rows[key] = {"sets": 0, "classes": {}}
+            entry["sets"] += stats.n
+            entry["classes"][timer_class] = \
+                entry["classes"].get(timer_class, 0) + 1
+        self.breakdown = breakdown
+        self._origin_rows = origin_rows
+        self._stats = []
+        self._stats_by_id = {}
+        return breakdown
+
+    def origin_table(self, *, min_sets: int = 3) -> list[OriginRow]:
+        """The Table 3 rows (call after :meth:`finish`)."""
+        if self._origin_rows is None:
+            raise RuntimeError("origin_table() requires finish() first")
+        out = []
+        for (value, origin), entry in self._origin_rows.items():
+            if entry["sets"] < min_sets:
+                continue
+            majority = max(entry["classes"].items(),
+                           key=lambda kv: kv[1])[0]
+            out.append(OriginRow(value, origin, majority, entry["sets"]))
+        out.sort(key=lambda r: (r.timeout_ns, r.origin))
+        return out
+
+
+class StreamingValues:
+    """Online Figure 3–7 value histogram (exact: a counter per distinct
+    nominal value, same keys and counts as the batch scan)."""
+
+    def __init__(self, os_name: str, workload: str, *,
+                 domain: Optional[str] = None,
+                 include_waits: bool = True,
+                 raw_user_values: bool = True):
+        self.os_name = os_name
+        self.workload = workload
+        self.domain = domain
+        self.include_waits = include_waits
+        self.raw_user_values = raw_user_values
+        self._counts: dict[int, int] = {}
+        self._total = 0
+        self.result: Optional[ValueHistogram] = None
+
+    def emit(self, event: TimerEvent) -> None:
+        kind = event.kind
+        if kind == EventKind.WAIT_UNBLOCK:
+            if not self.include_waits or event.timeout_ns is None:
+                return
+        elif kind != EventKind.SET:
+            return
+        if self.domain is not None and event.domain != self.domain:
+            return
+        value = nominal_value_ns(event, self.os_name) \
+            if self.raw_user_values else (event.timeout_ns or 0)
+        self._counts[value] = self._counts.get(value, 0) + 1
+        self._total += 1
+
+    def state_size(self) -> int:
+        return 0       # the histogram itself is the result, not state
+
+    def finish(self, duration_ns: int = 0) -> ValueHistogram:
+        self.result = ValueHistogram(self.workload, self.os_name,
+                                     self._total, self._counts)
+        return self.result
+
+
+class StreamingDurations:
+    """Online Figure 8–11 scatter.
+
+    The aggregated (value, fraction, outcome) cells are exact — the
+    batch scatter sorts its cells, so interleaved cross-timer episode
+    order cannot show.  P² estimators additionally track fraction
+    quantiles in O(1) space (approximate; tolerance-tested).
+    """
+
+    QUANTILES = (0.5, 0.9, 0.99)
+
+    def __init__(self, os_name: str, workload: str, *,
+                 router: Optional[EpisodeRouter] = None,
+                 logical: Optional[bool] = None,
+                 cutoff_pct: float = CUTOFF_PCT):
+        self.os_name = os_name
+        self.workload = workload
+        self.cutoff_pct = cutoff_pct
+        self._own_router = router is None
+        self.router = EpisodeRouter(os_name, logical=logical) \
+            if router is None else router
+        self.router.subscribe(self)
+        self._agg: dict = {}
+        self._skipped = 0
+        self._clipped = 0
+        self._quantiles = {p: P2Quantile(p) for p in self.QUANTILES}
+        self.result: Optional[DurationScatter] = None
+
+    def on_group(self, group: _Group) -> None:
+        pass
+
+    def on_episode(self, _group: _Group, episode: Episode) -> None:
+        outcome = episode.outcome
+        if outcome == Outcome.UNRESOLVED or outcome == Outcome.REARMED:
+            return
+        if episode.value_ns <= 0:
+            self._skipped += 1
+            return
+        fraction = episode.elapsed_fraction
+        if fraction is None:
+            return
+        pct = round(100.0 * fraction, 1)
+        if pct > self.cutoff_pct:
+            self._clipped += 1
+            return
+        key = (episode.value_ns, pct, outcome)
+        self._agg[key] = self._agg.get(key, 0) + 1
+        for estimator in self._quantiles.values():
+            estimator.observe(pct)
+
+    def emit(self, event: TimerEvent) -> None:
+        if self._own_router:
+            self.router.emit(event)
+
+    def state_size(self) -> int:
+        return self.router.open_episodes() if self._own_router else 0
+
+    def fraction_quantiles(self) -> dict[float, Optional[float]]:
+        """P² estimates of the plotted fraction distribution (%)."""
+        return {p: est.value() for p, est in self._quantiles.items()}
+
+    def finish(self, duration_ns: int = 0) -> DurationScatter:
+        if self._own_router:
+            self.router.finish()
+        scatter = DurationScatter(self.workload, self.os_name)
+        scatter.skipped = self._skipped
+        scatter.clipped = self._clipped
+        scatter.points = [
+            ScatterPoint(v, pct, n, outcome) for (v, pct, outcome), n in
+            sorted(self._agg.items(), key=lambda kv: (kv[0][0], kv[0][1],
+                                                      kv[0][2].value))]
+        self.result = scatter
+        self._agg = {}
+        return scatter
+
+
+class StreamingRates:
+    """Online Figure 1 set-rate series (sparse buckets; the series is
+    materialised at :meth:`finish`, once the duration is known)."""
+
+    def __init__(self, os_name: str, workload: str, *,
+                 bucket_ns: int = SECOND,
+                 group_fn: Callable[[TimerEvent], str] = default_group,
+                 kinds: tuple = (EventKind.SET, EventKind.WAIT_UNBLOCK)):
+        self.os_name = os_name
+        self.workload = workload
+        self.bucket_ns = bucket_ns
+        self.group_fn = group_fn
+        self.kinds = kinds
+        self._sparse: dict[str, dict[int, int]] = {}
+        self.result: Optional[RateSeries] = None
+
+    def emit(self, event: TimerEvent) -> None:
+        kind = event.kind
+        if kind not in self.kinds:
+            return
+        ts = event.ts
+        if kind == EventKind.WAIT_UNBLOCK:
+            if event.timeout_ns is None:
+                return
+            ts = event.expires_ns        # block timestamp
+        bucket = ts // self.bucket_ns
+        group = self._sparse.get(self.group_fn(event))
+        if group is None:
+            group = self._sparse[self.group_fn(event)] = {}
+        group[bucket] = group.get(bucket, 0) + 1
+
+    def state_size(self) -> int:
+        return 0       # the series is the result, not transient state
+
+    def finish(self, duration_ns: int) -> RateSeries:
+        n_buckets = max(1, -(-duration_ns // self.bucket_ns))
+        series: dict[str, list[int]] = {}
+        for name, sparse in self._sparse.items():
+            row = [0] * n_buckets
+            for bucket, count in sparse.items():
+                if bucket < n_buckets:
+                    row[bucket] = count
+            series[name] = row
+        self.result = RateSeries(self.bucket_ns, n_buckets, series)
+        self._sparse = {}
+        return self.result
+
+
+class StreamingSuite:
+    """Every streaming reducer behind one sink.
+
+    Attach to a machine (``sinks=[suite]`` on any workload runner, or
+    ``kernel.attach_sink(suite)`` mid-run), then call
+    :meth:`finish` with the trace duration; results land on
+    :attr:`summary`, :attr:`breakdown`, :attr:`histogram`,
+    :attr:`scatter`, :attr:`rates` and :meth:`origin_table`.  After
+    ``finish`` the suite holds only plain result dataclasses, so it
+    pickles across process boundaries (the ``run_study_traces``
+    ``sink_factory`` path).
+
+    :meth:`state_size` counts the transient aggregation entries (open
+    episodes, pending timers, buffered sweep instants); ``peak_state``
+    samples its maximum every ``sample_every`` events — the number the
+    bounded-memory benchmark tracks.
+    """
+
+    def __init__(self, os_name: str, workload: str, *,
+                 logical: Optional[bool] = None,
+                 tolerance_ns: int = DEFAULT_TOLERANCE_NS,
+                 sample_every: int = 4096):
+        self.os_name = os_name
+        self.workload = workload
+        self.n_events = 0
+        self.sample_every = sample_every
+        self.peak_state = 0
+        self.router = EpisodeRouter(os_name, logical=logical)
+        self.summary_reducer = StreamingSummary(os_name, workload)
+        self.classifier = StreamingClassifier(
+            os_name, workload, router=self.router,
+            tolerance_ns=tolerance_ns)
+        self.values_reducer = StreamingValues(os_name, workload)
+        self.durations_reducer = StreamingDurations(
+            os_name, workload, router=self.router)
+        self.rates_reducer = StreamingRates(os_name, workload)
+        self.finished = False
+        self.duration_ns: Optional[int] = None
+        self.summary: Optional[TraceSummary] = None
+        self.breakdown: Optional[PatternBreakdown] = None
+        self.histogram: Optional[ValueHistogram] = None
+        self.scatter: Optional[DurationScatter] = None
+        self.rates: Optional[RateSeries] = None
+
+    def emit(self, event: TimerEvent) -> None:
+        self.n_events += 1
+        self.summary_reducer.emit(event)
+        self.values_reducer.emit(event)
+        self.rates_reducer.emit(event)
+        self.router.emit(event)
+        if self.n_events % self.sample_every == 0:
+            size = self.state_size()
+            if size > self.peak_state:
+                self.peak_state = size
+
+    def state_size(self) -> int:
+        return self.summary_reducer.state_size() \
+            + self.router.open_episodes()
+
+    def finish(self, duration_ns: int) -> "StreamingSuite":
+        if self.finished:
+            return self
+        size = self.state_size()
+        if size > self.peak_state:
+            self.peak_state = size
+        self.duration_ns = duration_ns
+        self.router.finish()
+        self.summary = self.summary_reducer.finish(duration_ns)
+        self.breakdown = self.classifier.finish(duration_ns)
+        self.histogram = self.values_reducer.finish(duration_ns)
+        self.scatter = self.durations_reducer.finish(duration_ns)
+        self.rates = self.rates_reducer.finish(duration_ns)
+        self.router = None          # drop dispatch closures: picklable
+        self.classifier.router = None
+        self.durations_reducer.router = None
+        self.finished = True
+        return self
+
+    @property
+    def late_waits(self) -> int:
+        return self.summary_reducer.late_waits
+
+    def origin_table(self, *, min_sets: int = 3) -> list[OriginRow]:
+        return self.classifier.origin_table(min_sets=min_sets)
+
+    def fraction_quantiles(self) -> dict[float, Optional[float]]:
+        return self.durations_reducer.fraction_quantiles()
+
+
+class ProgressSink:
+    """Live event counter for ``timerstudy run --stream``: prints a
+    carriage-return progress line every ``every`` events."""
+
+    def __init__(self, every: int = 200_000, label: str = "",
+                 stream=None):
+        self.every = every
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.n_events = 0
+        self._printed = False
+
+    def emit(self, event: TimerEvent) -> None:
+        self.n_events += 1
+        if self.n_events % self.every == 0:
+            print(f"\r{self.label}{self.n_events:,} events",
+                  end="", file=self.stream, flush=True)
+            self._printed = True
+
+    def finish(self, duration_ns: int = 0) -> int:
+        if self._printed:
+            print(file=self.stream)
+            self._printed = False
+        return self.n_events

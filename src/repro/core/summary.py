@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from ..tracing.events import FLAG_WAIT_SATISFIED, EventKind
 from ..tracing.trace import Trace
-from .index import TraceIndex
+from .index import as_index
 
 
 @dataclass
@@ -49,13 +49,13 @@ class TraceSummary:
         }
 
 
-def summarize(trace: Trace) -> TraceSummary:
-    """Compute the Table 1/2 metrics for one trace (memoised on the
-    trace's :class:`~repro.core.index.TraceIndex`)."""
-    index = TraceIndex.of(trace)
+def summarize(source) -> TraceSummary:
+    """Compute the Table 1/2 metrics for one trace or index (memoised
+    on the :class:`~repro.core.index.TraceIndex`)."""
+    index = as_index(source)
     summary = index.memo.get("summary")
     if summary is None:
-        summary = index.memo["summary"] = _compute_summary(trace)
+        summary = index.memo["summary"] = _compute_summary(index.trace)
     return summary
 
 

@@ -18,9 +18,8 @@ from typing import Optional
 
 from ..sim.clock import JIFFY, MILLISECOND, SECOND, to_seconds
 from ..tracing.events import EventKind
-from ..tracing.trace import Trace
 from .episodes import nominal_value_ns
-from .index import TraceIndex
+from .index import as_index
 
 
 @dataclass
@@ -55,34 +54,36 @@ class ValueHistogram:
         return 100.0 * self.counts.get(value_ns, 0) / self.total_sets
 
 
-def value_histogram(trace: Trace, *, domain: Optional[str] = None,
+def value_histogram(source, *, domain: Optional[str] = None,
                     include_waits: bool = True,
                     raw_user_values: bool = True) -> ValueHistogram:
-    """Histogram of nominal SET values.
+    """Histogram of nominal SET values over a trace or index.
 
     ``domain="user"`` restricts to syscall-level accesses (Figure 6).
     ``raw_user_values`` keeps user values exactly as requested; kernel
     observations are quantised back to jiffies on Linux.
     """
+    index = as_index(source)
     counts: dict[int, int] = {}
     total = 0
-    for event in TraceIndex.of(trace).set_like:
+    for event in index.set_like:
         if event.kind == EventKind.WAIT_UNBLOCK:
             if not include_waits or event.timeout_ns is None:
                 continue
         if domain is not None and event.domain != domain:
             continue
-        value = nominal_value_ns(event, trace.os_name) \
+        value = nominal_value_ns(event, index.os_name) \
             if raw_user_values else (event.timeout_ns or 0)
         counts[value] = counts.get(value, 0) + 1
         total += 1
-    return ValueHistogram(trace.workload, trace.os_name, total, counts)
+    return ValueHistogram(index.trace.workload, index.os_name, total,
+                          counts)
 
 
-def countdown_series(trace: Trace, comm: str) -> list[tuple[int, int]]:
+def countdown_series(source, comm: str) -> list[tuple[int, int]]:
     """(timestamp, set value) pairs for one process — Figure 4's dots."""
     return [(e.ts, e.timeout_ns or 0)
-            for e in TraceIndex.of(trace).by_comm.get(comm, [])
+            for e in as_index(source).by_comm.get(comm, [])
             if e.kind == EventKind.SET]
 
 

@@ -79,6 +79,26 @@ class LinuxKernel:
         self.cpu_busy = False
         self._placement_counter = 0
 
+    # -- instrumentation --------------------------------------------------
+
+    def attach_sink(self, sink) -> None:
+        """Start copying every timer event to ``sink``, live.
+
+        The existing sink keeps receiving the stream (a
+        :class:`~repro.tracing.relay.TeeSink` fans it out), so online
+        reducers can be bolted onto a machine mid-run without touching
+        the relayfs buffer the trace is read from.
+        """
+        from ..tracing.relay import TeeSink
+        if isinstance(self.sink, TeeSink):
+            self.sink.add(sink)
+            return
+        tee = TeeSink([self.sink, sink])
+        self.sink = tee
+        for base in self.bases:
+            base.sink = tee
+        self.hrtimers.sink = tee
+
     # -- tick path --------------------------------------------------------
 
     @property

@@ -8,7 +8,7 @@ per-timer correlation the analyses need.
 
 from .events import (FLAG_ABSOLUTE, FLAG_DEFERRABLE, FLAG_ROUNDED,
                      FLAG_WAIT_SATISFIED, CallSiteRegistry, EventKind,
-                     TimerEvent)
+                     TimerEvent, wait_unblock_event)
 from .binfmt import dumps, load_binary, load_trace, loads, save_binary, \
     dump_trace
 from .etw import EtwSession
@@ -23,5 +23,5 @@ __all__ = [
     "dumps", "load_binary", "load_trace", "loads", "save_binary",
     "dump_trace",
     "TimerHistory", "Trace", "RequestRecord", "RequestTracker",
-    "TimeoutNode",
+    "TimeoutNode", "wait_unblock_event",
 ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
-from .events import (FLAG_WAIT_SATISFIED, EventKind, TimerEvent)
+from .events import TimerEvent, wait_unblock_event
 
 
 class EtwSession:
@@ -43,10 +43,10 @@ class EtwSession:
         ``expires_ns`` field carries the block timestamp so the blocked
         duration is recoverable, exactly as in the paper's record.
         """
-        flags = FLAG_WAIT_SATISFIED if satisfied else 0
-        self.emit(TimerEvent(EventKind.WAIT_UNBLOCK, ts_unblock, timer_id,
-                             pid, comm, "user", site, timeout_ns,
-                             ts_block, flags))
+        self.emit(wait_unblock_event(
+            ts_block=ts_block, ts_unblock=ts_unblock, timer_id=timer_id,
+            pid=pid, comm=comm, site=site, timeout_ns=timeout_ns,
+            satisfied=satisfied))
 
     def __len__(self) -> int:
         return len(self._events)

@@ -111,6 +111,21 @@ class TimerEvent:
                 f"site={'/'.join(self.site[-2:])}>")
 
 
+def wait_unblock_event(*, ts_block: int, ts_unblock: int, timer_id: int,
+                       pid: int, comm: str, site: Tuple[str, ...],
+                       timeout_ns: Optional[int],
+                       satisfied: bool) -> TimerEvent:
+    """Build the paper's single thread-unblock record (Section 3.3).
+
+    ``timeout_ns`` is the user-supplied timeout; ``expires_ns`` carries
+    the block timestamp so the blocked duration is recoverable.  Shared
+    by every sink that offers ``emit_wait_unblock``.
+    """
+    flags = FLAG_WAIT_SATISFIED if satisfied else 0
+    return TimerEvent(EventKind.WAIT_UNBLOCK, ts_unblock, timer_id, pid,
+                      comm, "user", site, timeout_ns, ts_block, flags)
+
+
 class CallSiteRegistry:
     """Interns call-stack tuples so records share one object per site.
 

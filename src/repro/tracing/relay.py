@@ -10,9 +10,9 @@ paper did by construction).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
-from .events import TimerEvent
+from .events import TimerEvent, wait_unblock_event
 
 
 #: Rough size of one encoded record; the paper's binary records carried a
@@ -59,23 +59,44 @@ class RelayBuffer:
 
 
 class NullSink:
-    """Sink used for 'unmodified kernel' runs in the overhead benchmark."""
+    """Sink used for 'unmodified kernel' runs in the overhead benchmark
+    and for streaming runs that aggregate without retaining events."""
 
     dropped = 0
 
     def emit(self, event: TimerEvent) -> None:  # pragma: no cover - trivial
         pass
 
+    def emit_wait_unblock(self, **kwargs) -> None:  # pragma: no cover
+        pass
+
 
 class TeeSink:
-    """Fan an event stream out to several sinks (e.g. buffer + online stats)."""
+    """Fan an event stream out to several sinks (e.g. buffer + online
+    streaming reducers).  Implements the full sink protocol, including
+    the ETW thread-unblock record, so it can stand in for either the
+    relayfs buffer or an ETW session in front of a kernel."""
 
     def __init__(self, sinks: Iterable) -> None:
         self.sinks = list(sinks)
 
+    def add(self, sink) -> None:
+        """Live attachment: start copying the stream to ``sink``."""
+        self.sinks.append(sink)
+
     def emit(self, event: TimerEvent) -> None:
         for sink in self.sinks:
             sink.emit(event)
+
+    def emit_wait_unblock(self, *, ts_block: int, ts_unblock: int,
+                          timer_id: int, pid: int, comm: str, site,
+                          timeout_ns: Optional[int],
+                          satisfied: bool) -> None:
+        """Build the unblock record once, fan it out to every sink."""
+        self.emit(wait_unblock_event(
+            ts_block=ts_block, ts_unblock=ts_unblock, timer_id=timer_id,
+            pid=pid, comm=comm, site=site, timeout_ns=timeout_ns,
+            satisfied=satisfied))
 
 
 class CountingSink:

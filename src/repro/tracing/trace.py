@@ -72,8 +72,12 @@ class Trace:
     # -- construction ---------------------------------------------------
 
     def extend(self, events: Iterable[TimerEvent]) -> None:
+        """Append events; a cached index ingests them incrementally
+        rather than being thrown away."""
+        events = list(events)
         self.events.extend(events)
-        self._index = None
+        if self._index is not None:
+            self._index.ingest(events)
 
     # -- filtering ------------------------------------------------------
 

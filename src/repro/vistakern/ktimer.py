@@ -91,6 +91,17 @@ class VistaKernel:
                                 self._clock_interrupt, power=self.power)
         self.clock.start()
 
+    # -- instrumentation ---------------------------------------------------
+
+    def attach_sink(self, sink) -> None:
+        """Start copying every ETW record (including thread-unblock
+        events) to ``sink``, live, alongside the existing session."""
+        from ..tracing.relay import TeeSink
+        if isinstance(self.sink, TeeSink):
+            self.sink.add(sink)
+        else:
+            self.sink = TeeSink([self.sink, sink])
+
     # -- allocation --------------------------------------------------------
 
     def alloc_ktimer(self, *, site: Tuple[str, ...], owner: Task,

@@ -32,16 +32,23 @@ VISTA_WORKLOADS = {
 
 
 def run_workload(os_name: str, workload: str, duration_ns=None, *,
-                 seed: int = 0) -> WorkloadRun:
-    """Run one of the paper's workloads by name."""
+                 seed: int = 0, sinks=None,
+                 retain_events: bool = True) -> WorkloadRun:
+    """Run one of the paper's workloads by name.
+
+    ``sinks`` attaches live sinks (e.g. streaming reducers) to the
+    machine for the whole run; ``retain_events=False`` drops the trace
+    buffer so only the sinks see the stream (bounded memory).
+    """
     registry = LINUX_WORKLOADS if os_name == "linux" else VISTA_WORKLOADS
     if workload not in registry:
         raise KeyError(f"unknown {os_name} workload {workload!r}; "
                        f"choose from {sorted(registry)}")
     runner = registry[workload]
+    kwargs = dict(seed=seed, sinks=sinks, retain_events=retain_events)
     if duration_ns is None:
-        return runner(seed=seed)
-    return runner(duration_ns, seed=seed)
+        return runner(**kwargs)
+    return runner(duration_ns, **kwargs)
 
 
 __all__ = [name for name in dir() if not name.startswith("_")]

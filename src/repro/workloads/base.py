@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Tuple
 
 from ..sim.clock import MINUTE
 from ..linuxkern.kernel import LinuxKernel
 from ..linuxkern.syscalls import SyscallInterface
+from ..tracing.etw import EtwSession
+from ..tracing.relay import NullSink, RelayBuffer
 from ..tracing.trace import Trace
 from ..vistakern.dispatcher import DispatcherWaits
 from ..vistakern.ktimer import VistaKernel
@@ -44,37 +47,64 @@ class WorkloadRun:
 
 
 class LinuxMachine:
-    """A Linux box with its syscall layer, ready for apps."""
+    """A Linux box with its syscall layer, ready for apps.
 
-    def __init__(self, *, seed: int = 0):
-        self.kernel = LinuxKernel(seed=seed)
+    ``sinks`` are extra live sinks (e.g. streaming reducers) attached in
+    front of the relayfs buffer; with ``retain_events=False`` the buffer
+    is replaced by a :class:`~repro.tracing.relay.NullSink` so only the
+    attached reducers see the stream — O(active timers) memory instead
+    of O(events).
+    """
+
+    os_name = "linux"
+
+    def __init__(self, *, seed: int = 0,
+                 sinks: Optional[Iterable] = None,
+                 retain_events: bool = True):
+        self.retain_events = retain_events
+        self.buffer = RelayBuffer() if retain_events else NullSink()
+        self.kernel = LinuxKernel(seed=seed, sink=self.buffer)
         self.syscalls = SyscallInterface(self.kernel)
         self.rng = self.kernel.rng
+        for sink in sinks or ():
+            self.kernel.attach_sink(sink)
 
     def finish(self, workload: str, duration_ns: int) -> WorkloadRun:
         self.kernel.run_for(duration_ns)
+        events = list(self.buffer) if self.retain_events else []
         trace = Trace(os_name="linux", workload=workload,
-                      duration_ns=duration_ns,
-                      events=list(self.kernel.sink))
+                      duration_ns=duration_ns, events=events)
         return WorkloadRun(trace, self.kernel)
 
 
 class VistaMachine:
-    """A Vista box with every timer surface instantiated."""
+    """A Vista box with every timer surface instantiated.
 
-    def __init__(self, *, seed: int = 0):
-        self.kernel = VistaKernel(seed=seed)
+    ``sinks``/``retain_events`` behave as on :class:`LinuxMachine`, with
+    an ETW session standing in for the relayfs buffer.
+    """
+
+    os_name = "vista"
+
+    def __init__(self, *, seed: int = 0,
+                 sinks: Optional[Iterable] = None,
+                 retain_events: bool = True):
+        self.retain_events = retain_events
+        self.buffer = EtwSession() if retain_events else NullSink()
+        self.kernel = VistaKernel(seed=seed, sink=self.buffer)
         self.waits = DispatcherWaits(self.kernel)
         self.ntapi = NtTimerApi(self.kernel)
         self.waitable = WaitableTimers(self.ntapi)
         self.winsock = Winsock(self.kernel)
         self.rng = self.kernel.rng
+        for sink in sinks or ():
+            self.kernel.attach_sink(sink)
 
     def finish(self, workload: str, duration_ns: int) -> WorkloadRun:
         self.kernel.run_for(duration_ns)
+        events = list(self.buffer) if self.retain_events else []
         trace = Trace(os_name="vista", workload=workload,
-                      duration_ns=duration_ns,
-                      events=list(self.kernel.sink))
+                      duration_ns=duration_ns, events=events)
         return WorkloadRun(trace, self.kernel)
 
 
@@ -93,21 +123,45 @@ class VistaMachine:
 TraceJob = Tuple[str, str, Optional[int], int]
 
 
-def _run_trace_job(job: TraceJob) -> bytes:
+def _finish_sinks(sinks, duration_ns: int) -> None:
+    """Finalise any attached reducers (sinks with a ``finish`` method)
+    in the process that ran the simulation, so what crosses the process
+    boundary is plain result dataclasses, not live aggregation state."""
+    for sink in sinks or ():
+        finish = getattr(sink, "finish", None)
+        if finish is not None:
+            finish(duration_ns)
+
+
+def _run_one(job: TraceJob, sink_factory, retain_events: bool):
     os_name, workload, duration_ns, seed = job
     from . import run_workload          # registry lives in the package
+    sinks = list(sink_factory(os_name, workload)) if sink_factory else None
+    run = run_workload(os_name, workload, duration_ns, seed=seed,
+                       sinks=sinks, retain_events=retain_events)
+    _finish_sinks(sinks, run.trace.duration_ns)
+    return run.trace, sinks
+
+
+def _run_trace_job(job: TraceJob, sink_factory=None,
+                   retain_events: bool = True) -> Tuple[bytes, object]:
     from ..tracing.binfmt import dumps
-    run = run_workload(os_name, workload, duration_ns, seed=seed)
-    return dumps(run.trace)
+    trace, sinks = _run_one(job, sink_factory, retain_events)
+    return dumps(trace), sinks
 
 
-def _run_serial(jobs: Sequence[TraceJob]) -> list[Trace]:
-    from . import run_workload
-    return [run_workload(o, w, d, seed=s).trace for o, w, d, s in jobs]
+def _run_serial(jobs: Sequence[TraceJob], sink_factory,
+                retain_events: bool) -> list:
+    results = [_run_one(job, sink_factory, retain_events) for job in jobs]
+    if sink_factory is None:
+        return [trace for trace, _ in results]
+    return results
 
 
 def run_study_traces(jobs: Iterable[TraceJob], *,
-                     processes: Optional[int] = None) -> list[Trace]:
+                     processes: Optional[int] = None,
+                     sink_factory=None,
+                     retain_events: bool = True) -> list:
     """Run many workload simulations, in parallel where possible.
 
     Returns the traces in job order.  ``processes=None`` uses one
@@ -116,18 +170,35 @@ def run_study_traces(jobs: Iterable[TraceJob], *,
     the returned traces are byte-identical to a serial run regardless
     of worker count, and environments without working
     ``multiprocessing`` silently fall back to serial execution.
+
+    ``sink_factory(os_name, workload)`` — when given — builds fresh
+    live sinks per job (e.g. a :class:`repro.core.streaming
+    .StreamingSuite`); they are attached to the machine, finalised with
+    the trace duration inside the worker, and returned alongside the
+    trace, so the result is ``list[(Trace, list[sink])]`` instead of
+    ``list[Trace]``.  With ``retain_events=False`` the traces come back
+    empty (events are seen only by the sinks), keeping worker memory
+    bounded.  A picklable module-level factory is required for the
+    parallel path.
     """
     jobs = list(jobs)
     if processes is None or processes <= 0:
         processes = os.cpu_count() or 1
     processes = min(processes, len(jobs))
     if processes <= 1:
-        return _run_serial(jobs)
+        return _run_serial(jobs, sink_factory, retain_events)
+    from functools import partial
     from ..tracing.binfmt import loads
+    worker = partial(_run_trace_job, sink_factory=sink_factory,
+                     retain_events=retain_events)
     try:
         with multiprocessing.get_context().Pool(processes) as pool:
-            blobs = pool.map(_run_trace_job, jobs)
-    except (ImportError, OSError, PermissionError):
-        # Sandboxed/embedded interpreters without fork or semaphores.
-        return _run_serial(jobs)
-    return [loads(blob) for blob in blobs]
+            blobs = pool.map(worker, jobs)
+    except (ImportError, OSError, PermissionError, AttributeError,
+            TypeError, pickle.PicklingError):
+        # Sandboxed/embedded interpreters without fork or semaphores,
+        # or an unpicklable factory/sink: fall back to serial.
+        return _run_serial(jobs, sink_factory, retain_events)
+    if sink_factory is None:
+        return [loads(blob) for blob, _ in blobs]
+    return [(loads(blob), sinks) for blob, sinks in blobs]

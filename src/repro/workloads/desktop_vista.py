@@ -28,8 +28,10 @@ FIGURE1_DURATION_NS = 90 * SECOND
 
 
 def run_vista_desktop(duration_ns: int = FIGURE1_DURATION_NS, *,
-                      seed: int = 0) -> WorkloadRun:
-    machine = VistaMachine(seed=seed)
+                      seed: int = 0, sinks=None,
+                      retain_events: bool = True) -> WorkloadRun:
+    machine = VistaMachine(seed=seed, sinks=sinks,
+                           retain_events=retain_events)
     components = build_vista_idle_base(machine)
 
     busy_kernel = VistaKernelBackground(machine,

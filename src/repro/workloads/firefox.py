@@ -20,9 +20,11 @@ from .vista_apps import BrowserApp
 
 
 def run_linux_firefox(duration_ns: int = DEFAULT_DURATION_NS, *,
-                      seed: int = 0,
+                      seed: int = 0, sinks=None,
+                      retain_events: bool = True,
                       event_loop_threads: int = 5) -> WorkloadRun:
-    machine = LinuxMachine(seed=seed)
+    machine = LinuxMachine(seed=seed, sinks=sinks,
+                           retain_events=retain_events)
     components = build_linux_idle_base(machine)
 
     task = machine.kernel.tasks.spawn("firefox-bin")
@@ -62,8 +64,10 @@ def run_linux_firefox(duration_ns: int = DEFAULT_DURATION_NS, *,
 
 
 def run_vista_firefox(duration_ns: int = DEFAULT_DURATION_NS, *,
-                      seed: int = 0) -> WorkloadRun:
-    machine = VistaMachine(seed=seed)
+                      seed: int = 0, sinks=None,
+                      retain_events: bool = True) -> WorkloadRun:
+    machine = VistaMachine(seed=seed, sinks=sinks,
+                           retain_events=retain_events)
     components = build_vista_idle_base(machine)
     browser = BrowserApp(machine, "firefox.exe", flash=True,
                          select_rate_hz=40.0)

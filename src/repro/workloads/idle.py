@@ -112,8 +112,10 @@ def build_linux_idle_base(machine: LinuxMachine, *,
 
 
 def run_linux_idle(duration_ns: int = DEFAULT_DURATION_NS, *,
-                   seed: int = 0) -> WorkloadRun:
-    machine = LinuxMachine(seed=seed)
+                   seed: int = 0, sinks=None,
+                   retain_events: bool = True) -> WorkloadRun:
+    machine = LinuxMachine(seed=seed, sinks=sinks,
+                           retain_events=retain_events)
     components = build_linux_idle_base(machine)
     run = machine.finish("idle", duration_ns)
     run.components = components
@@ -179,8 +181,10 @@ def build_vista_idle_base(machine: VistaMachine) -> dict:
 
 
 def run_vista_idle(duration_ns: int = DEFAULT_DURATION_NS, *,
-                   seed: int = 0) -> WorkloadRun:
-    machine = VistaMachine(seed=seed)
+                   seed: int = 0, sinks=None,
+                   retain_events: bool = True) -> WorkloadRun:
+    machine = VistaMachine(seed=seed, sinks=sinks,
+                           retain_events=retain_events)
     components = build_vista_idle_base(machine)
     run = machine.finish("idle", duration_ns)
     run.components = components

@@ -12,8 +12,10 @@ from .vista_apps import SkypeVistaApp
 
 
 def run_linux_skype(duration_ns: int = DEFAULT_DURATION_NS, *,
-                    seed: int = 0) -> WorkloadRun:
-    machine = LinuxMachine(seed=seed)
+                    seed: int = 0, sinks=None,
+                    retain_events: bool = True) -> WorkloadRun:
+    machine = LinuxMachine(seed=seed, sinks=sinks,
+                           retain_events=retain_events)
     components = build_linux_idle_base(machine)
     skype = SkypeApp(machine)
     skype.start()
@@ -36,8 +38,10 @@ def run_linux_skype(duration_ns: int = DEFAULT_DURATION_NS, *,
 
 
 def run_vista_skype(duration_ns: int = DEFAULT_DURATION_NS, *,
-                    seed: int = 0) -> WorkloadRun:
-    machine = VistaMachine(seed=seed)
+                    seed: int = 0, sinks=None,
+                    retain_events: bool = True) -> WorkloadRun:
+    machine = VistaMachine(seed=seed, sinks=sinks,
+                           retain_events=retain_events)
     components = build_vista_idle_base(machine)
     skype = SkypeVistaApp(machine)
     skype.start()

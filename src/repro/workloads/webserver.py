@@ -23,10 +23,12 @@ from .vista_apps import VistaBackgroundProcess
 
 
 def run_linux_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
-                        seed: int = 0,
+                        seed: int = 0, sinks=None,
+                        retain_events: bool = True,
                         connections_per_second: float = 16.7
                         ) -> WorkloadRun:
-    machine = LinuxMachine(seed=seed)
+    machine = LinuxMachine(seed=seed, sinks=sinks,
+                           retain_events=retain_events)
     kernel = machine.kernel
     components: dict = {}
 
@@ -75,7 +77,8 @@ def run_linux_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
 
 
 def run_vista_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
-                        seed: int = 0,
+                        seed: int = 0, sinks=None,
+                        retain_events: bool = True,
                         connections_per_second: float = 16.7
                         ) -> WorkloadRun:
     """IIS-style server over the Vista model.
@@ -84,7 +87,8 @@ def run_vista_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
     idle trace (background machinery dominates) and, notably, lacks the
     7200 s TCP keepalive timer Linux arms per connection.
     """
-    machine = VistaMachine(seed=seed)
+    machine = VistaMachine(seed=seed, sinks=sinks,
+                           retain_events=retain_events)
     components = build_vista_idle_base(machine)
 
     worker = VistaBackgroundProcess(

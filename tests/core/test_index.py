@@ -154,18 +154,40 @@ class TestCaching:
         trace = watchdog_timer(TraceBuilder()).build()
         assert classify_trace(trace) is classify_trace(trace)
 
-    def test_extend_invalidates_index(self):
+    def test_extend_updates_index_in_place(self):
         builder = TraceBuilder()
         periodic_timer(builder, count=5)
         trace = builder.build()
-        stale = TraceIndex.of(trace)
+        index = TraceIndex.of(trace)
         more = periodic_timer(TraceBuilder(), count=3,
                               timer_id=9).build().events
         trace.extend(more)
-        rebuilt = TraceIndex.of(trace)
-        assert rebuilt is not stale
-        assert rebuilt.n_events == len(trace.events)
-        assert any(h.key == 9 for h in rebuilt.instances)
+        updated = TraceIndex.of(trace)
+        assert updated is index          # incrementally ingested, not rebuilt
+        assert updated.n_events == len(trace.events)
+        assert any(h.key == 9 for h in updated.instances)
+
+    def test_incremental_extend_matches_rebuild(self):
+        builder = TraceBuilder()
+        periodic_timer(builder, count=5)
+        watchdog_timer(builder)
+        trace = builder.build()
+        events = list(trace.events)
+        split = len(events) // 2
+
+        grown = Trace(os_name=trace.os_name, workload=trace.workload,
+                      duration_ns=trace.duration_ns, events=events[:split])
+        incremental = TraceIndex.of(grown)
+        incremental.extend(events[split:])
+
+        whole = TraceIndex.of(fresh(trace))
+        assert incremental.n_events == whole.n_events
+        assert [h.key for h in incremental.instances] \
+            == [h.key for h in whole.instances]
+        assert [h.key for h in incremental.logical] \
+            == [h.key for h in whole.logical]
+        assert [[e.ts for e in h.events] for h in incremental.logical] \
+            == [[e.ts for e in h.events] for h in whole.logical]
 
 
 class TestParallelDriver:

@@ -45,6 +45,27 @@ class TestRunAndAnalyze:
         assert main(["run", "vista", "idle", "--minutes", "0.25",
                      "--out", out]) == 0
 
+    def test_run_stream_analyzes_without_trace_file(self, tmp_path,
+                                                    capsys):
+        out = str(tmp_path / "never-written.jsonl.gz")
+        main(["run", "linux", "idle", "--minutes", "0.5", "--out", out])
+        batch = capsys.readouterr()
+        assert main(["analyze", out]) == 0
+        batch_text = capsys.readouterr().out
+
+        stream_out = str(tmp_path / "stream.jsonl.gz")
+        assert main(["run", "linux", "idle", "--minutes", "0.5",
+                     "--stream", "--out", stream_out]) == 0
+        captured = capsys.readouterr()
+        import os
+        assert not os.path.exists(stream_out)
+        assert "no trace file written" in captured.err
+        # In-flight analysis matches analyzing the saved trace, minus
+        # the batch-only tail sections.
+        head = batch_text.split("=== Value adaptivity")[0]
+        assert captured.out.startswith(head)
+        assert "(unavailable on a streaming analysis)" in captured.out
+
 
 class TestBrowse:
     def test_unreachable(self, capsys):
