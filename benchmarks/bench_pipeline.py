@@ -48,10 +48,11 @@ from repro.core import (adaptivity_report, duration_scatter, infer_nesting,
 from repro.sim.clock import MINUTE
 from repro.tracing import Trace
 from repro.tracing.binfmt import dumps
+from repro.kern import backend_names
 from repro.workloads import run_study_traces
 
 WORKLOADS = ("idle", "skype", "firefox", "webserver")
-STUDY_ORDER = [(os_name, workload) for os_name in ("linux", "vista")
+STUDY_ORDER = [(os_name, workload) for os_name in backend_names()
                for workload in WORKLOADS] + [("vista", "desktop")]
 
 

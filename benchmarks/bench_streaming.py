@@ -45,6 +45,7 @@ from repro.core import (TraceIndex, pattern_breakdown, duration_scatter,
                         render_scatter, summarize, summary_table,
                         value_histogram)
 from repro.core.streaming import StreamingSuite
+from repro.kern import backend_names
 from repro.sim.clock import MINUTE
 from repro.tracing import Trace
 from repro.workloads import run_workload
@@ -127,7 +128,7 @@ def main(argv=None) -> int:
     # -- exactness + analysis throughput --------------------------------
     exact = {}
     identical = True
-    for os_name in ("linux", "vista"):
+    for os_name in backend_names():
         duration = int(short_min * MINUTE)
         print(f"exactness: {os_name}/idle {short_min:g} min",
               file=sys.stderr)

@@ -21,8 +21,10 @@ BENCH_SEED = 42
 
 #: Every trace the figure/table benchmarks draw on; generated in one
 #: (parallel, deterministic) batch on the first trace request.
+from repro.kern import backend_names  # noqa: E402
+
 STUDY_JOBS = [(os_name, workload, BENCH_DURATION_NS, BENCH_SEED)
-              for os_name in ("linux", "vista")
+              for os_name in backend_names()
               for workload in ("idle", "skype", "firefox", "webserver")]
 STUDY_JOBS.append(("vista", "desktop", None, BENCH_SEED))
 

@@ -11,6 +11,7 @@ Run:  python examples/paper_study.py [--minutes N] [--seed S] [--full]
 
 import argparse
 
+from repro.kern import backend_names, backend_traits
 from repro.sim.clock import MINUTE, SECOND
 from repro.core import (duration_scatter, pattern_breakdown, rate_series,
                         render_histogram, render_origin_table,
@@ -33,14 +34,15 @@ def main() -> None:
     duration = int(minutes * MINUTE)
 
     runs = {}
-    for os_name in ("linux", "vista"):
+    for os_name in backend_names():
         for workload in WORKLOADS:
             print(f"tracing {os_name}/{workload} "
                   f"({minutes:g} virtual minutes)...")
             runs[(os_name, workload)] = run_workload(
                 os_name, workload, duration, seed=args.seed)
 
-    for os_name, table in (("linux", "Table 1"), ("vista", "Table 2")):
+    for os_name in backend_names():
+        table = backend_traits(os_name).table_label
         print(f"\n=== {table}: {os_name} trace summary ===")
         print(summary_table([summarize(runs[(os_name, wl)].trace)
                              for wl in WORKLOADS]))
@@ -72,7 +74,7 @@ def main() -> None:
 
     for workload, figure in zip(WORKLOADS, ("8", "9", "10", "11")):
         print(f"\n=== Figure {figure}: durations, {workload} ===")
-        for os_name in ("linux", "vista"):
+        for os_name in backend_names():
             scatter = duration_scatter(runs[(os_name, workload)].trace)
             print(f"--- {os_name} "
                   f"(late deliveries: "

@@ -19,11 +19,11 @@ from repro.core import (classify_trace, render_histogram,
                         value_histogram)
 from repro.tracing import RelayBuffer, Trace
 from repro.userspace import UserEventLoop
-from repro.workloads.base import LinuxMachine
+from repro.workloads.base import Machine
 
 
 def main() -> None:
-    machine = LinuxMachine(seed=8)
+    machine = Machine("linux", seed=8)
     user_sink = RelayBuffer()
     loop = UserEventLoop(machine, "twistd", user_sink=user_sink)
     loop.start()

@@ -33,23 +33,32 @@ buffering the trace::
     print(analyze(suite, duration_ns=run.trace.duration_ns).summary())
 """
 
-from . import core, linuxkern, sim, tracing, vistakern, workloads
+from . import core, kern, linuxkern, sim, tracing, vistakern, workloads
 from .core import (Analysis, StreamingSuite, TraceIndex, analyze,
                    as_index, classify_trace, duration_scatter,
                    generate_report, origin_table, pattern_breakdown,
                    rate_series, render_analysis, summarize,
                    summary_table, value_histogram)
+from .kern import (Machine, PortableApp, PortableWorkload, TimerBackend,
+                   WorkloadRun, backend_names, backend_traits,
+                   register_backend)
 from .tracing import Trace
-from .workloads import run_study_traces, run_vista_desktop, run_workload
+from .workloads import (list_workloads, run_study_traces,
+                        run_vista_desktop, run_workload)
 
 __version__ = "0.1.0"
 
 __all__ = [
-    "core", "linuxkern", "sim", "tracing", "vistakern", "workloads",
+    "core", "kern", "linuxkern", "sim", "tracing", "vistakern",
+    "workloads",
     "Analysis", "StreamingSuite", "TraceIndex", "analyze", "as_index",
     "classify_trace", "duration_scatter", "generate_report",
     "origin_table", "pattern_breakdown", "rate_series",
     "render_analysis", "summarize", "summary_table", "value_histogram",
-    "Trace", "run_study_traces", "run_vista_desktop", "run_workload",
+    "Machine", "PortableApp", "PortableWorkload", "TimerBackend",
+    "WorkloadRun", "backend_names", "backend_traits",
+    "register_backend",
+    "Trace", "list_workloads", "run_study_traces", "run_vista_desktop",
+    "run_workload",
     "__version__",
 ]

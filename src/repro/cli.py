@@ -18,15 +18,15 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .kern import backend_names, backend_traits
 from .sim.clock import MINUTE, SECOND, millis
 from .core import (pattern_breakdown, rate_series, render_rates,
                    summarize, summary_table)
 from .core.report import render_analysis
 from .core.streaming import ProgressSink, StreamingSuite
 from .tracing import Trace
-from .workloads import (LINUX_WORKLOADS, VISTA_WORKLOADS, browse,
-                        browse_adaptive, run_study_traces,
-                        run_workload)
+from .workloads import (WORKLOADS, browse, browse_adaptive,
+                        list_workloads, run_study_traces, run_workload)
 
 
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
@@ -88,13 +88,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 STUDY_WORKLOADS = ("idle", "skype", "firefox", "webserver")
 
 
+def study_backends() -> list:
+    """Registered backends that can run the paper's four workloads."""
+    return [os_name for os_name in backend_names()
+            if all((os_name, workload) in WORKLOADS
+                   for workload in STUDY_WORKLOADS)]
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     duration = int(args.minutes * MINUTE)
-    # All nine simulations (4 workloads x 2 OSes + the Figure 1
-    # desktop) are independent; run them through the parallel driver,
-    # then render in the fixed order so stdout is byte-identical for a
-    # given seed regardless of --jobs.
-    order = [(os_name, workload) for os_name in ("linux", "vista")
+    # All nine simulations (4 workloads x each study backend + the
+    # Figure 1 desktop) are independent; run them through the parallel
+    # driver, then render in the fixed order so stdout is
+    # byte-identical for a given seed regardless of --jobs.
+    backends = study_backends()
+    order = [(os_name, workload) for os_name in backends
              for workload in STUDY_WORKLOADS] + [("vista", "desktop")]
     for os_name, workload in order:
         print(f"tracing {os_name}/{workload}...", file=sys.stderr)
@@ -103,13 +111,14 @@ def _cmd_study(args: argparse.Namespace) -> int:
             for os_name, workload in order]
     traces = dict(zip(order, run_study_traces(jobs, processes=args.jobs)))
 
-    for os_name in ("linux", "vista"):
-        table = "Table 1" if os_name == "linux" else "Table 2"
+    for os_name in backends:
+        table = backend_traits(os_name).table_label
         summaries = []
         for workload in STUDY_WORKLOADS:
             trace = traces[(os_name, workload)]
             summaries.append(summarize(trace))
             if os_name == "linux":
+                # Figure 2 is a Linux-only artefact of the paper.
                 breakdown = pattern_breakdown(trace)
                 row = "  ".join(f"{k}={v:4.1f}" for k, v in
                                 breakdown.figure2_row().items())
@@ -154,11 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
                     "(EuroSys 2008)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    backends = backend_names()
     run_p = sub.add_parser("run", help="trace one workload")
-    run_p.add_argument("os", choices=("linux", "vista"))
+    run_p.add_argument("os", choices=backends)
     run_p.add_argument("workload",
-                       choices=sorted(set(LINUX_WORKLOADS)
-                                      | set(VISTA_WORKLOADS)))
+                       choices=sorted({workload for os_name in backends
+                                       for workload
+                                       in list_workloads(os_name)}))
     run_p.add_argument("--minutes", type=float, default=5.0)
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--out", default="trace.jsonl.gz")

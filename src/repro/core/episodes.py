@@ -21,6 +21,7 @@ from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import Optional
 
+from ..kern.registry import backend_traits
 from ..sim.clock import JIFFY, MILLISECOND
 from ..tracing.events import FLAG_WAIT_SATISFIED, EventKind
 from ..tracing.trace import TimerHistory
@@ -98,9 +99,15 @@ class Episode:
 
 
 def nominal_value_ns(event, os_name: str) -> int:
-    """Recover the nominal timeout from an observed SET event."""
+    """Recover the nominal timeout from an observed SET event.
+
+    The quantisation rule is a backend trait
+    (:func:`repro.kern.registry.backend_traits`), not a hard-coded OS
+    check, so plugin backends choose their own value semantics.
+    """
     timeout = event.timeout_ns or 0
-    if os_name == "linux" and event.domain != "user" and timeout > 0:
+    if (timeout > 0 and event.domain != "user"
+            and backend_traits(os_name).jiffy_values):
         # Kernel-side observation: quantise back to whole jiffies
         # (arming happened mid-jiffy, so observed <= nominal).
         return -(-timeout // JIFFY) * JIFFY

@@ -163,9 +163,12 @@ class TraceIndex:
 
     @property
     def default_logical(self) -> bool:
-        """Vista needs call-site clustering (Section 3.3); Linux groups
-        by the statically allocated timer address."""
-        return self.os_name == "vista"
+        """Backends with dynamically allocated timers (Vista's
+        lookaside reuse, Section 3.3) need call-site clustering; Linux
+        groups by the statically allocated timer address.  Resolved
+        through the backend traits, not an OS string compare."""
+        from ..kern.registry import backend_traits
+        return backend_traits(self.os_name).logical_timers
 
     def histories(self, logical: bool) -> list[TimerHistory]:
         return self.logical if logical else self.instances

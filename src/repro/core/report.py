@@ -104,7 +104,10 @@ def generate_report(*, minutes: float = 2.0, seed: int = 0,
     out.write(f"Workload length: {minutes:g} virtual minutes "
               f"(paper: 30).  Seed {seed}.\n\n")
 
-    order = [(os_name, workload) for os_name in ("linux", "vista")
+    from ..cli import study_backends
+    from ..kern import backend_traits
+    backends = study_backends()
+    order = [(os_name, workload) for os_name in backends
              for workload in WORKLOADS] + [("vista", "desktop")]
     for os_name, workload in order:
         note(f"tracing {os_name}/{workload}")
@@ -114,7 +117,8 @@ def generate_report(*, minutes: float = 2.0, seed: int = 0,
     traces: dict[tuple[str, str], Trace] = dict(
         zip(order, run_study_traces(trace_jobs, processes=jobs)))
 
-    for os_name, table in (("linux", "Table 1"), ("vista", "Table 2")):
+    for os_name in backends:
+        table = backend_traits(os_name).table_label
         out.write(f"## {table}: {os_name} trace summary\n\n```\n")
         out.write(summary_table([summarize(traces[(os_name, wl)])
                                  for wl in WORKLOADS]))
@@ -152,7 +156,7 @@ def generate_report(*, minutes: float = 2.0, seed: int = 0,
 
     for workload, figure in zip(WORKLOADS, ("8", "9", "10", "11")):
         out.write(f"## Figure {figure}: durations, {workload}\n\n")
-        for os_name in ("linux", "vista"):
+        for os_name in backends:
             scatter = duration_scatter(traces[(os_name, workload)])
             out.write(f"{os_name} (late deliveries "
                       f"{scatter.share_above_100pct() * 100:.0f}%):\n\n"

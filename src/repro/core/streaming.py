@@ -69,7 +69,8 @@ class StreamingSummary:
                  wait_horizon_ns: Optional[int] = None):
         self.os_name = os_name
         self.workload = workload
-        self._vista = os_name == "vista"
+        from ..kern.registry import backend_traits
+        self._vista = backend_traits(os_name).etw_style
         if wait_horizon_ns is None:
             wait_horizon_ns = DEFAULT_WAIT_HORIZON_NS if self._vista else 0
         self.wait_horizon_ns = wait_horizon_ns
@@ -228,7 +229,8 @@ class EpisodeRouter:
 
     def __init__(self, os_name: str, *, logical: Optional[bool] = None):
         if logical is None:
-            logical = os_name == "vista"
+            from ..kern.registry import backend_traits
+            logical = backend_traits(os_name).logical_timers
         self.os_name = os_name
         self.logical = logical
         self._groups: dict = {}

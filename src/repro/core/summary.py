@@ -66,7 +66,10 @@ def _compute_summary(trace: Trace) -> TraceSummary:
     user = kernel = 0
     set_count = expired = canceled = 0
     accesses = 0
-    vista = trace.os_name == "vista"
+    # ETW-style backends (Vista) expire timers inside the clock DPC, so
+    # EXPIRE/INIT records are not API accesses there (§3.3).
+    from ..kern.registry import backend_traits
+    vista = backend_traits(trace.os_name).etw_style
 
     def close_interval(timer_id: int, end_ts: int) -> None:
         start = pending_since.pop(timer_id, None)

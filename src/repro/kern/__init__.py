@@ -1,0 +1,46 @@
+"""The portable kernel surface.
+
+The paper's central observation is OS-independent: the same timer usage
+patterns appear on both Linux 2.6.23 and Vista (Section 4.1), and the
+Section 5 proposals are meant to apply to *any* kernel.  This package
+is the code-level expression of that claim:
+
+* :class:`TimerBackend` — the protocol both kernel models implement
+  (arm/cancel/expire lifecycle, sink attachment, virtual-time run loop,
+  clock and power accessors).
+* :class:`Machine` — one generic machine harness replacing the old
+  per-OS ``LinuxMachine``/``VistaMachine`` pair; it resolves everything
+  OS-specific through the backend registry.
+* :func:`register_backend` — the pluggable registry.  The CLI, the
+  study pipeline and :func:`repro.workloads.run_workload` resolve
+  backends through it instead of hard-coding ``("linux", "vista")``,
+  so a Section 5.5 merged scheduler/timer backend can be added as a
+  plugin rather than a third parallel stack.
+* :class:`PortableApp` / :class:`PortableWorkload` — OS-neutral
+  workload definitions armed through ``arm_after``/``arm_periodic``/
+  ``arm_watchdog`` verbs that lower to ``mod_timer`` or ``KeSetTimer``
+  per backend.
+
+Import order matters: this module must not import the built-in
+backends eagerly (they import the kernel models, which import
+:mod:`repro.kern.base`).  Registration is lazy — the first registry
+query imports :mod:`repro.kern.backends`.
+"""
+
+from .base import BackendBase
+from .machine import (DEFAULT_DURATION_NS, PAPER_DURATION_NS, Machine,
+                      WorkloadRun)
+from .portable import PortableApp, PortableWorkload
+from .protocol import PortableTimer, TimerBackend
+from .registry import (BackendSpec, BackendTraits, backend_names,
+                       backend_traits, get_backend, get_scene,
+                       register_backend, register_scene, scene_names,
+                       unregister_backend)
+
+__all__ = [
+    "BackendBase", "BackendSpec", "BackendTraits", "DEFAULT_DURATION_NS",
+    "Machine", "PAPER_DURATION_NS", "PortableApp", "PortableTimer",
+    "PortableWorkload", "TimerBackend", "WorkloadRun", "backend_names",
+    "backend_traits", "get_backend", "get_scene", "register_backend",
+    "register_scene", "scene_names", "unregister_backend",
+]

@@ -1,0 +1,47 @@
+"""Built-in backend registrations (imported lazily by the registry).
+
+This is the only module that knows both kernel models; it maps each
+onto the registry so everything above (machine harness, workloads,
+CLI, study pipeline) stays OS-agnostic.
+"""
+
+from __future__ import annotations
+
+from ..linuxkern.kernel import LinuxKernel
+from ..linuxkern.syscalls import SyscallInterface
+from ..tracing.etw import EtwSession
+from ..tracing.relay import RelayBuffer
+from ..vistakern.dispatcher import DispatcherWaits
+from ..vistakern.ktimer import VistaKernel
+from ..vistakern.ntapi import NtTimerApi
+from ..vistakern.win32 import WaitableTimers
+from ..vistakern.winsock import Winsock
+from .registry import BackendTraits, register_backend
+
+
+def _linux_surfaces(machine) -> None:
+    machine.syscalls = SyscallInterface(machine.kernel)
+
+
+def _vista_surfaces(machine) -> None:
+    machine.waits = DispatcherWaits(machine.kernel)
+    machine.ntapi = NtTimerApi(machine.kernel)
+    machine.waitable = WaitableTimers(machine.ntapi)
+    machine.winsock = Winsock(machine.kernel)
+
+
+register_backend(
+    "linux",
+    kernel_factory=LinuxKernel,
+    buffer_factory=RelayBuffer,
+    surfaces=_linux_surfaces,
+    traits=BackendTraits(logical_timers=False, etw_style=False,
+                         jiffy_values=True, table_label="Table 1"))
+
+register_backend(
+    "vista",
+    kernel_factory=VistaKernel,
+    buffer_factory=EtwSession,
+    surfaces=_vista_surfaces,
+    traits=BackendTraits(logical_timers=True, etw_style=True,
+                         jiffy_values=False, table_label="Table 2"))

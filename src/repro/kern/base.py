@@ -1,0 +1,50 @@
+"""Shared backend behaviour.
+
+Both kernel models used to carry their own copies of the sink fan-out
+and the run loop; :class:`BackendBase` is the single implementation.
+Subclasses that cache the sink reference elsewhere (Linux keeps one per
+``tvec_base``) override :meth:`_sink_rebound` to propagate the tee.
+"""
+
+from __future__ import annotations
+
+
+class BackendBase:
+    """Concrete mixin implementing the :class:`~repro.kern.protocol
+    .TimerBackend` plumbing shared by every backend."""
+
+    #: Overridden by each backend ("linux", "vista", ...).
+    os_name = "?"
+
+    # -- instrumentation -------------------------------------------------
+
+    def attach_sink(self, sink) -> None:
+        """Start copying every timer event to ``sink``, live.
+
+        The existing sink keeps receiving the stream (a
+        :class:`~repro.tracing.relay.TeeSink` fans it out), so online
+        reducers can be bolted onto a machine mid-run without touching
+        the buffer the trace is read from.
+        """
+        from ..tracing.relay import TeeSink
+        if isinstance(self.sink, TeeSink):
+            self.sink.add(sink)
+            return
+        tee = TeeSink([self.sink, sink])
+        self.sink = tee
+        self._sink_rebound(tee)
+
+    def _sink_rebound(self, tee) -> None:
+        """Hook: propagate a new sink to components that cached the old
+        reference (per-CPU timer bases, the hrtimer base)."""
+
+    # -- clock accessors -------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self.engine.now
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance the machine by ``duration_ns`` of virtual time."""
+        self.engine.run_until(self.engine.now + duration_ns)

@@ -1,0 +1,100 @@
+"""OS-neutral workload definitions (the cross-OS claim, executable).
+
+Section 4.1 finds the same usage patterns — periodic, watchdog, delay,
+timeout — on both studied systems.  :class:`PortableApp` lets a
+workload be written once against those patterns: its timers are armed
+through ``arm_after``/``arm_periodic``/``arm_watchdog`` verbs that the
+backend lowers to its native calls (``mod_timer`` on Linux,
+``KeSetTimer`` on Vista).  :class:`PortableWorkload` bundles apps with
+a named *scene* (the per-backend baseline registered by the workload
+modules) so one definition runs on every registered backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from .machine import DEFAULT_DURATION_NS, Machine, WorkloadRun
+from .protocol import PortableTimer
+
+
+class PortableApp:
+    """Base class for an application written against the portable
+    timer verbs only — no OS-specific surface access.
+
+    Subclasses override :meth:`start` and arm timers obtained from
+    :meth:`timer`.  The app owns a task (its process) and a named rng
+    stream, both derived deterministically from ``comm``.
+    """
+
+    name = "portable-app"
+
+    def __init__(self, machine: Machine, *, comm: Optional[str] = None):
+        self.machine = machine
+        self.kernel = machine.kernel
+        self.comm = comm if comm is not None else self.name
+        self.task = self.kernel.tasks.spawn(self.comm)
+        self.rng = machine.rng.stream(f"portable.{self.comm}")
+
+    def timer(self, name: str) -> PortableTimer:
+        """A fresh OS-neutral timer handle labelled ``name`` (the label
+        becomes the call site, so analyses can tell the app's timers
+        apart)."""
+        return self.kernel.portable_timer(self.task, name=name)
+
+    def call_after(self, delay_ns: int, callback: Callable[[], None]) -> None:
+        """Schedule plain (untimed-resource) work — models the app
+        doing something that is not a timer."""
+        self.kernel.engine.call_after(max(1, int(delay_ns)), callback)
+
+    def start(self) -> None:
+        """Begin the app's activity; override in subclasses."""
+
+
+@dataclass(frozen=True)
+class PortableWorkload:
+    """One workload definition that runs on any registered backend.
+
+    ``scene`` names the per-backend baseline (registered with
+    :func:`repro.kern.registry.register_scene` by the workload
+    modules); ``apps`` are :class:`PortableApp` factories layered on
+    top.  Either may be empty.
+    """
+
+    name: str
+    scene: Optional[str] = None
+    apps: Tuple[Callable[[Machine], PortableApp], ...] = ()
+
+    def build(self, machine: Machine) -> None:
+        """Assemble the workload on an existing machine."""
+        if self.scene is not None:
+            machine.scene(self.scene)
+        if self.apps:
+            started = [factory(machine) for factory in self.apps]
+            for app in started:
+                app.start()
+            machine.components["portable_apps"] = started
+
+    def run(self, os_name: str, duration_ns: Optional[int] = None, *,
+            seed: int = 0, sinks=None,
+            retain_events: bool = True) -> WorkloadRun:
+        """Run this workload on the named backend."""
+        machine = Machine(os_name, seed=seed, sinks=sinks,
+                          retain_events=retain_events)
+        self.build(machine)
+        if duration_ns is None:
+            duration_ns = DEFAULT_DURATION_NS
+        return machine.finish(self.name, duration_ns)
+
+    def runner(self, os_name: str) -> Callable:
+        """A per-backend callable with the workload-registry signature
+        (``runner(duration_ns, *, seed, sinks, retain_events)``)."""
+        def run(duration_ns: int = DEFAULT_DURATION_NS, *,
+                seed: int = 0, sinks=None,
+                retain_events: bool = True) -> WorkloadRun:
+            return self.run(os_name, duration_ns, seed=seed, sinks=sinks,
+                            retain_events=retain_events)
+        run.__name__ = f"run_{os_name}_{self.name}"
+        run.__qualname__ = run.__name__
+        return run

@@ -1,0 +1,79 @@
+"""The backend protocol: what every simulated kernel must provide.
+
+:class:`TimerBackend` is the structural type shared by
+:class:`~repro.linuxkern.kernel.LinuxKernel` and
+:class:`~repro.vistakern.ktimer.VistaKernel` (and any plugin backend).
+It covers the surface the harness and the analyses rely on — the timer
+lifecycle itself stays backend-specific (``mod_timer`` vs.
+``KeSetTimer``) and is reached either through the OS surfaces a
+:class:`~repro.kern.machine.Machine` attaches or through the portable
+:meth:`TimerBackend.portable_timer` verbs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class PortableTimer(Protocol):
+    """One OS-neutral timer handle (see :class:`repro.kern.portable
+    .PortableApp`).
+
+    The verbs lower to the backend's native arming calls: ``mod_timer``
+    on Linux, ``KeSetTimer`` on Vista.  All values are exact
+    nanoseconds as requested (user-domain semantics: no jiffy
+    quantisation is applied to the recorded value).
+    """
+
+    def arm_after(self, delay_ns: int, callback: Callable[[], None]) -> None:
+        """One-shot: fire ``callback`` after ``delay_ns``."""
+        ...
+
+    def arm_periodic(self, period_ns: int,
+                     callback: Callable[[], None]) -> None:
+        """Fire every ``period_ns``, re-armed from the expiry path."""
+        ...
+
+    def arm_watchdog(self, timeout_ns: int,
+                     callback: Callable[[], None]) -> None:
+        """Arm (or push back) a guard that fires unless re-armed or
+        cancelled before ``timeout_ns`` elapses."""
+        ...
+
+    def cancel(self) -> bool:
+        """Disarm; True if the timer was pending."""
+        ...
+
+    @property
+    def pending(self) -> bool:
+        ...
+
+
+@runtime_checkable
+class TimerBackend(Protocol):
+    """One simulated kernel, as seen by the OS-neutral harness.
+
+    Attributes (not enforced by ``isinstance``, which checks methods
+    only): ``os_name``, ``engine``, ``tasks``, ``rng``, ``sites``,
+    ``sink``, and ``power`` (the :class:`~repro.sim.power.PowerMeter`
+    charged by the backend's tick devices).
+    """
+
+    def attach_sink(self, sink) -> None:
+        """Fan the live event stream out to an extra sink."""
+        ...
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance the machine by ``duration_ns`` of virtual time."""
+        ...
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds (the clock accessor)."""
+        ...
+
+    def portable_timer(self, owner, *, name: str,
+                       domain: str = "user") -> PortableTimer:
+        """Allocate an OS-neutral timer handle owned by ``owner``."""
+        ...

@@ -1,0 +1,169 @@
+"""The backend registry — pluggable OS models (Section 5.5 direction).
+
+Everything OS-specific the harness and the analyses used to hard-code
+behind ``("linux", "vista")`` tuples is resolved here instead:
+
+* :func:`register_backend` installs a :class:`BackendSpec` — how to
+  build the kernel and its trace buffer, which syscall-ish surfaces to
+  attach to a :class:`~repro.kern.machine.Machine`, and the backend's
+  analysis :class:`BackendTraits`.
+* :func:`backend_traits` answers the questions the core analyses used
+  to ask with ``os_name == "vista"`` string compares: does this OS need
+  call-site clustering (Section 3.3)?  ETW-style wait events?  Jiffy
+  quantisation of kernel-domain values?
+* :func:`register_scene` maps a per-backend *scene* name (the
+  components of a booted system, e.g. the idle baseline) to its
+  builder, letting one portable workload definition resolve the
+  OS-appropriate baseline by name.
+
+The built-in backends register lazily: the first query imports
+:mod:`repro.kern.backends`, which imports the kernel models.  This
+module itself must import nothing from them (they import
+:mod:`repro.kern.base`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class BackendTraits:
+    """How the analyses should treat traces from one backend."""
+
+    #: Timers must be correlated by (call-site, pid) cluster rather
+    #: than by address — the Vista lookaside-reuse problem (§3.3).
+    logical_timers: bool
+    #: ETW-style instrumentation: expiry runs inside the clock DPC (so
+    #: EXPIRE/INIT are not API accesses) and blocked-thread timeouts
+    #: arrive as retroactive WAIT_UNBLOCK records (§3.3).
+    etw_style: bool
+    #: Kernel-domain observed values are quantised back to whole
+    #: jiffies (§3.1's Linux recovery rule).
+    jiffy_values: bool
+    #: Heading used for the per-backend summary table in study output.
+    table_label: str
+
+    @classmethod
+    def defaults_for(cls, os_name: str) -> "BackendTraits":
+        """Traits for an unregistered name: vista-style correlation only
+        when the name says so, preserving the historical behaviour of
+        the string-compare branches."""
+        vista_like = os_name == "vista"
+        return cls(logical_timers=vista_like, etw_style=vista_like,
+                   jiffy_values=os_name == "linux",
+                   table_label=f"Summary: {os_name}")
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered backend."""
+
+    name: str
+    #: ``kernel_factory(seed=..., sink=...) -> TimerBackend``.
+    kernel_factory: Callable
+    #: Builds the retained trace buffer (relayfs / ETW session).
+    buffer_factory: Callable
+    #: ``surfaces(machine)``: attach the OS API surfaces (syscall
+    #: layer, dispatcher waits, winsock, ...) to a Machine.  May be
+    #: ``None`` for bare backends.
+    surfaces: Optional[Callable]
+    traits: BackendTraits
+
+
+_BACKENDS: dict[str, BackendSpec] = {}
+_SCENES: dict[tuple[str, str], Callable] = {}
+_TRAITS_CACHE: dict[str, BackendTraits] = {}
+_builtin_loaded = False
+
+
+def _ensure_builtin() -> None:
+    global _builtin_loaded
+    if not _builtin_loaded:
+        _builtin_loaded = True
+        from . import backends  # noqa: F401  (registers linux + vista)
+
+
+def register_backend(name: str, *, kernel_factory: Callable,
+                     buffer_factory: Callable,
+                     surfaces: Optional[Callable] = None,
+                     traits: Optional[BackendTraits] = None,
+                     replace: bool = False) -> BackendSpec:
+    """Install a backend under ``name``.
+
+    ``traits=None`` falls back to :meth:`BackendTraits.defaults_for`.
+    Re-registering an existing name raises unless ``replace=True``.
+    """
+    if name in _BACKENDS and not replace:
+        raise ValueError(f"backend {name!r} already registered")
+    if traits is None:
+        traits = BackendTraits.defaults_for(name)
+    spec = BackendSpec(name, kernel_factory, buffer_factory, surfaces,
+                       traits)
+    _BACKENDS[name] = spec
+    _TRAITS_CACHE[name] = traits
+    return spec
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (plugin teardown / tests)."""
+    _BACKENDS.pop(name, None)
+    _TRAITS_CACHE.pop(name, None)
+    for key in [key for key in _SCENES if key[0] == name]:
+        del _SCENES[key]
+
+
+def get_backend(os_name: str) -> BackendSpec:
+    _ensure_builtin()
+    spec = _BACKENDS.get(os_name)
+    if spec is None:
+        raise KeyError(f"unknown backend {os_name!r}; registered: "
+                       f"{backend_names()}")
+    return spec
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, in registration order (built-ins
+    first: linux, vista)."""
+    _ensure_builtin()
+    return tuple(_BACKENDS)
+
+
+def backend_traits(os_name: str) -> BackendTraits:
+    """Analysis traits for ``os_name`` (cheap: called per event in the
+    hot value-recovery path)."""
+    traits = _TRAITS_CACHE.get(os_name)
+    if traits is None:
+        _ensure_builtin()
+        traits = _TRAITS_CACHE.get(os_name)
+        if traits is None:
+            traits = _TRAITS_CACHE[os_name] = \
+                BackendTraits.defaults_for(os_name)
+    return traits
+
+
+# -- scenes ---------------------------------------------------------------
+
+def register_scene(os_name: str, scene: str, builder: Callable) -> None:
+    """Map a scene name to its per-backend builder.
+
+    ``builder(machine, **kwargs)`` assembles the baseline components
+    (daemons, subsystems, background processes) and returns them as a
+    dict, which :meth:`repro.kern.machine.Machine.scene` merges into
+    ``machine.components``.
+    """
+    _SCENES[(os_name, scene)] = builder
+
+
+def get_scene(os_name: str, scene: str) -> Callable:
+    builder = _SCENES.get((os_name, scene))
+    if builder is None:
+        raise KeyError(
+            f"no scene {scene!r} for backend {os_name!r}; known: "
+            f"{scene_names(os_name)}")
+    return builder
+
+
+def scene_names(os_name: str) -> tuple[str, ...]:
+    return tuple(scene for name, scene in _SCENES if name == os_name)

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..sim.clock import JIFFY
+from ..kern.base import BackendBase
+from ..sim.clock import JIFFY, to_jiffies
 from ..sim.devices import TickDevice
 from ..sim.engine import Engine
 from ..sim.power import PowerMeter
@@ -32,8 +33,10 @@ from .jiffies import round_jiffies, round_jiffies_relative
 from .timer import KernelTimer, TimerBase
 
 
-class LinuxKernel:
+class LinuxKernel(BackendBase):
     """One simulated Linux 2.6.23 machine (single-CPU by default)."""
+
+    os_name = "linux"
 
     def __init__(self, engine: Optional[Engine] = None, *,
                  seed: int = 0, dynticks: bool = False, cpus: int = 1,
@@ -81,20 +84,9 @@ class LinuxKernel:
 
     # -- instrumentation --------------------------------------------------
 
-    def attach_sink(self, sink) -> None:
-        """Start copying every timer event to ``sink``, live.
-
-        The existing sink keeps receiving the stream (a
-        :class:`~repro.tracing.relay.TeeSink` fans it out), so online
-        reducers can be bolted onto a machine mid-run without touching
-        the relayfs buffer the trace is read from.
-        """
-        from ..tracing.relay import TeeSink
-        if isinstance(self.sink, TeeSink):
-            self.sink.add(sink)
-            return
-        tee = TeeSink([self.sink, sink])
-        self.sink = tee
+    def _sink_rebound(self, tee) -> None:
+        # attach_sink (from BackendBase) replaced self.sink with a tee;
+        # the per-CPU bases and the hrtimer base cache their own refs.
         for base in self.bases:
             base.sink = tee
         self.hrtimers.sink = tee
@@ -191,8 +183,63 @@ class LinuxKernel:
     def round_jiffies_relative(self, delta: int) -> int:
         return round_jiffies_relative(delta, self.jiffies)
 
-    # -- run ----------------------------------------------------------------
+    # -- portable surface (repro.kern) --------------------------------------
 
-    def run_for(self, duration_ns: int) -> None:
-        """Advance the machine by ``duration_ns`` of virtual time."""
-        self.engine.run_until(self.engine.now + duration_ns)
+    def portable_timer(self, owner: Task, *, name: str,
+                       domain: str = "user") -> "LinuxPortableTimer":
+        """An OS-neutral handle lowering to the timer-wheel API."""
+        return LinuxPortableTimer(self, owner, name, domain)
+
+
+class LinuxPortableTimer:
+    """The portable arm/cancel verbs over one wheel timer.
+
+    Arming follows the ``schedule_timeout`` idiom (expiry one jiffy
+    past the requested delay, exact requested value recorded on the
+    SET), so portable timers trace like syscall-armed ones.
+    """
+
+    __slots__ = ("_kernel", "_timer", "_callback")
+
+    def __init__(self, kernel: LinuxKernel, owner: Task, name: str,
+                 domain: str):
+        self._kernel = kernel
+        self._callback = None
+        self._timer = kernel.init_timer(
+            self._expired, site=(f"app!{name}", "portable_arm",
+                                 "__mod_timer"),
+            owner=owner, domain=domain)
+
+    def _expired(self, _timer) -> None:
+        callback = self._callback
+        if callback is not None:
+            callback()
+
+    def _arm(self, delay_ns: int) -> None:
+        kernel = self._kernel
+        expires = kernel.jiffies + to_jiffies(delay_ns) + 1
+        kernel.mod_timer(self._timer, expires, timeout_ns=delay_ns)
+
+    def arm_after(self, delay_ns: int, callback) -> None:
+        self._callback = callback
+        self._arm(delay_ns)
+
+    def arm_periodic(self, period_ns: int, callback) -> None:
+        def tick() -> None:
+            callback()
+            self._arm(period_ns)
+        self._callback = tick
+        self._arm(period_ns)
+
+    def arm_watchdog(self, timeout_ns: int, callback) -> None:
+        # Re-arming a pending watchdog is exactly mod_timer on a
+        # pending timer: the old episode ends REARMED.
+        self._callback = callback
+        self._arm(timeout_ns)
+
+    def cancel(self) -> bool:
+        return self._kernel.del_timer(self._timer)
+
+    @property
+    def pending(self) -> bool:
+        return self._timer.pending

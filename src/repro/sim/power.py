@@ -72,3 +72,20 @@ class PowerMeter:
         if elapsed_ns <= 0:
             return 0.0
         return self.wakeups / (elapsed_ns / SECOND)
+
+    def snapshot(self, elapsed_ns: int) -> dict:
+        """The headline power numbers for one run, as plain data.
+
+        This is the backend-neutral power accessor the
+        :class:`repro.kern.protocol.TimerBackend` surface exposes via
+        ``kernel.power`` — every backend charges the same meter, so
+        runs are comparable across OS models and tick policies.
+        """
+        return {
+            "wakeups": self.wakeups,
+            "interrupts": self.interrupts,
+            "busy_ns": self.busy_ns,
+            "energy_joules": self.energy_joules(elapsed_ns),
+            "average_watts": self.average_watts(elapsed_ns),
+            "wakeups_per_second": self.wakeups_per_second(elapsed_ns),
+        }

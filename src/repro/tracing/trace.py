@@ -59,8 +59,12 @@ class Trace:
 
     def __init__(self, *, os_name: str, workload: str, duration_ns: int,
                  events: Optional[list[TimerEvent]] = None):
-        if os_name not in ("linux", "vista"):
-            raise ValueError(f"unknown os {os_name!r}")
+        # Any registered backend is a valid trace origin (the registry
+        # lives above this layer, so resolve it lazily).
+        from ..kern.registry import backend_names
+        if os_name not in backend_names():
+            raise ValueError(f"unknown os {os_name!r}; registered "
+                             f"backends: {list(backend_names())}")
         self.os_name = os_name
         self.workload = workload
         self.duration_ns = duration_ns

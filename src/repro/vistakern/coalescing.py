@@ -20,8 +20,7 @@ import heapq
 from typing import Callable, Optional
 
 from ..sim.clock import MILLISECOND, SECOND
-from ..sim.devices import TickDevice
-from .ktimer import DEFAULT_CLOCK_PERIOD_NS, KTimer, VistaKernel
+from .ktimer import KTimer, VistaKernel
 
 #: Coalescing alignments, coarsest first (Windows uses a similar set).
 COALESCING_PERIODS_NS = (
@@ -67,16 +66,15 @@ class TickSkippingVistaKernel(VistaKernel):
     the clock interrupt is suppressed (no CPU wakeup) when no timer in
     the ring is due by the next tick.  Semantics are unchanged — due
     timers always force the tick to run.
+
+    Every clock device this kernel builds (initial and
+    ``timeBeginPeriod`` retunes) comes through the base class's
+    ``_make_clock``; supplying the idle predicate is the whole
+    subclass.
     """
 
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        # Replace the always-firing clock with a skipping one.
-        self.clock.stop()
-        self.clock = TickDevice(self.engine, self.clock_period_ns,
-                                self._clock_interrupt, power=self.power,
-                                idle_predicate=self._tick_skippable)
-        self.clock.start()
+    def _tick_predicate(self) -> Callable[[], bool]:
+        return self._tick_skippable
 
     def _tick_skippable(self) -> bool:
         horizon = self.engine.now + self.clock_period_ns
@@ -88,15 +86,3 @@ class TickSkippingVistaKernel(VistaKernel):
                 continue
             return deadline > horizon
         return True
-
-    def _apply_resolution(self) -> None:
-        period = min(self._resolution_requests.values(),
-                     default=DEFAULT_CLOCK_PERIOD_NS)
-        if period != self.clock_period_ns:
-            self.clock_period_ns = period
-            self.clock.stop()
-            self.clock = TickDevice(self.engine, period,
-                                    self._clock_interrupt,
-                                    power=self.power,
-                                    idle_predicate=self._tick_skippable)
-            self.clock.start()

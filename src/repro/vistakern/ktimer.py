@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional, Tuple
 
+from ..kern.base import BackendBase
 from ..sim.clock import MILLISECOND
 from ..sim.devices import TickDevice
 from ..sim.engine import Engine
@@ -69,8 +70,10 @@ class KTimer:
         self.traced = True
 
 
-class VistaKernel:
+class VistaKernel(BackendBase):
     """One simulated single-CPU Vista machine."""
+
+    os_name = "vista"
 
     def __init__(self, engine: Optional[Engine] = None, *, seed: int = 0,
                  sink: Optional[EtwSession] = None,
@@ -87,20 +90,24 @@ class VistaKernel:
         self._lookaside: list[int] = []
         self.clock_period_ns = DEFAULT_CLOCK_PERIOD_NS
         self._resolution_requests: dict[int, int] = {}
-        self.clock = TickDevice(self.engine, self.clock_period_ns,
-                                self._clock_interrupt, power=self.power)
+        self.clock = self._make_clock(self.clock_period_ns)
         self.clock.start()
 
-    # -- instrumentation ---------------------------------------------------
+    # -- clock construction (subclasses change the idle policy) -------------
 
-    def attach_sink(self, sink) -> None:
-        """Start copying every ETW record (including thread-unblock
-        events) to ``sink``, live, alongside the existing session."""
-        from ..tracing.relay import TeeSink
-        if isinstance(self.sink, TeeSink):
-            self.sink.add(sink)
-        else:
-            self.sink = TeeSink([self.sink, sink])
+    def _make_clock(self, period_ns: int) -> TickDevice:
+        """Build the periodic clock-interrupt device; both initial
+        construction and ``timeBeginPeriod`` retuning come through
+        here, so a subclass overriding :meth:`_tick_predicate` changes
+        every clock this kernel ever runs."""
+        return TickDevice(self.engine, period_ns, self._clock_interrupt,
+                          power=self.power,
+                          idle_predicate=self._tick_predicate())
+
+    def _tick_predicate(self) -> Optional[Callable[[], bool]]:
+        """Idle predicate for the clock device; ``None`` means the
+        stock always-firing Vista clock interrupt."""
+        return None
 
     # -- allocation --------------------------------------------------------
 
@@ -229,11 +236,61 @@ class VistaKernel:
         if period != self.clock_period_ns:
             self.clock_period_ns = period
             self.clock.stop()
-            self.clock = TickDevice(self.engine, period,
-                                    self._clock_interrupt, power=self.power)
+            self.clock = self._make_clock(period)
             self.clock.start()
 
-    # -- run ------------------------------------------------------------------
+    # -- portable surface (repro.kern) ---------------------------------------
 
-    def run_for(self, duration_ns: int) -> None:
-        self.engine.run_until(self.engine.now + duration_ns)
+    def portable_timer(self, owner: Task, *, name: str,
+                       domain: str = "user") -> "VistaPortableTimer":
+        """An OS-neutral handle lowering to ``KeSetTimer``."""
+        return VistaPortableTimer(self, owner, name, domain)
+
+
+class VistaPortableTimer:
+    """The portable arm/cancel verbs over one KTIMER.
+
+    Each verb is an explicit ``KeSetTimer`` (the way application-level
+    Vista timers behave), so portable episodes carry SET records on
+    every arming rather than the silent periodic re-insertion path.
+    """
+
+    __slots__ = ("_kernel", "_timer", "_callback")
+
+    def __init__(self, kernel: VistaKernel, owner: Task, name: str,
+                 domain: str):
+        self._kernel = kernel
+        self._callback = None
+        self._timer = kernel.alloc_ktimer(
+            site=(f"app!{name}", "portable_arm", "nt!KeSetTimer"),
+            owner=owner, domain=domain)
+
+    def _expired(self, _timer) -> None:
+        callback = self._callback
+        if callback is not None:
+            callback()
+
+    def arm_after(self, delay_ns: int, callback) -> None:
+        self._callback = callback
+        self._kernel.set_timer(self._timer, delay_ns, dpc=self._expired)
+
+    def arm_periodic(self, period_ns: int, callback) -> None:
+        def tick() -> None:
+            callback()
+            self._kernel.set_timer(self._timer, period_ns,
+                                   dpc=self._expired)
+        self._callback = tick
+        self._kernel.set_timer(self._timer, period_ns, dpc=self._expired)
+
+    def arm_watchdog(self, timeout_ns: int, callback) -> None:
+        # KeSetTimer on an inserted timer implicitly cancels and
+        # re-arms; the trace shows a fresh SET (episode re-armed).
+        self._callback = callback
+        self._kernel.set_timer(self._timer, timeout_ns, dpc=self._expired)
+
+    def cancel(self) -> bool:
+        return self._kernel.cancel_timer(self._timer)
+
+    @property
+    def pending(self) -> bool:
+        return self._timer.inserted

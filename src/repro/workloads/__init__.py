@@ -1,34 +1,59 @@
 """Workload models reproducing the paper's traced scenarios."""
 
+from ..kern.registry import backend_names
 from .apps import (ApacheServer, FixedIntervalDaemon, HttperfDriver,
                    SelectCountdownApp, SkypeApp, SoftRealtimePoller)
-from .base import (DEFAULT_DURATION_NS, PAPER_DURATION_NS, LinuxMachine,
-                   TraceJob, VistaMachine, WorkloadRun,
-                   run_study_traces)
+from .base import (DEFAULT_DURATION_NS, PAPER_DURATION_NS, Machine,
+                   TraceJob, WorkloadRun, run_study_traces)
 from .desktop_vista import FIGURE1_DURATION_NS, run_vista_desktop
 from .filebrowser import (BrowseResult, browse, browse_adaptive,
                           schedule_total_ns)
 from .firefox import run_linux_firefox, run_vista_firefox
 from .idle import run_linux_idle, run_vista_idle
+from .portable import (PORTABLE_IDLE, PORTABLE_MIX, PORTABLE_WEBSERVER,
+                       PORTABLE_WORKLOADS, run_portable)
 from .skype import run_linux_skype, run_vista_skype
 from .vista_apps import (BrowserApp, OutlookApp, SkypeVistaApp,
                          VistaBackgroundProcess, VistaKernelBackground)
 from .webserver import run_linux_webserver, run_vista_webserver
 
-#: Registry used by the CLI and the benchmarks.
-LINUX_WORKLOADS = {
-    "idle": run_linux_idle,
-    "skype": run_linux_skype,
-    "firefox": run_linux_firefox,
-    "webserver": run_linux_webserver,
+#: One registry for every backend: ``(os_name, workload) -> runner``.
+#: The per-OS runner pairs are the paper's workloads; the "portable"
+#: entries are one OS-neutral definition expanded per backend.
+WORKLOADS = {
+    ("linux", "idle"): run_linux_idle,
+    ("linux", "skype"): run_linux_skype,
+    ("linux", "firefox"): run_linux_firefox,
+    ("linux", "webserver"): run_linux_webserver,
+    ("vista", "idle"): run_vista_idle,
+    ("vista", "skype"): run_vista_skype,
+    ("vista", "firefox"): run_vista_firefox,
+    ("vista", "webserver"): run_vista_webserver,
+    ("vista", "desktop"): run_vista_desktop,
 }
-VISTA_WORKLOADS = {
-    "idle": run_vista_idle,
-    "skype": run_vista_skype,
-    "firefox": run_vista_firefox,
-    "webserver": run_vista_webserver,
-    "desktop": run_vista_desktop,
-}
+for _os_name in ("linux", "vista"):
+    WORKLOADS[(_os_name, "portable")] = PORTABLE_MIX.runner(_os_name)
+
+
+def list_workloads(os_name: str) -> list[str]:
+    """Workload names runnable on ``os_name`` (sorted).
+
+    Raises KeyError (listing the registered backends) for an unknown
+    backend name.
+    """
+    names = backend_names()
+    if os_name not in names:
+        raise KeyError(f"unknown backend {os_name!r}; registered: "
+                       f"{list(names)}")
+    return sorted(workload for backend, workload in WORKLOADS
+                  if backend == os_name)
+
+
+#: Back-compat views of the unified table.
+LINUX_WORKLOADS = {workload: runner for (backend, workload), runner
+                   in WORKLOADS.items() if backend == "linux"}
+VISTA_WORKLOADS = {workload: runner for (backend, workload), runner
+                   in WORKLOADS.items() if backend == "vista"}
 
 
 def run_workload(os_name: str, workload: str, duration_ns=None, *,
@@ -40,11 +65,13 @@ def run_workload(os_name: str, workload: str, duration_ns=None, *,
     machine for the whole run; ``retain_events=False`` drops the trace
     buffer so only the sinks see the stream (bounded memory).
     """
-    registry = LINUX_WORKLOADS if os_name == "linux" else VISTA_WORKLOADS
-    if workload not in registry:
+    runner = WORKLOADS.get((os_name, workload))
+    if runner is None:
+        # Distinguish a bad backend from a bad workload name; either
+        # way, list only the valid choices for what was asked.
+        valid = list_workloads(os_name)   # raises for unknown backends
         raise KeyError(f"unknown {os_name} workload {workload!r}; "
-                       f"choose from {sorted(registry)}")
-    runner = registry[workload]
+                       f"choose from {valid}")
     kwargs = dict(seed=seed, sinks=sinks, retain_events=retain_events)
     if duration_ns is None:
         return runner(**kwargs)

@@ -28,7 +28,7 @@ from ..sim.clock import MILLISECOND, SECOND, millis
 from ..sim.tasks import Task
 from ..linuxkern.subsystems.net import TcpConnection, TcpStack
 from ..linuxkern.syscalls import WakeReason
-from .base import LinuxMachine
+from .base import Machine
 
 
 class SelectCountdownApp:
@@ -41,7 +41,7 @@ class SelectCountdownApp:
     again.
     """
 
-    def __init__(self, machine: LinuxMachine, comm: str, *,
+    def __init__(self, machine: Machine, comm: str, *,
                  nominal_timeout_ns: int, activity_mean_ns: int):
         self.machine = machine
         self.task = machine.kernel.tasks.spawn(comm)
@@ -91,7 +91,7 @@ class SoftRealtimePoller:
     1.4M sets.
     """
 
-    def __init__(self, machine: LinuxMachine, comm: str, *,
+    def __init__(self, machine: Machine, comm: str, *,
                  timeout_cycle: Sequence[int],
                  cancel_probability: float = 0.8,
                  think_ns: int = 500_000,
@@ -143,7 +143,7 @@ class FixedIntervalDaemon:
     re-set to the same value after the (non-trivial) work interval.
     """
 
-    def __init__(self, machine: LinuxMachine, comm: str, *,
+    def __init__(self, machine: Machine, comm: str, *,
                  interval_ns: int, work_ns: int = 20 * MILLISECOND,
                  use_select: bool = False):
         self.machine = machine
@@ -173,7 +173,7 @@ class SkypeApp:
 
     SIGNALING_VALUES = (millis(500), millis(499.9), 0)
 
-    def __init__(self, machine: LinuxMachine, *,
+    def __init__(self, machine: Machine, *,
                  frame_ns: int = millis(20), audio_threads: int = 3):
         self.machine = machine
         self.task = machine.kernel.tasks.spawn("skype")
@@ -222,7 +222,7 @@ class ApacheServer:
     EVENT_LOOP_TIMEOUT_NS = SECOND
     SOCKET_POLL_TIMEOUT_NS = 15 * SECOND
 
-    def __init__(self, machine: LinuxMachine, tcp: TcpStack, *,
+    def __init__(self, machine: Machine, tcp: TcpStack, *,
                  children: int = 10):
         self.machine = machine
         self.tcp = tcp
@@ -294,7 +294,7 @@ class HttperfDriver:
     httperf produces.
     """
 
-    def __init__(self, machine: LinuxMachine, server: ApacheServer, *,
+    def __init__(self, machine: Machine, server: ApacheServer, *,
                  connections_per_second: float = 16.7,
                  burst_size: int = 10):
         self.machine = machine

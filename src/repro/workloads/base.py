@@ -1,9 +1,15 @@
-"""Workload harness: assembling machines, running them, bundling traces.
+"""Workload harness: running machines, bundling traces, study driver.
 
 The paper's four workloads (Idle, Skype, Firefox, Webserver) each ran
 for exactly 30 minutes on both systems.  Runs here default to a shorter
 window (the event streams scale linearly; see EXPERIMENTS.md) and can
 be run at full paper length with ``duration_ns=PAPER_DURATION_NS``.
+
+The machine harness itself lives in :mod:`repro.kern`: one generic
+:class:`~repro.kern.machine.Machine` resolves any registered backend
+(the old per-OS machine pair is gone).  This
+module keeps the names importable from their historical home and adds
+the parallel study driver.
 """
 
 from __future__ import annotations
@@ -11,101 +17,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Tuple
 
-from ..sim.clock import MINUTE
-from ..linuxkern.kernel import LinuxKernel
-from ..linuxkern.syscalls import SyscallInterface
-from ..tracing.etw import EtwSession
-from ..tracing.relay import NullSink, RelayBuffer
-from ..tracing.trace import Trace
-from ..vistakern.dispatcher import DispatcherWaits
-from ..vistakern.ktimer import VistaKernel
-from ..vistakern.ntapi import NtTimerApi
-from ..vistakern.win32 import WaitableTimers
-from ..vistakern.winsock import Winsock
+from ..kern.machine import (DEFAULT_DURATION_NS, PAPER_DURATION_NS,
+                            Machine, WorkloadRun)
 
-#: The paper's trace length.
-PAPER_DURATION_NS = 30 * MINUTE
-#: Default for benchmarks: long enough for 7 decades of timeout values
-#: to show their behaviour, short enough to iterate on.
-DEFAULT_DURATION_NS = 5 * MINUTE
-
-
-@dataclass
-class WorkloadRun:
-    """Everything produced by one workload execution."""
-
-    trace: Trace
-    kernel: object            #: LinuxKernel or VistaKernel
-    components: dict = field(default_factory=dict)
-
-    @property
-    def duration_ns(self) -> int:
-        return self.trace.duration_ns
-
-
-class LinuxMachine:
-    """A Linux box with its syscall layer, ready for apps.
-
-    ``sinks`` are extra live sinks (e.g. streaming reducers) attached in
-    front of the relayfs buffer; with ``retain_events=False`` the buffer
-    is replaced by a :class:`~repro.tracing.relay.NullSink` so only the
-    attached reducers see the stream — O(active timers) memory instead
-    of O(events).
-    """
-
-    os_name = "linux"
-
-    def __init__(self, *, seed: int = 0,
-                 sinks: Optional[Iterable] = None,
-                 retain_events: bool = True):
-        self.retain_events = retain_events
-        self.buffer = RelayBuffer() if retain_events else NullSink()
-        self.kernel = LinuxKernel(seed=seed, sink=self.buffer)
-        self.syscalls = SyscallInterface(self.kernel)
-        self.rng = self.kernel.rng
-        for sink in sinks or ():
-            self.kernel.attach_sink(sink)
-
-    def finish(self, workload: str, duration_ns: int) -> WorkloadRun:
-        self.kernel.run_for(duration_ns)
-        events = list(self.buffer) if self.retain_events else []
-        trace = Trace(os_name="linux", workload=workload,
-                      duration_ns=duration_ns, events=events)
-        return WorkloadRun(trace, self.kernel)
-
-
-class VistaMachine:
-    """A Vista box with every timer surface instantiated.
-
-    ``sinks``/``retain_events`` behave as on :class:`LinuxMachine`, with
-    an ETW session standing in for the relayfs buffer.
-    """
-
-    os_name = "vista"
-
-    def __init__(self, *, seed: int = 0,
-                 sinks: Optional[Iterable] = None,
-                 retain_events: bool = True):
-        self.retain_events = retain_events
-        self.buffer = EtwSession() if retain_events else NullSink()
-        self.kernel = VistaKernel(seed=seed, sink=self.buffer)
-        self.waits = DispatcherWaits(self.kernel)
-        self.ntapi = NtTimerApi(self.kernel)
-        self.waitable = WaitableTimers(self.ntapi)
-        self.winsock = Winsock(self.kernel)
-        self.rng = self.kernel.rng
-        for sink in sinks or ():
-            self.kernel.attach_sink(sink)
-
-    def finish(self, workload: str, duration_ns: int) -> WorkloadRun:
-        self.kernel.run_for(duration_ns)
-        events = list(self.buffer) if self.retain_events else []
-        trace = Trace(os_name="vista", workload=workload,
-                      duration_ns=duration_ns, events=events)
-        return WorkloadRun(trace, self.kernel)
+__all__ = [
+    "DEFAULT_DURATION_NS", "PAPER_DURATION_NS", "Machine", "TraceJob",
+    "WorkloadRun", "run_study_traces",
+]
 
 
 # -- parallel study driver ----------------------------------------------

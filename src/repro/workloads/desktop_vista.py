@@ -9,8 +9,8 @@ second, the browser tens, Outlook ~70/s when idle with bursts of up to
 from __future__ import annotations
 
 from ..sim.clock import SECOND, millis
-from .base import VistaMachine, WorkloadRun
-from .idle import VISTA_BACKGROUND_PROCESSES, build_vista_idle_base
+from .base import Machine, WorkloadRun
+from .idle import VISTA_BACKGROUND_PROCESSES  # noqa: F401  (re-export)
 from .vista_apps import (BrowserApp, OutlookApp, VistaKernelBackground)
 
 #: Busy-desktop kernel timers: network ACK pacing, audio DMA refill,
@@ -30,9 +30,9 @@ FIGURE1_DURATION_NS = 90 * SECOND
 def run_vista_desktop(duration_ns: int = FIGURE1_DURATION_NS, *,
                       seed: int = 0, sinks=None,
                       retain_events: bool = True) -> WorkloadRun:
-    machine = VistaMachine(seed=seed, sinks=sinks,
-                           retain_events=retain_events)
-    components = build_vista_idle_base(machine)
+    machine = Machine("vista", seed=seed, sinks=sinks,
+                      retain_events=retain_events)
+    components = machine.scene("idle")
 
     busy_kernel = VistaKernelBackground(machine,
                                         periods=BUSY_KERNEL_PERIODS)
@@ -49,6 +49,4 @@ def run_vista_desktop(duration_ns: int = FIGURE1_DURATION_NS, *,
     browser.start()
     components["browser"] = browser
 
-    run = machine.finish("desktop", duration_ns)
-    run.components = components
-    return run
+    return machine.finish("desktop", duration_ns)

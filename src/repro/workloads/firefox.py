@@ -13,9 +13,7 @@ from __future__ import annotations
 from ..sim.clock import jiffies, millis, seconds
 from ..linuxkern.subsystems.net import TcpConnection
 from .apps import SoftRealtimePoller
-from .base import (DEFAULT_DURATION_NS, LinuxMachine, VistaMachine,
-                   WorkloadRun)
-from .idle import build_linux_idle_base, build_vista_idle_base
+from .base import DEFAULT_DURATION_NS, Machine, WorkloadRun
 from .vista_apps import BrowserApp
 
 
@@ -23,9 +21,9 @@ def run_linux_firefox(duration_ns: int = DEFAULT_DURATION_NS, *,
                       seed: int = 0, sinks=None,
                       retain_events: bool = True,
                       event_loop_threads: int = 5) -> WorkloadRun:
-    machine = LinuxMachine(seed=seed, sinks=sinks,
-                           retain_events=retain_events)
-    components = build_linux_idle_base(machine)
+    machine = Machine("linux", seed=seed, sinks=sinks,
+                      retain_events=retain_events)
+    components = machine.scene("idle")
 
     task = machine.kernel.tasks.spawn("firefox-bin")
     pollers = []
@@ -58,21 +56,17 @@ def run_linux_firefox(duration_ns: int = DEFAULT_DURATION_NS, *,
             max(1, int(rng.exponential(seconds(4)))), fetch)
 
     machine.kernel.engine.call_after(millis(300), fetch)
-    run = machine.finish("firefox", duration_ns)
-    run.components = components
-    return run
+    return machine.finish("firefox", duration_ns)
 
 
 def run_vista_firefox(duration_ns: int = DEFAULT_DURATION_NS, *,
                       seed: int = 0, sinks=None,
                       retain_events: bool = True) -> WorkloadRun:
-    machine = VistaMachine(seed=seed, sinks=sinks,
-                           retain_events=retain_events)
-    components = build_vista_idle_base(machine)
+    machine = Machine("vista", seed=seed, sinks=sinks,
+                      retain_events=retain_events)
+    components = machine.scene("idle")
     browser = BrowserApp(machine, "firefox.exe", flash=True,
                          select_rate_hz=40.0)
     browser.start()
     components["browser"] = browser
-    run = machine.finish("firefox", duration_ns)
-    run.components = components
-    return run
+    return machine.finish("firefox", duration_ns)

@@ -10,18 +10,18 @@ applications, 26 background processes.
 
 from __future__ import annotations
 
+from ..kern.registry import register_scene
 from ..sim.clock import MILLISECOND, SECOND, millis, seconds
 from ..linuxkern.subsystems.block import BlockLayer, JournalDaemon
 from ..linuxkern.subsystems.console import ConsoleBlanker
 from ..linuxkern.subsystems.housekeeping import standard_housekeeping
 from ..linuxkern.subsystems.net import ArpCache, TcpConnection, TcpStack
 from .apps import FixedIntervalDaemon, SelectCountdownApp
-from .base import (DEFAULT_DURATION_NS, LinuxMachine, VistaMachine,
-                   WorkloadRun)
+from .base import DEFAULT_DURATION_NS, Machine, WorkloadRun
 from .vista_apps import (VistaBackgroundProcess, VistaKernelBackground)
 
 
-def build_linux_idle_base(machine: LinuxMachine, *,
+def build_linux_idle_base(machine: Machine, *,
                           with_x: bool = True) -> dict:
     """The components every Linux workload shares (the booted system)."""
     kernel = machine.kernel
@@ -114,12 +114,10 @@ def build_linux_idle_base(machine: LinuxMachine, *,
 def run_linux_idle(duration_ns: int = DEFAULT_DURATION_NS, *,
                    seed: int = 0, sinks=None,
                    retain_events: bool = True) -> WorkloadRun:
-    machine = LinuxMachine(seed=seed, sinks=sinks,
-                           retain_events=retain_events)
-    components = build_linux_idle_base(machine)
-    run = machine.finish("idle", duration_ns)
-    run.components = components
-    return run
+    machine = Machine("linux", seed=seed, sinks=sinks,
+                      retain_events=retain_events)
+    machine.scene("idle")
+    return machine.finish("idle", duration_ns)
 
 
 # ---------------------------------------------------------------------------
@@ -157,7 +155,7 @@ VISTA_BACKGROUND_PROCESSES = (
 )
 
 
-def build_vista_idle_base(machine: VistaMachine) -> dict:
+def build_vista_idle_base(machine: Machine) -> dict:
     components: dict = {}
     background = VistaKernelBackground(machine)
     background.start()
@@ -183,9 +181,13 @@ def build_vista_idle_base(machine: VistaMachine) -> dict:
 def run_vista_idle(duration_ns: int = DEFAULT_DURATION_NS, *,
                    seed: int = 0, sinks=None,
                    retain_events: bool = True) -> WorkloadRun:
-    machine = VistaMachine(seed=seed, sinks=sinks,
-                           retain_events=retain_events)
-    components = build_vista_idle_base(machine)
-    run = machine.finish("idle", duration_ns)
-    run.components = components
-    return run
+    machine = Machine("vista", seed=seed, sinks=sinks,
+                      retain_events=retain_events)
+    machine.scene("idle")
+    return machine.finish("idle", duration_ns)
+
+
+#: The idle baselines double as the "idle" scene for portable
+#: workloads: one definition resolves the OS-appropriate booted system.
+register_scene("linux", "idle", build_linux_idle_base)
+register_scene("vista", "idle", build_vista_idle_base)

@@ -1,0 +1,136 @@
+"""Portable workload definitions (one definition, every backend).
+
+Two kinds of portability, layered:
+
+* :data:`PORTABLE_IDLE` / :data:`PORTABLE_WEBSERVER` — the paper's
+  workloads as single definitions.  Each names a *scene* (the
+  per-backend baseline the workload modules register) and the
+  :class:`~repro.kern.portable.PortableWorkload` machinery resolves
+  the OS-appropriate builder through the registry.  Running one of
+  these produces a trace byte-identical to the legacy per-OS runner —
+  pinned by ``tests/kern/test_portable_parity.py``.
+
+* :data:`PORTABLE_MIX` — a workload written *only* against the
+  OS-neutral ``arm_after``/``arm_periodic``/``arm_watchdog`` verbs.
+  It exhibits one timer of each Section 4.1 usage pattern, so running
+  it on any backend must classify the same taxonomy — the paper's
+  cross-OS claim as a test.
+"""
+
+from __future__ import annotations
+
+from ..kern.portable import PortableApp, PortableWorkload
+from ..sim.clock import SECOND, millis
+
+# Scene registration happens at import of the workload modules.
+from . import idle as _idle          # noqa: F401
+from . import webserver as _web      # noqa: F401
+
+
+class HeartbeatApp(PortableApp):
+    """PERIODIC: a 1 s tick that always expires and re-arms at once."""
+
+    name = "heartbeat"
+
+    def start(self) -> None:
+        self.beats = 0
+        self.timer("heartbeat").arm_periodic(SECOND, self._beat)
+
+    def _beat(self) -> None:
+        self.beats += 1
+
+
+class GuardApp(PortableApp):
+    """WATCHDOG: a 5 s guard pushed back by activity that (almost)
+    always arrives first."""
+
+    name = "guard"
+
+    def start(self) -> None:
+        self.trips = 0
+        self._guard = self.timer("io_guard")
+        self._activity()
+
+    def _activity(self) -> None:
+        self._guard.arm_watchdog(5 * SECOND, self._tripped)
+        self.call_after(self.rng.exponential(millis(800)), self._activity)
+
+    def _tripped(self) -> None:
+        self.trips += 1
+
+
+class PollLoopApp(PortableApp):
+    """DELAY: fixed 300 ms sleeps separated by a think-time gap."""
+
+    name = "poller"
+
+    def start(self) -> None:
+        self._delay = self.timer("poll_delay")
+        self._sleep()
+
+    def _sleep(self) -> None:
+        self._delay.arm_after(millis(300), self._woke)
+
+    def _woke(self) -> None:
+        # The gap between expiry and the next arming is what separates
+        # DELAY from PERIODIC in the classifier.
+        self.call_after(self.rng.exponential(millis(200)), self._sleep)
+
+
+class RpcApp(PortableApp):
+    """TIMEOUT: a 5 s guard on a call that completes in milliseconds,
+    cancelling the timer nearly every time."""
+
+    name = "rpc"
+
+    def start(self) -> None:
+        self.timeouts = 0
+        self._timer = self.timer("rpc_timeout")
+        self._call()
+
+    def _call(self) -> None:
+        self._timer.arm_after(5 * SECOND, self._timed_out)
+        self.call_after(self.rng.exponential(millis(30)), self._reply)
+
+    def _reply(self) -> None:
+        if self._timer.pending:
+            self._timer.cancel()
+        self.call_after(self.rng.exponential(millis(500)), self._call)
+
+    def _timed_out(self) -> None:
+        self.timeouts += 1
+
+
+#: The paper's workloads as single cross-backend definitions.
+PORTABLE_IDLE = PortableWorkload("idle", scene="idle")
+PORTABLE_WEBSERVER = PortableWorkload("webserver", scene="webserver")
+
+#: One timer of each usage pattern, armed purely through the portable
+#: verbs — no scene, so the trace contains nothing else.
+PORTABLE_MIX = PortableWorkload(
+    "portable",
+    apps=(HeartbeatApp, GuardApp, PollLoopApp, RpcApp))
+
+#: name -> definition, for registries and discovery.
+PORTABLE_WORKLOADS = {
+    workload.name: workload
+    for workload in (PORTABLE_IDLE, PORTABLE_WEBSERVER, PORTABLE_MIX)
+}
+
+
+def run_portable(workload: str, os_name: str, duration_ns=None, *,
+                 seed: int = 0, sinks=None, retain_events: bool = True):
+    """Run a portable definition by name on any registered backend."""
+    definition = PORTABLE_WORKLOADS.get(workload)
+    if definition is None:
+        raise KeyError(f"unknown portable workload {workload!r}; "
+                       f"choose from {sorted(PORTABLE_WORKLOADS)}")
+    return definition.run(os_name, duration_ns, seed=seed, sinks=sinks,
+                          retain_events=retain_events)
+
+
+__all__ = [
+    "GuardApp", "HeartbeatApp", "PORTABLE_IDLE", "PORTABLE_MIX",
+    "PORTABLE_WEBSERVER", "PORTABLE_WORKLOADS", "PollLoopApp", "RpcApp",
+    "run_portable",
+]

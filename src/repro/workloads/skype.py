@@ -5,18 +5,16 @@ from __future__ import annotations
 from ..sim.clock import seconds
 from ..linuxkern.subsystems.net import TcpConnection
 from .apps import SkypeApp
-from .base import (DEFAULT_DURATION_NS, LinuxMachine, VistaMachine,
-                   WorkloadRun)
-from .idle import build_linux_idle_base, build_vista_idle_base
+from .base import DEFAULT_DURATION_NS, Machine, WorkloadRun
 from .vista_apps import SkypeVistaApp
 
 
 def run_linux_skype(duration_ns: int = DEFAULT_DURATION_NS, *,
                     seed: int = 0, sinks=None,
                     retain_events: bool = True) -> WorkloadRun:
-    machine = LinuxMachine(seed=seed, sinks=sinks,
-                           retain_events=retain_events)
-    components = build_linux_idle_base(machine)
+    machine = Machine("linux", seed=seed, sinks=sinks,
+                      retain_events=retain_events)
+    components = machine.scene("idle")
     skype = SkypeApp(machine)
     skype.start()
     components["skype"] = skype
@@ -32,20 +30,16 @@ def run_linux_skype(duration_ns: int = DEFAULT_DURATION_NS, *,
             max(1, int(rng.exponential(seconds(15)))), relay_burst)
 
     machine.kernel.engine.call_after(seconds(1), relay_burst)
-    run = machine.finish("skype", duration_ns)
-    run.components = components
-    return run
+    return machine.finish("skype", duration_ns)
 
 
 def run_vista_skype(duration_ns: int = DEFAULT_DURATION_NS, *,
                     seed: int = 0, sinks=None,
                     retain_events: bool = True) -> WorkloadRun:
-    machine = VistaMachine(seed=seed, sinks=sinks,
-                           retain_events=retain_events)
-    components = build_vista_idle_base(machine)
+    machine = Machine("vista", seed=seed, sinks=sinks,
+                      retain_events=retain_events)
+    components = machine.scene("idle")
     skype = SkypeVistaApp(machine)
     skype.start()
     components["skype"] = skype
-    run = machine.finish("skype", duration_ns)
-    run.components = components
-    return run
+    return machine.finish("skype", duration_ns)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..sim.clock import MICROSECOND, MILLISECOND, SECOND, millis, seconds
-from .base import VistaMachine
+from .base import Machine
 
 SITE_SVCHOST_WAIT = ("svchost!ServiceMainLoop",
                      "kernel32!WaitForSingleObject",
@@ -63,7 +63,7 @@ class VistaKernelBackground:
         ("i8042prt!I8042WatchdogTimer", millis(500)),
     )
 
-    def __init__(self, machine: VistaMachine, *,
+    def __init__(self, machine: Machine, *,
                  periods: Optional[Sequence] = None, copies: int = 1):
         self.machine = machine
         self.entries = []
@@ -90,7 +90,7 @@ class VistaKernelBackground:
 class VistaBackgroundProcess:
     """One background service process: waits that mostly expire."""
 
-    def __init__(self, machine: VistaMachine, comm: str, *,
+    def __init__(self, machine: Machine, comm: str, *,
                  wait_timeouts: Sequence[int] = (seconds(1),),
                  satisfied_probability: float = 0.05,
                  work_ns: int = MILLISECOND, threads: int = 2):
@@ -167,7 +167,7 @@ class OutlookApp:
 
     GUARD_TIMEOUT_NS = 5 * SECOND
 
-    def __init__(self, machine: VistaMachine, *,
+    def __init__(self, machine: Machine, *,
                  baseline_rate_hz: float = 70.0,
                  burst_mean_gap_ns: int = 30 * SECOND,
                  burst_upcalls: int = 2500):
@@ -236,7 +236,7 @@ class OutlookApp:
 class BrowserApp:
     """A web browser: GUI timers + winsock selects (+ Flash flood)."""
 
-    def __init__(self, machine: VistaMachine, comm: str = "iexplore.exe",
+    def __init__(self, machine: Machine, comm: str = "iexplore.exe",
                  *, flash: bool = False, flash_threads: int = 6,
                  select_rate_hz: float = 20.0):
         self.machine = machine
@@ -299,7 +299,7 @@ SKYPE_CALL_KERNEL_PERIODS = tuple(
 class SkypeVistaApp:
     """Skype on Vista: high-resolution clock plus mixed wait values."""
 
-    def __init__(self, machine: VistaMachine):
+    def __init__(self, machine: Machine):
         self.machine = machine
         self.task = machine.kernel.tasks.spawn("Skype.exe")
         self.rng = machine.rng.stream("vista.skype")

@@ -10,25 +10,22 @@ the 80–100% cluster of Figure 11.
 
 from __future__ import annotations
 
+from ..kern.registry import register_scene
 from ..sim.clock import millis, seconds
 from ..linuxkern.subsystems.block import BlockLayer, JournalDaemon
 from ..linuxkern.subsystems.console import ConsoleBlanker
 from ..linuxkern.subsystems.housekeeping import standard_housekeeping
 from ..linuxkern.subsystems.net import ArpCache, TcpStack
 from .apps import ApacheServer, HttperfDriver
-from .base import (DEFAULT_DURATION_NS, LinuxMachine, VistaMachine,
-                   WorkloadRun)
+from .base import DEFAULT_DURATION_NS, Machine, WorkloadRun
 from .idle import build_vista_idle_base
 from .vista_apps import VistaBackgroundProcess
 
 
-def run_linux_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
-                        seed: int = 0, sinks=None,
-                        retain_events: bool = True,
-                        connections_per_second: float = 16.7
-                        ) -> WorkloadRun:
-    machine = LinuxMachine(seed=seed, sinks=sinks,
-                           retain_events=retain_events)
+def build_linux_webserver_base(machine: Machine, *,
+                               connections_per_second: float = 16.7
+                               ) -> dict:
+    """The serving system: booted without X, Apache under httperf."""
     kernel = machine.kernel
     components: dict = {}
 
@@ -70,25 +67,30 @@ def run_linux_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
                            connections_per_second=connections_per_second)
     driver.start()
     components["httperf"] = driver
-
-    run = machine.finish("webserver", duration_ns)
-    run.components = components
-    return run
+    return components
 
 
-def run_vista_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
+def run_linux_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
                         seed: int = 0, sinks=None,
                         retain_events: bool = True,
                         connections_per_second: float = 16.7
                         ) -> WorkloadRun:
-    """IIS-style server over the Vista model.
+    machine = Machine("linux", seed=seed, sinks=sinks,
+                      retain_events=retain_events)
+    machine.scene("webserver",
+                  connections_per_second=connections_per_second)
+    return machine.finish("webserver", duration_ns)
+
+
+def build_vista_webserver_base(machine: Machine, *,
+                               connections_per_second: float = 16.7
+                               ) -> dict:
+    """IIS-style serving over the Vista idle baseline.
 
     The paper notes the Vista webserver trace looks much like the Vista
     idle trace (background machinery dominates) and, notably, lacks the
     7200 s TCP keepalive timer Linux arms per connection.
     """
-    machine = VistaMachine(seed=seed, sinks=sinks,
-                           retain_events=retain_events)
     components = build_vista_idle_base(machine)
 
     worker = VistaBackgroundProcess(
@@ -101,6 +103,7 @@ def run_vista_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
     kernel = machine.kernel
     rng = machine.rng.stream("vista.http")
     served = {"count": 0}
+    components["served"] = served
 
     def connection() -> None:
         served["count"] += 1
@@ -126,6 +129,20 @@ def run_vista_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
         kernel.engine.call_after(gap, connection)
 
     kernel.engine.call_after(millis(50), connection)
-    run = machine.finish("webserver", duration_ns)
-    run.components = components
-    return run
+    return components
+
+
+def run_vista_webserver(duration_ns: int = DEFAULT_DURATION_NS, *,
+                        seed: int = 0, sinks=None,
+                        retain_events: bool = True,
+                        connections_per_second: float = 16.7
+                        ) -> WorkloadRun:
+    machine = Machine("vista", seed=seed, sinks=sinks,
+                      retain_events=retain_events)
+    machine.scene("webserver",
+                  connections_per_second=connections_per_second)
+    return machine.finish("webserver", duration_ns)
+
+
+register_scene("linux", "webserver", build_linux_webserver_base)
+register_scene("vista", "webserver", build_vista_webserver_base)

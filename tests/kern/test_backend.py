@@ -1,0 +1,137 @@
+"""The pluggable backend layer: registry, protocol, generic Machine."""
+
+import pytest
+
+from repro.kern import (BackendTraits, Machine, TimerBackend, WorkloadRun,
+                        backend_names, backend_traits, get_backend,
+                        register_backend, unregister_backend)
+from repro.kern.base import BackendBase
+from repro.linuxkern.kernel import LinuxKernel
+from repro.vistakern.coalescing import TickSkippingVistaKernel
+from repro.vistakern.ktimer import VistaKernel
+from repro.workloads import list_workloads, run_workload
+
+
+def test_builtin_backends_registered_in_order():
+    assert backend_names() == ("linux", "vista")
+
+
+def test_get_backend_unknown_lists_registered():
+    with pytest.raises(KeyError, match="linux"):
+        get_backend("beos")
+
+
+def test_kernels_satisfy_protocol():
+    assert isinstance(LinuxKernel(seed=0), TimerBackend)
+    assert isinstance(VistaKernel(seed=0), TimerBackend)
+    assert isinstance(TickSkippingVistaKernel(seed=0), TimerBackend)
+
+
+def test_traits_differ_per_backend():
+    linux = backend_traits("linux")
+    vista = backend_traits("vista")
+    assert linux.jiffy_values and not vista.jiffy_values
+    assert vista.logical_timers and not linux.logical_timers
+    assert vista.etw_style and not linux.etw_style
+    assert linux.table_label == "Table 1"
+    assert vista.table_label == "Table 2"
+
+
+def test_traits_fall_back_to_defaults_for_unregistered():
+    traits = BackendTraits.defaults_for("hurd")
+    assert not traits.jiffy_values
+    assert "hurd" in traits.table_label
+
+
+def test_machine_grows_backend_surfaces():
+    linux = Machine("linux", seed=1)
+    assert hasattr(linux, "syscalls")
+    vista = Machine("vista", seed=1)
+    for surface in ("waits", "ntapi", "waitable", "winsock"):
+        assert hasattr(vista, surface)
+
+
+def test_machine_unknown_backend():
+    with pytest.raises(KeyError, match="vista"):
+        Machine("plan9")
+
+
+def test_attach_sink_defined_once_on_base():
+    # Satellite 3: the sink-attachment (TeeSink dedupe) logic lives on
+    # BackendBase only; concrete kernels inherit it via the protocol
+    # surface instead of re-implementing it.
+    assert "attach_sink" not in LinuxKernel.__dict__
+    assert "attach_sink" not in VistaKernel.__dict__
+    assert "attach_sink" not in TickSkippingVistaKernel.__dict__
+    assert VistaKernel.attach_sink is BackendBase.attach_sink
+
+
+def test_attach_sink_tees_and_dedupes():
+    events = []
+
+    class Probe:
+        def emit(self, event):
+            events.append(event)
+
+    kernel = TickSkippingVistaKernel(seed=3)
+    kernel.attach_sink(Probe())
+    kernel.attach_sink(Probe())  # second attach joins the same tee
+    task = kernel.tasks.spawn("probe-app")
+    timer = kernel.portable_timer(task, name="tick")
+    timer.arm_periodic(500_000_000, lambda: None)
+    kernel.run_for(2_000_000_000)
+    assert events
+    assert len(events) % 2 == 0  # both probes saw every event
+
+
+def test_workload_run_kernel_and_components():
+    # Satellite 1: every workload populates run.kernel (protocol-typed)
+    # and a non-empty components dict.
+    for os_name in backend_names():
+        for name in list_workloads(os_name):
+            duration = None if name == "desktop" else 2_000_000_000
+            run = run_workload(os_name, name, duration, seed=0)
+            assert isinstance(run, WorkloadRun)
+            assert isinstance(run.kernel, TimerBackend), (os_name, name)
+            assert run.components, (os_name, name)
+            snapshot = run.power_snapshot()
+            assert snapshot["wakeups"] > 0
+
+
+def test_list_workloads_per_backend():
+    assert "desktop" not in list_workloads("linux")
+    assert "desktop" in list_workloads("vista")
+    for os_name in backend_names():
+        assert {"idle", "skype", "firefox", "webserver",
+                "portable"} <= set(list_workloads(os_name))
+
+
+def test_list_workloads_unknown_backend():
+    with pytest.raises(KeyError, match="linux"):
+        list_workloads("beos")
+
+
+def test_run_workload_error_names_backend_specific_choices():
+    with pytest.raises(KeyError) as excinfo:
+        run_workload("linux", "desktop")
+    message = str(excinfo.value)
+    assert "desktop" in message and "idle" in message
+    # desktop is only absent from the *linux* choices listed...
+    assert "linux" in message
+    # ...and it does exist for vista.
+    assert run_workload("vista", "desktop", 1_000_000_000).trace.workload \
+        == "desktop"
+
+
+def test_register_and_unregister_toy_backend():
+    register_backend("toy", kernel_factory=LinuxKernel,
+                     buffer_factory=list)
+    try:
+        assert "toy" in backend_names()
+        assert backend_traits("toy").table_label == "Summary: toy"
+        with pytest.raises(ValueError, match="toy"):
+            register_backend("toy", kernel_factory=LinuxKernel,
+                             buffer_factory=list)
+    finally:
+        unregister_backend("toy")
+    assert "toy" not in backend_names()

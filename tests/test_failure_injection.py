@@ -11,7 +11,7 @@ from repro.tracing import RelayBuffer, Trace
 from repro.tracing.relay import APPROX_RECORD_BYTES
 from repro.core import summarize
 from repro.core.timespec import FlexibleTimerQueue, Window
-from repro.workloads.base import LinuxMachine
+from repro.workloads.base import Machine
 from repro.workloads.idle import build_linux_idle_base
 
 
@@ -20,7 +20,7 @@ class TestRelayOverflow:
         """The paper sized its buffer so nothing dropped; if it HAD
         overflowed, relayfs keeps old data and drops new."""
         sink = RelayBuffer(capacity_bytes=200 * APPROX_RECORD_BYTES)
-        machine = LinuxMachine(seed=1)
+        machine = Machine("linux", seed=1)
         machine.kernel.sink = sink
         machine.kernel.timers.sink = sink
         build_linux_idle_base(machine)
@@ -32,7 +32,7 @@ class TestRelayOverflow:
 
     def test_truncated_trace_still_analyzable(self):
         sink = RelayBuffer(capacity_bytes=500 * APPROX_RECORD_BYTES)
-        machine = LinuxMachine(seed=1)
+        machine = Machine("linux", seed=1)
         machine.kernel.sink = sink
         machine.kernel.timers.sink = sink
         build_linux_idle_base(machine)

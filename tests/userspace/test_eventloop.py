@@ -5,13 +5,13 @@ import pytest
 from repro.sim.clock import JIFFY, MINUTE, SECOND, millis, seconds
 from repro.tracing import EventKind, RelayBuffer, Trace
 from repro.userspace import UserEventLoop
-from repro.workloads.base import LinuxMachine
+from repro.workloads.base import Machine
 from repro.core import TimerClass, classify_trace, value_histogram
 
 
 @pytest.fixture
 def machine():
-    return LinuxMachine(seed=6)
+    return Machine("linux", seed=6)
 
 
 def make_loop(machine, **kwargs):
