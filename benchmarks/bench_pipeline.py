@@ -11,7 +11,10 @@ workloads (both OSes, plus the Figure 1 desktop trace):
   Figures 2–11, adaptivity, nesting), with the pre-index behaviour
   (every analysis re-groups and re-extracts episodes from scratch)
   versus the shared single-pass :class:`repro.core.index.TraceIndex`,
-  verifying both produce identical output.
+  verifying both produce identical output;
+* **metrics phase** — the run phase repeated with
+  ``collect_metrics=True``, verifying observability leaves the traces
+  byte-identical and costs well under the 10% overhead budget.
 
 Results go to ``BENCH_pipeline.json`` so successive PRs can track the
 perf trajectory.  Usage::
@@ -45,6 +48,7 @@ from repro.core import (adaptivity_report, duration_scatter, infer_nesting,
                         render_histogram, render_nesting,
                         render_origin_table, render_rates, render_scatter,
                         round_value_share, summarize, value_histogram)
+from repro.obs import MetricsSnapshot
 from repro.sim.clock import MINUTE
 from repro.tracing import Trace
 from repro.tracing.binfmt import dumps
@@ -128,6 +132,37 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 1
 
+    # -- metrics phase --------------------------------------------------
+    # Interleaved best-of-N on both sides: single runs of a multi-second
+    # study are dominated by scheduler noise, not collection cost.
+    reps = 1 if args.smoke else 3
+    print("metrics phase: re-running the study with collect_metrics on "
+          f"({reps} reps/side)", file=sys.stderr)
+    observed = None
+    plain_s, metrics_s = parallel_s, float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        run_study_traces(jobs, processes=args.jobs)
+        plain_s = min(plain_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        observed = run_study_traces(jobs, processes=args.jobs,
+                                    collect_metrics=True)
+        metrics_s = min(metrics_s, time.perf_counter() - t0)
+    metrics_identical = all(
+        dumps(trace) == dumps(plain) for (trace, _snapshot), plain in
+        zip(observed, parallel_traces))
+    merged = MetricsSnapshot.merge(snap for _trace, snap in observed)
+    overhead_pct = round(100.0 * (metrics_s - plain_s) / plain_s, 2)
+    metrics_phase = {"plain_s": round(plain_s, 4),
+                     "metrics_s": round(metrics_s, 4),
+                     "overhead_pct": overhead_pct,
+                     "identical_traces": metrics_identical,
+                     "samples": len(merged.samples)}
+    if not metrics_identical:
+        print("FATAL: metrics collection perturbed the traces",
+              file=sys.stderr)
+        return 1
+
     traces = dict(zip(STUDY_ORDER, parallel_traces))
 
     # -- analyze phase --------------------------------------------------
@@ -165,6 +200,7 @@ def main(argv=None) -> int:
                    "jobs": args.jobs, "smoke": args.smoke,
                    "cpus": os.cpu_count()},
         "run_phase": run_phase,
+        "metrics_phase": metrics_phase,
         "analyze_phase": {
             "baseline_s": round(baseline_total, 4),
             "indexed_s": round(indexed_total, 4),
@@ -187,6 +223,9 @@ def main(argv=None) -> int:
               f"parallel {run_phase['parallel_s']:.2f}s "
               f"({run_phase['workers']} workers) -> "
               f"{run_phase['speedup']:.2f}x", file=sys.stderr)
+    print(f"metrics phase: plain {plain_s:.2f}s, observed "
+          f"{metrics_s:.2f}s -> {overhead_pct:+.1f}% "
+          f"({metrics_phase['samples']} samples)", file=sys.stderr)
     print(f"results -> {args.out}", file=sys.stderr)
     return 0 if identical_output else 1
 

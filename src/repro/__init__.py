@@ -33,7 +33,8 @@ buffering the trace::
     print(analyze(suite, duration_ns=run.trace.duration_ns).summary())
 """
 
-from . import core, kern, linuxkern, sim, tracing, vistakern, workloads
+from . import core, kern, linuxkern, obs, sim, tracing, vistakern, \
+    workloads
 from .core import (Analysis, StreamingSuite, TraceIndex, analyze,
                    as_index, classify_trace, duration_scatter,
                    generate_report, origin_table, pattern_breakdown,
@@ -42,6 +43,8 @@ from .core import (Analysis, StreamingSuite, TraceIndex, analyze,
 from .kern import (Machine, PortableApp, PortableWorkload, TimerBackend,
                    WorkloadRun, backend_names, backend_traits,
                    register_backend)
+from .obs import (MetricsRegistry, MetricsSnapshot, profile,
+                  render_prometheus)
 from .tracing import Trace
 from .workloads import (list_workloads, run_study_traces,
                         run_vista_desktop, run_workload)
@@ -49,8 +52,10 @@ from .workloads import (list_workloads, run_study_traces,
 __version__ = "0.1.0"
 
 __all__ = [
-    "core", "kern", "linuxkern", "sim", "tracing", "vistakern",
+    "core", "kern", "linuxkern", "obs", "sim", "tracing", "vistakern",
     "workloads",
+    "MetricsRegistry", "MetricsSnapshot", "profile",
+    "render_prometheus",
     "Analysis", "StreamingSuite", "TraceIndex", "analyze", "as_index",
     "classify_trace", "duration_scatter", "generate_report",
     "origin_table", "pattern_breakdown", "rate_series",

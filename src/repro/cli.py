@@ -29,14 +29,54 @@ from .workloads import (WORKLOADS, browse, browse_adaptive,
                         list_workloads, run_study_traces, run_workload)
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})")
+    return value
+
+
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
+        "--jobs", type=_positive_int, default=None, metavar="N",
         help="parallel simulation processes (default: one per CPU; "
              "1 = serial; output is identical either way)")
 
 
+def _add_metrics_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect simulator metrics and print the Prometheus text "
+             "exposition to stderr (stdout stays byte-identical)")
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the exposition to FILE instead (implies --metrics)")
+
+
+def _metrics_enabled(args: argparse.Namespace) -> bool:
+    return bool(args.metrics or args.metrics_out)
+
+
+def _emit_metrics(snapshot, args: argparse.Namespace) -> None:
+    text = snapshot.render()
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    else:
+        print(text, end="", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.stream and args.out is not None:
+        print("error: --stream analyzes in flight and writes no trace "
+              "file; --out conflicts with it", file=sys.stderr)
+        return 2
     duration = int(args.minutes * MINUTE)
     mode = "streaming " if args.stream else ""
     print(f"{mode}running {args.os}/{args.workload} for "
@@ -57,10 +97,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"(peak aggregation state {suite.peak_state} entries); "
               f"no trace file written", file=sys.stderr)
         print(render_analysis(suite), end="")
+        if _metrics_enabled(args):
+            _emit_metrics(run.metrics(), args)
         return 0
     run = run_workload(args.os, args.workload, duration, seed=args.seed)
-    run.trace.save(args.out)
-    print(f"{len(run.trace)} events -> {args.out}", file=sys.stderr)
+    out = args.out if args.out is not None else "trace.jsonl.gz"
+    run.trace.save(out)
+    print(f"{len(run.trace)} events -> {out}", file=sys.stderr)
+    if _metrics_enabled(args):
+        _emit_metrics(run.metrics(), args)
     return 0
 
 
@@ -109,7 +154,16 @@ def _cmd_study(args: argparse.Namespace) -> int:
     jobs = [(os_name, workload,
              None if workload == "desktop" else duration, args.seed)
             for os_name, workload in order]
-    traces = dict(zip(order, run_study_traces(jobs, processes=args.jobs)))
+    collect = _metrics_enabled(args)
+    results = run_study_traces(jobs, processes=args.jobs,
+                               collect_metrics=collect)
+    if collect:
+        from .obs import MetricsSnapshot
+        traces = dict(zip(order, (trace for trace, _ in results)))
+        _emit_metrics(MetricsSnapshot.merge(
+            snapshot for _, snapshot in results), args)
+    else:
+        traces = dict(zip(order, results))
 
     for os_name in backends:
         table = backend_traits(os_name).table_label
@@ -135,12 +189,35 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .core.report import generate_report
-    text = generate_report(minutes=args.minutes, seed=args.seed,
-                           progress=lambda m: print(m, file=sys.stderr),
-                           jobs=args.jobs)
+    collect = _metrics_enabled(args)
+    result = generate_report(minutes=args.minutes, seed=args.seed,
+                             progress=lambda m: print(m, file=sys.stderr),
+                             jobs=args.jobs, collect_metrics=collect)
+    text, snapshot = result if collect else (result, None)
     with open(args.out, "w", encoding="utf-8") as fh:
         fh.write(text)
     print(f"report written to {args.out}", file=sys.stderr)
+    if snapshot is not None:
+        _emit_metrics(snapshot, args)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import profile
+    duration = int(args.minutes * MINUTE)
+    print(f"running {args.os}/{args.workload} for {args.minutes:g} "
+          f"virtual minutes (seed {args.seed})...", file=sys.stderr)
+    if args.profile:
+        with profile() as prof:
+            run = run_workload(args.os, args.workload, duration,
+                               seed=args.seed)
+    else:
+        run = run_workload(args.os, args.workload, duration,
+                           seed=args.seed)
+    print(run.metrics().render(), end="")
+    if args.profile:
+        print("\n# per-subsystem virtual-time profile")
+        print(prof.render())
     return 0
 
 
@@ -172,12 +249,27 @@ def build_parser() -> argparse.ArgumentParser:
                                        in list_workloads(os_name)}))
     run_p.add_argument("--minutes", type=float, default=5.0)
     run_p.add_argument("--seed", type=int, default=0)
-    run_p.add_argument("--out", default="trace.jsonl.gz")
+    run_p.add_argument("--out", default=None,
+                       help="trace file (default trace.jsonl.gz; "
+                            "conflicts with --stream)")
     run_p.add_argument("--stream", action="store_true",
                        help="analyze events in flight with bounded "
                             "memory; prints the analysis instead of "
                             "saving a trace")
+    _add_metrics_args(run_p)
     run_p.set_defaults(func=_cmd_run)
+
+    mt_p = sub.add_parser(
+        "metrics",
+        help="run one workload and print its Prometheus exposition")
+    mt_p.add_argument("os", help="backend name (see repro.kern)")
+    mt_p.add_argument("workload")
+    mt_p.add_argument("--minutes", type=float, default=1.0)
+    mt_p.add_argument("--seed", type=int, default=0)
+    mt_p.add_argument("--profile", action="store_true",
+                      help="also attribute wall/virtual time per "
+                           "subsystem")
+    mt_p.set_defaults(func=_cmd_metrics)
 
     an_p = sub.add_parser("analyze", help="analyze a saved trace")
     an_p.add_argument("trace")
@@ -189,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     st_p.add_argument("--minutes", type=float, default=2.0)
     st_p.add_argument("--seed", type=int, default=0)
     _add_jobs_arg(st_p)
+    _add_metrics_args(st_p)
     st_p.set_defaults(func=_cmd_study)
 
     cp_p = sub.add_parser("compare", help="compare two saved traces")
@@ -202,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     rp_p.add_argument("--seed", type=int, default=0)
     rp_p.add_argument("--out", default="report.md")
     _add_jobs_arg(rp_p)
+    _add_metrics_args(rp_p)
     rp_p.set_defaults(func=_cmd_report)
 
     br_p = sub.add_parser("browse",
@@ -218,6 +312,12 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except KeyError as err:
+        # Unknown backend/workload names raise KeyError with a message
+        # listing the valid choices (see repro.workloads.run_workload).
+        print(f"error: {err.args[0] if err.args else err}",
+              file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into head/less which closed early: not an error.
         sys.stderr.close()

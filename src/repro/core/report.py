@@ -85,12 +85,16 @@ def render_analysis(source, *, filter_x: bool = False) -> str:
 
 
 def generate_report(*, minutes: float = 2.0, seed: int = 0,
-                    progress=None, jobs=None) -> str:
+                    progress=None, jobs=None,
+                    collect_metrics: bool = False):
     """Run the full study and return it as markdown.
 
     ``progress`` is an optional callable receiving status strings.
     ``jobs`` is the number of parallel simulation processes (``None``
     = one per CPU); the rendered report is identical either way.
+    ``collect_metrics=True`` returns ``(text, MetricsSnapshot)`` with
+    every run's metrics merged; the text is byte-identical to a
+    metrics-off run.
     """
     from ..workloads import run_study_traces
 
@@ -114,8 +118,14 @@ def generate_report(*, minutes: float = 2.0, seed: int = 0,
     trace_jobs = [(os_name, workload,
                    None if workload == "desktop" else duration, seed)
                   for os_name, workload in order]
-    traces: dict[tuple[str, str], Trace] = dict(
-        zip(order, run_study_traces(trace_jobs, processes=jobs)))
+    results = run_study_traces(trace_jobs, processes=jobs,
+                               collect_metrics=collect_metrics)
+    snapshot = None
+    if collect_metrics:
+        from ..obs import MetricsSnapshot
+        snapshot = MetricsSnapshot.merge(snap for _, snap in results)
+        results = [trace for trace, _ in results]
+    traces: dict[tuple[str, str], Trace] = dict(zip(order, results))
 
     for os_name in backends:
         table = backend_traits(os_name).table_label
@@ -175,4 +185,6 @@ def generate_report(*, minutes: float = 2.0, seed: int = 0,
                            groups=["Outlook", "Browser", "System",
                                    "Kernel"], max_rows=12))
     out.write("\n```\n")
+    if collect_metrics:
+        return out.getvalue(), snapshot
     return out.getvalue()

@@ -236,6 +236,9 @@ class EpisodeRouter:
         self._groups: dict = {}
         self._site_of_id: dict = {}
         self._subscribers: list = []
+        #: Routing volume counters (mirrored into repro.obs metrics).
+        self.groups_created = 0
+        self.episodes_routed = 0
 
     def subscribe(self, consumer) -> None:
         self._subscribers.append(consumer)
@@ -266,10 +269,13 @@ class EpisodeRouter:
         if group is None:
             builder = EpisodeBuilder(self.os_name)
             group = self._groups[key] = _Group(key, event, builder)
+            self.groups_created += 1
             subscribers = self._subscribers
 
             def dispatch(episode: Episode, group=group,
-                         subscribers=subscribers) -> None:
+                         subscribers=subscribers,
+                         router=self) -> None:
+                router.episodes_routed += 1
                 for consumer in subscribers:
                     consumer.on_episode(group, episode)
 
@@ -700,6 +706,8 @@ class StreamingSuite:
         self.rates_reducer = StreamingRates(os_name, workload)
         self.finished = False
         self.duration_ns: Optional[int] = None
+        self._groups_routed = 0
+        self._episodes_routed = 0
         self.summary: Optional[TraceSummary] = None
         self.breakdown: Optional[PatternBreakdown] = None
         self.histogram: Optional[ValueHistogram] = None
@@ -734,6 +742,8 @@ class StreamingSuite:
         self.histogram = self.values_reducer.finish(duration_ns)
         self.scatter = self.durations_reducer.finish(duration_ns)
         self.rates = self.rates_reducer.finish(duration_ns)
+        self._groups_routed = self.router.groups_created
+        self._episodes_routed = self.router.episodes_routed
         self.router = None          # drop dispatch closures: picklable
         self.classifier.router = None
         self.durations_reducer.router = None
@@ -743,6 +753,20 @@ class StreamingSuite:
     @property
     def late_waits(self) -> int:
         return self.summary_reducer.late_waits
+
+    @property
+    def groups_routed(self) -> int:
+        """Timer groups created by the shared router (live or final)."""
+        router = self.router
+        return self._groups_routed if router is None \
+            else router.groups_created
+
+    @property
+    def episodes_routed(self) -> int:
+        """Completed episodes dispatched to subscribers."""
+        router = self.router
+        return self._episodes_routed if router is None \
+            else router.episodes_routed
 
     def origin_table(self, *, min_sets: int = 3) -> list[OriginRow]:
         return self.classifier.origin_table(min_sets=min_sets)

@@ -45,6 +45,20 @@ class WorkloadRun:
         """Headline power numbers over this run's duration."""
         return self.kernel.power.snapshot(self.trace.duration_ns)
 
+    def metrics(self, *, registry=None, sinks: Iterable = (),
+                labels: Optional[dict] = None):
+        """Collect every layer of this run into a
+        :class:`~repro.obs.metrics.MetricsSnapshot`.
+
+        Pure pull collection over already-maintained counters — calling
+        it never changes simulation state, so it can be taken at any
+        point (and repeatedly).  ``sinks`` adds reducers that were
+        passed to the runner rather than attached to the kernel.
+        """
+        from ..obs.collect import collect_run
+        return collect_run(self, registry=registry, sinks=sinks,
+                           labels=labels)
+
 
 class Machine:
     """A simulated box for any registered backend, ready for apps.

@@ -165,6 +165,18 @@ class TimerWheel:
                         best = timer.expires
         return best
 
+    def occupancy(self) -> tuple[int, ...]:
+        """Pending timers per wheel level, ``(tv1, tv2, .., tv5)``.
+
+        The per-tv occupancy figure from the paper's wheel discussion:
+        how much of the pending population sits in the fine-grained
+        front wheel versus the coarse cascade levels.
+        """
+        counts = [sum(len(bucket) for bucket in self.tv1)]
+        counts.extend(sum(len(bucket) for bucket in level)
+                      for level in self.tvn)
+        return tuple(counts)
+
     def all_pending(self) -> Iterator[WheelTimer]:
         for bucket in self.tv1:
             yield from bucket

@@ -1,0 +1,25 @@
+"""repro.obs — simulator-wide observability.
+
+Metrics registry (:mod:`~repro.obs.metrics`), Prometheus text exporter
+(:mod:`~repro.obs.export`), pull-collectors for every simulator layer
+(:mod:`~repro.obs.collect`) and the virtual-time profiler
+(:mod:`~repro.obs.profiler`).
+"""
+
+from .collect import collect_kernel, collect_run, collect_sink, \
+    collect_streaming
+from .export import render_prometheus
+from .metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
+    NULL_REGISTRY, Sample,
+)
+from .profiler import VirtualTimeProfiler, current_profiler, profile, \
+    subsystem_of
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "MetricsSnapshot", "NULL_REGISTRY", "Sample",
+    "VirtualTimeProfiler", "collect_kernel", "collect_run",
+    "collect_sink", "collect_streaming", "current_profiler", "profile",
+    "render_prometheus", "subsystem_of",
+]

@@ -1,0 +1,71 @@
+"""Prometheus text exposition for :class:`~repro.obs.metrics.MetricsSnapshot`.
+
+Produces the `text-based exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+``# HELP`` / ``# TYPE`` headers followed by one line per labelled
+series, histograms expanded into ``_bucket``/``_sum``/``_count``.  The
+output is deterministic for a deterministic snapshot (family order is
+registration order, series order is first-touch order), so the CI
+metrics smoke job can grep it and the determinism sweep can diff it.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .metrics import MetricsRegistry, MetricsSnapshot, Sample
+
+__all__ = ["render_prometheus"]
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n") \
+                .replace('"', r'\"')
+
+
+def _labels(pairs) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"'
+                    for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _number(value) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _render_sample(out: list, sample: Sample) -> None:
+    if sample.kind == "histogram":
+        cumulative, total, count = sample.value
+        for bound, running in cumulative:
+            le = sample.labels + (("le", _number(bound)),)
+            out.append(f"{sample.name}_bucket{_labels(le)} {running}")
+        out.append(f"{sample.name}_sum{_labels(sample.labels)} "
+                   f"{_number(total)}")
+        out.append(f"{sample.name}_count{_labels(sample.labels)} "
+                   f"{count}")
+    else:
+        out.append(f"{sample.name}{_labels(sample.labels)} "
+                   f"{_number(sample.value)}")
+
+
+def render_prometheus(source: Union[MetricsSnapshot, MetricsRegistry]
+                      ) -> str:
+    """Render a snapshot (or a registry, snapshotted here) as text."""
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) \
+        else source
+    out: list[str] = []
+    seen_header = set()
+    for sample in snapshot.samples:
+        if sample.name not in seen_header:
+            seen_header.add(sample.name)
+            if sample.help:
+                out.append(f"# HELP {sample.name} {sample.help}")
+            out.append(f"# TYPE {sample.name} {sample.kind}")
+        _render_sample(out, sample)
+    return "\n".join(out) + ("\n" if out else "")

@@ -1,0 +1,396 @@
+"""Metrics primitives: Counter/Gauge/Histogram families, a registry,
+and immutable snapshots.
+
+The paper's study *is* an observability exercise — relayfs counters on
+Linux, custom ETW events on Vista, ``/proc/timer_stats`` — yet until
+this module the simulator's own internals (drop counts, wheel
+cascades, coalescing hits, power transitions) were scattered ad-hoc
+attributes.  ``repro.obs`` gathers them behind one Prometheus-shaped
+surface:
+
+* instruments are **families**: one name + label names, many labelled
+  series (``counter.inc(1, cpu="0")``),
+* a :class:`MetricsRegistry` owns families and freezes them into a
+  :class:`MetricsSnapshot` — plain immutable data that pickles across
+  the study pipeline's process boundary,
+* a disabled registry hands out shared no-op instruments, so
+  instrumented code pays one attribute call and nothing else
+  (zero-cost-when-disabled).
+
+Determinism: simulated quantities (event counts, cascades, drops,
+energy) are identical across runs of the same seed; wall-clock derived
+series are registered with ``volatile=True`` and are *excluded from
+snapshot equality*, so two runs of one workload compare equal while
+still reporting their real wall time.  The determinism sweep test
+pins this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "MetricsSnapshot", "NULL_REGISTRY", "Sample",
+]
+
+#: Default histogram buckets: log-ish spread over nanosecond timer
+#: values (1 us .. 100 s), the domain every layer here observes.
+DEFAULT_BUCKETS = (
+    1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000,
+    1_000_000_000, 10_000_000_000, 100_000_000_000,
+)
+
+
+class Instrument:
+    """One metric family: a name, fixed label names, labelled series."""
+
+    kind = "untyped"
+
+    __slots__ = ("name", "help", "label_names", "volatile", "_series")
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = (),
+                 volatile: bool = False):
+        _check_name(name)
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.volatile = volatile
+        #: label-values tuple -> series value (insertion ordered).
+        self._series: dict = {}
+
+    def _key(self, labels: dict) -> tuple:
+        if len(labels) != len(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}")
+        try:
+            return tuple(str(labels[name]) for name in self.label_names)
+        except KeyError as missing:
+            raise ValueError(f"{self.name}: missing label {missing}; "
+                             f"expected {self.label_names}") from None
+
+    def value(self, **labels):
+        """Current value of one labelled series (0 if never touched)."""
+        return self._series.get(self._key(labels), 0)
+
+    def series(self) -> Iterable[tuple[tuple, object]]:
+        return self._series.items()
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.name} "
+                f"labels={self.label_names} series={len(self._series)}>")
+
+
+class Counter(Instrument):
+    """Monotonically increasing count (events dispatched, drops, ...)."""
+
+    kind = "counter"
+    __slots__ = ()
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up "
+                             f"(inc {amount})")
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def set_total(self, total: float, **labels) -> None:
+        """Overwrite the cumulative total — the pull-collection path,
+        where an existing subsystem counter (``engine.dispatched``,
+        ``wheel.cascades``) is mirrored at snapshot time."""
+        if total < 0:
+            raise ValueError(f"{self.name}: negative total {total}")
+        self._series[self._key(labels)] = total
+
+
+class Gauge(Instrument):
+    """A value that can go either way (queue depth, occupancy)."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+    def set(self, value: float, **labels) -> None:
+        self._series[self._key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+
+class Histogram(Instrument):
+    """Cumulative-bucket distribution (Prometheus histogram schema)."""
+
+    kind = "histogram"
+    __slots__ = ("buckets",)
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 volatile: bool = False):
+        super().__init__(name, help, label_names, volatile)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"{name}: buckets must be sorted and "
+                             "non-empty")
+        self.buckets = tuple(buckets)
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        cell = self._series.get(key)
+        if cell is None:
+            # [per-bucket counts..., +Inf count, sum, n]
+            cell = self._series[key] = [0] * (len(self.buckets) + 1) \
+                + [0.0, 0]
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                cell[i] += 1
+                break
+        else:
+            cell[len(self.buckets)] += 1
+        cell[-2] += value
+        cell[-1] += 1
+
+    def value(self, **labels):
+        """(cumulative (le, count) pairs, sum, count) for one series."""
+        cell = self._series.get(self._key(labels))
+        if cell is None:
+            return ((), 0.0, 0)
+        return _freeze_histogram(self.buckets, cell)
+
+
+def _freeze_histogram(buckets: tuple, cell: list) -> tuple:
+    cumulative = []
+    running = 0
+    for bound, count in zip(buckets, cell):
+        running += count
+        cumulative.append((bound, running))
+    running += cell[len(buckets)]
+    cumulative.append((float("inf"), running))
+    return (tuple(cumulative), cell[-2], cell[-1])
+
+
+def _check_name(name: str) -> None:
+    ok = name and (name[0].isalpha() or name[0] == "_") and all(
+        ch.isalnum() or ch in "_:" for ch in name)
+    if not ok:
+        raise ValueError(f"invalid metric name {name!r}")
+
+
+class _NullInstrument:
+    """Shared no-op standing in for every instrument kind when a
+    registry is disabled: the instrumented call sites stay branch-free
+    and allocation-free."""
+
+    kind = "null"
+    name = help = ""
+    label_names = ()
+    volatile = False
+    buckets = ()
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        pass
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        pass
+
+    def set(self, value: float, **labels) -> None:
+        pass
+
+    def set_total(self, total: float, **labels) -> None:
+        pass
+
+    def observe(self, value: float, **labels) -> None:
+        pass
+
+    def value(self, **labels):
+        return 0
+
+    def series(self):
+        return ()
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One series frozen out of a registry.
+
+    ``value`` is a number for counters/gauges and the
+    ``((le, cumcount), ..., sum, n)`` triple for histograms.
+    """
+
+    name: str
+    kind: str
+    help: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: object
+    volatile: bool = False
+
+
+class MetricsSnapshot:
+    """Immutable, picklable view of a registry at one instant.
+
+    Equality compares only non-volatile samples — wall-clock series
+    (marked ``volatile=True`` at registration) differ between two runs
+    of the same seed and would make determinism assertions impossible;
+    :meth:`identical` compares everything.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self, samples: Iterable[Sample]):
+        object.__setattr__(self, "samples", tuple(samples))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("MetricsSnapshot is immutable")
+
+    def __reduce__(self):
+        # Re-enter __init__ on unpickle: the default slot-state path
+        # would trip over the immutability guard above.
+        return (MetricsSnapshot, (self.samples,))
+
+    # -- access ----------------------------------------------------------
+
+    def stable(self) -> "MetricsSnapshot":
+        """The snapshot minus volatile (wall-clock) samples."""
+        return MetricsSnapshot(s for s in self.samples if not s.volatile)
+
+    def names(self) -> tuple:
+        seen = dict.fromkeys(s.name for s in self.samples)
+        return tuple(seen)
+
+    def get(self, name: str, **labels):
+        """Value of one series; raises KeyError if absent."""
+        want = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        for sample in self.samples:
+            if sample.name == name \
+                    and tuple(sorted(sample.labels)) == want:
+                return sample.value
+        raise KeyError(f"no sample {name!r} with labels {labels}")
+
+    def filter(self, name: str) -> list:
+        return [s for s in self.samples if s.name == name]
+
+    # -- comparison ------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MetricsSnapshot):
+            return NotImplemented
+        return self.stable().samples == other.stable().samples
+
+    def __hash__(self) -> int:
+        return hash(self.stable().samples)
+
+    def identical(self, other: "MetricsSnapshot") -> bool:
+        """Strict comparison including volatile samples."""
+        return self.samples == other.samples
+
+    # -- composition -----------------------------------------------------
+
+    @classmethod
+    def merge(cls, snapshots: Iterable["MetricsSnapshot"]
+              ) -> "MetricsSnapshot":
+        """Concatenate snapshots (e.g. one per study job).  Later
+        samples win on identical (name, labels) identity."""
+        merged: dict = {}
+        for snapshot in snapshots:
+            for sample in snapshot.samples:
+                merged[(sample.name, sample.labels)] = sample
+        return cls(merged.values())
+
+    def render(self) -> str:
+        """Prometheus text exposition (see :mod:`repro.obs.export`)."""
+        from .export import render_prometheus
+        return render_prometheus(self)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __repr__(self) -> str:
+        return f"<MetricsSnapshot {len(self.samples)} samples>"
+
+
+class MetricsRegistry:
+    """Instrument factory + holder.
+
+    ``enabled=False`` turns every factory method into a return of the
+    shared :data:`NULL_INSTRUMENT`: call sites keep working, record
+    nothing, and cost one dict lookup at registration time only.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[str, Instrument] = {}
+
+    # -- factories -------------------------------------------------------
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = (),
+                volatile: bool = False) -> Counter:
+        return self._get_or_create(Counter, name, help, labels,
+                                   volatile=volatile)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = (),
+              volatile: bool = False) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels,
+                                   volatile=volatile)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  volatile: bool = False) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets, volatile=volatile)
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not cls \
+                    or existing.label_names != tuple(labels):
+                raise ValueError(
+                    f"metric {name!r} re-registered as {cls.kind} with "
+                    f"labels {tuple(labels)}; existing is "
+                    f"{existing.kind} with {existing.label_names}")
+            return existing
+        instrument = cls(name, help, labels, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    # -- access ----------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def instruments(self) -> Iterable[Instrument]:
+        return self._instruments.values()
+
+    def snapshot(self) -> MetricsSnapshot:
+        samples = []
+        for instrument in self._instruments.values():
+            for key, value in instrument.series():
+                if instrument.kind == "histogram":
+                    value = _freeze_histogram(instrument.buckets, value)
+                labels = tuple(zip(instrument.label_names, key))
+                samples.append(Sample(
+                    instrument.name, instrument.kind, instrument.help,
+                    labels, value, instrument.volatile))
+        return MetricsSnapshot(samples)
+
+    def render(self) -> str:
+        return self.snapshot().render()
+
+
+#: Shared disabled registry: hand this to instrumented code to switch
+#: every metric off at zero marginal cost.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

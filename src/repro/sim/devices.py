@@ -44,6 +44,8 @@ class TickDevice:
         self.power = power
         self.idle_predicate = idle_predicate
         self.ticks = 0
+        #: Ticks elided by the idle predicate (each an avoided wakeup).
+        self.skipped = 0
         self.running = False
         self._event: Optional[Event] = None
 
@@ -66,6 +68,8 @@ class TickDevice:
             return
         self.ticks += 1
         skip = self.idle_predicate is not None and self.idle_predicate()
+        if skip:
+            self.skipped += 1
         if self.power is not None and not skip:
             self.power.interrupt(cpu_was_idle=True)
         if not skip:

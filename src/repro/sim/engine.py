@@ -13,8 +13,10 @@ same workload with the same seeds produce byte-identical traces.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter_ns
 from typing import Any, Callable, Optional
 
+from ..obs.profiler import current_profiler
 from .clock import fmt_time
 
 
@@ -89,6 +91,15 @@ class Engine:
         self._live: int = 0
         #: Number of callbacks actually dispatched (for engine stats).
         self.dispatched: int = 0
+        #: High-water mark of live pending events.
+        self.peak_pending: int = 0
+        #: Wall nanoseconds spent inside run()/run_until() loops.
+        #: Observability only — never feeds back into simulated state.
+        self.wall_ns: int = 0
+        #: Optional :class:`~repro.obs.profiler.VirtualTimeProfiler`.
+        #: Adopted from the ambient ``profile()`` block at construction;
+        #: ``None`` (the common case) keeps dispatch on the direct path.
+        self.profiler = current_profiler()
 
     # -- scheduling ----------------------------------------------------
 
@@ -107,6 +118,8 @@ class Engine:
         event = Event(when, self._seq, callback, args, self)
         heapq.heappush(self._heap, event)
         self._live += 1
+        if self._live > self.peak_pending:
+            self.peak_pending = self._live
         return event
 
     def call_after(self, delay: int, callback: Callable[..., Any],
@@ -127,6 +140,8 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        profiler = self.profiler
+        wall_start = perf_counter_ns()
         try:
             heap = self._heap
             while heap:
@@ -140,9 +155,13 @@ class Engine:
                 event.engine = None
                 self.now = event.time
                 self.dispatched += 1
-                event.callback(*event.args)
+                if profiler is None:
+                    event.callback(*event.args)
+                else:
+                    profiler.dispatch(event)
             self.now = deadline
         finally:
+            self.wall_ns += perf_counter_ns() - wall_start
             self._running = False
 
     def run(self) -> None:
@@ -150,6 +169,8 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        profiler = self.profiler
+        wall_start = perf_counter_ns()
         try:
             heap = self._heap
             while heap:
@@ -160,8 +181,12 @@ class Engine:
                 event.engine = None
                 self.now = event.time
                 self.dispatched += 1
-                event.callback(*event.args)
+                if profiler is None:
+                    event.callback(*event.args)
+                else:
+                    profiler.dispatch(event)
         finally:
+            self.wall_ns += perf_counter_ns() - wall_start
             self._running = False
 
     def peek_next(self) -> Optional[int]:

@@ -24,13 +24,22 @@ class EtwSession:
     def __init__(self, capacity_events: int = 16_000_000):
         self.capacity_events = capacity_events
         self._events: list[TimerEvent] = []
+        #: Same lifetime accounting as RelayBuffer; invariant
+        #: ``emitted == len(self) + dropped + drained``.
+        self.emitted = 0
         self.dropped = 0
+        self.drained = 0
+        self.high_water = 0
 
     def emit(self, event: TimerEvent) -> None:
-        if len(self._events) >= self.capacity_events:
+        self.emitted += 1
+        events = self._events
+        if len(events) >= self.capacity_events:
             self.dropped += 1
             return
-        self._events.append(event)
+        events.append(event)
+        if len(events) > self.high_water:
+            self.high_water = len(events)
 
     def emit_wait_unblock(self, *, ts_block: int, ts_unblock: int,
                           timer_id: int, pid: int, comm: str,
@@ -56,4 +65,5 @@ class EtwSession:
 
     def drain(self) -> list[TimerEvent]:
         events, self._events = self._events, []
+        self.drained += len(events)
         return events

@@ -30,17 +30,35 @@ class RelayBuffer:
     def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES):
         self.capacity_events = max(1, capacity_bytes // APPROX_RECORD_BYTES)
         self._events: list[TimerEvent] = []
+        #: Records offered over the buffer's lifetime.  Invariant:
+        #: ``emitted == len(self) + dropped + drained``.
+        self.emitted = 0
         self.dropped = 0
+        #: Records handed to :meth:`drain` (the user-space reader).
+        self.drained = 0
+        #: Most records ever held at once; at most ``capacity_events``.
+        self.high_water = 0
         #: Emulated per-record instrumentation cost; the paper measured
         #: 236 cycles to gather and log one record.
         self.record_cost_cycles = 236
 
     def emit(self, event: TimerEvent) -> None:
-        """Append one record, or count it as dropped when full."""
-        if len(self._events) >= self.capacity_events:
+        """Append one record, or count it as dropped when full.
+
+        The boundary is exact: record ``capacity_events`` is retained,
+        record ``capacity_events + 1`` is the first drop, and
+        ``emitted == retained + dropped + drained`` always holds (the
+        drop accounting previously drifted from the retained count once
+        the buffer had been drained).
+        """
+        self.emitted += 1
+        events = self._events
+        if len(events) >= self.capacity_events:
             self.dropped += 1
             return
-        self._events.append(event)
+        events.append(event)
+        if len(events) > self.high_water:
+            self.high_water = len(events)
 
     def __len__(self) -> int:
         return len(self._events)
@@ -51,11 +69,18 @@ class RelayBuffer:
     def drain(self) -> list[TimerEvent]:
         """Read out the buffer, emptying it (the user-space reader)."""
         events, self._events = self._events, []
+        self.drained += len(events)
         return events
 
     def estimated_cycles(self) -> int:
-        """Total instrumentation cycles charged for this buffer."""
-        return (len(self._events) + self.dropped) * self.record_cost_cycles
+        """Total instrumentation cycles charged for this buffer.
+
+        Every offered record is charged — the 236 cycles gather the
+        record before the capacity check, and records already drained
+        were still paid for (the old ``retained + dropped`` formula
+        forgot them).
+        """
+        return self.emitted * self.record_cost_cycles
 
 
 class NullSink:

@@ -55,6 +55,11 @@ def set_coalescable_timer(kernel: VistaKernel, timer: KTimer,
     """``KeSetCoalescableTimer``: arm with a tolerable delay."""
     deadline = due_ns if absolute else kernel.engine.now + due_ns
     adjusted = coalesced_deadline(deadline, tolerance_ns)
+    if adjusted != deadline:
+        kernel.coalescing_hits += 1
+        kernel.coalescing_shift_ns += adjusted - deadline
+    else:
+        kernel.coalescing_misses += 1
     return kernel.set_timer(timer, adjusted, absolute=True,
                             period_ns=period_ns, dpc=dpc)
 

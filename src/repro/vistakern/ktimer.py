@@ -90,6 +90,12 @@ class VistaKernel(BackendBase):
         self._lookaside: list[int] = []
         self.clock_period_ns = DEFAULT_CLOCK_PERIOD_NS
         self._resolution_requests: dict[int, int] = {}
+        #: Coalescing outcome counters (see vistakern.coalescing): a
+        #: hit shifted the deadline onto a shared alignment boundary, a
+        #: miss left it where the caller asked.
+        self.coalescing_hits = 0
+        self.coalescing_misses = 0
+        self.coalescing_shift_ns = 0
         self.clock = self._make_clock(self.clock_period_ns)
         self.clock.start()
 

@@ -53,35 +53,53 @@ def _finish_sinks(sinks, duration_ns: int) -> None:
             finish(duration_ns)
 
 
-def _run_one(job: TraceJob, sink_factory, retain_events: bool):
+def _run_one(job: TraceJob, sink_factory, retain_events: bool,
+             collect_metrics: bool):
     os_name, workload, duration_ns, seed = job
     from . import run_workload          # registry lives in the package
     sinks = list(sink_factory(os_name, workload)) if sink_factory else None
     run = run_workload(os_name, workload, duration_ns, seed=seed,
                        sinks=sinks, retain_events=retain_events)
     _finish_sinks(sinks, run.trace.duration_ns)
-    return run.trace, sinks
+    # The snapshot is taken in the process that owns the kernel (the
+    # kernel itself never crosses the pool boundary) — collection is
+    # pull-only, so the trace bytes are unaffected.
+    snapshot = run.metrics(sinks=sinks or ()) if collect_metrics else None
+    return run.trace, sinks, snapshot
 
 
 def _run_trace_job(job: TraceJob, sink_factory=None,
-                   retain_events: bool = True) -> Tuple[bytes, object]:
+                   retain_events: bool = True,
+                   collect_metrics: bool = False) -> Tuple[bytes, object,
+                                                           object]:
     from ..tracing.binfmt import dumps
-    trace, sinks = _run_one(job, sink_factory, retain_events)
-    return dumps(trace), sinks
+    trace, sinks, snapshot = _run_one(job, sink_factory, retain_events,
+                                      collect_metrics)
+    return dumps(trace), sinks, snapshot
+
+
+def _assemble(results: list, sink_factory, collect_metrics: bool) -> list:
+    if sink_factory is None and not collect_metrics:
+        return [trace for trace, _, _ in results]
+    if sink_factory is None:
+        return [(trace, snapshot) for trace, _, snapshot in results]
+    if not collect_metrics:
+        return [(trace, sinks) for trace, sinks, _ in results]
+    return results
 
 
 def _run_serial(jobs: Sequence[TraceJob], sink_factory,
-                retain_events: bool) -> list:
-    results = [_run_one(job, sink_factory, retain_events) for job in jobs]
-    if sink_factory is None:
-        return [trace for trace, _ in results]
-    return results
+                retain_events: bool, collect_metrics: bool) -> list:
+    results = [_run_one(job, sink_factory, retain_events, collect_metrics)
+               for job in jobs]
+    return _assemble(results, sink_factory, collect_metrics)
 
 
 def run_study_traces(jobs: Iterable[TraceJob], *,
                      processes: Optional[int] = None,
                      sink_factory=None,
-                     retain_events: bool = True) -> list:
+                     retain_events: bool = True,
+                     collect_metrics: bool = False) -> list:
     """Run many workload simulations, in parallel where possible.
 
     Returns the traces in job order.  ``processes=None`` uses one
@@ -100,17 +118,26 @@ def run_study_traces(jobs: Iterable[TraceJob], *,
     empty (events are seen only by the sinks), keeping worker memory
     bounded.  A picklable module-level factory is required for the
     parallel path.
+
+    ``collect_metrics=True`` appends each run's
+    :class:`~repro.obs.metrics.MetricsSnapshot` (collected inside the
+    worker, since the kernel never crosses the process boundary) as the
+    final element of every result tuple: ``(Trace, snapshot)`` or
+    ``(Trace, sinks, snapshot)``.  Collection is pull-only, so the
+    traces stay byte-identical to a metrics-off run.
     """
     jobs = list(jobs)
     if processes is None or processes <= 0:
         processes = os.cpu_count() or 1
     processes = min(processes, len(jobs))
     if processes <= 1:
-        return _run_serial(jobs, sink_factory, retain_events)
+        return _run_serial(jobs, sink_factory, retain_events,
+                           collect_metrics)
     from functools import partial
     from ..tracing.binfmt import loads
     worker = partial(_run_trace_job, sink_factory=sink_factory,
-                     retain_events=retain_events)
+                     retain_events=retain_events,
+                     collect_metrics=collect_metrics)
     try:
         with multiprocessing.get_context().Pool(processes) as pool:
             blobs = pool.map(worker, jobs)
@@ -118,7 +145,8 @@ def run_study_traces(jobs: Iterable[TraceJob], *,
             TypeError, pickle.PicklingError):
         # Sandboxed/embedded interpreters without fork or semaphores,
         # or an unpicklable factory/sink: fall back to serial.
-        return _run_serial(jobs, sink_factory, retain_events)
-    if sink_factory is None:
-        return [loads(blob) for blob, _ in blobs]
-    return [(loads(blob), sinks) for blob, sinks in blobs]
+        return _run_serial(jobs, sink_factory, retain_events,
+                           collect_metrics)
+    results = [(loads(blob), sinks, snapshot)
+               for blob, sinks, snapshot in blobs]
+    return _assemble(results, sink_factory, collect_metrics)

@@ -1,0 +1,153 @@
+"""Differential test: streaming analyze() == batch analyze().
+
+Property-style and seeded: randomized event streams (plus real workload
+traces) are sliced at arbitrary chunk boundaries and fed incrementally
+through the streaming path; every shared analysis result must equal the
+batch result computed from the same events in one go.  The equivalence
+is the tentpole guarantee of the streaming subsystem — the determinism
+sweep pins runs, this pins the *analyses*.
+"""
+
+import random
+
+import pytest
+
+from repro.core.analyze import analyze
+from repro.core.streaming import StreamingSuite
+from repro.sim.clock import MILLISECOND, SECOND
+from repro.tracing.events import (FLAG_WAIT_SATISFIED, EventKind,
+                                  TimerEvent, wait_unblock_event)
+from repro.tracing.trace import Trace
+
+SITES = (
+    ("app!main", "mod_timer"),
+    ("app!net", "poll", "mod_timer"),
+    ("kernel!wd", "queue_delayed_work"),
+    ("app!ui", "SetTimer", "nt!KeSetTimer"),
+)
+VALUES_NS = (10 * MILLISECOND, 100 * MILLISECOND, SECOND, 5 * SECOND)
+
+
+def synth_stream(seed: int, os_name: str, n_timers: int = 12,
+                 n_ops: int = 400) -> list:
+    """A plausible random timer workload: timers arm, then expire, get
+    cancelled, or are re-armed; Vista streams also issue timed waits."""
+    rng = random.Random(seed)
+    events = []
+    now = 0
+    armed = {}                       # timer_id -> (deadline, value)
+    timers = [(0x1000 + i * 0x40,
+               rng.randrange(100, 105),          # pid
+               rng.choice(("app", "svchost", "httpd")),
+               rng.choice(SITES),
+               rng.choice(("user", "kernel")))
+              for i in range(n_timers)]
+    for _ in range(n_ops):
+        now += rng.randrange(1, 50 * MILLISECOND)
+        timer_id, pid, comm, site, domain = rng.choice(timers)
+        # Retire any armed timer that has passed its deadline.
+        for tid, (deadline, value) in sorted(armed.items()):
+            if deadline <= now:
+                _, epid, ecomm, esite, edomain = \
+                    next(t for t in timers if t[0] == tid)
+                events.append(TimerEvent(
+                    EventKind.EXPIRE, deadline, tid, epid, ecomm,
+                    edomain, esite, expires_ns=deadline))
+                del armed[tid]
+        action = rng.random()
+        if os_name == "vista" and action < 0.15:
+            timeout = rng.choice(VALUES_NS)
+            blocked = rng.randrange(1, timeout + 1)
+            events.append(wait_unblock_event(
+                ts_block=now, ts_unblock=now + blocked,
+                timer_id=timer_id, pid=pid, comm=comm, site=site,
+                timeout_ns=timeout, satisfied=rng.random() < 0.5))
+            now += blocked
+        elif action < 0.7:
+            value = rng.choice(VALUES_NS)
+            jitter = rng.randrange(0, MILLISECOND)
+            deadline = now + value + jitter
+            events.append(TimerEvent(
+                EventKind.SET, now, timer_id, pid, comm, domain, site,
+                timeout_ns=value, expires_ns=deadline))
+            armed[timer_id] = (deadline, value)
+        elif timer_id in armed:
+            deadline, _value = armed.pop(timer_id)
+            events.append(TimerEvent(
+                EventKind.CANCEL, now, timer_id, pid, comm, domain,
+                site, expires_ns=deadline))
+    events.sort(key=lambda e: e.ts)
+    return events
+
+
+def slice_at_random_boundaries(events: list, seed: int) -> list:
+    """Cut the stream into chunks of arbitrary (0..n) sizes."""
+    rng = random.Random(seed ^ 0xC0FFEE)
+    chunks, i = [], 0
+    while i < len(events):
+        if rng.random() < 0.1:
+            chunks.append([])        # empty slice at this boundary
+        size = rng.choice((1, 2, 3, 7, 31, 100))
+        chunks.append(events[i:i + size])
+        i += size
+    return chunks
+
+
+def assert_equivalent(streaming, batch):
+    assert streaming.summary() == batch.summary()
+    assert streaming.pattern_breakdown() == batch.pattern_breakdown()
+    assert streaming.value_histogram() == batch.value_histogram()
+    assert streaming.duration_scatter() == batch.duration_scatter()
+    assert streaming.rate_series() == batch.rate_series()
+    assert streaming.origin_table() == batch.origin_table()
+
+
+@pytest.mark.parametrize("os_name", ["linux", "vista"])
+@pytest.mark.parametrize("seed", range(8))
+def test_sliced_synthetic_stream_equals_batch(os_name, seed):
+    events = synth_stream(seed, os_name)
+    assert len(events) > 200
+    duration = events[-1].ts + SECOND
+
+    suite = StreamingSuite(os_name, "synth")
+    fed = 0
+    for chunk in slice_at_random_boundaries(events, seed):
+        for event in chunk:
+            suite.emit(event)
+        fed += len(chunk)
+    assert fed == len(events)
+    streaming = analyze(suite, duration_ns=duration)
+
+    batch = analyze(Trace(os_name=os_name, workload="synth",
+                          duration_ns=duration, events=events))
+    assert_equivalent(streaming, batch)
+    # WAIT_UNBLOCK retro-intervals all landed inside the watermark.
+    assert suite.late_waits == 0
+
+
+@pytest.mark.parametrize("os_name,workload",
+                         [("linux", "portable"), ("vista", "webserver")])
+def test_sliced_real_trace_equals_batch(os_name, workload):
+    from repro.workloads.portable import run_portable
+    run = run_portable(workload, os_name, 3 * SECOND, seed=11)
+    events = run.trace.events
+
+    suite = StreamingSuite(os_name, workload)
+    for chunk in slice_at_random_boundaries(events, 11):
+        for event in chunk:
+            suite.emit(event)
+    streaming = analyze(suite, duration_ns=run.trace.duration_ns)
+    assert_equivalent(streaming, analyze(run.trace))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_event_iterable_entry_point(seed):
+    """analyze() over a generator takes the same streaming path."""
+    events = synth_stream(seed, "linux")
+    duration = events[-1].ts + SECOND
+    streaming = analyze(iter(events), os_name="linux",
+                        workload="synth", duration_ns=duration)
+    batch = analyze(Trace(os_name="linux", workload="synth",
+                          duration_ns=duration, events=events))
+    assert streaming.mode == "streaming"
+    assert_equivalent(streaming, batch)

@@ -1,0 +1,205 @@
+"""Unit tests for the metrics registry, instruments and snapshots."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram,
+                               MetricsRegistry, MetricsSnapshot,
+                               NULL_REGISTRY, Sample)
+
+
+class TestInstruments:
+    def test_counter_inc_and_labels(self):
+        counter = Counter("c_total", "help", ("cpu",))
+        counter.inc(cpu=0)
+        counter.inc(2, cpu=0)
+        counter.inc(cpu=1)
+        assert counter.value(cpu=0) == 3
+        assert counter.value(cpu=1) == 1
+        assert counter.value(cpu=9) == 0
+
+    def test_counter_rejects_negative(self):
+        counter = Counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        with pytest.raises(ValueError):
+            counter.set_total(-5)
+
+    def test_counter_set_total_overwrites(self):
+        counter = Counter("c_total")
+        counter.set_total(41)
+        counter.set_total(42)
+        assert counter.value() == 42
+
+    def test_label_mismatch_raises(self):
+        counter = Counter("c_total", "", ("cpu",))
+        with pytest.raises(ValueError):
+            counter.inc()                    # missing label
+        with pytest.raises(ValueError):
+            counter.inc(cpu=0, extra=1)      # unexpected label
+        with pytest.raises(ValueError):
+            counter.inc(node=0)              # wrong label name
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value() == 13
+
+    def test_histogram_buckets_cumulative(self):
+        hist = Histogram("h", buckets=(10, 100))
+        for value in (5, 50, 500, 7):
+            hist.observe(value)
+        cumulative, total, count = hist.value()
+        assert cumulative == ((10, 2), (100, 3), (float("inf"), 4))
+        assert total == 562
+        assert count == 4
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(100, 10))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_invalid_metric_name(self):
+        for bad in ("", "2fast", "has space", "dash-ed"):
+            with pytest.raises(ValueError):
+                Counter(bad)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "first", ("cpu",))
+        b = registry.counter("x_total", "ignored", ("cpu",))
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "", ("cpu",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "", ("node",))
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("x_total")
+        counter.inc(7)
+        counter.set_total(9)
+        assert counter.value() == 0
+        assert len(registry.snapshot()) == 0
+        # NULL_REGISTRY hands out the same shared instrument.
+        assert NULL_REGISTRY.gauge("y") is NULL_REGISTRY.histogram("z")
+
+    def test_snapshot_freezes_values(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total")
+        counter.inc(1)
+        snap = registry.snapshot()
+        counter.inc(10)
+        assert snap.get("x_total") == 1
+        assert registry.snapshot().get("x_total") == 11
+
+
+class TestSnapshot:
+    def _snap(self, wall: float) -> MetricsSnapshot:
+        registry = MetricsRegistry()
+        registry.counter("events_total", "", ("os",)).inc(5, os="linux")
+        registry.gauge("wall_seconds", volatile=True).set(wall)
+        return registry.snapshot()
+
+    def test_equality_ignores_volatile(self):
+        a, b = self._snap(1.0), self._snap(2.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert not a.identical(b)
+        assert a.identical(self._snap(1.0))
+
+    def test_stable_drops_volatile_samples(self):
+        snap = self._snap(1.0)
+        assert "wall_seconds" in snap.names()
+        assert "wall_seconds" not in snap.stable().names()
+
+    def test_immutable(self):
+        snap = self._snap(1.0)
+        with pytest.raises(AttributeError):
+            snap.samples = ()
+
+    def test_get_and_filter(self):
+        snap = self._snap(1.0)
+        assert snap.get("events_total", os="linux") == 5
+        with pytest.raises(KeyError):
+            snap.get("events_total", os="vista")
+        assert len(snap.filter("events_total")) == 1
+
+    def test_pickles(self):
+        snap = self._snap(1.0)
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.identical(snap)
+
+    def test_merge_later_wins(self):
+        a, b = self._snap(1.0), self._snap(2.0)
+        merged = MetricsSnapshot.merge([a, b])
+        assert merged.get("wall_seconds") == 2.0
+        assert merged.get("events_total", os="linux") == 5
+        assert len(merged) == 2
+
+    def test_merge_disjoint_concatenates(self):
+        reg = MetricsRegistry()
+        reg.counter("other_total").inc(1)
+        merged = MetricsSnapshot.merge([self._snap(1.0),
+                                        reg.snapshot()])
+        assert set(merged.names()) == {"events_total", "wall_seconds",
+                                       "other_total"}
+
+
+class TestExport:
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "things counted",
+                         ("os",)).inc(3, os="linux")
+        registry.gauge("depth").set(1.5)
+        text = registry.render()
+        assert "# HELP x_total things counted\n" in text
+        assert "# TYPE x_total counter\n" in text
+        assert 'x_total{os="linux"} 3\n' in text
+        assert "# TYPE depth gauge\n" in text
+        assert "depth 1.5\n" in text
+
+    def test_histogram_expansion(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(10, 100))
+        hist.observe(5)
+        hist.observe(50)
+        text = registry.render()
+        assert 'lat_bucket{le="10"} 1\n' in text
+        assert 'lat_bucket{le="100"} 2\n' in text
+        assert 'lat_bucket{le="+Inf"} 2\n' in text
+        assert "lat_sum 55\n" in text
+        assert "lat_count 2\n" in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "", ("comm",)).inc(
+            comm='we"ird\\nam\ne')
+        text = registry.render()
+        assert r'comm="we\"ird\\nam\ne"' in text
+
+    def test_header_emitted_once_per_family(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", "h", ("cpu",))
+        counter.inc(cpu=0)
+        counter.inc(cpu=1)
+        text = registry.render()
+        assert text.count("# TYPE x_total counter") == 1
+
+    def test_sample_roundtrip_through_snapshot_render(self):
+        snap = MetricsSnapshot([Sample("n", "gauge", "", (), 7, False)])
+        assert snap.render() == "# TYPE n gauge\nn 7\n"

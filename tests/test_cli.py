@@ -46,25 +46,119 @@ class TestRunAndAnalyze:
                      "--out", out]) == 0
 
     def test_run_stream_analyzes_without_trace_file(self, tmp_path,
-                                                    capsys):
-        out = str(tmp_path / "never-written.jsonl.gz")
+                                                    capsys,
+                                                    monkeypatch):
+        out = str(tmp_path / "batch.jsonl.gz")
         main(["run", "linux", "idle", "--minutes", "0.5", "--out", out])
-        batch = capsys.readouterr()
+        capsys.readouterr()
         assert main(["analyze", out]) == 0
         batch_text = capsys.readouterr().out
 
-        stream_out = str(tmp_path / "stream.jsonl.gz")
+        # --stream writes nothing, not even the default trace file.
+        monkeypatch.chdir(tmp_path)
         assert main(["run", "linux", "idle", "--minutes", "0.5",
-                     "--stream", "--out", stream_out]) == 0
+                     "--stream"]) == 0
         captured = capsys.readouterr()
         import os
-        assert not os.path.exists(stream_out)
+        assert not os.path.exists(tmp_path / "trace.jsonl.gz")
         assert "no trace file written" in captured.err
         # In-flight analysis matches analyzing the saved trace, minus
         # the batch-only tail sections.
         head = batch_text.split("=== Value adaptivity")[0]
         assert captured.out.startswith(head)
         assert "(unavailable on a streaming analysis)" in captured.out
+
+
+class TestErrorPaths:
+    """The CLI's failure modes: every bad invocation must exit with a
+    clear diagnostic, never a traceback."""
+
+    def test_unknown_backend_lists_registered(self, capsys):
+        # `metrics` resolves names at run time, so an unregistered
+        # backend travels the KeyError path rather than argparse.
+        assert main(["metrics", "beos", "idle"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err
+        assert "linux" in err and "vista" in err
+        assert "Traceback" not in err
+
+    def test_unknown_workload_for_backend(self, capsys):
+        # "desktop" is registered — but only for vista; argparse's
+        # global workload choices accept it, the registry must reject.
+        assert main(["run", "linux", "desktop",
+                     "--minutes", "0.1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown linux workload 'desktop'" in err
+        assert "idle" in err       # the valid choices are listed
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two"])
+    def test_bad_jobs_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["study", "--minutes", "0.1", "--jobs", bad])
+        assert excinfo.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_stream_conflicts_with_out(self, tmp_path, capsys):
+        out = str(tmp_path / "never.jsonl.gz")
+        assert main(["run", "linux", "idle", "--minutes", "0.1",
+                     "--stream", "--out", out]) == 2
+        err = capsys.readouterr().err
+        assert "--stream" in err and "--out" in err
+        import os
+        assert not os.path.exists(out)
+
+
+class TestMetricsFlag:
+    def test_run_metrics_goes_to_stderr(self, tmp_path, capsys):
+        out = str(tmp_path / "t.bin")
+        assert main(["run", "linux", "idle", "--minutes", "0.25",
+                     "--out", out, "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "repro_engine_events_dispatched_total" in captured.err
+        assert "repro_wheel_cascades_total" in captured.err
+        assert "repro_" not in captured.out
+
+    def test_metrics_out_writes_file(self, tmp_path, capsys):
+        out = str(tmp_path / "t.bin")
+        mpath = str(tmp_path / "metrics.prom")
+        assert main(["run", "vista", "idle", "--minutes", "0.25",
+                     "--out", out, "--metrics-out", mpath]) == 0
+        text = open(mpath, encoding="utf-8").read()
+        assert "# TYPE repro_ring_pending gauge" in text
+        assert 'os="vista"' in text
+
+    def test_stream_run_collects_streaming_metrics(self, capsys,
+                                                   monkeypatch,
+                                                   tmp_path):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "linux", "idle", "--minutes", "0.25",
+                     "--stream", "--metrics"]) == 0
+        err = capsys.readouterr().err
+        assert "repro_streaming_events_total" in err
+        assert "repro_streaming_episodes_total" in err
+
+    def test_metrics_subcommand_prints_exposition(self, capsys):
+        assert main(["metrics", "linux", "idle",
+                     "--minutes", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# HELP repro_engine_")
+        assert "repro_power_wakeups_total" in out
+
+    def test_metrics_subcommand_profile(self, capsys):
+        assert main(["metrics", "vista", "idle", "--minutes", "0.25",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "per-subsystem virtual-time profile" in out
+        assert "sim.devices" in out
+
+    def test_study_output_byte_identical_with_metrics(self, capsys):
+        assert main(["study", "--minutes", "0.1", "--jobs", "1"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["study", "--minutes", "0.1", "--jobs", "1",
+                     "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain
+        assert "repro_engine_events_dispatched_total" in captured.err
 
 
 class TestBrowse:

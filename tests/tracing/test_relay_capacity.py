@@ -1,0 +1,122 @@
+"""Regression tests for trace-buffer accounting at the capacity bound.
+
+The paper sized its relayfs buffer so drops never happened; the model
+must therefore get the boundary *exactly* right, and its lifetime
+accounting (``emitted == retained + dropped + drained``) previously
+drifted once the buffer had been drained — ``estimated_cycles`` forgot
+records the reader had already consumed.
+"""
+
+import pytest
+
+from repro.tracing.etw import EtwSession
+from repro.tracing.events import EventKind, TimerEvent
+from repro.tracing.relay import APPROX_RECORD_BYTES, RelayBuffer
+
+
+def make_event(n: int) -> TimerEvent:
+    return TimerEvent(EventKind.SET, ts=n, timer_id=0x100, pid=1,
+                      comm="t", domain="kernel", site=("a",),
+                      timeout_ns=10, expires_ns=n + 10)
+
+
+def fill(sink, count: int, start: int = 0) -> None:
+    for n in range(start, start + count):
+        sink.emit(make_event(n))
+
+
+@pytest.fixture
+def small_buffer() -> RelayBuffer:
+    buffer = RelayBuffer(capacity_bytes=8 * APPROX_RECORD_BYTES)
+    assert buffer.capacity_events == 8
+    return buffer
+
+
+class TestExactCapacityBoundary:
+    def test_record_at_capacity_is_retained(self, small_buffer):
+        fill(small_buffer, 8)
+        assert len(small_buffer) == 8
+        assert small_buffer.dropped == 0
+        assert small_buffer.high_water == 8
+
+    def test_first_drop_is_capacity_plus_one(self, small_buffer):
+        fill(small_buffer, 9)
+        assert len(small_buffer) == 8
+        assert small_buffer.dropped == 1
+        # The retained records are the first 8, in order.
+        assert [e.ts for e in small_buffer] == list(range(8))
+
+    def test_invariant_holds_at_every_step(self, small_buffer):
+        for n in range(20):
+            small_buffer.emit(make_event(n))
+            assert small_buffer.emitted == len(small_buffer) \
+                + small_buffer.dropped + small_buffer.drained
+        assert small_buffer.emitted == 20
+        assert small_buffer.dropped == 12
+
+
+class TestDrainAccounting:
+    def test_invariant_survives_drain(self, small_buffer):
+        fill(small_buffer, 10)
+        drained = small_buffer.drain()
+        assert len(drained) == 8
+        assert small_buffer.drained == 8
+        assert len(small_buffer) == 0
+        fill(small_buffer, 5, start=10)
+        assert small_buffer.emitted == 15
+        assert small_buffer.emitted == len(small_buffer) \
+            + small_buffer.dropped + small_buffer.drained
+
+    def test_drain_frees_capacity(self, small_buffer):
+        fill(small_buffer, 8)
+        small_buffer.drain()
+        fill(small_buffer, 3, start=8)
+        assert len(small_buffer) == 3
+        assert small_buffer.dropped == 0
+
+    def test_high_water_survives_drain(self, small_buffer):
+        fill(small_buffer, 8)
+        small_buffer.drain()
+        fill(small_buffer, 2, start=8)
+        assert small_buffer.high_water == 8
+
+    def test_estimated_cycles_counts_drained_records(self):
+        # The regression: drain() used to erase records from the cycle
+        # estimate, understating instrumentation cost (the paper's 236
+        # cycles are paid when the record is gathered, not when read).
+        buffer = RelayBuffer(capacity_bytes=8 * APPROX_RECORD_BYTES)
+        fill(buffer, 6)
+        before = buffer.estimated_cycles()
+        assert before == 6 * buffer.record_cost_cycles
+        buffer.drain()
+        assert buffer.estimated_cycles() == before
+        fill(buffer, 4, start=6)
+        assert buffer.estimated_cycles() \
+            == 10 * buffer.record_cost_cycles
+
+    def test_estimated_cycles_counts_dropped_records(self):
+        buffer = RelayBuffer(capacity_bytes=2 * APPROX_RECORD_BYTES)
+        fill(buffer, 5)
+        assert buffer.dropped == 3
+        assert buffer.estimated_cycles() == 5 * buffer.record_cost_cycles
+
+
+class TestEtwSessionParity:
+    """EtwSession is the Vista twin; same boundary, same invariant."""
+
+    def test_exact_boundary(self):
+        session = EtwSession(capacity_events=4)
+        fill(session, 6)
+        assert len(session) == 4
+        assert session.dropped == 2
+        assert session.high_water == 4
+        assert session.emitted == 6
+
+    def test_invariant_survives_drain(self):
+        session = EtwSession(capacity_events=4)
+        fill(session, 5)
+        session.drain()
+        fill(session, 2, start=5)
+        assert session.emitted == len(session) + session.dropped \
+            + session.drained
+        assert session.drained == 4
