@@ -33,8 +33,8 @@ buffering the trace::
     print(analyze(suite, duration_ns=run.trace.duration_ns).summary())
 """
 
-from . import core, kern, linuxkern, obs, sim, tracing, vistakern, \
-    workloads
+from . import core, kern, linuxkern, obs, serve, sim, tracing, \
+    vistakern, workloads
 from .core import (Analysis, StreamingSuite, TraceIndex, analyze,
                    as_index, classify_trace, duration_scatter,
                    generate_report, origin_table, pattern_breakdown,
@@ -45,6 +45,7 @@ from .kern import (Machine, PortableApp, PortableWorkload, TimerBackend,
                    register_backend)
 from .obs import (MetricsRegistry, MetricsSnapshot, profile,
                   render_prometheus)
+from .serve import ServeConfig, ServeDaemon
 from .tracing import Trace
 from .workloads import (list_workloads, run_study_traces,
                         run_vista_desktop, run_workload)
@@ -52,10 +53,10 @@ from .workloads import (list_workloads, run_study_traces,
 __version__ = "0.1.0"
 
 __all__ = [
-    "core", "kern", "linuxkern", "obs", "sim", "tracing", "vistakern",
-    "workloads",
-    "MetricsRegistry", "MetricsSnapshot", "profile",
-    "render_prometheus",
+    "core", "kern", "linuxkern", "obs", "serve", "sim", "tracing",
+    "vistakern", "workloads",
+    "MetricsRegistry", "MetricsSnapshot", "ServeConfig", "ServeDaemon",
+    "profile", "render_prometheus",
     "Analysis", "StreamingSuite", "TraceIndex", "analyze", "as_index",
     "classify_trace", "duration_scatter", "generate_report",
     "origin_table", "pattern_breakdown", "rate_series",

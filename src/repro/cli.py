@@ -7,6 +7,7 @@ Subcommands::
     timerstudy analyze idle.jsonl.gz [--filter-x]
     timerstudy study --minutes 2          # the whole paper, condensed
     timerstudy browse --unreachable       # the Section 2.2.2 scenario
+    timerstudy serve --backend linux --workload portable --port 8900
 
 ``run`` executes a workload on the simulated machine and writes the
 trace; ``analyze`` reproduces the paper's analyses on a saved trace;
@@ -16,6 +17,7 @@ trace; ``analyze`` reproduces the paper's analyses on a saved trace;
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .kern import backend_names, backend_traits
@@ -62,14 +64,26 @@ def _metrics_enabled(args: argparse.Namespace) -> bool:
     return bool(args.metrics or args.metrics_out)
 
 
-def _emit_metrics(snapshot, args: argparse.Namespace) -> None:
+def _emit_metrics(snapshot, args: argparse.Namespace) -> int:
+    """Render the exposition to stderr or --metrics-out.  Returns an
+    exit code: 0, or 2 when the output path is unwritable (missing
+    parents are created first — pointing --metrics-out into a fresh
+    results directory must not traceback)."""
     text = snapshot.render()
     if args.metrics_out:
-        with open(args.metrics_out, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        try:
+            parent = os.path.dirname(os.path.abspath(args.metrics_out))
+            os.makedirs(parent, exist_ok=True)
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        except OSError as err:
+            print(f"error: cannot write metrics to "
+                  f"{args.metrics_out}: {err}", file=sys.stderr)
+            return 2
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     else:
         print(text, end="", file=sys.stderr)
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -98,14 +112,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"no trace file written", file=sys.stderr)
         print(render_analysis(suite), end="")
         if _metrics_enabled(args):
-            _emit_metrics(run.metrics(), args)
+            return _emit_metrics(run.metrics(), args)
         return 0
     run = run_workload(args.os, args.workload, duration, seed=args.seed)
     out = args.out if args.out is not None else "trace.jsonl.gz"
     run.trace.save(out)
     print(f"{len(run.trace)} events -> {out}", file=sys.stderr)
     if _metrics_enabled(args):
-        _emit_metrics(run.metrics(), args)
+        return _emit_metrics(run.metrics(), args)
     return 0
 
 
@@ -157,10 +171,11 @@ def _cmd_study(args: argparse.Namespace) -> int:
     collect = _metrics_enabled(args)
     results = run_study_traces(jobs, processes=args.jobs,
                                collect_metrics=collect)
+    code = 0
     if collect:
         from .obs import MetricsSnapshot
         traces = dict(zip(order, (trace for trace, _ in results)))
-        _emit_metrics(MetricsSnapshot.merge(
+        code = _emit_metrics(MetricsSnapshot.merge(
             snapshot for _, snapshot in results), args)
     else:
         traces = dict(zip(order, results))
@@ -184,7 +199,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(render_rates(rate_series(traces[("vista", "desktop")]),
                        groups=["Outlook", "Browser", "System",
                                "Kernel"], max_rows=10))
-    return 0
+    return code
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -198,7 +213,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         fh.write(text)
     print(f"report written to {args.out}", file=sys.stderr)
     if snapshot is not None:
-        _emit_metrics(snapshot, args)
+        return _emit_metrics(snapshot, args)
     return 0
 
 
@@ -214,10 +229,45 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     else:
         run = run_workload(args.os, args.workload, duration,
                            seed=args.seed)
-    print(run.metrics().render(), end="")
+    snapshot = run.metrics()
+    if args.format == "json":
+        print(snapshot.to_json(indent=2))
+    else:
+        print(snapshot.render(), end="")
     if args.profile:
         print("\n# per-subsystem virtual-time profile")
         print(prof.render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, ServeDaemon
+    config = ServeConfig(
+        os_name=args.backend, workload=args.workload, seed=args.seed,
+        host=args.host, port=args.port, speed=args.speed,
+        tick_s=args.tick_ms / 1e3, interval_s=args.interval,
+        opentsdb=args.opentsdb, duration_s=args.for_seconds)
+    try:
+        daemon = ServeDaemon(config)
+    except KeyError as err:
+        print(f"error: {err.args[0]}", file=sys.stderr)
+        return 2
+    daemon.start()
+    print(f"serving {args.backend}/{args.workload} telemetry on "
+          f"http://{daemon.server.host}:{daemon.port}/metrics "
+          f"(healthz, statusz, metrics.json; speed {args.speed:g}x"
+          + (f", for {args.for_seconds:g}s" if args.for_seconds
+             else "") + ")", file=sys.stderr)
+    try:
+        daemon.run()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        daemon.close()
+    print(f"served {daemon.cycles} collection cycles, "
+          f"{daemon.virtual_ns / 1e9:.1f} virtual seconds, "
+          f"{daemon.suite.n_events} events analyzed in flight",
+          file=sys.stderr)
     return 0
 
 
@@ -269,7 +319,39 @@ def build_parser() -> argparse.ArgumentParser:
     mt_p.add_argument("--profile", action="store_true",
                       help="also attribute wall/virtual time per "
                            "subsystem")
+    mt_p.add_argument("--format", choices=("prom", "json"),
+                      default="prom",
+                      help="Prometheus text exposition (default) or "
+                           "machine-readable JSON")
     mt_p.set_defaults(func=_cmd_metrics)
+
+    sv_p = sub.add_parser(
+        "serve",
+        help="long-running telemetry daemon: run a workload "
+             "continuously and export live metrics")
+    sv_p.add_argument("--backend", default="linux",
+                      help="backend name (see repro.kern)")
+    sv_p.add_argument("--workload", default="portable",
+                      help="portable workload definition "
+                           "(idle, webserver, portable)")
+    sv_p.add_argument("--seed", type=int, default=0)
+    sv_p.add_argument("--host", default="127.0.0.1")
+    sv_p.add_argument("--port", type=int, default=8900,
+                      help="HTTP port for /metrics, /healthz, "
+                           "/statusz (0 = ephemeral)")
+    sv_p.add_argument("--speed", type=float, default=1.0,
+                      help="virtual seconds simulated per wall second")
+    sv_p.add_argument("--tick-ms", type=float, default=250.0,
+                      help="wall milliseconds per real-time slice")
+    sv_p.add_argument("--interval", type=float, default=1.0,
+                      help="default collector interval in seconds")
+    sv_p.add_argument("--opentsdb", default=None, metavar="SINK",
+                      help="emit OpenTSDB put lines: '-' for stdout "
+                           "or HOST:PORT for a TSD socket")
+    sv_p.add_argument("--for-seconds", type=float, default=None,
+                      help="stop after N wall seconds (default: run "
+                           "until interrupted)")
+    sv_p.set_defaults(func=_cmd_serve)
 
     an_p = sub.add_parser("analyze", help="analyze a saved trace")
     an_p.add_argument("trace")

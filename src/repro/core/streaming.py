@@ -768,6 +768,21 @@ class StreamingSuite:
         return self._episodes_routed if router is None \
             else router.episodes_routed
 
+    def live_state(self) -> dict:
+        """Point-in-time progress counters, safe both mid-run and after
+        :meth:`finish` (when the transient state has been dropped) —
+        the ``timerstudy serve`` daemon reports these on ``/statusz``.
+        """
+        return {
+            "events": self.n_events,
+            "state_entries": 0 if self.finished else self.state_size(),
+            "state_peak": self.peak_state,
+            "groups": self.groups_routed,
+            "episodes": self.episodes_routed,
+            "late_waits": self.late_waits,
+            "finished": self.finished,
+        }
+
     def origin_table(self, *, min_sets: int = 3) -> list[OriginRow]:
         return self.classifier.origin_table(min_sets=min_sets)
 

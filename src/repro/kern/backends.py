@@ -36,7 +36,8 @@ register_backend(
     buffer_factory=RelayBuffer,
     surfaces=_linux_surfaces,
     traits=BackendTraits(logical_timers=False, etw_style=False,
-                         jiffy_values=True, table_label="Table 1"))
+                         jiffy_values=True, table_label="Table 1",
+                         collector_names=("wheel",)))
 
 register_backend(
     "vista",
@@ -44,4 +45,5 @@ register_backend(
     buffer_factory=EtwSession,
     surfaces=_vista_surfaces,
     traits=BackendTraits(logical_timers=True, etw_style=True,
-                         jiffy_values=False, table_label="Table 2"))
+                         jiffy_values=False, table_label="Table 2",
+                         collector_names=("ktimer",)))

@@ -44,6 +44,17 @@ class BackendTraits:
     jiffy_values: bool
     #: Heading used for the per-backend summary table in study output.
     table_label: str
+    #: Named telemetry collectors this backend contributes beyond the
+    #: backend-neutral set (engine, power, sinks, streaming).  Names
+    #: resolve through the :mod:`repro.serve.collectors` factory
+    #: registry, so a plugin backend ships its collector alongside its
+    #: kernel model ("wheel" for the Linux tvec forest, "ktimer" for
+    #: the Vista ring/lookaside/coalescing counters).
+    collector_names: tuple = ()
+
+    def collectors(self) -> tuple:
+        """Backend-specific collector names for ``timerstudy serve``."""
+        return self.collector_names
 
     @classmethod
     def defaults_for(cls, os_name: str) -> "BackendTraits":

@@ -8,6 +8,7 @@ Metrics registry (:mod:`~repro.obs.metrics`), Prometheus text exporter
 
 from .collect import collect_kernel, collect_run, collect_sink, \
     collect_streaming
+from .delta import derive_rates, snapshot_delta
 from .export import render_prometheus
 from .metrics import (
     Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
@@ -20,6 +21,7 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "MetricsSnapshot", "NULL_REGISTRY", "Sample",
     "VirtualTimeProfiler", "collect_kernel", "collect_run",
-    "collect_sink", "collect_streaming", "current_profiler", "profile",
-    "render_prometheus", "subsystem_of",
+    "collect_sink", "collect_streaming", "current_profiler",
+    "derive_rates", "profile", "render_prometheus", "snapshot_delta",
+    "subsystem_of",
 ]

@@ -1,0 +1,95 @@
+"""Snapshot deltas and rate derivation — the between-scrapes algebra.
+
+A long-running collection (the ``timerstudy serve`` daemon) takes one
+:class:`~repro.obs.metrics.MetricsSnapshot` per cycle; what a live
+telemetry consumer wants from two consecutive snapshots is
+
+* the **delta** — how much each counter moved in the interval (gauges
+  pass through, histograms subtract bucket-wise), and
+* the **rate** — counter deltas divided by the wall seconds between
+  the two scrapes, published as volatile gauges named
+  ``<counter>:rate`` (the ``:`` namespace is the Prometheus convention
+  for derived series).
+
+Counter resets (a series restarting from zero, e.g. after a collector
+was rebuilt) are clamped the way Prometheus's ``rate()`` clamps them:
+a negative delta is treated as the new cumulative value.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .metrics import MetricsSnapshot, Sample
+
+__all__ = ["derive_rates", "snapshot_delta"]
+
+
+def _by_identity(snapshot: MetricsSnapshot) -> dict:
+    return {(s.name, s.labels): s for s in snapshot.samples}
+
+
+def _counter_delta(prev, curr):
+    delta = curr - prev
+    return curr if delta < 0 else delta     # reset: restart from zero
+
+
+def _histogram_delta(prev, curr):
+    prev_cum, prev_sum, prev_n = prev
+    curr_cum, curr_sum, curr_n = curr
+    if curr_n < prev_n or len(prev_cum) != len(curr_cum):
+        return curr                          # reset or reshape
+    cumulative = tuple((bound, running - prev_running)
+                       for (bound, running), (_, prev_running)
+                       in zip(curr_cum, prev_cum))
+    return (cumulative, curr_sum - prev_sum, curr_n - prev_n)
+
+
+def snapshot_delta(prev: MetricsSnapshot,
+                   curr: MetricsSnapshot) -> MetricsSnapshot:
+    """The movement between two snapshots of the same registry.
+
+    Counters and histograms are differenced against ``prev`` (series
+    absent from ``prev`` keep their current value — they are new, so
+    their whole history happened in this interval); gauges report their
+    current value unchanged.
+    """
+    previous = _by_identity(prev)
+    samples = []
+    for sample in curr.samples:
+        before = previous.get((sample.name, sample.labels))
+        value = sample.value
+        if before is not None and sample.kind == "counter":
+            value = _counter_delta(before.value, value)
+        elif before is not None and sample.kind == "histogram":
+            value = _histogram_delta(before.value, value)
+        samples.append(Sample(sample.name, sample.kind, sample.help,
+                              sample.labels, value, sample.volatile))
+    return MetricsSnapshot(samples)
+
+
+def derive_rates(prev: MetricsSnapshot, curr: MetricsSnapshot,
+                 seconds: float, *,
+                 suffix: str = ":rate") -> MetricsSnapshot:
+    """Per-second rates for every counter present in both snapshots.
+
+    Returns volatile gauges (wall-clock derived, so excluded from
+    snapshot equality) named ``<counter><suffix>``.  ``seconds`` must
+    be positive; histograms and gauges are skipped.
+    """
+    if seconds <= 0:
+        raise ValueError(f"non-positive scrape interval {seconds}")
+    previous = _by_identity(prev)
+    samples: Iterable[Sample] = (
+        Sample(sample.name + suffix, "gauge",
+               f"Per-second rate of {sample.name} over the last "
+               "collection interval.",
+               sample.labels,
+               _counter_delta(previous[(sample.name,
+                                        sample.labels)].value,
+                              sample.value) / seconds,
+               volatile=True)
+        for sample in curr.samples
+        if sample.kind == "counter"
+        and (sample.name, sample.labels) in previous)
+    return MetricsSnapshot(samples)

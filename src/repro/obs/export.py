@@ -32,8 +32,12 @@ def _labels(pairs) -> str:
 
 
 def _number(value) -> str:
+    if value != value:                  # NaN is the only self-unequal value
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return str(value)
@@ -68,4 +72,6 @@ def render_prometheus(source: Union[MetricsSnapshot, MetricsRegistry]
                 out.append(f"# HELP {sample.name} {sample.help}")
             out.append(f"# TYPE {sample.name} {sample.kind}")
         _render_sample(out, sample)
-    return "\n".join(out) + ("\n" if out else "")
+    # The exposition spec requires the body to end with a newline —
+    # even an empty registry renders a single terminating "\n".
+    return "\n".join(out) + "\n"

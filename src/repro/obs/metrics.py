@@ -311,11 +311,73 @@ class MetricsSnapshot:
         from .export import render_prometheus
         return render_prometheus(self)
 
+    # -- machine-readable form -------------------------------------------
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Serialise the snapshot as JSON (strict: non-finite numbers
+        become the strings ``"NaN"``/``"+Inf"``/``"-Inf"``, histogram
+        bucket bounds likewise), so snapshots can be consumed without
+        scraping the text exposition.  :meth:`from_json` inverts it
+        exactly (``from_json(s.to_json()).identical(s)``)."""
+        import json
+        return json.dumps({"samples": [
+            {"name": s.name, "kind": s.kind, "help": s.help,
+             "labels": dict(s.labels), "value": _jsonable(s.value),
+             "volatile": s.volatile}
+            for s in self.samples]}, indent=indent, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsSnapshot":
+        """Rebuild a snapshot produced by :meth:`to_json`."""
+        import json
+        doc = json.loads(text)
+        return cls(Sample(
+            entry["name"], entry["kind"], entry["help"],
+            tuple((name, value)
+                  for name, value in entry["labels"].items()),
+            _unjsonable(entry["value"], entry["kind"]),
+            entry["volatile"]) for entry in doc["samples"])
+
     def __len__(self) -> int:
         return len(self.samples)
 
     def __repr__(self) -> str:
         return f"<MetricsSnapshot {len(self.samples)} samples>"
+
+
+def _jsonable(value):
+    """Strict-JSON form of a sample value (numbers stay numbers,
+    non-finite floats become marker strings, histogram triples become
+    an object)."""
+    if isinstance(value, tuple):        # histogram triple
+        cumulative, total, count = value
+        return {"buckets": [[_jsonable(bound), running]
+                            for bound, running in cumulative],
+                "sum": _jsonable(total), "count": count}
+    if isinstance(value, float):
+        if value != value:
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+    return value
+
+
+_NONFINITE = {"NaN": float("nan"), "+Inf": float("inf"),
+              "-Inf": float("-inf")}
+
+
+def _unnumber(value):
+    return _NONFINITE[value] if isinstance(value, str) else value
+
+
+def _unjsonable(value, kind: str):
+    if kind == "histogram":
+        return (tuple((_unnumber(bound), running)
+                      for bound, running in value["buckets"]),
+                _unnumber(value["sum"]), value["count"])
+    return _unnumber(value)
 
 
 class MetricsRegistry:

@@ -1,0 +1,34 @@
+"""repro.serve — the long-running telemetry daemon.
+
+``timerstudy serve`` turns the PR 5 pull-collected metrics into a live
+telemetry system in the tcollector/scalyr-agent mold: a daemon that
+runs a workload continuously (virtual time advancing in real-time
+slices over the streaming path) and exposes what it sees three ways —
+a Prometheus ``/metrics`` endpoint, ``/healthz`` + ``/statusz`` JSON,
+and OpenTSDB-style ``put`` line output.  Collection is driven by a
+collector plugin registry (:mod:`~repro.serve.collectors`) with
+per-collector error quarantine (:mod:`~repro.serve.scheduler`), and
+ETW-side collectors resolve through a provider-manifest registry
+(:mod:`~repro.serve.manifest`).
+"""
+
+from .collectors import (COLLECTOR_FACTORIES, Collector,
+                         build_collectors, collector_factory,
+                         register_collector_factory)
+from .daemon import ServeConfig, ServeDaemon
+from .httpd import TelemetryServer
+from .manifest import (ProviderManifest, provider_for, provider_label,
+                       provider_names, register_provider,
+                       unregister_provider)
+from .opentsdb import OpenTsdbWriter, parse_line, snapshot_lines
+from .scheduler import CollectorScheduler, CollectorState
+
+__all__ = [
+    "COLLECTOR_FACTORIES", "Collector", "CollectorScheduler",
+    "CollectorState", "OpenTsdbWriter", "ProviderManifest",
+    "ServeConfig", "ServeDaemon", "TelemetryServer",
+    "build_collectors", "collector_factory", "parse_line",
+    "provider_for", "provider_label", "provider_names",
+    "register_collector_factory", "register_provider",
+    "snapshot_lines", "unregister_provider",
+]

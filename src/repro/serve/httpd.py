@@ -1,0 +1,114 @@
+"""The daemon's HTTP surface: ``/metrics``, ``/healthz``, ``/statusz``.
+
+Built on the standard library only (``http.server`` on a
+``ThreadingHTTPServer``), because the container rule is "no new
+dependencies" and a telemetry endpoint needs nothing more:
+
+* ``GET /metrics``   — Prometheus text exposition of the latest
+  collection cycle (plus derived ``:rate`` gauges),
+* ``GET /metrics.json`` — the same snapshot as JSON
+  (:meth:`MetricsSnapshot.to_json`),
+* ``GET /healthz``   — liveness: 200 + small JSON once the first
+  collection cycle has completed, 503 before,
+* ``GET /statusz``   — the full status document: uptime,
+  virtual-vs-wall slip, per-collector staleness/quarantine/last-error.
+
+Handlers only *read* immutable snapshots the daemon publishes
+atomically, so no locking is needed against the simulation thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["TelemetryServer"]
+
+#: Prometheus text exposition content type.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "timerstudy-serve/1"
+
+    # Silence the default per-request stderr logging.
+    def log_message(self, fmt, *args):      # noqa: A003
+        pass
+
+    def _send(self, code: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, code: int, doc: dict) -> None:
+        self._send(code, json.dumps(doc, sort_keys=True) + "\n",
+                   "application/json")
+
+    def do_GET(self) -> None:               # noqa: N802 (stdlib name)
+        daemon = self.server.daemon         # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            snapshot = daemon.latest_snapshot()
+            if snapshot is None:
+                self._send(503, "no collection cycle yet\n",
+                           "text/plain")
+                return
+            self._send(200, snapshot.render(), PROM_CONTENT_TYPE)
+        elif path == "/metrics.json":
+            snapshot = daemon.latest_snapshot()
+            if snapshot is None:
+                self._send_json(503, {"error": "no collection cycle yet"})
+                return
+            self._send(200, snapshot.to_json() + "\n",
+                       "application/json")
+        elif path == "/healthz":
+            healthy, doc = daemon.health()
+            self._send_json(200 if healthy else 503, doc)
+        elif path == "/statusz":
+            self._send_json(200, daemon.status())
+        else:
+            self._send(404, f"no such endpoint {path!r}; try /metrics, "
+                       "/metrics.json, /healthz, /statusz\n",
+                       "text/plain")
+
+
+class TelemetryServer:
+    """The threaded HTTP server wrapping one daemon.
+
+    ``port=0`` binds an ephemeral port; :attr:`port` reports the real
+    one after :meth:`start`.
+    """
+
+    def __init__(self, daemon, *, host: str = "127.0.0.1",
+                 port: int = 0):
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.daemon = daemon        # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="timerstudy-serve-http", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        # shutdown() blocks on serve_forever()'s exit handshake, so it
+        # must only run when start() actually spun the serving thread.
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()

@@ -1,0 +1,97 @@
+"""ETW provider-manifest registry (winevt-kb style).
+
+Windows event providers are identified by GUID; everything readable
+about them — the provider name, its keywords, the events it can log —
+lives in a *manifest* that tooling resolves the GUID through.  The
+telemetry daemon does the same for its ETW-style sinks: a session
+carries only ``provider_guid``, and this registry maps the GUID back
+to a :class:`ProviderManifest` so ``/metrics`` series and collector
+names say ``Repro-Timer-Provider`` instead of a brace-wrapped hex
+string.  Third-party backends ship their own manifests by calling
+:func:`register_provider` next to their ``register_backend`` call.
+
+The paper's own provider (the four custom timer events of §3.3) is
+registered at import, sourced from
+:meth:`repro.tracing.etw.EtwSession.provider_manifest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["ProviderManifest", "provider_for", "provider_label",
+           "provider_names", "register_provider",
+           "unregister_provider"]
+
+
+def _normalise_guid(guid: str) -> str:
+    return guid.strip().lower().strip("{}")
+
+
+@dataclass(frozen=True)
+class ProviderManifest:
+    """One ETW provider: identity plus the schema facts the daemon
+    surfaces (name for labels, keywords and event names for docs and
+    ``/statusz``)."""
+
+    guid: str
+    name: str
+    keywords: Tuple[str, ...] = ()
+    events: Tuple[str, ...] = field(default=())
+
+    @property
+    def key(self) -> str:
+        return _normalise_guid(self.guid)
+
+
+_PROVIDERS: dict[str, ProviderManifest] = {}
+
+
+def register_provider(manifest, *, replace: bool = False
+                      ) -> ProviderManifest:
+    """Install a provider manifest; accepts a :class:`ProviderManifest`
+    or a plain dict (``guid``/``name``/``keywords``/``events``)."""
+    if isinstance(manifest, dict):
+        manifest = ProviderManifest(
+            guid=manifest["guid"], name=manifest["name"],
+            keywords=tuple(manifest.get("keywords", ())),
+            events=tuple(manifest.get("events", ())))
+    if manifest.key in _PROVIDERS and not replace:
+        raise ValueError(
+            f"provider {manifest.guid!r} already registered as "
+            f"{_PROVIDERS[manifest.key].name!r}")
+    _PROVIDERS[manifest.key] = manifest
+    return manifest
+
+
+def unregister_provider(guid: str) -> None:
+    _PROVIDERS.pop(_normalise_guid(guid), None)
+
+
+def provider_for(guid: str) -> Optional[ProviderManifest]:
+    """The manifest registered for ``guid``, or ``None``."""
+    return _PROVIDERS.get(_normalise_guid(guid))
+
+
+def provider_label(guid: str) -> str:
+    """Human-readable label for a GUID: the manifest name when known,
+    the normalised GUID otherwise (an unmanifested provider stays
+    observable, just less readable)."""
+    manifest = provider_for(guid)
+    return manifest.name if manifest is not None \
+        else _normalise_guid(guid)
+
+
+def provider_names() -> tuple[str, ...]:
+    return tuple(manifest.name for manifest in _PROVIDERS.values())
+
+
+def _register_builtin() -> None:
+    from ..tracing.etw import EtwSession
+    manifest = EtwSession.provider_manifest()
+    if provider_for(manifest["guid"]) is None:
+        register_provider(manifest)
+
+
+_register_builtin()

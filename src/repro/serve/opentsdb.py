@@ -1,0 +1,155 @@
+"""OpenTSDB-style line output (the tcollector idiom).
+
+tcollector agents speak one line per datapoint::
+
+    put <metric> <unix-seconds> <value> <tag=value> [<tag=value> ...]
+
+to stdout (picked up by a supervising agent) or straight into a TSD's
+TCP socket.  :func:`snapshot_lines` renders a
+:class:`~repro.obs.metrics.MetricsSnapshot` in that shape — counters
+and gauges one line each, histograms expanded into per-bucket lines
+(``le`` tag) plus ``.sum``/``.count`` — and :class:`OpenTsdbWriter`
+streams the lines to either sink.  Non-finite values are skipped (a
+TSD rejects them; losing one sample beats poisoning the stream).
+"""
+
+from __future__ import annotations
+
+import math
+import socket
+import sys
+from typing import Iterable, Iterator, Optional
+
+from ..obs.metrics import MetricsSnapshot, Sample
+
+__all__ = ["OpenTsdbWriter", "parse_line", "sample_lines",
+           "snapshot_lines"]
+
+
+def _tagsafe(value: str) -> str:
+    """OpenTSDB tags allow no whitespace or '='; degrade, don't drop."""
+    return str(value).replace(" ", "_").replace("=", "_") or "_"
+
+
+def _format_value(value: float) -> Optional[str]:
+    if not math.isfinite(value):
+        return None
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _put(metric: str, ts: int, value: float,
+         tags: Iterable[tuple]) -> Optional[str]:
+    rendered = _format_value(value)
+    if rendered is None:
+        return None
+    suffix = "".join(f" {name}={_tagsafe(val)}" for name, val in tags)
+    return f"put {metric} {ts} {rendered}{suffix}"
+
+
+def sample_lines(sample: Sample, ts: int) -> Iterator[str]:
+    """The OpenTSDB lines for one frozen sample."""
+    if sample.kind == "histogram":
+        cumulative, total, count = sample.value
+        for bound, running in cumulative:
+            le = "inf" if bound == float("inf") else _format_value(bound)
+            line = _put(f"{sample.name}.bucket", ts, running,
+                        (*sample.labels, ("le", le)))
+            if line is not None:
+                yield line
+        for suffix, value in ((".sum", total), (".count", count)):
+            line = _put(sample.name + suffix, ts, value, sample.labels)
+            if line is not None:
+                yield line
+        return
+    line = _put(sample.name, ts, sample.value, sample.labels)
+    if line is not None:
+        yield line
+
+
+def snapshot_lines(snapshot: MetricsSnapshot, ts: int) -> list[str]:
+    """Render a whole snapshot, one datapoint per line."""
+    lines: list[str] = []
+    for sample in snapshot.samples:
+        lines.extend(sample_lines(sample, ts))
+    return lines
+
+
+def parse_line(line: str) -> tuple:
+    """Inverse of :func:`_put` — ``(metric, ts, value, tags)``; raises
+    ``ValueError`` on anything that is not a well-formed put line."""
+    parts = line.split()
+    if len(parts) < 4 or parts[0] != "put":
+        raise ValueError(f"not an OpenTSDB put line: {line!r}")
+    metric, ts, value = parts[1], int(parts[2]), float(parts[3])
+    tags = {}
+    for pair in parts[4:]:
+        name, sep, val = pair.partition("=")
+        if not sep or not name:
+            raise ValueError(f"malformed tag {pair!r} in {line!r}")
+        tags[name] = val
+    return metric, ts, value, tags
+
+
+class OpenTsdbWriter:
+    """Stream put lines to stdout (``target='-'``), a file-like object,
+    or a TSD's TCP socket (``target='host:port'``).
+
+    The TCP path reconnects lazily: a send failure drops that flush
+    (counted in :attr:`errors`) and the next flush retries, so a
+    bouncing TSD never stalls the daemon loop.
+    """
+
+    def __init__(self, target="-"):
+        self.target = target
+        self.lines_written = 0
+        self.errors = 0
+        self._stream = None
+        self._sock: Optional[socket.socket] = None
+        self._address: Optional[tuple] = None
+        if target == "-":
+            self._stream = sys.stdout
+        elif hasattr(target, "write"):
+            self._stream = target
+        else:
+            host, sep, port = str(target).rpartition(":")
+            if not sep:
+                raise ValueError(
+                    f"OpenTSDB target must be '-', a stream, or "
+                    f"HOST:PORT (got {target!r})")
+            self._address = (host, int(port))
+
+    def _socket(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(self._address,
+                                                  timeout=5.0)
+        return self._sock
+
+    def write_snapshot(self, snapshot: MetricsSnapshot,
+                       ts: int) -> int:
+        """Emit every datapoint of ``snapshot`` stamped ``ts``;
+        returns lines written (0 on a failed TCP flush)."""
+        lines = snapshot_lines(snapshot, ts)
+        if not lines:
+            return 0
+        payload = "\n".join(lines) + "\n"
+        if self._stream is not None:
+            self._stream.write(payload)
+            self._stream.flush()
+        else:
+            try:
+                self._socket().sendall(payload.encode("ascii"))
+            except OSError:
+                self.errors += 1
+                self.close()
+                return 0
+        self.lines_written += len(lines)
+        return len(lines)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None

@@ -1,0 +1,137 @@
+"""Collector scheduling with per-collector error isolation.
+
+tcollector's hard-won rule: one misbehaving collector must never take
+the agent down.  Each :class:`~repro.serve.collectors.Collector` runs
+on its own interval; an exception quarantines *that collector* with
+exponential backoff (doubling from ``base_backoff_s`` up to
+``max_backoff_s``) while everything else keeps collecting.  The
+failure is held — last error string, consecutive-failure count,
+remaining quarantine — and surfaced verbatim on ``/statusz`` so a
+quarantined collector is visible, not silent.
+
+The scheduler is clock-agnostic (``clock`` is injected, monotonic
+seconds) so tests drive it with a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence
+
+from ..obs.metrics import MetricsRegistry
+from .collectors import Collector
+
+__all__ = ["CollectorScheduler", "CollectorState"]
+
+
+class CollectorState:
+    """Mutable run-state for one scheduled collector."""
+
+    __slots__ = ("next_due", "runs", "errors", "consecutive_errors",
+                 "quarantined_until", "last_error", "last_run",
+                 "last_duration_s")
+
+    def __init__(self) -> None:
+        self.next_due = 0.0
+        self.runs = 0
+        self.errors = 0
+        self.consecutive_errors = 0
+        self.quarantined_until = 0.0
+        self.last_error: Optional[str] = None
+        self.last_run: Optional[float] = None
+        self.last_duration_s = 0.0
+
+    def quarantined(self, now: float) -> bool:
+        return now < self.quarantined_until
+
+    def status(self, now: float, interval_s: float) -> dict:
+        return {
+            "interval_s": interval_s,
+            "runs": self.runs,
+            "errors": self.errors,
+            "consecutive_errors": self.consecutive_errors,
+            "quarantined": self.quarantined(now),
+            "quarantined_for_s": max(0.0,
+                                     self.quarantined_until - now),
+            "last_error": self.last_error,
+            "staleness_s": (None if self.last_run is None
+                            else now - self.last_run),
+            "last_duration_ms": self.last_duration_s * 1e3,
+        }
+
+
+class CollectorScheduler:
+    """Run a set of collectors into one registry, isolating failures."""
+
+    def __init__(self, collectors: Sequence[Collector],
+                 registry: MetricsRegistry, labels: dict, *,
+                 default_interval_s: float = 1.0,
+                 base_backoff_s: float = 2.0,
+                 max_backoff_s: float = 60.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.collectors = list(collectors)
+        self.registry = registry
+        self.labels = dict(labels)
+        self.default_interval_s = default_interval_s
+        self.base_backoff_s = base_backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.clock = clock
+        self.states = {collector.name: CollectorState()
+                       for collector in self.collectors}
+        #: Total collection errors across all collectors (mirrored
+        #: into the exposition by the daemon collector).
+        self.total_errors = 0
+
+    def _interval(self, collector: Collector) -> float:
+        return collector.interval_s if collector.interval_s is not None \
+            else self.default_interval_s
+
+    def run_due(self, now: Optional[float] = None) -> int:
+        """Run every collector that is due and not quarantined.
+        Returns how many ran (successfully or not)."""
+        if now is None:
+            now = self.clock()
+        ran = 0
+        for collector in self.collectors:
+            state = self.states[collector.name]
+            if now < state.next_due or state.quarantined(now):
+                continue
+            ran += 1
+            started = self.clock()
+            try:
+                collector.collect(self.registry, dict(self.labels))
+            except Exception as err:          # noqa: BLE001 — isolate
+                state.errors += 1
+                state.consecutive_errors += 1
+                self.total_errors += 1
+                backoff = min(
+                    self.max_backoff_s,
+                    self.base_backoff_s
+                    * 2 ** (state.consecutive_errors - 1))
+                state.quarantined_until = now + backoff
+                state.last_error = f"{type(err).__name__}: {err}"
+            else:
+                state.runs += 1
+                state.consecutive_errors = 0
+                state.quarantined_until = 0.0
+                state.last_error = None
+                state.last_run = now
+            state.last_duration_s = self.clock() - started
+            state.next_due = now + self._interval(collector)
+        return ran
+
+    def status(self, now: Optional[float] = None) -> dict:
+        """Per-collector state for ``/statusz`` (name-keyed, JSON-safe)."""
+        if now is None:
+            now = self.clock()
+        return {collector.name:
+                self.states[collector.name].status(
+                    now, self._interval(collector))
+                for collector in self.collectors}
+
+    def healthy(self, now: Optional[float] = None) -> bool:
+        """True when no collector is currently quarantined."""
+        if now is None:
+            now = self.clock()
+        return not any(state.quarantined(now)
+                       for state in self.states.values())

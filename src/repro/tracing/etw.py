@@ -17,9 +17,34 @@ from typing import Iterator, Optional
 
 from .events import TimerEvent, wait_unblock_event
 
+#: Provider GUID for the paper's four custom timer events.  Real ETW
+#: providers are keyed by GUID and described by a manifest (name,
+#: keywords, event schema); the serve-side provider-manifest registry
+#: (:mod:`repro.serve.manifest`) resolves sessions back to readable
+#: provider names the same way winevt-kb keys Windows event providers.
+TIMER_PROVIDER_GUID = "{7f0e9c5a-4e75-42d8-b6c2-0d9f1e2a3b4c}"
+
 
 class EtwSession:
     """A logging session with the paper's four custom timer events."""
+
+    #: GUID of the provider this session logs; third-party ETW-style
+    #: sinks override it (and register their own manifest) so the
+    #: telemetry daemon can label their streams.
+    provider_guid = TIMER_PROVIDER_GUID
+
+    @classmethod
+    def provider_manifest(cls) -> dict:
+        """Manifest describing this session's provider — consumed by
+        :func:`repro.serve.manifest.register_provider` at import time.
+        """
+        return {
+            "guid": cls.provider_guid,
+            "name": "Repro-Timer-Provider",
+            "keywords": ("timer", "wait"),
+            "events": ("KeSetTimer", "KeCancelTimer", "ExpireDpc",
+                       "WaitUnblock"),
+        }
 
     def __init__(self, capacity_events: int = 16_000_000):
         self.capacity_events = capacity_events

@@ -1,0 +1,168 @@
+"""Exporter edge cases, JSON round-trip, and snapshot delta/rates."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (MetricsRegistry, MetricsSnapshot, derive_rates,
+                       render_prometheus, snapshot_delta)
+from repro.obs.export import _number
+from repro.obs.metrics import Sample
+
+
+class TestNumberFormatting:
+    """The Prometheus exposition spec spells non-finite values
+    ``NaN`` / ``+Inf`` / ``-Inf`` exactly."""
+
+    def test_positive_infinity(self):
+        assert _number(float("inf")) == "+Inf"
+
+    def test_negative_infinity(self):
+        assert _number(float("-inf")) == "-Inf"
+
+    def test_nan(self):
+        assert _number(float("nan")) == "NaN"
+
+    def test_integral_float_collapses(self):
+        assert _number(3.0) == "3"
+
+    def test_plain_float(self):
+        assert _number(0.25) == "0.25"
+
+    def test_nonfinite_gauge_renders(self):
+        registry = MetricsRegistry()
+        registry.gauge("slack").set(float("-inf"))
+        assert "slack -Inf\n" in registry.render()
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize("raw,escaped", [
+        ('back\\slash', 'back\\\\slash'),
+        ('quo"te', 'quo\\"te'),
+        ('new\nline', 'new\\nline'),
+    ])
+    def test_escapes(self, raw, escaped):
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("tag",)).inc(1, tag=raw)
+        assert f'c{{tag="{escaped}"}} 1' in registry.render()
+
+
+class TestExpositionShape:
+    def test_histogram_inf_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(10, 100))
+        hist.observe(5)
+        hist.observe(5000)       # beyond the last finite bound
+        text = registry.render()
+        assert 'lat_bucket{le="10"} 1' in text
+        assert 'lat_bucket{le="100"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_count 2" in text
+
+    def test_empty_registry_still_ends_with_newline(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+        assert render_prometheus(MetricsSnapshot(())) == "\n"
+
+    def test_nonempty_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1)
+        assert registry.render().endswith("\n")
+
+
+def _rich_snapshot() -> MetricsSnapshot:
+    registry = MetricsRegistry()
+    registry.counter("events_total", "help text",
+                     labels=("os",)).inc(7, os="linux")
+    registry.gauge("depth", volatile=True).set(2.5)
+    hist = registry.histogram("lat", buckets=(10, 100))
+    hist.observe(5)
+    hist.observe(5000)
+    return registry.snapshot()
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_identical(self):
+        snap = _rich_snapshot()
+        back = MetricsSnapshot.from_json(snap.to_json())
+        assert back.identical(snap)
+        assert back.render() == snap.render()
+
+    def test_json_is_strict(self):
+        # +Inf bucket bounds must not leak as bare Infinity tokens.
+        doc = json.loads(_rich_snapshot().to_json())
+        hist = [s for s in doc["samples"] if s["kind"] == "histogram"]
+        assert hist[0]["value"]["buckets"][-1][0] == "+Inf"
+
+    def test_nonfinite_scalar_round_trips(self):
+        snap = MetricsSnapshot([
+            Sample("g", "gauge", "", (), float("-inf")),
+            Sample("n", "gauge", "", (), float("nan")),
+        ])
+        back = MetricsSnapshot.from_json(snap.to_json())
+        assert back.samples[0].value == float("-inf")
+        assert math.isnan(back.samples[1].value)
+
+    def test_empty_snapshot(self):
+        back = MetricsSnapshot.from_json(MetricsSnapshot(()).to_json())
+        assert len(back) == 0
+
+
+class TestSnapshotDelta:
+    def _pair(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        hist = registry.histogram("h", buckets=(10,))
+        counter.inc(3)
+        gauge.set(5)
+        hist.observe(4)
+        prev = registry.snapshot()
+        counter.inc(2)
+        gauge.set(1)
+        hist.observe(40)
+        return prev, registry.snapshot()
+
+    def test_counter_differenced_gauge_passthrough(self):
+        prev, curr = self._pair()
+        delta = snapshot_delta(prev, curr)
+        assert delta.get("c") == 2
+        assert delta.get("g") == 1
+
+    def test_histogram_differenced(self):
+        prev, curr = self._pair()
+        cumulative, total, count = snapshot_delta(prev, curr).get("h")
+        assert count == 1
+        assert total == 40
+        assert cumulative[-1] == (float("inf"), 1)
+
+    def test_counter_reset_clamps(self):
+        prev = MetricsSnapshot([Sample("c", "counter", "", (), 100)])
+        curr = MetricsSnapshot([Sample("c", "counter", "", (), 4)])
+        assert snapshot_delta(prev, curr).get("c") == 4
+
+    def test_new_series_keeps_value(self):
+        prev = MetricsSnapshot(())
+        curr = MetricsSnapshot([Sample("c", "counter", "", (), 9)])
+        assert snapshot_delta(prev, curr).get("c") == 9
+
+
+class TestDeriveRates:
+    def test_rates_are_volatile_gauges(self):
+        prev = MetricsSnapshot([Sample("c_total", "counter", "", (), 10)])
+        curr = MetricsSnapshot([Sample("c_total", "counter", "", (), 30)])
+        rates = derive_rates(prev, curr, 4.0)
+        [sample] = rates.samples
+        assert sample.name == "c_total:rate"
+        assert sample.kind == "gauge"
+        assert sample.volatile
+        assert sample.value == 5.0
+
+    def test_gauges_skipped(self):
+        prev = MetricsSnapshot([Sample("g", "gauge", "", (), 1)])
+        curr = MetricsSnapshot([Sample("g", "gauge", "", (), 9)])
+        assert len(derive_rates(prev, curr, 1.0)) == 0
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError):
+            derive_rates(MetricsSnapshot(()), MetricsSnapshot(()), 0)

@@ -1,0 +1,104 @@
+"""Collector assembly: trait resolution, factories, sink/ETW naming."""
+
+import pytest
+
+from repro.kern import backend_traits
+from repro.obs import MetricsRegistry
+from repro.serve import (COLLECTOR_FACTORIES, ServeConfig, ServeDaemon,
+                         build_collectors, collector_factory,
+                         register_collector_factory)
+
+
+@pytest.fixture
+def linux_daemon():
+    daemon = ServeDaemon(ServeConfig(os_name="linux"))
+    yield daemon
+    daemon.close()
+
+
+@pytest.fixture
+def vista_daemon():
+    daemon = ServeDaemon(ServeConfig(os_name="vista"))
+    yield daemon
+    daemon.close()
+
+
+class TestTraits:
+    def test_backends_declare_their_collectors(self):
+        assert backend_traits("linux").collectors() == ("wheel",)
+        assert backend_traits("vista").collectors() == ("ktimer",)
+
+
+class TestBuildCollectors:
+    def test_linux_set(self, linux_daemon):
+        names = [c.name for c in linux_daemon.scheduler.collectors]
+        assert {"engine", "power", "streaming", "daemon",
+                "wheel"} <= set(names)
+        assert "relay" in names          # the relayfs buffer sink
+        assert "ktimer" not in names
+
+    def test_vista_set(self, vista_daemon):
+        names = [c.name for c in vista_daemon.scheduler.collectors]
+        assert "ktimer" in names
+        assert "wheel" not in names
+        # The ETW session resolves through the provider manifest, so
+        # the collector is named after the provider, not the GUID.
+        assert "etw:Repro-Timer-Provider" in names
+
+    def test_unknown_name_raises(self, linux_daemon):
+        with pytest.raises(KeyError, match="no-such-collector"):
+            build_collectors(linux_daemon,
+                             extra_names=("no-such-collector",))
+
+    def test_collectors_fill_registry(self, linux_daemon):
+        linux_daemon.kernel.run_for(int(2e9))
+        assert linux_daemon.scheduler.run_due() >= 5
+        rendered = linux_daemon.registry.render()
+        for metric in ("repro_engine_events_dispatched_total",
+                       "repro_power_wakeups_total",
+                       "repro_wheel_pending",
+                       "repro_streaming_events_total",
+                       "repro_daemon_virtual_seconds",
+                       "repro_sink_records_total"):
+            assert metric in rendered, metric
+
+    def test_vista_etw_series_labelled_with_provider(self, vista_daemon):
+        vista_daemon.kernel.run_for(int(2e9))
+        vista_daemon.scheduler.run_due()
+        rendered = vista_daemon.registry.render()
+        assert 'provider="Repro-Timer-Provider"' in rendered
+        assert "repro_ring_pending" in rendered
+
+
+class TestFactoryRegistry:
+    def test_register_and_resolve_custom_factory(self, linux_daemon):
+        @collector_factory("test-custom")
+        def _build(daemon):
+            from repro.serve import Collector
+
+            def collect(registry: MetricsRegistry, labels: dict):
+                registry.gauge("custom_metric").set(1)
+            return Collector("test-custom", collect)
+
+        try:
+            collectors = build_collectors(linux_daemon,
+                                          extra_names=("test-custom",))
+            assert "test-custom" in [c.name for c in collectors]
+        finally:
+            COLLECTOR_FACTORIES.pop("test-custom", None)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_collector_factory("engine", lambda daemon: None)
+
+    def test_factory_returning_none_is_skipped(self, linux_daemon):
+        @collector_factory("test-none")
+        def _build(daemon):
+            return None
+
+        try:
+            collectors = build_collectors(linux_daemon,
+                                          extra_names=("test-none",))
+            assert "test-none" not in [c.name for c in collectors]
+        finally:
+            COLLECTOR_FACTORIES.pop("test-none", None)

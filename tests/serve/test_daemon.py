@@ -1,0 +1,219 @@
+"""End-to-end daemon tests: live HTTP surface, monotonic counters,
+collector quarantine without daemon death, CLI entry point."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.serve import (Collector, ServeConfig, ServeDaemon,
+                         parse_line)
+
+#: A fast daemon: 50 virtual seconds per wall second, 20ms ticks,
+#: 50ms collection intervals — whole tests finish in ~1s.
+FAST = dict(speed=50.0, tick_s=0.02, interval_s=0.05, port=0)
+
+
+def _get(port, path, timeout=2.0):
+    url = f"http://127.0.0.1:{port}{path}"
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.headers, resp.read().decode()
+
+
+def _wait_until(predicate, timeout=5.0, tick=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        result = predicate()
+        if result:
+            return result
+        time.sleep(tick)
+    raise AssertionError("condition not met within timeout")
+
+
+def _scrape_values(text):
+    """name{labels} -> float for every exposition line."""
+    values = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        try:
+            values[series] = float(value)
+        except ValueError:
+            pass
+    return values
+
+
+class _Daemon:
+    """Context manager: daemon loop on a thread, cleaned up on exit."""
+
+    def __init__(self, **overrides):
+        config = dict(FAST)
+        config.update(overrides)
+        self.daemon = ServeDaemon(ServeConfig(**config))
+
+    def __enter__(self):
+        self.daemon.start()
+        self.thread = threading.Thread(target=self.daemon.run,
+                                       daemon=True)
+        self.thread.start()
+        _wait_until(lambda: self.daemon.cycles > 0)
+        return self.daemon
+
+    def __exit__(self, *exc):
+        self.daemon.stop()
+        self.thread.join(timeout=5.0)
+        self.daemon.close()
+        assert not self.thread.is_alive()
+
+
+class TestHttpSurface:
+    def test_healthz_metrics_statusz(self):
+        with _Daemon() as daemon:
+            status, headers, body = _get(daemon.port, "/healthz")
+            assert status == 200
+            health = json.loads(body)
+            assert health["status"] == "ok"
+            assert health["cycles"] >= 1
+
+            status, headers, body = _get(daemon.port, "/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain")
+            assert body.endswith("\n")
+            assert "repro_engine_events_dispatched_total" in body
+            assert "repro_daemon_uptime_seconds" in body
+
+            status, _, body = _get(daemon.port, "/metrics.json")
+            doc = json.loads(body)
+            assert any(s["name"] == "repro_daemon_ticks_total"
+                       for s in doc["samples"])
+
+            status, _, body = _get(daemon.port, "/statusz")
+            doc = json.loads(body)
+            assert doc["backend"] == "linux"
+            assert doc["running"] is True
+            assert doc["virtual_seconds"] > 0
+            assert "slip_seconds" in doc
+            assert set(doc["collectors"]) >= {"engine", "power",
+                                              "streaming", "daemon",
+                                              "wheel", "relay"}
+            for state in doc["collectors"].values():
+                assert state["staleness_s"] is not None
+            assert not doc["streaming"]["finished"]
+
+    def test_unknown_path_404(self):
+        with _Daemon() as daemon:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(daemon.port, "/nope")
+            assert err.value.code == 404
+
+    def test_counters_increase_monotonically_between_scrapes(self):
+        with _Daemon() as daemon:
+            key = ("repro_engine_events_dispatched_total"
+                   '{os="linux",workload="portable"}')
+            first = _scrape_values(_get(daemon.port, "/metrics")[2])
+            assert key in first
+
+            def advanced():
+                values = _scrape_values(
+                    _get(daemon.port, "/metrics")[2])
+                return values if values[key] > first[key] else None
+            second = _wait_until(advanced)
+            # Every counter is cumulative: none may move backwards.
+            for series, value in first.items():
+                if "_total" in series and ":rate" not in series:
+                    assert second[series] >= value, series
+            # And rate gauges appear once two cycles have happened.
+            assert any(":rate" in series for series in second)
+
+    def test_vista_backend_serves_etw_series(self):
+        with _Daemon(os_name="vista") as daemon:
+            body = _get(daemon.port, "/metrics")[2]
+            assert 'provider="Repro-Timer-Provider"' in body
+            assert "repro_ring_pending" in body
+
+
+class TestQuarantine:
+    def test_killed_collector_quarantined_daemon_survives(self):
+        def explode(registry, labels):
+            raise RuntimeError("collector exploded")
+
+        chaos = Collector("chaos", explode, interval_s=0.05)
+        with _Daemon(extra_collectors=(chaos,)) as daemon:
+            def quarantined():
+                doc = json.loads(_get(daemon.port, "/statusz")[2])
+                state = doc["collectors"]["chaos"]
+                return doc if state["quarantined"] else None
+            doc = _wait_until(quarantined)
+            state = doc["collectors"]["chaos"]
+            assert state["last_error"] == \
+                "RuntimeError: collector exploded"
+            assert state["errors"] >= 1
+            # The daemon keeps running and collecting around it.
+            assert doc["running"] is True
+            cycles = daemon.cycles
+            _wait_until(lambda: daemon.cycles > cycles)
+            health = json.loads(_get(daemon.port, "/healthz")[2])
+            assert health["status"] == "ok"
+            assert health["collectors_quarantined"] >= 1
+
+
+class TestLifecycle:
+    def test_duration_stops_the_loop_and_finishes_suite(self):
+        daemon = ServeDaemon(ServeConfig(duration_s=0.2, **FAST))
+        daemon.start()
+        try:
+            daemon.run()                 # blocking, returns by itself
+            assert not daemon.running
+            assert daemon.suite.finished
+            assert daemon.virtual_ns > 0
+            assert daemon.ticks >= 1
+        finally:
+            daemon.close()
+
+    def test_opentsdb_stream_gets_parseable_lines(self):
+        import io
+        sink = io.StringIO()
+        config = ServeConfig(duration_s=0.3, opentsdb=sink,
+                             opentsdb_interval_s=0.05, **FAST)
+        daemon = ServeDaemon(config)
+        daemon.start()
+        try:
+            daemon.run()
+        finally:
+            daemon.close()
+        lines = sink.getvalue().splitlines()
+        assert len(lines) > 10
+        metrics = set()
+        for line in lines:
+            metric, _, _, tags = parse_line(line)
+            metrics.add(metric)
+            assert tags.get("os") == "linux"
+        assert "repro_engine_events_dispatched_total" in metrics
+        assert daemon.writer.lines_written == len(lines)
+
+
+class TestServeCli:
+    def test_serve_for_seconds_with_opentsdb(self, capsys):
+        assert main(["serve", "--port", "0", "--speed", "50",
+                     "--tick-ms", "20", "--interval", "0.05",
+                     "--for-seconds", "0.5", "--opentsdb", "-"]) == 0
+        captured = capsys.readouterr()
+        put_lines = [line for line in captured.out.splitlines()
+                     if line.startswith("put ")]
+        assert put_lines
+        for line in put_lines:
+            parse_line(line)
+        assert "serving linux/portable telemetry" in captured.err
+
+    def test_serve_rejects_unknown_backend(self, capsys):
+        assert main(["serve", "--backend", "beos"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_workload(self, capsys):
+        assert main(["serve", "--workload", "compile"]) == 2
+        assert "workload" in capsys.readouterr().err

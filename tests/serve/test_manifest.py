@@ -1,0 +1,55 @@
+"""Provider-manifest registry (GUID -> readable provider facts)."""
+
+import pytest
+
+from repro.serve import (ProviderManifest, provider_for, provider_label,
+                         provider_names, register_provider,
+                         unregister_provider)
+from repro.tracing.etw import TIMER_PROVIDER_GUID, EtwSession
+
+GUID = "{12345678-abcd-ef01-2345-6789abcdef01}"
+
+
+@pytest.fixture
+def manifest():
+    m = register_provider({"guid": GUID, "name": "Test-Provider",
+                           "keywords": ("timer",),
+                           "events": ("SetTimer",)})
+    yield m
+    unregister_provider(GUID)
+
+
+class TestRegistry:
+    def test_builtin_provider_registered_at_import(self):
+        builtin = provider_for(TIMER_PROVIDER_GUID)
+        assert builtin is not None
+        assert builtin.name == "Repro-Timer-Provider"
+        assert "Repro-Timer-Provider" in provider_names()
+        assert set(EtwSession.provider_manifest()["events"]) >= \
+            {"KeSetTimer", "ExpireDpc"}
+
+    def test_lookup_normalises_braces_and_case(self, manifest):
+        bare = GUID.strip("{}").upper()
+        assert provider_for(bare) is manifest
+        assert provider_label(bare) == "Test-Provider"
+
+    def test_dict_registration_builds_manifest(self, manifest):
+        assert isinstance(manifest, ProviderManifest)
+        assert manifest.keywords == ("timer",)
+        assert manifest.key == GUID.strip("{}")
+
+    def test_duplicate_rejected_unless_replace(self, manifest):
+        with pytest.raises(ValueError):
+            register_provider({"guid": GUID, "name": "Other"})
+        replaced = register_provider({"guid": GUID, "name": "Other"},
+                                     replace=True)
+        assert provider_for(GUID) is replaced
+
+    def test_unknown_guid_labels_as_normalised_guid(self):
+        assert provider_label("{DEAD0000-0000-0000-0000-000000000000}") \
+            == "dead0000-0000-0000-0000-000000000000"
+
+    def test_unregister_is_idempotent(self):
+        unregister_provider(GUID)
+        unregister_provider(GUID)
+        assert provider_for(GUID) is None

@@ -1,0 +1,100 @@
+"""OpenTSDB put-line rendering, parsing, and the writer sinks."""
+
+import io
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import MetricsSnapshot, Sample
+from repro.serve import OpenTsdbWriter, parse_line, snapshot_lines
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter("events_total", labels=("os",)).inc(3, os="linux")
+    registry.gauge("depth").set(2.5)
+    hist = registry.histogram("lat", buckets=(10,))
+    hist.observe(4)
+    hist.observe(400)
+    return registry.snapshot()
+
+
+class TestLineFormat:
+    def test_scalar_lines(self):
+        lines = snapshot_lines(_snapshot(), ts=1700000000)
+        assert "put events_total 1700000000 3 os=linux" in lines
+        assert "put depth 1700000000 2.5" in lines
+
+    def test_histogram_expands_to_buckets_sum_count(self):
+        lines = snapshot_lines(_snapshot(), ts=10)
+        assert "put lat.bucket 10 1 le=10" in lines
+        assert "put lat.bucket 10 2 le=inf" in lines
+        assert "put lat.sum 10 404" in lines
+        assert "put lat.count 10 2" in lines
+
+    def test_nonfinite_values_skipped(self):
+        snap = MetricsSnapshot([
+            Sample("bad", "gauge", "", (), float("nan")),
+            Sample("good", "gauge", "", (), 1.0),
+        ])
+        lines = snapshot_lines(snap, ts=5)
+        assert lines == ["put good 5 1"]
+
+    def test_tag_values_sanitised(self):
+        snap = MetricsSnapshot([
+            Sample("m", "gauge", "", (("tag", "a b=c"),), 1),
+        ])
+        [line] = snapshot_lines(snap, ts=5)
+        assert line == "put m 5 1 tag=a_b_c"
+
+
+class TestParseLine:
+    def test_round_trip(self):
+        for line in snapshot_lines(_snapshot(), ts=1700000000):
+            metric, ts, value, tags = parse_line(line)
+            assert ts == 1700000000
+            assert metric
+            assert isinstance(value, float)
+            assert all("=" not in v for v in tags.values())
+
+    def test_rejects_non_put(self):
+        with pytest.raises(ValueError):
+            parse_line("get foo 1 2")
+
+    def test_rejects_short_line(self):
+        with pytest.raises(ValueError):
+            parse_line("put foo 1")
+
+    def test_rejects_malformed_tag(self):
+        with pytest.raises(ValueError):
+            parse_line("put foo 1 2 notatag")
+
+
+class TestWriter:
+    def test_stream_target(self):
+        sink = io.StringIO()
+        writer = OpenTsdbWriter(sink)
+        written = writer.write_snapshot(_snapshot(), ts=7)
+        text = sink.getvalue()
+        assert written == len(text.splitlines()) == writer.lines_written
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            parse_line(line)
+
+    def test_empty_snapshot_writes_nothing(self):
+        sink = io.StringIO()
+        writer = OpenTsdbWriter(sink)
+        assert writer.write_snapshot(MetricsSnapshot(()), ts=7) == 0
+        assert sink.getvalue() == ""
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            OpenTsdbWriter("not-a-host-port")
+
+    def test_tcp_failure_counts_error_not_raises(self):
+        # Port 1 on localhost: connection refused -> counted, dropped.
+        writer = OpenTsdbWriter("127.0.0.1:1")
+        assert writer.write_snapshot(_snapshot(), ts=7) == 0
+        assert writer.errors == 1
+        assert writer.lines_written == 0
+        writer.close()

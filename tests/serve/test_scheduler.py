@@ -1,0 +1,137 @@
+"""Scheduler: intervals, quarantine with backoff, recovery, status."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import Collector, CollectorScheduler
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class Flaky:
+    """Collector body that fails while ``broken`` is set."""
+
+    def __init__(self):
+        self.broken = False
+        self.calls = 0
+
+    def __call__(self, registry, labels):
+        self.calls += 1
+        if self.broken:
+            raise RuntimeError("collector exploded")
+        registry.counter("ok_total", labels=tuple(labels)) \
+            .inc(1, **labels)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_scheduler(clock, *collectors, **kwargs):
+    kwargs.setdefault("default_interval_s", 1.0)
+    kwargs.setdefault("base_backoff_s", 2.0)
+    kwargs.setdefault("max_backoff_s", 60.0)
+    return CollectorScheduler(collectors, MetricsRegistry(),
+                              {"os": "linux"}, clock=clock, **kwargs)
+
+
+class TestIntervals:
+    def test_not_rerun_before_interval(self, clock):
+        body = Flaky()
+        sched = make_scheduler(clock, Collector("a", body))
+        assert sched.run_due() == 1
+        clock.advance(0.5)
+        assert sched.run_due() == 0
+        clock.advance(0.5)
+        assert sched.run_due() == 1
+        assert body.calls == 2
+
+    def test_per_collector_interval_overrides_default(self, clock):
+        fast, slow = Flaky(), Flaky()
+        sched = make_scheduler(clock,
+                               Collector("fast", fast, interval_s=0.25),
+                               Collector("slow", slow, interval_s=2.0))
+        for _ in range(8):
+            sched.run_due()
+            clock.advance(0.25)
+        assert fast.calls == 8
+        assert slow.calls == 1
+
+
+class TestQuarantine:
+    def test_failure_quarantines_only_that_collector(self, clock):
+        good, bad = Flaky(), Flaky()
+        bad.broken = True
+        sched = make_scheduler(clock, Collector("good", good),
+                               Collector("bad", bad))
+        sched.run_due()
+        assert sched.total_errors == 1
+        assert not sched.healthy()
+        clock.advance(1.0)          # bad still inside 2s backoff
+        sched.run_due()
+        assert good.calls == 2
+        assert bad.calls == 1
+        status = sched.status()
+        assert status["bad"]["quarantined"]
+        assert status["bad"]["last_error"] == \
+            "RuntimeError: collector exploded"
+        assert status["bad"]["quarantined_for_s"] == pytest.approx(1.0)
+        assert not status["good"]["quarantined"]
+
+    def test_backoff_doubles_and_caps(self, clock):
+        bad = Flaky()
+        bad.broken = True
+        sched = make_scheduler(clock, Collector("bad", bad),
+                               base_backoff_s=2.0, max_backoff_s=5.0)
+        state = sched.states["bad"]
+        expected_backoffs = [2.0, 4.0, 5.0, 5.0]
+        for backoff in expected_backoffs:
+            start = clock.now
+            sched.run_due()
+            assert state.quarantined_until == \
+                pytest.approx(start + backoff)
+            clock.advance(backoff)  # quarantine just expired, due again
+        assert bad.calls == len(expected_backoffs)
+
+    def test_success_clears_quarantine_and_error(self, clock):
+        body = Flaky()
+        body.broken = True
+        sched = make_scheduler(clock, Collector("c", body))
+        sched.run_due()
+        body.broken = False
+        clock.advance(2.0)
+        sched.run_due()
+        status = sched.status()["c"]
+        assert status["consecutive_errors"] == 0
+        assert status["last_error"] is None
+        assert not status["quarantined"]
+        assert status["errors"] == 1        # history is kept
+        assert sched.healthy()
+
+
+class TestStatus:
+    def test_status_shape(self, clock):
+        sched = make_scheduler(clock,
+                               Collector("c", Flaky(), interval_s=0.5))
+        sched.run_due()
+        clock.advance(0.3)
+        status = sched.status()["c"]
+        assert status["interval_s"] == 0.5
+        assert status["runs"] == 1
+        assert status["staleness_s"] == pytest.approx(0.3)
+        assert status["last_duration_ms"] >= 0.0
+
+    def test_never_run_collector_has_no_staleness(self, clock):
+        sched = make_scheduler(clock, Collector("c", Flaky(),
+                                                interval_s=10.0))
+        assert sched.status()["c"]["staleness_s"] is None

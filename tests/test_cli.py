@@ -151,6 +151,42 @@ class TestMetricsFlag:
         assert "per-subsystem virtual-time profile" in out
         assert "sim.devices" in out
 
+    def test_metrics_out_creates_missing_parent_dirs(self, tmp_path,
+                                                     capsys):
+        out = str(tmp_path / "t.bin")
+        mpath = str(tmp_path / "deep" / "nested" / "metrics.prom")
+        assert main(["run", "linux", "idle", "--minutes", "0.25",
+                     "--out", out, "--metrics-out", mpath]) == 0
+        assert "repro_engine_events_dispatched_total" in \
+            open(mpath, encoding="utf-8").read()
+
+    def test_metrics_out_unwritable_exits_2(self, tmp_path, capsys):
+        out = str(tmp_path / "t.bin")
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        mpath = str(blocker / "metrics.prom")   # parent is a file
+        assert main(["run", "linux", "idle", "--minutes", "0.25",
+                     "--out", out, "--metrics-out", mpath]) == 2
+        assert "error: cannot write metrics to" in \
+            capsys.readouterr().err
+
+    def test_metrics_subcommand_json_format(self, capsys):
+        import json
+
+        from repro.obs import MetricsSnapshot
+        assert main(["metrics", "linux", "idle", "--minutes", "0.25",
+                     "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert any(s["name"] == "repro_power_wakeups_total"
+                   for s in doc["samples"])
+        # The JSON is a faithful snapshot: it parses back into an
+        # equivalent snapshot whose exposition names every series.
+        snapshot = MetricsSnapshot.from_json(out)
+        assert snapshot.to_json(indent=2) == out.rstrip("\n")
+        assert "repro_engine_events_dispatched_total" in \
+            snapshot.render()
+
     def test_study_output_byte_identical_with_metrics(self, capsys):
         assert main(["study", "--minutes", "0.1", "--jobs", "1"]) == 0
         plain = capsys.readouterr().out
