@@ -79,10 +79,8 @@ def stream_replay(trace: Trace) -> tuple[str, StreamingSuite, float]:
     """Fold the trace's events through a fresh suite; returns the
     rendered battery, the suite and the replay seconds."""
     suite = StreamingSuite(trace.os_name, trace.workload)
-    emit = suite.emit
     t0 = time.perf_counter()
-    for event in trace.events:
-        emit(event)
+    suite.emit_batch(trace.events)
     suite.finish(trace.duration_ns)
     elapsed = time.perf_counter() - t0
     text = render_battery(suite.summary, suite.breakdown,

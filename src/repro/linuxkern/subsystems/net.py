@@ -170,11 +170,16 @@ class TcpConnection:
 
     def __init__(self, stack: TcpStack, *, server_side: bool,
                  segments: int = 2, keepalive: bool = True,
+                 think_mean_ns: int = 2 * MILLISECOND,
                  on_close: Optional[Callable[[], None]] = None):
         self.stack = stack
         self.server_side = server_side
         self.segments_left = segments
         self.keepalive = keepalive
+        #: Peer think time between data round-trips.  The webserver's
+        #: back-to-back requests use the 2 ms default; persistent
+        #: (keepalive) connections pass seconds here.
+        self.think_mean_ns = think_mean_ns
         self.on_close = on_close
         self.sock = stack.alloc_socket()
         self.closed = False
@@ -237,7 +242,7 @@ class TcpConnection:
         kernel.mod_timer_rel(sock.delack_timer,
                              to_jiffies(TCP_DELACK_MIN_NS))
         sock.delack_timer.function = lambda _t: None  # ACK sent on expiry
-        think = int(self.stack.rng.lognormal_latency(2 * MILLISECOND,
+        think = int(self.stack.rng.lognormal_latency(self.think_mean_ns,
                                                      sigma=0.8))
         kernel.engine.call_after(think, self._send_response)
 

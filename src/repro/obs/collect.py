@@ -129,6 +129,48 @@ def _collect_engine(engine, duration_ns: int,
         names, volatile=True)
     ratio.set(duration_ns / engine.wall_ns if engine.wall_ns else 0.0,
               **labels)
+    _collect_sched(engine.scheduler, registry, labels)
+
+
+# -- sim.sched ------------------------------------------------------------
+
+def _collect_sched(sched, registry: MetricsRegistry,
+                   labels: dict) -> None:
+    """Engine-scheduler internals: wheel turning, lazy-cancel garbage
+    and its reclamation (heap runs report the same series; the wheel-
+    only counters simply stay zero)."""
+    labels = _merge(labels, {"scheduler": sched.kind})
+    names = tuple(labels)
+    registry.counter(
+        "repro_engine_sched_bucket_drains_total",
+        "Expired buckets drained in batch by the engine scheduler.",
+        names).set_total(sched.bucket_drains, **labels)
+    registry.counter(
+        "repro_engine_sched_cascades_total",
+        "Higher-level bucket cascades performed by the engine's own "
+        "timing wheel.", names).set_total(sched.cascades, **labels)
+    registry.counter(
+        "repro_engine_sched_cascaded_timers_total",
+        "Events refiled down a level by engine-wheel cascades.",
+        names).set_total(sched.cascaded_timers, **labels)
+    registry.counter(
+        "repro_engine_sched_compactions_total",
+        "Garbage-compaction sweeps over the scheduler's containers.",
+        names).set_total(sched.compactions, **labels)
+    registry.counter(
+        "repro_engine_sched_reclaimed_total",
+        "Cancelled entries reclaimed early by compaction sweeps.",
+        names).set_total(sched.reclaimed, **labels)
+    registry.gauge(
+        "repro_engine_sched_garbage",
+        "Cancelled entries still pinned in the scheduler at "
+        "collection time.", names).set(sched.garbage, **labels)
+    occupancy = registry.gauge(
+        "repro_engine_sched_occupancy",
+        "Entries per scheduler region (due queue, wheel levels, "
+        "far-future overflow).", names + ("level",))
+    for level, count in sched.occupancy().items():
+        occupancy.set(count, level=level, **labels)
 
 
 # -- sim.power ------------------------------------------------------------

@@ -92,24 +92,31 @@ class VirtualTimeProfiler:
 
     # -- engine hook -----------------------------------------------------
 
-    def dispatch(self, event) -> None:
-        """Run one event's callback under attribution (called by the
-        engine's loop instead of a direct callback invocation)."""
-        label = subsystem_of(event.callback)
+    def dispatch_call(self, when: int, callback: Callable,
+                      args: tuple) -> None:
+        """Run one callback under attribution (called by the engine's
+        loop instead of a direct invocation).  Takes the unpacked
+        columns so packed-storage schedulers need not materialise an
+        event object."""
+        label = subsystem_of(callback)
         stat = self.stats.get(label)
         if stat is None:
             stat = self.stats[label] = SubsystemProfile(label)
         stat.events += 1
         last = self._last_virtual
-        if last is not None and event.time > last:
-            stat.virtual_ns += event.time - last
-        self._last_virtual = event.time
+        if last is not None and when > last:
+            stat.virtual_ns += when - last
+        self._last_virtual = when
         time_fn = self.time_fn
         t0 = time_fn()
         try:
-            event.callback(*event.args)
+            callback(*args)
         finally:
             stat.wall_ns += time_fn() - t0
+
+    def dispatch(self, event) -> None:
+        """Object-handle form of :meth:`dispatch_call` (heap scheduler)."""
+        self.dispatch_call(event.time, event.callback, event.args)
 
     # -- results ---------------------------------------------------------
 

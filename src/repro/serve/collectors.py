@@ -32,9 +32,10 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..obs.collect import (_collect_engine, _collect_power,
-                           _collect_ring, _collect_ticks,
-                           _collect_wheels, _walk_sinks, _sink_kind,
-                           collect_sink, collect_streaming)
+                           _collect_ring, _collect_sched,
+                           _collect_ticks, _collect_wheels,
+                           _walk_sinks, _sink_kind, collect_sink,
+                           collect_streaming)
 from ..obs.metrics import MetricsRegistry
 from .manifest import provider_label
 
@@ -88,6 +89,17 @@ def _engine_collector(daemon) -> Collector:
         _collect_engine(kernel.engine, daemon.virtual_ns, registry,
                         labels)
     return Collector("engine", collect)
+
+
+@collector_factory("sched")
+def _sched_collector(daemon) -> Collector:
+    """Engine-scheduler internals (wheel occupancy, cascades, garbage)
+    — the live view of the million-timer scheduling layer."""
+    kernel = daemon.kernel
+
+    def collect(registry: MetricsRegistry, labels: dict) -> None:
+        _collect_sched(kernel.engine.scheduler, registry, labels)
+    return Collector("sched", collect)
 
 
 @collector_factory("power")
@@ -196,7 +208,7 @@ def build_collectors(daemon, *, extra_names=()) -> list:
     collector it did not install is a configuration bug, not a silent
     skip).
     """
-    names = ["engine", "power", "streaming", "daemon"]
+    names = ["engine", "sched", "power", "streaming", "daemon"]
     names += [name for name in (*daemon.traits.collectors(),
                                 *extra_names)
               if name not in names]

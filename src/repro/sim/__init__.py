@@ -15,6 +15,8 @@ from .clock import (HZ, JIFFY, MICROSECOND, MILLISECOND, MINUTE, SECOND,
 from .devices import OneShotDevice, TickDevice
 from .engine import Engine, Event, SimulationError
 from .power import PowerMeter
+from .sched import (HeapScheduler, WheelScheduler, default_scheduler,
+                    make_scheduler, use_scheduler)
 from .rng import RngRegistry, RngStream
 from .tasks import KERNEL_PID, Task, TaskTable
 
@@ -23,6 +25,8 @@ __all__ = [
     "SECOND", "jiffies", "micros", "millis", "seconds", "to_jiffies",
     "to_seconds",
     "OneShotDevice", "TickDevice", "Engine", "Event", "SimulationError",
+    "HeapScheduler", "WheelScheduler", "default_scheduler",
+    "make_scheduler", "use_scheduler",
     "PowerMeter", "RngRegistry", "RngStream", "KERNEL_PID", "Task",
     "TaskTable",
 ]

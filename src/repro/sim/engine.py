@@ -1,74 +1,33 @@
 """Discrete-event simulation engine.
 
-The engine owns the virtual clock and a priority queue of pending
-events.  Everything else in the reproduction — hardware tick devices,
-kernel timer wheels, application behaviour — is driven by callbacks
-scheduled here.
+The engine owns the virtual clock and a queue of pending events.
+Everything else in the reproduction — hardware tick devices, kernel
+timer wheels, application behaviour — is driven by callbacks scheduled
+here.
+
+How pending events are stored is pluggable (:mod:`repro.sim.sched`):
+the default is a hierarchical timing wheel with packed event storage
+(`scheduler="wheel"`), with the original binary heap of ``Event``
+objects available as ``scheduler="heap"`` for differential testing.
 
 Determinism: event order is a total order on ``(time, sequence)`` where
 the sequence number is assigned at scheduling time, so two runs of the
-same workload with the same seeds produce byte-identical traces.
+same workload with the same seeds produce byte-identical traces — on
+either scheduler.
 """
 
 from __future__ import annotations
 
-import heapq
 from time import perf_counter_ns
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from ..obs.profiler import current_profiler
 from .clock import fmt_time
+from .sched import (Event, SchedulerLike, SimulationError,
+                    default_scheduler, make_scheduler, use_scheduler)
 
-
-class SimulationError(RuntimeError):
-    """Raised for invalid use of the engine (e.g. scheduling in the past)."""
-
-
-class Event:
-    """Handle for a scheduled callback.
-
-    The engine never removes cancelled events from the heap eagerly;
-    cancellation just marks the handle and the dispatcher skips it.
-    This is the standard lazy-deletion trick and keeps ``cancel`` O(1).
-    """
-
-    __slots__ = ("time", "seq", "callback", "args", "cancelled",
-                 "engine")
-
-    def __init__(self, time: int, seq: int,
-                 callback: Callable[..., Any], args: tuple,
-                 engine: "Optional[Engine]" = None):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-        #: Owning engine while the event is live in its heap; cleared
-        #: on dispatch so the live-event counter stays exact.
-        self.engine = engine
-
-    def cancel(self) -> None:
-        """Prevent the callback from running.  Idempotent."""
-        if not self.cancelled:
-            self.cancelled = True
-            if self.engine is not None:
-                self.engine._live -= 1
-                self.engine = None
-        # Drop references so cancelled events pinned in the heap do not
-        # keep workload objects alive for the rest of the run.
-        self.callback = _cancelled_callback
-        self.args = ()
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
-
-    def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<Event t={fmt_time(self.time)} seq={self.seq} {state}>"
-
-
-def _cancelled_callback(*_args: Any) -> None:
-    raise SimulationError("cancelled event was dispatched")
+__all__ = ["Engine", "Event", "SimulationError", "default_scheduler",
+           "use_scheduler"]
 
 
 class Engine:
@@ -81,14 +40,15 @@ class Engine:
         engine.run_until(clock.seconds(30))
     """
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 scheduler: Union[str, SchedulerLike, None] = None) -> None:
         self.now: int = 0
-        self._heap: list[Event] = []
         self._seq: int = 0
         self._running = False
-        #: Live (non-cancelled, undispatched) events; kept in sync on
-        #: push/dispatch/cancel so pending_count() is O(1).
-        self._live: int = 0
+        #: Pluggable event queue (see :mod:`repro.sim.sched`).  ``None``
+        #: adopts the process default ("wheel"); pass "heap"/"wheel" or
+        #: a scheduler instance to choose explicitly.
+        self.scheduler: SchedulerLike = make_scheduler(scheduler)
         #: Number of callbacks actually dispatched (for engine stats).
         self.dispatched: int = 0
         #: High-water mark of live pending events.
@@ -104,26 +64,25 @@ class Engine:
     # -- scheduling ----------------------------------------------------
 
     def call_at(self, when: int, callback: Callable[..., Any],
-                *args: Any) -> Event:
+                *args: Any):
         """Schedule ``callback(*args)`` at absolute time ``when``.
 
         ``when`` may equal ``now`` (the event runs before time advances)
-        but may not be in the past.
+        but may not be in the past.  Returns a cancellable handle.
         """
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule at {fmt_time(when)}; "
                 f"now is {fmt_time(self.now)}")
         self._seq += 1
-        event = Event(when, self._seq, callback, args, self)
-        heapq.heappush(self._heap, event)
-        self._live += 1
-        if self._live > self.peak_pending:
-            self.peak_pending = self._live
-        return event
+        handle = self.scheduler.push(when, self._seq, callback, args)
+        live = self.scheduler.live
+        if live > self.peak_pending:
+            self.peak_pending = live
+        return handle
 
     def call_after(self, delay: int, callback: Callable[..., Any],
-                   *args: Any) -> Event:
+                   *args: Any):
         """Schedule ``callback(*args)`` after a relative ``delay`` >= 0."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
@@ -134,72 +93,41 @@ class Engine:
     def run_until(self, deadline: int) -> None:
         """Dispatch events up to and including ``deadline``.
 
-        On return ``now == deadline`` even if the heap drained early, so
-        a subsequent workload phase starts from a well-defined instant.
+        On return ``now == deadline`` even if the queue drained early,
+        so a subsequent workload phase starts from a well-defined
+        instant.
         """
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
-        profiler = self.profiler
         wall_start = perf_counter_ns()
         try:
-            heap = self._heap
-            while heap:
-                event = heap[0]
-                if event.time > deadline:
-                    break
-                heapq.heappop(heap)
-                if event.cancelled:
-                    continue
-                self._live -= 1
-                event.engine = None
-                self.now = event.time
-                self.dispatched += 1
-                if profiler is None:
-                    event.callback(*event.args)
-                else:
-                    profiler.dispatch(event)
+            self.scheduler.run(self, deadline)
             self.now = deadline
         finally:
             self.wall_ns += perf_counter_ns() - wall_start
             self._running = False
 
     def run(self) -> None:
-        """Dispatch events until the heap is empty."""
+        """Dispatch events until the queue is empty."""
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
-        profiler = self.profiler
         wall_start = perf_counter_ns()
         try:
-            heap = self._heap
-            while heap:
-                event = heapq.heappop(heap)
-                if event.cancelled:
-                    continue
-                self._live -= 1
-                event.engine = None
-                self.now = event.time
-                self.dispatched += 1
-                if profiler is None:
-                    event.callback(*event.args)
-                else:
-                    profiler.dispatch(event)
+            self.scheduler.run(self, None)
         finally:
             self.wall_ns += perf_counter_ns() - wall_start
             self._running = False
 
     def peek_next(self) -> Optional[int]:
         """Time of the next pending (non-cancelled) event, or ``None``."""
-        heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        return self.scheduler.peek_next()
 
     def pending_count(self) -> int:
         """Number of live events still queued (cancelled ones excluded).
 
-        O(1): a live-event counter is maintained on push/dispatch/cancel
-        instead of scanning the whole heap.
+        O(1): the scheduler maintains a live-event counter on
+        push/dispatch/cancel instead of scanning its queue.
         """
-        return self._live
+        return self.scheduler.live

@@ -10,8 +10,10 @@ from .filebrowser import (BrowseResult, browse, browse_adaptive,
                           schedule_total_ns)
 from .firefox import run_linux_firefox, run_vista_firefox
 from .idle import run_linux_idle, run_vista_idle
-from .portable import (PORTABLE_IDLE, PORTABLE_MIX, PORTABLE_WEBSERVER,
+from .portable import (PORTABLE_IDLE, PORTABLE_MIX,
+                       PORTABLE_SERVERFARM, PORTABLE_WEBSERVER,
                        PORTABLE_WORKLOADS, run_portable)
+from .serverfarm import run_linux_serverfarm, run_vista_serverfarm
 from .skype import run_linux_skype, run_vista_skype
 from .vista_apps import (BrowserApp, OutlookApp, SkypeVistaApp,
                          VistaBackgroundProcess, VistaKernelBackground)
@@ -25,10 +27,12 @@ WORKLOADS = {
     ("linux", "skype"): run_linux_skype,
     ("linux", "firefox"): run_linux_firefox,
     ("linux", "webserver"): run_linux_webserver,
+    ("linux", "serverfarm"): run_linux_serverfarm,
     ("vista", "idle"): run_vista_idle,
     ("vista", "skype"): run_vista_skype,
     ("vista", "firefox"): run_vista_firefox,
     ("vista", "webserver"): run_vista_webserver,
+    ("vista", "serverfarm"): run_vista_serverfarm,
     ("vista", "desktop"): run_vista_desktop,
 }
 for _os_name in ("linux", "vista"):

@@ -24,6 +24,7 @@ from ..sim.clock import SECOND, millis
 
 # Scene registration happens at import of the workload modules.
 from . import idle as _idle          # noqa: F401
+from . import serverfarm as _farm    # noqa: F401
 from . import webserver as _web      # noqa: F401
 
 
@@ -104,6 +105,9 @@ class RpcApp(PortableApp):
 #: The paper's workloads as single cross-backend definitions.
 PORTABLE_IDLE = PortableWorkload("idle", scene="idle")
 PORTABLE_WEBSERVER = PortableWorkload("webserver", scene="webserver")
+#: The datacenter extrapolation: thousands of concurrent persistent
+#: connections per host (see :mod:`repro.workloads.serverfarm`).
+PORTABLE_SERVERFARM = PortableWorkload("serverfarm", scene="serverfarm")
 
 #: One timer of each usage pattern, armed purely through the portable
 #: verbs — no scene, so the trace contains nothing else.
@@ -114,7 +118,8 @@ PORTABLE_MIX = PortableWorkload(
 #: name -> definition, for registries and discovery.
 PORTABLE_WORKLOADS = {
     workload.name: workload
-    for workload in (PORTABLE_IDLE, PORTABLE_WEBSERVER, PORTABLE_MIX)
+    for workload in (PORTABLE_IDLE, PORTABLE_WEBSERVER,
+                     PORTABLE_SERVERFARM, PORTABLE_MIX)
 }
 
 
@@ -131,6 +136,6 @@ def run_portable(workload: str, os_name: str, duration_ns=None, *,
 
 __all__ = [
     "GuardApp", "HeartbeatApp", "PORTABLE_IDLE", "PORTABLE_MIX",
-    "PORTABLE_WEBSERVER", "PORTABLE_WORKLOADS", "PollLoopApp", "RpcApp",
-    "run_portable",
+    "PORTABLE_SERVERFARM", "PORTABLE_WEBSERVER", "PORTABLE_WORKLOADS",
+    "PollLoopApp", "RpcApp", "run_portable",
 ]

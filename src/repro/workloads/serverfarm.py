@@ -1,0 +1,252 @@
+"""The Serverfarm workload: a datacenter host under sustained load.
+
+The paper's webserver trace (Section 3.5) runs one connection at a
+time; a datacenter front-end instead carries *tens of thousands of
+concurrent connections per host*, each one pinning the full TCP timer
+taxonomy simultaneously:
+
+* a 0.204 s retransmission timer armed per data segment and cancelled
+  by the ACK (Table 3's online-adapted value),
+* a 0.04 s delayed-ACK timer, usually cancelled by the piggybacked
+  response,
+* a 7200 s keepalive per persistent connection (Linux; the paper notes
+  Vista's webserver trace lacks it),
+* TIME_WAIT reaping — batched on a shared 7.5 s wheel on Linux,
+  a per-endpoint 240 s KTIMER on the Vista model.
+
+Connections are *persistent* (requests separated by seconds of client
+think time) and churn: a slot that closes re-opens after an
+exponential gap, so the live population holds near ``connections``
+while sockets recycle through the slab/lookaside pools exactly as the
+paper's address-reuse observation describes.  Scaled up (see
+``benchmarks/bench_scale.py``) this is the population that motivates
+the engine's timing-wheel scheduler.
+"""
+
+from __future__ import annotations
+
+from ..kern.registry import register_scene
+from ..sim.clock import SECOND, millis, seconds
+from ..linuxkern.subsystems.housekeeping import standard_housekeeping
+from ..linuxkern.subsystems.net import ArpCache, TcpConnection, TcpStack
+from .base import DEFAULT_DURATION_NS, Machine, WorkloadRun
+from .idle import build_vista_idle_base
+from .vista_apps import VistaBackgroundProcess
+
+#: Vista TCP TIME_WAIT (4 minutes, the stack default).
+VISTA_TIME_WAIT_NS = seconds(240)
+
+SITE_VISTA_REXMIT = ("tcpip!TcpStartRexmitTimer", "nt!KeSetTimer")
+SITE_VISTA_TIMEWAIT = ("tcpip!TcpStartTimeWaitTimer", "nt!KeSetTimer")
+
+
+class LinuxServerFarm:
+    """A fixed population of persistent TCP connections with churn.
+
+    Each slot runs one :class:`TcpConnection` (server side, keepalive
+    armed) through a handful of think-time-separated requests; when it
+    closes into TIME_WAIT the slot re-opens a fresh connection after an
+    exponential gap.  Slot starts are ramped deterministically over
+    ``ramp_ns`` so the farm does not arm every handshake on one tick.
+    """
+
+    def __init__(self, machine: Machine, tcp: TcpStack, *,
+                 connections: int = 250,
+                 segments_max: int = 8,
+                 think_mean_ns: int = 2 * SECOND,
+                 churn_gap_mean_ns: int = SECOND,
+                 ramp_ns: int = SECOND):
+        self.machine = machine
+        self.tcp = tcp
+        self.connections = connections
+        self.segments_max = segments_max
+        self.think_mean_ns = think_mean_ns
+        self.churn_gap_mean_ns = churn_gap_mean_ns
+        self.ramp_ns = ramp_ns
+        self.rng = machine.rng.stream("farm.churn")
+        self.opened = 0
+        self.closed = 0
+        self.active = 0
+
+    def start(self) -> None:
+        engine = self.machine.kernel.engine
+        step = max(1, self.ramp_ns // max(1, self.connections))
+        for i in range(self.connections):
+            engine.call_after(1 + i * step, self._open)
+
+    def _open(self) -> None:
+        self.opened += 1
+        self.active += 1
+        conn = TcpConnection(
+            self.tcp, server_side=True,
+            segments=self.rng.randrange(1, self.segments_max + 1),
+            keepalive=True, think_mean_ns=self.think_mean_ns,
+            on_close=self._closed)
+        conn.start()
+
+    def _closed(self) -> None:
+        self.closed += 1
+        self.active -= 1
+        gap = max(1, int(self.rng.exponential(self.churn_gap_mean_ns)))
+        self.machine.kernel.engine.call_after(gap, self._open)
+
+
+class VistaServerFarm:
+    """The same connection population on the Vista model.
+
+    Per request: a 300 ms retransmit KTIMER cancelled by the ACK
+    (lookaside-recycled), and the service process re-waiting via a
+    winsock ``select``.  A closing endpoint arms a 240 s TIME_WAIT
+    KTIMER — per-endpoint, unlike Linux's shared reaper — and the slot
+    re-opens after the churn gap.  No keepalive, matching the paper's
+    observation about the Vista webserver trace.
+    """
+
+    def __init__(self, machine: Machine, *,
+                 connections: int = 250,
+                 think_mean_ns: int = 2 * SECOND,
+                 close_probability: float = 0.15,
+                 churn_gap_mean_ns: int = SECOND,
+                 ramp_ns: int = SECOND):
+        self.machine = machine
+        self.kernel = machine.kernel
+        self.connections = connections
+        self.think_mean_ns = think_mean_ns
+        self.close_probability = close_probability
+        self.churn_gap_mean_ns = churn_gap_mean_ns
+        self.ramp_ns = ramp_ns
+        self.rng = machine.rng.stream("vista.farm")
+        self.task = self.kernel.tasks.spawn("farmd.exe")
+        self.opened = 0
+        self.closed = 0
+        self.active = 0
+        self.requests = 0
+
+    def start(self) -> None:
+        engine = self.kernel.engine
+        step = max(1, self.ramp_ns // max(1, self.connections))
+        for i in range(self.connections):
+            engine.call_after(1 + i * step, self._open)
+
+    def _open(self) -> None:
+        self.opened += 1
+        self.active += 1
+        self._request()
+
+    def _request(self) -> None:
+        self.requests += 1
+        kernel = self.kernel
+        rng = self.rng
+        rexmit = kernel.alloc_ktimer(site=SITE_VISTA_REXMIT,
+                                     owner=kernel.tasks.kernel)
+        kernel.set_timer(rexmit, millis(300), dpc=lambda _t: None)
+        ack = max(50_000, int(rng.lognormal_latency(400_000, sigma=0.4)))
+
+        def acked() -> None:
+            if rexmit.inserted:
+                kernel.cancel_timer(rexmit)
+            kernel.free_ktimer(rexmit)
+            if rng.random() < self.close_probability:
+                self._close()
+            else:
+                think = max(1, int(rng.exponential(self.think_mean_ns)))
+                kernel.engine.call_after(think, self._request)
+
+        kernel.engine.call_after(ack, acked)
+        # The service process parks in a winsock select until the next
+        # request lands on this connection.
+        call = self.machine.winsock.select(self.task, seconds(30),
+                                           lambda _timed_out: None)
+        kernel.engine.call_after(max(1, int(rng.exponential(millis(5)))),
+                                 call.fd_ready)
+
+    def _close(self) -> None:
+        self.closed += 1
+        self.active -= 1
+        kernel = self.kernel
+        tw = kernel.alloc_ktimer(site=SITE_VISTA_TIMEWAIT,
+                                 owner=kernel.tasks.kernel)
+        kernel.set_timer(tw, VISTA_TIME_WAIT_NS,
+                         dpc=lambda _t: kernel.free_ktimer(tw))
+        gap = max(1, int(self.rng.exponential(self.churn_gap_mean_ns)))
+        kernel.engine.call_after(gap, self._open)
+
+
+def build_linux_serverfarm_base(machine: Machine, *,
+                                connections: int = 250,
+                                segments_max: int = 8,
+                                think_mean_ns: int = 2 * SECOND,
+                                churn_gap_mean_ns: int = SECOND
+                                ) -> dict:
+    """A headless farm host: housekeeping, LAN ARP, and the TCP farm."""
+    kernel = machine.kernel
+    components: dict = {}
+
+    housekeeping = standard_housekeeping(kernel)
+    for timer in housekeeping:
+        timer.start()
+    components["housekeeping"] = housekeeping
+
+    arp = ArpCache(kernel, machine.rng.stream("net.arp"),
+                   lan_event_mean_ns=seconds(2))
+    arp.start()
+    components["arp"] = arp
+
+    tcp = TcpStack(kernel, machine.rng.stream("net.tcp"),
+                   rtt_median_ns=150_000, loss_rate=0.002)
+    components["tcp"] = tcp
+
+    farm = LinuxServerFarm(machine, tcp, connections=connections,
+                           segments_max=segments_max,
+                           think_mean_ns=think_mean_ns,
+                           churn_gap_mean_ns=churn_gap_mean_ns)
+    farm.start()
+    components["farm"] = farm
+    return components
+
+
+def build_vista_serverfarm_base(machine: Machine, *,
+                                connections: int = 250,
+                                think_mean_ns: int = 2 * SECOND,
+                                churn_gap_mean_ns: int = SECOND
+                                ) -> dict:
+    """The farm host on Vista: idle baseline plus the service process."""
+    components = build_vista_idle_base(machine)
+
+    worker = VistaBackgroundProcess(
+        machine, "farmd.exe",
+        wait_timeouts=(seconds(1), seconds(30)),
+        satisfied_probability=0.5, work_ns=millis(2))
+    worker.start()
+    components["farmd"] = worker
+
+    farm = VistaServerFarm(machine, connections=connections,
+                           think_mean_ns=think_mean_ns,
+                           churn_gap_mean_ns=churn_gap_mean_ns)
+    farm.start()
+    components["farm"] = farm
+    return components
+
+
+def run_linux_serverfarm(duration_ns: int = DEFAULT_DURATION_NS, *,
+                         seed: int = 0, sinks=None,
+                         retain_events: bool = True,
+                         connections: int = 250) -> WorkloadRun:
+    machine = Machine("linux", seed=seed, sinks=sinks,
+                      retain_events=retain_events)
+    machine.scene("serverfarm", connections=connections)
+    return machine.finish("serverfarm", duration_ns)
+
+
+def run_vista_serverfarm(duration_ns: int = DEFAULT_DURATION_NS, *,
+                         seed: int = 0, sinks=None,
+                         retain_events: bool = True,
+                         connections: int = 250) -> WorkloadRun:
+    machine = Machine("vista", seed=seed, sinks=sinks,
+                      retain_events=retain_events)
+    machine.scene("serverfarm", connections=connections)
+    return machine.finish("serverfarm", duration_ns)
+
+
+register_scene("linux", "serverfarm", build_linux_serverfarm_base)
+register_scene("vista", "serverfarm", build_vista_serverfarm_base)

@@ -201,3 +201,63 @@ class TestProgressSink:
                              sinks=[sink]).trace
         assert sink.finish(trace.duration_ns) == len(trace)
         assert "events" in capsys.readouterr().err
+
+
+class TestEmitBatch:
+    """The batch fast path must be result-identical to per-event emit."""
+
+    @pytest.mark.parametrize("pair", ["linux_pair", "vista_pair"])
+    def test_suite_batch_equals_sequential(self, pair, request):
+        trace, sequential = request.getfixturevalue(pair)
+        batched = StreamingSuite(trace.os_name, trace.workload)
+        # Odd chunk sizes straddle the sample_every boundary on
+        # purpose — the chunking logic must resample at the exact
+        # same event counts regardless of how the stream is sliced.
+        events = trace.events
+        for start in range(0, len(events), 2999):
+            batched.emit_batch(events[start:start + 2999])
+        batched.finish(trace.duration_ns)
+        assert batched.n_events == sequential.n_events
+        assert batched.peak_state == sequential.peak_state
+        assert batched.summary == sequential.summary
+        assert batched.breakdown.counts == sequential.breakdown.counts
+        assert batched.histogram.counts == sequential.histogram.counts
+        assert batched.scatter.points == sequential.scatter.points
+        assert batched.rates.series == sequential.rates.series
+        assert batched.origin_table(min_sets=3) == \
+            sequential.origin_table(min_sets=3)
+
+    @pytest.mark.parametrize("os_name", ["linux", "vista"])
+    def test_router_batch_equals_sequential(self, os_name):
+        from repro.core.streaming import EpisodeRouter
+
+        trace = run_workload(os_name, "idle", DURATION, seed=1).trace
+
+        def collect(router):
+            seen = []
+
+            class Consumer:
+                def on_group(self, group):
+                    seen.append(("group", group.key))
+
+                def on_episode(self, group, episode):
+                    seen.append(("episode", group.key, episode.set_at,
+                                 episode.outcome, episode.ended_at))
+
+            router.subscribe(Consumer())
+            return seen
+
+        one = EpisodeRouter(os_name)
+        one_seen = collect(one)
+        for event in trace.events:
+            one.emit(event)
+        one.finish()
+
+        many = EpisodeRouter(os_name)
+        many_seen = collect(many)
+        many.emit_batch(trace.events)
+        many.finish()
+
+        assert many.groups_created == one.groups_created
+        assert many.episodes_routed == one.episodes_routed
+        assert many_seen == one_seen

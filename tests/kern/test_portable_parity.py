@@ -13,6 +13,7 @@ from repro.kern import backend_names
 from repro.tracing import binfmt
 from repro.workloads import run_workload
 from repro.workloads.portable import (PORTABLE_IDLE, PORTABLE_MIX,
+                                      PORTABLE_SERVERFARM,
                                       PORTABLE_WEBSERVER, PORTABLE_WORKLOADS,
                                       run_portable)
 
@@ -28,8 +29,10 @@ def _class_counts(trace):
 
 
 @pytest.mark.parametrize("os_name", ["linux", "vista"])
-@pytest.mark.parametrize("portable", [PORTABLE_IDLE, PORTABLE_WEBSERVER],
-                         ids=["idle", "webserver"])
+@pytest.mark.parametrize("portable",
+                         [PORTABLE_IDLE, PORTABLE_WEBSERVER,
+                          PORTABLE_SERVERFARM],
+                         ids=["idle", "webserver", "serverfarm"])
 def test_portable_matches_legacy_trace_bytes(os_name, portable):
     legacy = run_workload(os_name, portable.name, DURATION_NS, seed=0)
     ported = portable.run(os_name, DURATION_NS, seed=0)
@@ -83,7 +86,8 @@ def test_portable_registry_entry_matches_direct_run():
 
 
 def test_run_portable_rejects_unknown_names():
-    assert set(PORTABLE_WORKLOADS) == {"idle", "webserver", "portable"}
+    assert set(PORTABLE_WORKLOADS) == {"idle", "webserver", "serverfarm",
+                                       "portable"}
     with pytest.raises(KeyError, match="idle"):
         run_portable("nope", "linux")
     for os_name in backend_names():

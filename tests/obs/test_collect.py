@@ -166,3 +166,34 @@ class TestCollectionMechanics:
         snap = collect_run(linux_run, labels={"run": "a"})
         assert snap.get("repro_engine_events_dispatched_total",
                         run="a") > 0
+
+
+class TestSchedulerMetrics:
+    def test_wheel_sched_metrics_present(self, linux_run):
+        snap = linux_run.metrics()
+        sched = linux_run.kernel.engine.scheduler
+        labels = {"os": "linux", "workload": "portable",
+                  "scheduler": sched.kind}
+        assert snap.get("repro_engine_sched_bucket_drains_total",
+                        **labels) == sched.bucket_drains
+        assert snap.get("repro_engine_sched_cascades_total",
+                        **labels) == sched.cascades
+        assert snap.get("repro_engine_sched_garbage",
+                        **labels) == sched.garbage
+        occupancy = sched.occupancy()
+        for level, count in occupancy.items():
+            assert snap.get("repro_engine_sched_occupancy",
+                            level=level, **labels) == count
+
+    def test_heap_scheduler_labelled(self):
+        from repro.sim import use_scheduler
+
+        with use_scheduler("heap"):
+            run = run_portable("portable", "linux", SECOND, seed=3)
+        sched = run.kernel.engine.scheduler
+        assert sched.kind == "heap"
+        snap = run.metrics()
+        labels = {"os": "linux", "workload": "portable",
+                  "scheduler": "heap"}
+        assert snap.get("repro_engine_sched_occupancy", level="due",
+                        **labels) == sched.queued()

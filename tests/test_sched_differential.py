@@ -1,0 +1,36 @@
+"""Heap-vs-wheel differential: every registered backend x portable
+workload must produce byte-identical traces and equal metrics on both
+engine schedulers.
+
+This is the proof obligation for the timing-wheel scheduler: the wheel
+reorders nothing.  Kernels build their engines internally, so the heap
+runs are forced through :func:`repro.sim.use_scheduler`.
+"""
+
+import pytest
+
+from repro.kern import backend_names
+from repro.sim import use_scheduler
+from repro.sim.clock import SECOND
+from repro.tracing.binfmt import dumps
+from repro.workloads.portable import PORTABLE_WORKLOADS, run_portable
+
+DURATION_NS = 2 * SECOND
+SEED = 20080430
+
+MATRIX = [(os_name, workload) for os_name in backend_names()
+          for workload in sorted(PORTABLE_WORKLOADS)]
+
+
+@pytest.mark.parametrize("combo", MATRIX,
+                         ids=lambda pair: f"{pair[0]}-{pair[1]}")
+def test_wheel_matches_heap_trace_bytes(combo):
+    os_name, workload = combo
+    with use_scheduler("heap"):
+        heap_run = run_portable(workload, os_name, DURATION_NS,
+                                seed=SEED)
+    with use_scheduler("wheel"):
+        wheel_run = run_portable(workload, os_name, DURATION_NS,
+                                 seed=SEED)
+    assert dumps(heap_run.trace) == dumps(wheel_run.trace), \
+        f"{os_name}/{workload}: schedulers diverged"
