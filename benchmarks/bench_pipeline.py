@@ -14,7 +14,11 @@ workloads (both OSes, plus the Figure 1 desktop trace):
   verifying both produce identical output;
 * **metrics phase** — the run phase repeated with
   ``collect_metrics=True``, verifying observability leaves the traces
-  byte-identical and costs well under the 10% overhead budget.
+  byte-identical and costs well under the 10% overhead budget;
+* **io phase** — the heaviest trace saved and re-loaded through every
+  registered format (gzipped JSON lines, binfmt v1, columnar v2),
+  verifying the analysis battery over the zero-copy v2 view is
+  byte-identical to the battery over the eager v1 load.
 
 Results go to ``BENCH_pipeline.json`` so successive PRs can track the
 perf trajectory.  Usage::
@@ -31,10 +35,12 @@ analyses used to repeat privately before the index existed.
 from __future__ import annotations
 
 import argparse
+import gc
 import hashlib
 import json
 import os
 import sys
+import tempfile
 import time
 
 if __package__ in (None, ""):   # direct invocation without PYTHONPATH
@@ -50,8 +56,7 @@ from repro.core import (adaptivity_report, duration_scatter, infer_nesting,
                         round_value_share, summarize, value_histogram)
 from repro.obs import MetricsSnapshot
 from repro.sim.clock import MINUTE
-from repro.tracing import Trace
-from repro.tracing.binfmt import dumps
+from repro.tracing import Trace, open_trace, trace_to_bytes, write_trace
 from repro.kern import backend_names
 from repro.workloads import run_study_traces
 
@@ -122,8 +127,8 @@ def main(argv=None) -> int:
         t0 = time.perf_counter()
         serial_traces = run_study_traces(jobs, processes=1)
         serial_s = time.perf_counter() - t0
-        identical = all(dumps(a) == dumps(b) for a, b in
-                        zip(serial_traces, parallel_traces))
+        identical = all(trace_to_bytes(a) == trace_to_bytes(b)
+                        for a, b in zip(serial_traces, parallel_traces))
         run_phase.update(serial_s=round(serial_s, 4),
                          speedup=round(serial_s / parallel_s, 3),
                          identical_traces=identical)
@@ -149,8 +154,8 @@ def main(argv=None) -> int:
                                     collect_metrics=True)
         metrics_s = min(metrics_s, time.perf_counter() - t0)
     metrics_identical = all(
-        dumps(trace) == dumps(plain) for (trace, _snapshot), plain in
-        zip(observed, parallel_traces))
+        trace_to_bytes(trace) == trace_to_bytes(plain)
+        for (trace, _snapshot), plain in zip(observed, parallel_traces))
     merged = MetricsSnapshot.merge(snap for _trace, snap in observed)
     overhead_pct = round(100.0 * (metrics_s - plain_s) / plain_s, 2)
     metrics_phase = {"plain_s": round(plain_s, 4),
@@ -165,35 +170,87 @@ def main(argv=None) -> int:
 
     traces = dict(zip(STUDY_ORDER, parallel_traces))
 
+    # -- io phase -------------------------------------------------------
+    # Save/load the heaviest trace through every registered format and
+    # assert the analysis battery is byte-identical over the v1 (eager)
+    # and v2 (zero-copy columnar) load paths.
+    heavy = max(traces.values(), key=len)
+    print(f"io phase: {heavy.os_name}/{heavy.workload} "
+          f"({len(heavy)} events) through jsonl/v1/v2", file=sys.stderr)
+    io_phase = {"trace": f"{heavy.os_name}/{heavy.workload}",
+                "events": len(heavy), "formats": {}}
+    battery_by_format = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for fmt, ext in (("jsonl", ".jsonl.gz"), ("binfmt", ".bin1"),
+                         ("binfmt2", ".bin")):
+            path = os.path.join(tmp, f"heavy{ext}")
+            t0 = time.perf_counter()
+            write_trace(heavy, path, format=fmt)
+            save_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            loaded = open_trace(path)
+            load_s = time.perf_counter() - t0
+            battery_by_format[fmt] = analysis_battery(loaded, lambda t: t)
+            io_phase["formats"][fmt] = {
+                "bytes": os.path.getsize(path),
+                "save_s": round(save_s, 4),
+                "load_s": round(load_s, 6),
+            }
+    io_identical = (battery_by_format["binfmt2"]
+                    == battery_by_format["binfmt"]
+                    == battery_by_format["jsonl"])
+    io_phase["v2_output_identical_to_v1"] = io_identical
+    v1_load = io_phase["formats"]["binfmt"]["load_s"]
+    v2_load = io_phase["formats"]["binfmt2"]["load_s"]
+    io_phase["v2_load_speedup"] = round(v1_load / v2_load, 1) \
+        if v2_load else None
+    if not io_identical:
+        print("FATAL: v2 analysis output differs from v1",
+              file=sys.stderr)
+        return 1
+
     # -- analyze phase --------------------------------------------------
+    # Cyclic GC is paused (symmetrically, for both the baseline and the
+    # indexed side) while the batteries run: with nine full traces
+    # retained, collector sweeps over their object graphs would time
+    # the allocator, not the analyses.  Same rationale as
+    # pytest-benchmark's default disable_gc.
     per_trace = {}
     baseline_total = indexed_total = 0.0
     identical_output = True
     study_hash = hashlib.sha256()
-    for (os_name, workload), trace in traces.items():
-        battery = figure1 if workload == "desktop" else analysis_battery
-        print(f"analyzing {os_name}/{workload} "
-              f"({len(trace)} events)", file=sys.stderr)
-        t0 = time.perf_counter()
-        baseline_out = battery(trace, fresh_copy)
-        baseline_s = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        indexed_out = battery(trace, lambda t: t)
-        indexed_s = time.perf_counter() - t0
-        if indexed_out != baseline_out:
-            identical_output = False
-            print(f"FATAL: {os_name}/{workload} indexed output differs",
-                  file=sys.stderr)
-        study_hash.update(indexed_out.encode("utf-8"))
-        baseline_total += baseline_s
-        indexed_total += indexed_s
-        per_trace[f"{os_name}/{workload}"] = {
-            "events": len(trace),
-            "baseline_s": round(baseline_s, 4),
-            "indexed_s": round(indexed_s, 4),
-            "speedup": round(baseline_s / indexed_s, 3)
-            if indexed_s else None,
-        }
+    gc.collect()
+    gc.disable()
+    try:
+        for (os_name, workload), trace in traces.items():
+            battery = figure1 if workload == "desktop" \
+                else analysis_battery
+            print(f"analyzing {os_name}/{workload} "
+                  f"({len(trace)} events)", file=sys.stderr)
+            t0 = time.perf_counter()
+            baseline_out = battery(trace, fresh_copy)
+            baseline_s = time.perf_counter() - t0
+            gc.collect()
+            t0 = time.perf_counter()
+            indexed_out = battery(trace, lambda t: t)
+            indexed_s = time.perf_counter() - t0
+            gc.collect()
+            if indexed_out != baseline_out:
+                identical_output = False
+                print(f"FATAL: {os_name}/{workload} indexed output "
+                      "differs", file=sys.stderr)
+            study_hash.update(indexed_out.encode("utf-8"))
+            baseline_total += baseline_s
+            indexed_total += indexed_s
+            per_trace[f"{os_name}/{workload}"] = {
+                "events": len(trace),
+                "baseline_s": round(baseline_s, 4),
+                "indexed_s": round(indexed_s, 4),
+                "speedup": round(baseline_s / indexed_s, 3)
+                if indexed_s else None,
+            }
+    finally:
+        gc.enable()
 
     result = {
         "config": {"minutes": minutes, "seed": args.seed,
@@ -201,6 +258,7 @@ def main(argv=None) -> int:
                    "cpus": os.cpu_count()},
         "run_phase": run_phase,
         "metrics_phase": metrics_phase,
+        "io_phase": io_phase,
         "analyze_phase": {
             "baseline_s": round(baseline_total, 4),
             "indexed_s": round(indexed_total, 4),
@@ -226,8 +284,12 @@ def main(argv=None) -> int:
     print(f"metrics phase: plain {plain_s:.2f}s, observed "
           f"{metrics_s:.2f}s -> {overhead_pct:+.1f}% "
           f"({metrics_phase['samples']} samples)", file=sys.stderr)
+    print(f"io phase: v2 load {v2_load * 1000:.1f}ms vs v1 "
+          f"{v1_load * 1000:.1f}ms "
+          f"({io_phase['v2_load_speedup']}x); identical: {io_identical}",
+          file=sys.stderr)
     print(f"results -> {args.out}", file=sys.stderr)
-    return 0 if identical_output else 1
+    return 0 if identical_output and io_identical else 1
 
 
 if __name__ == "__main__":

@@ -26,7 +26,7 @@ from .core import (pattern_breakdown, rate_series, render_rates,
                    summarize, summary_table)
 from .core.report import render_analysis
 from .core.streaming import ProgressSink, StreamingSuite
-from .tracing import Trace
+from .tracing import TraceFormatError, open_trace
 from .workloads import (WORKLOADS, browse, browse_adaptive,
                         list_workloads, run_study_traces, run_workload)
 
@@ -124,16 +124,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    print(render_analysis(Trace.load(args.trace),
-                          filter_x=args.filter_x), end="")
+    # open_trace sniffs the format; a v2 file arrives as a zero-copy
+    # columnar view that every analysis accepts directly.
+    source = open_trace(args.trace)
+    if args.jobs is not None and args.jobs > 1:
+        from .core.shard import sharded_analysis
+        print(sharded_analysis(source, jobs=args.jobs,
+                               filter_x=args.filter_x), end="")
+        return 0
+    print(render_analysis(source, filter_x=args.filter_x), end="")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .core.compare import (class_shift, compare_summaries,
                                trace_value_distance)
-    trace_a = Trace.load(args.a)
-    trace_b = Trace.load(args.b)
+    trace_a = open_trace(args.a)
+    trace_b = open_trace(args.b)
     print("=== Summary comparison ===")
     print(compare_summaries(trace_a, trace_b).render())
     print("\n=== Usage-pattern shift (Figure 2 classes) ===")
@@ -357,6 +364,10 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.add_argument("trace")
     an_p.add_argument("--filter-x", action="store_true",
                       help="drop X/icewm countdowns (Figure 5 style)")
+    an_p.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="shard the per-timer analyses across N workers "
+             "(1 = serial; output is identical either way)")
     an_p.set_defaults(func=_cmd_analyze)
 
     st_p = sub.add_parser("study", help="run the condensed full study")
@@ -394,6 +405,11 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except (TraceFormatError, FileNotFoundError, IsADirectoryError) as err:
+        # Unreadable / corrupt / wrong-format trace files: a clean
+        # diagnostic and exit code 2, not a traceback.
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     except KeyError as err:
         # Unknown backend/workload names raise KeyError with a message
         # listing the valid choices (see repro.workloads.run_workload).

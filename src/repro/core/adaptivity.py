@@ -23,7 +23,6 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from .classify import _is_countdown
 from .episodes import DEFAULT_TOLERANCE_NS
 from .index import as_index
 
@@ -50,14 +49,19 @@ def classify_values(values: Sequence[int], *,
     if spread <= 2 * tolerance_ns:
         return ValueBehavior.CONSTANT
 
-    class _Ep:      # adapt to _is_countdown's episode interface
-        __slots__ = ("value_ns",)
-
-        def __init__(self, value):
-            self.value_ns = value
-
-    if _is_countdown([_Ep(v) for v in values], tolerance_ns):
-        return ValueBehavior.COUNTDOWN
+    # classify._is_countdown's pair counters, computed straight off the
+    # value sequence (no per-value episode shims on this hot path).
+    if n >= 4:
+        decreasing = resets = 0
+        prev = values[0]
+        for cur in values[1:]:
+            if cur < prev - tolerance_ns:
+                decreasing += 1
+            elif cur > prev + tolerance_ns:
+                resets += 1
+            prev = cur
+        if decreasing / (n - 1) >= 0.55 and resets >= 1:
+            return ValueBehavior.COUNTDOWN
 
     # Smoothness: mean step between successive values, relative to the
     # overall spread.  A control loop moves gradually; an event loop
@@ -108,8 +112,8 @@ def adaptivity_report(source, *, logical: Optional[bool] = None,
     if logical is None:
         logical = index.default_logical
     report = AdaptivityReport(index.trace.workload, index.os_name)
-    for _history, episodes in index.grouped(logical):
-        values = [e.value_ns for e in episodes]
+    for episodes in index.episodes(logical):
+        values = [value for _set_at, value, _o, _e, _g in episodes]
         if not values:
             continue
         behavior = classify_values(values, tolerance_ns=tolerance_ns)

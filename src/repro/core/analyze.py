@@ -191,8 +191,10 @@ def analyze(source: Source, *, os_name: Optional[str] = None,
             duration_ns: Optional[int] = None) -> Analysis:
     """Build an :class:`Analysis` from any trace representation.
 
-    * ``Trace`` / ``TraceIndex`` → batch mode over the shared index.
-    * ``str`` / path → :meth:`Trace.load`, then batch mode.
+    * ``Trace`` / ``TraceIndex`` / ``ColumnarTrace`` → batch mode over
+      the shared index (a columnar view hydrates lazily, once).
+    * ``str`` / path → :func:`repro.tracing.open_trace` (format
+      sniffed by magic), then batch mode.
     * ``StreamingSuite`` → streaming mode; an unfinished suite is
       finished here (``duration_ns`` required in that case).
     * any other iterable of :class:`TimerEvent` → streaming mode: the
@@ -208,8 +210,10 @@ def analyze(source: Source, *, os_name: Optional[str] = None,
             source.finish(duration_ns)
         return Analysis(suite=source)
     if isinstance(source, (str, _os.PathLike)):
-        source = Trace.load(_os.fspath(source))
-    if isinstance(source, (Trace, TraceIndex)):
+        from ..tracing.formats import open_trace
+        source = open_trace(_os.fspath(source))
+    from ..tracing.binfmt2 import ColumnarTrace
+    if isinstance(source, (Trace, TraceIndex, ColumnarTrace)):
         return Analysis(index=as_index(source))
     try:
         events = iter(source)

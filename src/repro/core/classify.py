@@ -30,7 +30,7 @@ from typing import Optional
 
 from ..tracing.trace import TimerHistory
 from .episodes import (DEFAULT_TOLERANCE_NS, Episode, Outcome,
-                       dominant_value, extract_episodes)
+                       ValueBuckets, extract_episodes)
 from .index import as_index
 
 
@@ -135,43 +135,232 @@ def _deferral_fraction(episodes: list[Episode], tolerance_ns: int) -> float:
     return deferrals / len(resolved)
 
 
+class TimerStats:
+    """O(1)-per-episode accumulators reproducing the multi-pass helpers
+    above (:func:`dominant_value`, :func:`_is_countdown`,
+    :func:`_fractions`, :func:`_deferral_fraction`, :func:`_is_deferred`)
+    in a single fold over the episode stream.
+
+    Both halves of ``analyze()`` run their classification through this
+    class: the batch path folds a cached episode list
+    (:func:`classify_episodes`), the streaming path feeds episodes one
+    at a time as the :class:`~repro.core.streaming.EpisodeRouter`
+    completes them — which is what makes their verdicts identical by
+    construction.
+    """
+
+    __slots__ = ("n", "buckets", "n_resolved", "expired", "canceled",
+                 "rearmed", "prev_value", "decreasing", "resets",
+                 "gaps", "gaps_small", "deferrals", "run", "runs_ok",
+                 "prev_outcome", "prev_outcome_value", "tolerance_ns")
+
+    def __init__(self, tolerance_ns: int):
+        self.tolerance_ns = tolerance_ns
+        self.n = 0
+        self.buckets = ValueBuckets(tolerance_ns)
+        self.n_resolved = 0
+        self.expired = self.canceled = self.rearmed = 0
+        self.prev_value: Optional[int] = None
+        self.decreasing = self.resets = 0
+        self.gaps = self.gaps_small = 0
+        self.deferrals = 0
+        self.run = self.runs_ok = 0
+        self.prev_outcome: Optional[Outcome] = None
+        self.prev_outcome_value = 0
+
+    def add(self, episode: Episode) -> None:
+        tol = self.tolerance_ns
+        value = episode.value_ns
+        self.n += 1
+
+        # dominant_value's first-fit bucketing, in insertion order.
+        self.buckets.add(value)
+
+        # _is_countdown's pair counters (over all episodes).
+        if self.prev_value is not None:
+            if value < self.prev_value - tol:
+                self.decreasing += 1
+            elif value > self.prev_value + tol:
+                self.resets += 1
+        self.prev_value = value
+
+        # The PERIODIC/DELAY gap statistic (over all episodes).
+        gap = episode.gap_before_ns
+        if gap is not None:
+            self.gaps += 1
+            if gap <= tol:
+                self.gaps_small += 1
+
+        # _deferral_fraction: a re-arm defers outright; a cancel
+        # followed within tolerance by a same-value re-set defers too.
+        outcome = episode.outcome
+        if outcome == Outcome.REARMED:
+            self.deferrals += 1
+        if self.prev_outcome == Outcome.CANCELED and gap is not None \
+                and gap <= tol \
+                and abs(value - self.prev_outcome_value) <= tol:
+            self.deferrals += 1
+        self.prev_outcome = outcome
+        self.prev_outcome_value = value
+
+        if outcome != Outcome.UNRESOLVED:
+            self.n_resolved += 1
+            if outcome == Outcome.EXPIRED:
+                self.expired += 1
+                # _is_deferred: an expiry terminating a re-arm run.
+                if self.run >= 1:
+                    self.runs_ok += 1
+                self.run = 0
+            elif outcome == Outcome.CANCELED:
+                self.canceled += 1
+                self.run = 0
+            else:
+                self.rearmed += 1
+                self.run += 1
+
+    def add_batch(self, episodes: list) -> None:
+        """Fold a whole episode list at once: identical statistics to
+        calling :meth:`add` per episode, but accumulated in locals —
+        the per-episode ``self`` attribute churn was the batch
+        classifier's dominant cost.  The streaming path keeps feeding
+        :meth:`add` one episode at a time; the streaming-vs-batch
+        differential tests pin the two folds to identical verdicts."""
+        tol = self.tolerance_ns
+        buckets = self.buckets
+        counts = buckets.counts
+        bucket_add = buckets.add
+        REARMED = Outcome.REARMED
+        CANCELED = Outcome.CANCELED
+        EXPIRED = Outcome.EXPIRED
+        UNRESOLVED = Outcome.UNRESOLVED
+
+        n = n_resolved = expired = canceled = rearmed = 0
+        decreasing = resets = gaps = gaps_small = deferrals = runs_ok = 0
+        run = self.run
+        prev_value = self.prev_value
+        prev_outcome = self.prev_outcome
+        prev_outcome_value = self.prev_outcome_value
+
+        for _set_at, value, outcome, _ended_at, gap in episodes:
+            n += 1
+            if value in counts:
+                counts[value] += 1
+            else:
+                bucket_add(value)
+            if prev_value is not None:
+                if value < prev_value - tol:
+                    decreasing += 1
+                elif value > prev_value + tol:
+                    resets += 1
+            prev_value = value
+            if gap is not None:
+                gaps += 1
+                if gap <= tol:
+                    gaps_small += 1
+            if outcome is REARMED:
+                deferrals += 1
+            if prev_outcome is CANCELED and gap is not None \
+                    and gap <= tol \
+                    and abs(value - prev_outcome_value) <= tol:
+                deferrals += 1
+            prev_outcome = outcome
+            prev_outcome_value = value
+            if outcome is not UNRESOLVED:
+                n_resolved += 1
+                if outcome is EXPIRED:
+                    expired += 1
+                    if run >= 1:
+                        runs_ok += 1
+                    run = 0
+                elif outcome is CANCELED:
+                    canceled += 1
+                    run = 0
+                else:
+                    rearmed += 1
+                    run += 1
+
+        self.n += n
+        self.n_resolved += n_resolved
+        self.expired += expired
+        self.canceled += canceled
+        self.rearmed += rearmed
+        self.decreasing += decreasing
+        self.resets += resets
+        self.gaps += gaps
+        self.gaps_small += gaps_small
+        self.deferrals += deferrals
+        self.runs_ok += runs_ok
+        self.run = run
+        self.prev_value = prev_value
+        self.prev_outcome = prev_outcome
+        self.prev_outcome_value = prev_outcome_value
+
+    # -- the classification decision tree, from the counters -------------
+
+    def dominant(self) -> tuple[Optional[int], float]:
+        if self.n == 0:
+            return None, 0.0
+        center, count = self.buckets.dominant()
+        return center, count / self.n
+
+    def _is_deferred(self) -> bool:
+        if self.expired == 0 or self.rearmed == 0:
+            return False
+        return self.runs_ok >= max(1, self.expired * 0.6) \
+            and self.rearmed / self.n_resolved >= 0.4
+
+    def classify(self, *, min_observations: int = 3
+                 ) -> tuple[TimerClass, Optional[int]]:
+        value, share = self.dominant()
+        if self.n < min_observations:
+            return TimerClass.OTHER, value
+        pairs = self.n - 1
+        if self.n >= 4 and self.decreasing / pairs >= 0.55 \
+                and self.resets >= 1:
+            return TimerClass.COUNTDOWN, value
+
+        if self.n_resolved:
+            expired = self.expired / self.n_resolved
+            canceled = self.canceled / self.n_resolved
+            deferral = self.deferrals / self.n_resolved
+        else:
+            expired = canceled = deferral = 0.0
+        constant = share >= 0.7
+
+        if constant and deferral >= 0.5:
+            if expired <= 0.05:
+                return TimerClass.WATCHDOG, value
+            if self._is_deferred():
+                return TimerClass.DEFERRED, value
+            if expired <= 0.1:
+                return TimerClass.WATCHDOG, value
+        if constant and expired >= 0.85:
+            if self.gaps == 0 or self.gaps_small / self.gaps >= 0.5:
+                return TimerClass.PERIODIC, value
+            return TimerClass.DELAY, value
+        if constant and canceled >= 0.85:
+            return TimerClass.TIMEOUT, value
+        if self._is_deferred() and constant:
+            return TimerClass.DEFERRED, value
+        return TimerClass.OTHER, value
+
+
 def classify_episodes(episodes: list[Episode], *,
                       tolerance_ns: int = DEFAULT_TOLERANCE_NS,
                       min_observations: int = 3
                       ) -> tuple[TimerClass, Optional[int]]:
-    """Classify one episode stream; returns (class, dominant value)."""
-    value, value_share = dominant_value(episodes, tolerance_ns)
-    if len(episodes) < min_observations:
-        return TimerClass.OTHER, value
-    if _is_countdown(episodes, tolerance_ns):
-        return TimerClass.COUNTDOWN, value
+    """Classify one episode stream; returns (class, dominant value).
 
-    expired, canceled, rearmed = _fractions(episodes)
-    deferral = _deferral_fraction(episodes, tolerance_ns)
-    constant = value_share >= 0.7
-
-    if constant and deferral >= 0.5:
-        if expired <= 0.05:
-            return TimerClass.WATCHDOG, value
-        if _is_deferred(episodes):
-            return TimerClass.DEFERRED, value
-        if expired <= 0.1:
-            return TimerClass.WATCHDOG, value
-    if constant and expired >= 0.85:
-        # Periodic if re-set follows the expiry immediately; delay if a
-        # non-trivial interval passes first.
-        gaps = [e.gap_before_ns for e in episodes
-                if e.gap_before_ns is not None]
-        if gaps and sum(g <= tolerance_ns for g in gaps) / len(gaps) >= 0.5:
-            return TimerClass.PERIODIC, value
-        if not gaps:
-            return TimerClass.PERIODIC, value
-        return TimerClass.DELAY, value
-    if constant and canceled >= 0.85:
-        return TimerClass.TIMEOUT, value
-    if _is_deferred(episodes) and constant:
-        return TimerClass.DEFERRED, value
-    return TimerClass.OTHER, value
+    One fold through :class:`TimerStats` replaces the historical five
+    passes (dominant value, countdown detection, outcome fractions,
+    deferral fraction, deferred-run detection) with identical verdicts
+    — the decision tree in :meth:`TimerStats.classify` mirrors the
+    helper functions above term for term, and the streaming-vs-batch
+    differential tests pin the equivalence.
+    """
+    stats = TimerStats(tolerance_ns)
+    stats.add_batch(episodes)
+    return stats.classify(min_observations=min_observations)
 
 
 def classify_timer(history: TimerHistory, os_name: str, *,

@@ -92,27 +92,44 @@ def duration_scatter(source, *, logical: Optional[bool] = None,
     if logical is None:
         logical = index.default_logical
     scatter = DurationScatter(index.trace.workload, index.os_name)
-    agg: dict[tuple[int, float, Outcome], int] = {}
-    for _history, episodes in index.grouped(logical):
-        for episode in episodes:
-            if episode.outcome in (Outcome.UNRESOLVED, Outcome.REARMED):
+    # Only EXPIRED and CANCELED episodes survive the filters below, so
+    # aggregate into one dict per outcome keyed by plain (int, float)
+    # tuples — no enum hashing on the per-episode path.
+    agg_e: dict[tuple[int, float], int] = {}
+    agg_c: dict[tuple[int, float], int] = {}
+    agg_e_get = agg_e.get
+    agg_c_get = agg_c.get
+    skipped = clipped = 0
+    UNRESOLVED = Outcome.UNRESOLVED
+    REARMED = Outcome.REARMED
+    EXPIRED = Outcome.EXPIRED
+    for episodes in index.episodes(logical):
+        for set_at, value_ns, outcome, ended_at, _gap in episodes:
+            if outcome is UNRESOLVED or outcome is REARMED:
                 continue
-            if episode.value_ns <= 0:
-                scatter.skipped += 1
+            if value_ns <= 0:
+                skipped += 1
                 continue
-            fraction = episode.elapsed_fraction
-            if fraction is None:
+            if ended_at is None:
                 continue
-            pct = round(100.0 * fraction, 1)
+            pct = round(100.0 * (ended_at - set_at) / value_ns, 1)
             if pct > cutoff_pct:
-                scatter.clipped += 1
+                clipped += 1
                 continue
-            key = (episode.value_ns, pct, episode.outcome)
-            agg[key] = agg.get(key, 0) + 1
+            key = (value_ns, pct)
+            if outcome is EXPIRED:
+                agg_e[key] = agg_e_get(key, 0) + 1
+            else:
+                agg_c[key] = agg_c_get(key, 0) + 1
+    scatter.skipped = skipped
+    scatter.clipped = clipped
+    combined = [(v, pct, outcome, n)
+                for outcome, agg in ((EXPIRED, agg_e),
+                                     (Outcome.CANCELED, agg_c))
+                for (v, pct), n in agg.items()]
     scatter.points = [
-        ScatterPoint(v, pct, n, outcome) for (v, pct, outcome), n in
-        sorted(agg.items(), key=lambda kv: (kv[0][0], kv[0][1],
-                                            kv[0][2].value))]
+        ScatterPoint(v, pct, n, outcome) for v, pct, outcome, n in
+        sorted(combined, key=lambda t: (t[0], t[1], t[2].value))]
     return scatter
 
 

@@ -18,8 +18,7 @@ from __future__ import annotations
 
 import enum
 from bisect import bisect_left, bisect_right, insort
-from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from ..kern.registry import backend_traits
 from ..sim.clock import JIFFY, MILLISECOND
@@ -51,6 +50,15 @@ class ValueBuckets:
         self._sorted: list[int] = []
 
     def add(self, value: int) -> None:
+        counts = self.counts
+        if value in counts:
+            # Exact center hit.  Centers are pairwise more than the
+            # tolerance apart (a bucket only opens when no existing
+            # center is within tolerance), so this bucket is the only
+            # candidate — the dominant case for periodic timers
+            # re-arming one fixed value.
+            counts[value] += 1
+            return
         lo = bisect_left(self._sorted, value - self.tolerance_ns)
         hi = bisect_right(self._sorted, value + self.tolerance_ns)
         if lo < hi:
@@ -74,9 +82,14 @@ class Outcome(enum.Enum):
     UNRESOLVED = "unresolved"  #: trace ended while pending
 
 
-@dataclass
-class Episode:
-    """One arming of a timer."""
+class Episode(NamedTuple):
+    """One arming of a timer.
+
+    A NamedTuple rather than a dataclass: episode extraction builds
+    hundreds of thousands of these per trace, and tuple construction
+    is the cheapest object allocation Python offers while keeping the
+    named-field API every analysis reads.
+    """
 
     set_at: int            #: timestamp of the SET
     value_ns: int          #: nominal relative timeout
@@ -98,6 +111,13 @@ class Episode:
         return (self.ended_at - self.set_at) / self.value_ns
 
 
+def quantizes_to_jiffies(os_name: str) -> bool:
+    """Whether kernel-side timeout observations on this backend must be
+    quantised back to whole jiffies — the backend trait the hot loops
+    hoist out of their per-event path."""
+    return backend_traits(os_name).jiffy_values
+
+
 def nominal_value_ns(event, os_name: str) -> int:
     """Recover the nominal timeout from an observed SET event.
 
@@ -107,11 +127,18 @@ def nominal_value_ns(event, os_name: str) -> int:
     """
     timeout = event.timeout_ns or 0
     if (timeout > 0 and event.domain != "user"
-            and backend_traits(os_name).jiffy_values):
+            and quantizes_to_jiffies(os_name)):
         # Kernel-side observation: quantise back to whole jiffies
         # (arming happened mid-jiffy, so observed <= nominal).
         return -(-timeout // JIFFY) * JIFFY
     return timeout
+
+
+#: Kind singletons hoisted to module level for the per-event dispatch.
+_SET = EventKind.SET
+_EXPIRE = EventKind.EXPIRE
+_CANCEL = EventKind.CANCEL
+_WAIT_UNBLOCK = EventKind.WAIT_UNBLOCK
 
 
 class EpisodeBuilder:
@@ -130,7 +157,7 @@ class EpisodeBuilder:
     """
 
     __slots__ = ("os_name", "on_episode", "episodes",
-                 "_armed_at", "_armed_value", "_last_end")
+                 "_armed_at", "_armed_value", "_last_end", "_quantize")
 
     def __init__(self, os_name: str, on_episode=None):
         self.os_name = os_name
@@ -139,6 +166,7 @@ class EpisodeBuilder:
         self._armed_at: Optional[int] = None
         self._armed_value = 0
         self._last_end: Optional[int] = None
+        self._quantize = quantizes_to_jiffies(os_name)
 
     def _close(self, outcome: Outcome, ended_at: Optional[int]) -> None:
         armed_at = self._armed_at
@@ -155,29 +183,34 @@ class EpisodeBuilder:
         self._armed_at = None
 
     def push(self, event) -> None:
-        kind = event.kind
-        if kind == EventKind.SET:
+        # Tuple subscripts over the TimerEvent NamedTuple: this runs
+        # once per event in the streaming router's hot path.
+        kind = event[0]
+        if kind is _SET:
             if self._armed_at is not None:
-                self._close(Outcome.REARMED, event.ts)
-            self._armed_at = event.ts
-            self._armed_value = nominal_value_ns(event, self.os_name)
-        elif kind == EventKind.EXPIRE:
+                self._close(Outcome.REARMED, event[1])
+            self._armed_at = event[1]
+            timeout = event[7] or 0            # timeout_ns
+            if timeout > 0 and self._quantize and event[5] != "user":
+                timeout = -(-timeout // JIFFY) * JIFFY
+            self._armed_value = timeout
+        elif kind is _EXPIRE:
             if self._armed_at is not None:
-                self._close(Outcome.EXPIRED, event.ts)
-        elif kind == EventKind.CANCEL:
+                self._close(Outcome.EXPIRED, event[1])
+        elif kind is _CANCEL:
             # Cancels of an inactive timer carry expires_ns=None and do
             # not end an episode (they are the "repeated deletions").
-            if self._armed_at is not None and event.expires_ns is not None:
-                self._close(Outcome.CANCELED, event.ts)
-        elif kind == EventKind.WAIT_UNBLOCK:
+            if self._armed_at is not None and event[8] is not None:
+                self._close(Outcome.CANCELED, event[1])
+        elif kind is _WAIT_UNBLOCK:
             # Self-contained: expires_ns holds the block timestamp.
-            if event.timeout_ns is None:
+            if event[7] is None:
                 return
-            self._armed_at = event.expires_ns
-            self._armed_value = event.timeout_ns
-            satisfied = bool(event.flags & FLAG_WAIT_SATISFIED)
+            self._armed_at = event[8]
+            self._armed_value = event[7]
+            satisfied = bool(event[9] & FLAG_WAIT_SATISFIED)
             self._close(Outcome.CANCELED if satisfied else Outcome.EXPIRED,
-                        event.ts)
+                        event[1])
 
     def finish(self) -> list[Episode]:
         if self._armed_at is not None:
@@ -186,11 +219,75 @@ class EpisodeBuilder:
 
 
 def extract_episodes(history: TimerHistory, os_name: str) -> list[Episode]:
-    """Walk one timer's events and produce its episode list."""
-    builder = EpisodeBuilder(os_name)
-    for event in history.events:
-        builder.push(event)
-    return builder.finish()
+    """Walk one timer's events and produce its episode list.
+
+    This is :class:`EpisodeBuilder`'s state machine inlined with local
+    state — the batch path walks millions of events per study, and the
+    per-event method dispatch of ``push`` was its dominant cost.  The
+    streaming reducers keep using the builder; the differential tests
+    in ``tests/core`` pin the two paths to identical output.
+    """
+    SET = EventKind.SET
+    EXPIRE = EventKind.EXPIRE
+    CANCEL = EventKind.CANCEL
+    WAIT_UNBLOCK = EventKind.WAIT_UNBLOCK
+    REARMED = Outcome.REARMED
+    EXPIRED = Outcome.EXPIRED
+    CANCELED = Outcome.CANCELED
+    quantize = quantizes_to_jiffies(os_name)
+
+    episodes: list[Episode] = []
+    append = episodes.append
+    armed_at = None
+    armed_value = 0
+    last_end = None
+    # One C-level unpack of the event tuple per iteration replaces the
+    # per-field attribute lookups this loop used to pay; episodes are
+    # built through tuple.__new__ directly, skipping the generated
+    # NamedTuple __new__ wrapper (all five fields always supplied).
+    E = Episode
+    new = tuple.__new__
+    for (kind, ts, _tid, _pid, _comm, domain, _site,
+         timeout_ns, expires_ns, flags) in history.events:
+        if kind is SET:
+            if armed_at is not None:
+                gap = None if last_end is None else armed_at - last_end
+                append(new(E, (armed_at, armed_value, REARMED, ts, gap)))
+                last_end = ts
+            armed_at = ts
+            timeout = timeout_ns or 0
+            if timeout > 0 and quantize and domain != "user":
+                timeout = -(-timeout // JIFFY) * JIFFY
+            armed_value = timeout
+        elif kind is EXPIRE:
+            if armed_at is not None:
+                gap = None if last_end is None else armed_at - last_end
+                append(new(E, (armed_at, armed_value, EXPIRED, ts, gap)))
+                last_end = ts
+                armed_at = None
+        elif kind is CANCEL:
+            if armed_at is not None and expires_ns is not None:
+                gap = None if last_end is None else armed_at - last_end
+                append(new(E, (armed_at, armed_value, CANCELED, ts,
+                               gap)))
+                last_end = ts
+                armed_at = None
+        elif kind is WAIT_UNBLOCK:
+            if timeout_ns is None:
+                continue
+            armed_at = expires_ns
+            armed_value = timeout_ns
+            gap = None if last_end is None else armed_at - last_end
+            outcome = CANCELED if flags & FLAG_WAIT_SATISFIED \
+                else EXPIRED
+            append(new(E, (armed_at, armed_value, outcome, ts, gap)))
+            last_end = ts
+            armed_at = None
+    if armed_at is not None:
+        gap = None if last_end is None else armed_at - last_end
+        append(new(E, (armed_at, armed_value, Outcome.UNRESOLVED,
+                       None, gap)))
+    return episodes
 
 
 def dominant_value(episodes: list[Episode],

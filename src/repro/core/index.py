@@ -88,30 +88,42 @@ class TraceIndex:
         set_kind = EventKind.SET
         wait_kind = EventKind.WAIT_UNBLOCK
         init_kind = EventKind.INIT
-        count = 0
+        set_like_append = set_like.append
+        if not isinstance(events, list):
+            events = list(events)
+        count = len(events)
+        # Index access (event[0], event[2], ...) over the TimerEvent
+        # NamedTuple: C-level tuple reads on the hottest loop we run.
+        # Group lookups go through try/except subscripts: with a few
+        # dozen timers and hundreds of thousands of events, hits
+        # outnumber misses by orders of magnitude.
         for event in events:
-            count += 1
-            kind = event.kind
+            kind = event[0]
+            timer_id = event[2]
 
             # Per-address grouping (Trace.instances).
-            group = instance_groups.get(event.timer_id)
-            if group is None:
-                group = instance_groups[event.timer_id] = []
+            try:
+                group = instance_groups[timer_id]
+            except KeyError:
+                group = instance_groups[timer_id] = []
             group.append(event)
 
             # Per-(set-site, pid) clustering (Trace.logical_timers):
             # events on a timer id join the cluster of that id's most
             # recent SET/INIT/WAIT site.
-            if kind == set_kind or kind == init_kind or kind == wait_kind:
-                key = (event.site, event.pid)
-                site_of_id[event.timer_id] = key
-                if kind != init_kind:
-                    set_like.append(event)
+            if kind is set_kind or kind is init_kind or kind is wait_kind:
+                key = (event[6], event[3])     # (site, pid)
+                site_of_id[timer_id] = key
+                if kind is not init_kind:
+                    set_like_append(event)
             else:
-                key = site_of_id.get(event.timer_id,
-                                     (event.site, event.pid))
-            group = logical_groups.get(key)
-            if group is None:
+                try:
+                    key = site_of_id[timer_id]
+                except KeyError:
+                    key = (event[6], event[3])
+            try:
+                group = logical_groups[key]
+            except KeyError:
                 group = logical_groups[key] = []
             group.append(event)
 
@@ -146,6 +158,11 @@ class TraceIndex:
         if index is not None and index.n_events == len(trace.events):
             return index
         return None
+
+    @property
+    def n_timers(self) -> int:
+        """Distinct timer ids seen — Table 1/2's "timers" count."""
+        return len(self._instance_groups)
 
     @property
     def instances(self) -> list[TimerHistory]:
@@ -185,6 +202,23 @@ class TraceIndex:
             else:
                 self._instance_episodes = cached
         return cached
+
+    def adopt_episodes(self, episode_lists: list[list[Episode]], *,
+                       logical: bool) -> None:
+        """Install externally-extracted episode lists for one grouping
+        (parallel to :meth:`histories`) — the merge step of the
+        sharded analysis path (:mod:`repro.core.shard`).  The lists
+        must be exactly what :meth:`episodes` would build; adopting
+        them only skips the extraction work, never changes results."""
+        histories = self.histories(logical)
+        if len(episode_lists) != len(histories):
+            raise ValueError(
+                f"episode lists do not match the grouping: "
+                f"{len(episode_lists)} != {len(histories)}")
+        if logical:
+            self._logical_episodes = list(episode_lists)
+        else:
+            self._instance_episodes = list(episode_lists)
 
     def grouped(self, logical: Optional[bool] = None
                 ) -> Iterator[tuple[TimerHistory, list[Episode]]]:
@@ -241,13 +275,20 @@ class TraceIndex:
 def as_index(source) -> TraceIndex:
     """Normalize an analysis argument to a :class:`TraceIndex`.
 
-    Every analysis in :mod:`repro.core` accepts either a
-    :class:`~repro.tracing.trace.Trace` or an already-built
+    Every analysis in :mod:`repro.core` accepts a
+    :class:`~repro.tracing.trace.Trace`, a zero-copy
+    :class:`~repro.tracing.binfmt2.ColumnarTrace`, or an already-built
     :class:`TraceIndex`; this is the one place that coercion lives.
+    A columnar view is hydrated here (once, cached on the view) —
+    the index and the episode machinery are exactly the endpoints
+    that need real :class:`~repro.tracing.events.TimerEvent` objects.
     """
     if isinstance(source, TraceIndex):
         return source
     if isinstance(source, Trace):
         return TraceIndex.of(source)
-    raise TypeError(f"expected Trace or TraceIndex, got "
+    from ..tracing.binfmt2 import ColumnarTrace
+    if isinstance(source, ColumnarTrace):
+        return TraceIndex.of(source.as_trace())
+    raise TypeError(f"expected Trace, ColumnarTrace or TraceIndex, got "
                     f"{type(source).__name__}")

@@ -23,6 +23,11 @@ from typing import Optional, Tuple
 from .episodes import Episode
 from .index import as_index
 
+try:                     # optional accelerator, never required: the
+    import numpy as _np  # pure-python paths below are the reference
+except ImportError:      # and produce identical output.
+    _np = None
+
 
 @dataclass
 class NestedPair:
@@ -51,13 +56,9 @@ class NestedPair:
 def _resolved_intervals(episodes: list[Episode]
                         ) -> list[tuple[int, int, int]]:
     """(start, end, deadline) for each completed episode."""
-    out = []
-    for episode in episodes:
-        if episode.ended_at is None:
-            continue
-        deadline = episode.set_at + episode.value_ns
-        out.append((episode.set_at, episode.ended_at, deadline))
-    return out
+    return [(set_at, ended_at, set_at + value_ns)
+            for set_at, value_ns, _outcome, ended_at, _gap in episodes
+            if ended_at is not None]
 
 
 class _TimerIntervals:
@@ -79,7 +80,8 @@ class _TimerIntervals:
 
     __slots__ = ("site", "intervals", "starts", "sorted_starts",
                  "min_start", "max_start", "min_end", "max_end",
-                 "record_ends", "record_at")
+                 "record_ends", "record_at", "starts_sorted",
+                 "ends_sorted", "_columns")
 
     def __init__(self, site, intervals: list[tuple[int, int, int]]):
         self.site = site
@@ -90,7 +92,8 @@ class _TimerIntervals:
                                  zip(starts, starts[1:]))
         self.min_start = min(starts)
         self.max_start = max(starts)
-        self.min_end = min(iv[1] for iv in intervals)
+        ends = [iv[1] for iv in intervals]
+        self.min_end = min(ends)
         record_ends: list[int] = []
         record_at: list[int] = []
         peak = -1
@@ -102,6 +105,25 @@ class _TimerIntervals:
         self.max_end = peak
         self.record_ends = record_ends
         self.record_at = record_at
+        # Sorted views for the pair-level support upper bound: how many
+        # of *this* timer's episodes could possibly fit inside a given
+        # outer's [min_start, max_end] envelope.
+        self.starts_sorted = starts if self.sorted_starts \
+            else sorted(starts)
+        ends.sort()
+        self.ends_sorted = ends
+        self._columns = None
+
+    def columns(self):
+        """(starts, ends, deadlines) int64 columns in episode order,
+        built lazily for the vectorised containment tally."""
+        cols = self._columns
+        if cols is None:
+            # One C pass over the (start, end, deadline) tuples beats
+            # three per-element generator fromiters.
+            arr = _np.array(self.intervals, dtype=_np.int64)
+            cols = self._columns = (arr[:, 0], arr[:, 1], arr[:, 2])
+        return cols
 
     def first_containing(self, i_start: int, i_end: int
                          ) -> Optional[tuple[int, int, int]]:
@@ -139,6 +161,35 @@ class _TimerIntervals:
         return None
 
 
+_MISS = object()   # memo sentinel: None is a valid cached answer
+
+
+def _support_floor(n_inner: int, min_support: int,
+                   min_containment: float) -> int:
+    """The smallest support count that could let a pair with ``n_inner``
+    inner episodes qualify — the same float comparison the emission
+    check uses, so pruning below this floor can never change output."""
+    needed = int(min_containment * n_inner)
+    if needed < min_support:
+        needed = min_support
+    while needed <= n_inner and needed / n_inner < min_containment:
+        needed += 1
+    return needed
+
+
+def _support_ceiling(inner: _TimerIntervals, o_min_start: int,
+                     o_max_end: int) -> int:
+    """Upper bound on how many of ``inner``'s episodes any outer with
+    this [min_start, max_end] envelope can contain: an episode needs
+    ``i_start >= some o_start >= o_min_start`` and
+    ``i_end <= some o_end <= o_max_end``.  Two bisects over the sorted
+    start/end views bound both conditions."""
+    starts_ok = len(inner.starts_sorted) - \
+        bisect_left(inner.starts_sorted, o_min_start)
+    ends_ok = bisect_right(inner.ends_sorted, o_max_end)
+    return starts_ok if starts_ok < ends_ok else ends_ok
+
+
 def _batch_first_containing(outer: _TimerIntervals,
                             queries: list[tuple[int, int]]
                             ) -> list[Optional[tuple[int, int, int]]]:
@@ -154,23 +205,29 @@ def _batch_first_containing(outer: _TimerIntervals,
     """
     intervals = outer.intervals
     n = len(intervals)
-    by_start = sorted(range(n), key=lambda j: intervals[j][0])
+    # Decorated tuple sorts: the C-level tuple comparison beats a
+    # Python key callable per element on these hot, large inputs.
+    by_start = sorted((iv[0], j) for j, iv in enumerate(intervals))
     ends_sorted = sorted({iv[1] for iv in intervals})
     end_pos = {end: pos for pos, end in enumerate(ends_sorted)}
     m = len(ends_sorted)
     tree = [n] * (m + 1)    # min-BIT over reversed end positions
 
     answers: list[Optional[tuple[int, int, int]]] = [None] * len(queries)
-    order = sorted(range(len(queries)), key=lambda q: queries[q][0])
+    order = sorted((qs, q) for q, (qs, _qe) in enumerate(queries))
+    redo_memo: dict = {}    # collision query -> exclusion-aware answer
     ptr = 0
-    for q in order:
+    for _qs, q in order:
         i_start, i_end = queries[q]
-        while ptr < n and intervals[by_start[ptr]][0] <= i_start:
-            j = by_start[ptr]
+        while ptr < n and by_start[ptr][0] <= i_start:
+            j = by_start[ptr][1]
             node = m - end_pos[intervals[j][1]]
             while node <= m:
-                if tree[node] > j:
-                    tree[node] = j
+                if tree[node] <= j:
+                    # Update-path ranges nest, so every node above
+                    # already holds a smaller index: stop early.
+                    break
+                tree[node] = j
                 node += node & -node
             ptr += 1
         kpos = bisect_left(ends_sorted, i_end)
@@ -186,9 +243,14 @@ def _batch_first_containing(outer: _TimerIntervals,
             continue
         candidate = intervals[best]
         if candidate[0] == i_start and candidate[1] == i_end:
-            # Rare identical interval: redo this one query with the
-            # exclusion-aware linear scan.
-            candidate = outer.first_containing(i_start, i_end)
+            # Identical interval: redo this one query with the
+            # exclusion-aware linear scan.  Tick quantisation makes the
+            # same collision repeat heavily, so memoize per sweep.
+            key = (i_start, i_end)
+            candidate = redo_memo.get(key, _MISS)
+            if candidate is _MISS:
+                candidate = redo_memo[key] = \
+                    outer.first_containing(i_start, i_end)
         answers[q] = candidate
     return answers
 
@@ -229,36 +291,122 @@ def infer_nesting(source, *, min_support: int = 3,
                         if inner.site is not outer.site
                         and outer.min_start <= inner.max_start
                         and outer.max_end >= inner.min_end]
+            o_min_start = outer.min_start
+            o_max_end = outer.max_end
             tallies: dict[int, tuple[int, int]] = {}
+            fc_memo: dict = {}    # (i_start, i_end) -> first_containing
             if outer.sorted_starts:
-                # Inlined fast path of first_containing (this double
-                # loop dominates the whole analysis battery on busy
-                # traces).
-                for idx, inner in enumerate(eligible):
-                    support = elidable = 0
-                    for i_start, i_end, i_deadline in inner.intervals:
-                        k = bisect_left(record_ends, i_end)
-                        if k == n_records:
-                            continue
-                        match = o_intervals[record_at[k]]
-                        if match[0] > i_start:
-                            continue
-                        if match[0] == i_start and match[1] == i_end:
-                            # Identical interval: rare, let the method
-                            # handle the scan past it.
-                            match = outer.first_containing(i_start, i_end)
-                            if match is None:
+                if _np is not None:
+                    # Vectorised fast path: the record bisect, the
+                    # start comparison and the deadline test run as
+                    # int64 column operations; only the (rare)
+                    # identical-interval collisions fall back to the
+                    # exclusion-aware scan.  Identical tallies to the
+                    # reference loop below.
+                    o_starts_a, o_ends_a, o_deads_a = outer.columns()
+                    rec_at_a = _np.fromiter(record_at, _np.intp,
+                                            n_records)
+                    rec_ends_a = o_ends_a[rec_at_a]
+                    rec_starts_a = o_starts_a[rec_at_a]
+                    rec_deads_a = o_deads_a[rec_at_a]
+                    for idx, inner in enumerate(eligible):
+                        needed = _support_floor(len(inner.intervals),
+                                                min_support,
+                                                min_containment)
+                        if _support_ceiling(inner, o_min_start,
+                                            o_max_end) < needed:
+                            continue      # pair can never qualify
+                        starts_a, ends_a, deads_a = inner.columns()
+                        k = rec_ends_a.searchsorted(ends_a, side="left")
+                        valid = k < n_records
+                        kc = _np.where(valid, k, 0)
+                        m_start = rec_starts_a[kc]
+                        contained = valid & (m_start <= starts_a)
+                        identical = contained & (m_start == starts_a) \
+                            & (rec_ends_a[kc] == ends_a)
+                        plain = contained & ~identical
+                        support = int(plain.sum())
+                        elidable = int((plain &
+                                        (deads_a >= rec_deads_a[kc]))
+                                       .sum())
+                        if identical.any():
+                            # Tick quantisation repeats the same
+                            # collision queries across this outer's
+                            # inners: resolve each through the
+                            # per-outer memo, tallying in plain Python
+                            # (tolist hands back machine ints in one C
+                            # pass; the rows are unique within one
+                            # inner, so np.unique buys nothing here).
+                            idxs = _np.nonzero(identical)[0]
+                            c_rows = _np.stack(
+                                (starts_a[idxs], ends_a[idxs],
+                                 deads_a[idxs]), axis=1).tolist()
+                            for c_start, c_stop, c_dead in c_rows:
+                                q = (c_start, c_stop)
+                                match = fc_memo.get(q, _MISS)
+                                if match is _MISS:
+                                    match = fc_memo[q] = \
+                                        outer.first_containing(*q)
+                                if match is not None:
+                                    support += 1
+                                    if c_dead >= match[2]:
+                                        elidable += 1
+                        tallies[idx] = (support, elidable)
+                else:
+                    # Inlined reference loop of first_containing (this
+                    # double loop dominates the whole analysis battery
+                    # on busy traces when numpy is absent).
+                    for idx, inner in enumerate(eligible):
+                        needed = _support_floor(len(inner.intervals),
+                                                min_support,
+                                                min_containment)
+                        if _support_ceiling(inner, o_min_start,
+                                            o_max_end) < needed:
+                            continue      # pair can never qualify
+                        support = elidable = 0
+                        remaining = len(inner.intervals)
+                        for i_start, i_end, i_deadline in inner.intervals:
+                            remaining -= 1
+                            k = bisect_left(record_ends, i_end)
+                            if k == n_records:
+                                if support + remaining < needed:
+                                    break
                                 continue
-                        support += 1
-                        if i_deadline >= match[2]:
-                            elidable += 1
-                    tallies[idx] = (support, elidable)
+                            match = o_intervals[record_at[k]]
+                            if match[0] > i_start:
+                                if support + remaining < needed:
+                                    break
+                                continue
+                            if match[0] == i_start and match[1] == i_end:
+                                # Identical interval: the exclusion-
+                                # aware scan, memoized per query (tick
+                                # quantisation makes exact collisions
+                                # repeat heavily).
+                                q = (i_start, i_end)
+                                match = fc_memo.get(q, _MISS)
+                                if match is _MISS:
+                                    match = fc_memo[q] = \
+                                        outer.first_containing(i_start,
+                                                               i_end)
+                                if match is None:
+                                    if support + remaining < needed:
+                                        break
+                                    continue
+                            support += 1
+                            if i_deadline >= match[2]:
+                                elidable += 1
+                        tallies[idx] = (support, elidable)
             else:
                 # Unsorted starts (interleaved SET/WAIT clusters): one
                 # offline sweep answers every inner's queries at once.
                 queries = []
                 meta = []
                 for idx, inner in enumerate(eligible):
+                    needed = _support_floor(len(inner.intervals),
+                                            min_support, min_containment)
+                    if _support_ceiling(inner, o_min_start,
+                                        o_max_end) < needed:
+                        continue      # pair can never qualify
                     for i_start, i_end, i_deadline in inner.intervals:
                         queries.append((i_start, i_end))
                         meta.append((idx, i_deadline))

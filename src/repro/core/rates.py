@@ -69,31 +69,47 @@ def rate_series(source, *, bucket_ns: int = SECOND,
     elif isinstance(source, Trace):
         trace, index = source, TraceIndex.peek(source)
     else:
-        raise TypeError(f"expected Trace or TraceIndex, got "
-                        f"{type(source).__name__}")
+        from ..tracing.binfmt2 import ColumnarTrace
+        if not isinstance(source, ColumnarTrace):
+            raise TypeError(f"expected Trace, ColumnarTrace or "
+                            f"TraceIndex, got {type(source).__name__}")
+        trace = source.as_trace()
+        index = TraceIndex.peek(trace)
     total = duration_ns if duration_ns is not None else trace.duration_ns
     n_buckets = max(1, -(-total // bucket_ns))
     series: dict[str, list[int]] = {}
     events = index.set_like \
         if index is not None and tuple(kinds) == SET_LIKE_KINDS \
         else trace.events
+    WAIT_UNBLOCK = EventKind.WAIT_UNBLOCK
+    # The default grouping is a pure function of (domain, comm), both
+    # drawn from small sets — memoise it per pair instead of paying
+    # the string scans once per event.
+    group_memo: Optional[dict] = {} if group_fn is default_group else None
     for event in events:
-        if event.kind not in kinds:
+        kind = event.kind
+        if kind not in kinds:
             continue
         ts = event.ts
-        if event.kind == EventKind.WAIT_UNBLOCK:
+        if kind == WAIT_UNBLOCK:
             if event.timeout_ns is None:
                 continue
             ts = event.expires_ns    # block timestamp
-        index = ts // bucket_ns
-        if index >= n_buckets:
+        bucket = ts // bucket_ns
+        if bucket >= n_buckets:
             continue
-        group = group_fn(event)
+        if group_memo is None:
+            group = group_fn(event)
+        else:
+            memo_key = (event.domain, event.comm)
+            group = group_memo.get(memo_key)
+            if group is None:
+                group = group_memo[memo_key] = group_fn(event)
         bucket_list = series.get(group)
         if bucket_list is None:
             bucket_list = [0] * n_buckets
             series[group] = bucket_list
-        bucket_list[index] += 1
+        bucket_list[bucket] += 1
     return RateSeries(bucket_ns, n_buckets, series)
 
 

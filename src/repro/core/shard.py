@@ -1,0 +1,140 @@
+"""Sharded per-trace analysis: one big trace, many workers.
+
+The study driver (:func:`repro.workloads.run_study_traces`) already
+parallelises across *traces*; this module parallelises *within* one
+trace.  The per-timer analyses are embarrassingly parallel once the
+events are grouped — episode extraction touches one timer's history at
+a time — so the trace's timer groups are split across ``--jobs N``
+shards, each shard extracts its groups' episodes independently, and
+the results are merged back **in group-creation order** before the
+standard battery renders them.  The merge is pure repositioning, so
+the output is byte-identical to a serial run for any worker count
+(the determinism tests pin ``--jobs 1/2/8``).
+
+Shard assignment is deterministic and process-independent:
+
+* per-address groups (the Linux grouping) shard by ``timer_id % N`` —
+  the id is stable trace data, so the same file always produces the
+  same plan;
+* per-(site, pid) clusters (the Vista grouping) shard by their
+  creation ordinal modulo ``N`` (the cluster key is a tuple; its hash
+  is salted per process and must not leak into the plan).
+
+Workers go through ``multiprocessing`` when the host actually has
+spare CPUs; otherwise (or when the pool cannot be set up — sandboxes,
+unpicklable payloads) the shards run in-process in shard order, which
+exercises the identical split/merge path.  Zero-copy columnar traces
+(:class:`~repro.tracing.binfmt2.ColumnarTrace`) hydrate once in the
+parent; only each shard's own group histories cross the process
+boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import Optional
+
+from .episodes import Episode, extract_episodes
+from .index import TraceIndex, as_index
+
+__all__ = ["shard_of", "shard_episodes", "sharded_analysis"]
+
+#: Plain sharding tallies, mirrored into a metrics registry by
+#: :func:`repro.obs.collect.collect_trace_io` (pull-based, zero cost
+#: on the extraction paths themselves).
+SHARD_COUNTERS = {"analyses": 0, "shard_runs": 0, "shards": 0,
+                  "pool_fallbacks": 0}
+
+
+def shard_of(key, ordinal: int, jobs: int) -> int:
+    """Deterministic shard for one timer group.
+
+    ``key`` is the group's routing key (an ``int`` timer id, or the
+    logical ``(site, pid)`` tuple); ``ordinal`` its creation index.
+    """
+    if isinstance(key, int):
+        return key % jobs
+    return ordinal % jobs
+
+
+def _extract_shard(payload):
+    """Pool worker: extract episodes for one shard's histories."""
+    os_name, histories = payload
+    return [extract_episodes(history, os_name) for history in histories]
+
+
+def shard_episodes(index: TraceIndex, jobs: int, *,
+                   logical: Optional[bool] = None,
+                   processes: Optional[int] = None) -> list[list[Episode]]:
+    """Extract one grouping's episode lists across ``jobs`` shards.
+
+    Returns lists parallel to ``index.histories(logical)`` — exactly
+    what a serial :meth:`TraceIndex.episodes` builds, independent of
+    the shard count.  ``processes`` caps the worker pool (default: the
+    machine's CPU count); shards run in-process when only one CPU is
+    available or the pool cannot be used.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if logical is None:
+        logical = index.default_logical
+    histories = index.histories(logical)
+    os_name = index.os_name
+
+    # The deterministic plan: positions of each shard's groups.
+    positions: list[list[int]] = [[] for _ in range(jobs)]
+    for ordinal, history in enumerate(histories):
+        positions[shard_of(history.key, ordinal, jobs)].append(ordinal)
+
+    payloads = [(os_name, [histories[i] for i in shard])
+                for shard in positions]
+
+    if processes is None:
+        processes = os.cpu_count() or 1
+    processes = max(1, min(processes, jobs))
+    SHARD_COUNTERS["shard_runs"] += 1
+    SHARD_COUNTERS["shards"] += jobs
+    shard_results = None
+    if processes > 1:
+        try:
+            with multiprocessing.get_context().Pool(processes) as pool:
+                shard_results = pool.map(_extract_shard, payloads)
+        except (ImportError, OSError, PermissionError, AttributeError,
+                TypeError, pickle.PicklingError):
+            shard_results = None    # sandboxed interpreter: in-process
+            SHARD_COUNTERS["pool_fallbacks"] += 1
+    if shard_results is None:
+        shard_results = [_extract_shard(payload) for payload in payloads]
+
+    # Merge: pure repositioning back into group-creation order.
+    merged: list[Optional[list[Episode]]] = [None] * len(histories)
+    for shard, result in zip(positions, shard_results):
+        for ordinal, episodes in zip(shard, result):
+            merged[ordinal] = episodes
+    return merged
+
+
+def sharded_analysis(source, *, jobs: int, filter_x: bool = False,
+                     processes: Optional[int] = None) -> str:
+    """The ``timerstudy analyze --jobs N`` battery, sharded.
+
+    ``source`` is anything batch :func:`~repro.core.analyze.analyze`
+    accepts (a ``Trace``, a zero-copy columnar view, an index, or a
+    path).  The default grouping's episodes are extracted shard-wise
+    and adopted by the trace's index, then the standard report renders
+    from the shared caches — so the text is byte-identical to
+    ``render_analysis(source)`` for every ``jobs`` value.
+    """
+    from .report import render_analysis
+    SHARD_COUNTERS["analyses"] += 1
+    if isinstance(source, (str, os.PathLike)):
+        from ..tracing.formats import open_trace
+        source = open_trace(os.fspath(source))
+    index = as_index(source)
+    logical = index.default_logical
+    index.adopt_episodes(
+        shard_episodes(index, jobs, logical=logical,
+                       processes=processes), logical=logical)
+    return render_analysis(index, filter_x=filter_x)

@@ -15,8 +15,9 @@ aggregate a trace of any length in memory proportional to the number of
   Table 3 origin rows, from O(1)-per-timer accumulators fed by the
   shared :class:`~repro.core.episodes.EpisodeBuilder` state machine,
 * :class:`StreamingValues` — the Figure 3–7 value histograms,
-* :class:`StreamingDurations` — the Figure 8–11 scatter, plus P²
-  online quantiles of the expiry/cancel fraction,
+* :class:`StreamingDurations` — the Figure 8–11 scatter, plus exact
+  quantiles of the expiry/cancel fraction (free: the fractions are
+  already in the bounded cell aggregation),
 * :class:`StreamingRates` — the Figure 1 set-rate series,
 * :class:`StreamingSuite` — all of the above behind one sink.
 
@@ -39,13 +40,12 @@ import sys
 from itertools import islice
 from typing import Callable, Iterable, Optional, Tuple
 
-from ..sim.clock import SECOND
+from ..sim.clock import JIFFY, SECOND
 from ..tracing.events import (FLAG_WAIT_SATISFIED, EventKind, TimerEvent)
-from .adaptive import P2Quantile
-from .classify import PatternBreakdown, TimerClass
+from .classify import PatternBreakdown, TimerClass, TimerStats
 from .durations import CUTOFF_PCT, DurationScatter, ScatterPoint
 from .episodes import (DEFAULT_TOLERANCE_NS, Episode, EpisodeBuilder,
-                       Outcome, ValueBuckets, nominal_value_ns)
+                       Outcome, quantizes_to_jiffies)
 from .origins import OriginRow, attribute_origin
 from .rates import RateSeries, default_group
 from .summary import TraceSummary
@@ -166,6 +166,87 @@ class StreamingSummary:
                 self._delta(event.expires_ns, 1)   # block timestamp
                 self._delta(ts, 0)
         self._commit(ts - self.wait_horizon_ns)
+
+    def emit_batch(self, events: Iterable[TimerEvent]) -> None:
+        """Per-event :meth:`emit` with the kind dispatch and the
+        commit sweep inlined — state-identical to the sequential path
+        (the sweep applies the same instants at the same watermarks).
+        """
+        set_kind = EventKind.SET
+        expire_kind = EventKind.EXPIRE
+        cancel_kind = EventKind.CANCEL
+        wait_kind = EventKind.WAIT_UNBLOCK
+        init_kind = EventKind.INIT
+        satisfied = FLAG_WAIT_SATISFIED
+        vista = self._vista
+        horizon = self.wait_horizon_ns
+        add_id = self._timer_ids.add
+        pending = self._pending
+        deltas = self._deltas
+        heap = self._heap
+        heappop = heapq.heappop
+        delta = self._delta
+        n = accesses = user = kernel = 0
+        sets = expired = canceled = 0
+        # One C-level unpack of the event tuple per iteration replaces
+        # the per-field attribute lookups this loop used to pay.
+        for (kind, ts, timer_id, _pid, _comm, domain, _site,
+             timeout_ns, expires_ns, flags) in events:
+            n += 1
+            add_id(timer_id)
+
+            if not (vista and (kind is expire_kind or kind is init_kind)):
+                accesses += 1
+                if domain == "user":
+                    user += 1
+                else:
+                    kernel += 1
+
+            if kind is set_kind:
+                sets += 1
+                if timer_id in pending:
+                    delta(ts, 0)
+                else:
+                    pending.add(timer_id)
+                delta(ts, 1)
+            elif kind is expire_kind:
+                expired += 1
+                if timer_id in pending:
+                    pending.discard(timer_id)
+                    delta(ts, 0)
+            elif kind is cancel_kind:
+                if expires_ns is not None:
+                    canceled += 1
+                if timer_id in pending:
+                    pending.discard(timer_id)
+                    delta(ts, 0)
+            elif kind is wait_kind:
+                if timeout_ns is not None:
+                    sets += 1
+                    if flags & satisfied:
+                        canceled += 1
+                    else:
+                        expired += 1
+                    delta(expires_ns, 1)   # block timestamp
+                    delta(ts, 0)
+
+            # _commit(ts - horizon), inlined.
+            watermark = ts - horizon
+            while heap and heap[0] < watermark:
+                cts = heappop(heap)
+                closes, opens = deltas.pop(cts)
+                level = self._level + opens - closes
+                self._level = level
+                if level > self._concurrency:
+                    self._concurrency = level
+                self._committed_ts = cts
+        self.n_events += n
+        self._accesses += accesses
+        self._user += user
+        self._kernel += kernel
+        self._set += sets
+        self._expired += expired
+        self._canceled += canceled
 
     def state_size(self) -> int:
         """Entries of *transient* sweep state (pending timers plus
@@ -310,23 +391,34 @@ class EpisodeRouter:
         SET = EventKind.SET
         INIT = EventKind.INIT
         WAIT_UNBLOCK = EventKind.WAIT_UNBLOCK
-        for event in events:
-            if logical:
-                kind = event.kind
-                if kind == SET or kind == INIT or kind == WAIT_UNBLOCK:
-                    key = (event.site, event.pid)
-                    site_of_id[event.timer_id] = key
+        # The logical/instance decision is loop-invariant; the hot
+        # per-event fields come from C-level tuple subscripts.
+        if logical:
+            for event in events:
+                kind = event[0]
+                timer_id = event[2]
+                if kind is SET or kind is INIT or kind is WAIT_UNBLOCK:
+                    key = (event[6], event[3])     # (site, pid)
+                    site_of_id[timer_id] = key
                 else:
-                    key = site_lookup(event.timer_id,
-                                      (event.site, event.pid))
-            else:
-                key = event.timer_id
-            group = lookup(key)
-            if group is None:
-                group = new_group(key, event)
-            if group.set_site is None and event.kind == SET:
-                group.set_site = event.site
-            group.builder.push(event)
+                    key = site_lookup(timer_id)
+                    if key is None:
+                        key = (event[6], event[3])
+                group = lookup(key)
+                if group is None:
+                    group = new_group(key, event)
+                if group.set_site is None and kind is SET:
+                    group.set_site = event[6]
+                group.builder.push(event)
+        else:
+            for event in events:
+                key = event[2]
+                group = lookup(key)
+                if group is None:
+                    group = new_group(key, event)
+                if group.set_site is None and event[0] is SET:
+                    group.set_site = event[6]
+                group.builder.push(event)
 
     def finish(self) -> None:
         """Flush still-open episodes as UNRESOLVED, then drop the
@@ -339,127 +431,9 @@ class EpisodeRouter:
         self._site_of_id = {}
 
 
-class _TimerStats:
-    """O(1)-per-episode accumulators reproducing
-    :func:`repro.core.classify.classify_episodes` for one group."""
-
-    __slots__ = ("n", "buckets", "n_resolved", "expired", "canceled",
-                 "rearmed", "prev_value", "decreasing", "resets",
-                 "gaps", "gaps_small", "deferrals", "run", "runs_ok",
-                 "prev_outcome", "prev_outcome_value", "tolerance_ns")
-
-    def __init__(self, tolerance_ns: int):
-        self.tolerance_ns = tolerance_ns
-        self.n = 0
-        self.buckets = ValueBuckets(tolerance_ns)
-        self.n_resolved = 0
-        self.expired = self.canceled = self.rearmed = 0
-        self.prev_value: Optional[int] = None
-        self.decreasing = self.resets = 0
-        self.gaps = self.gaps_small = 0
-        self.deferrals = 0
-        self.run = self.runs_ok = 0
-        self.prev_outcome: Optional[Outcome] = None
-        self.prev_outcome_value = 0
-
-    def add(self, episode: Episode) -> None:
-        tol = self.tolerance_ns
-        value = episode.value_ns
-        self.n += 1
-
-        # dominant_value's first-fit bucketing, in insertion order.
-        self.buckets.add(value)
-
-        # _is_countdown's pair counters (over all episodes).
-        if self.prev_value is not None:
-            if value < self.prev_value - tol:
-                self.decreasing += 1
-            elif value > self.prev_value + tol:
-                self.resets += 1
-        self.prev_value = value
-
-        # The PERIODIC/DELAY gap statistic (over all episodes).
-        gap = episode.gap_before_ns
-        if gap is not None:
-            self.gaps += 1
-            if gap <= tol:
-                self.gaps_small += 1
-
-        # _deferral_fraction: a re-arm defers outright; a cancel
-        # followed within tolerance by a same-value re-set defers too.
-        outcome = episode.outcome
-        if outcome == Outcome.REARMED:
-            self.deferrals += 1
-        if self.prev_outcome == Outcome.CANCELED and gap is not None \
-                and gap <= tol \
-                and abs(value - self.prev_outcome_value) <= tol:
-            self.deferrals += 1
-        self.prev_outcome = outcome
-        self.prev_outcome_value = value
-
-        if outcome != Outcome.UNRESOLVED:
-            self.n_resolved += 1
-            if outcome == Outcome.EXPIRED:
-                self.expired += 1
-                # _is_deferred: an expiry terminating a re-arm run.
-                if self.run >= 1:
-                    self.runs_ok += 1
-                self.run = 0
-            elif outcome == Outcome.CANCELED:
-                self.canceled += 1
-                self.run = 0
-            else:
-                self.rearmed += 1
-                self.run += 1
-
-    # -- the classify_episodes decision tree, from the counters ---------
-
-    def dominant(self) -> tuple[Optional[int], float]:
-        if self.n == 0:
-            return None, 0.0
-        center, count = self.buckets.dominant()
-        return center, count / self.n
-
-    def _is_deferred(self) -> bool:
-        if self.expired == 0 or self.rearmed == 0:
-            return False
-        return self.runs_ok >= max(1, self.expired * 0.6) \
-            and self.rearmed / self.n_resolved >= 0.4
-
-    def classify(self, *, min_observations: int = 3
-                 ) -> tuple[TimerClass, Optional[int]]:
-        value, share = self.dominant()
-        if self.n < min_observations:
-            return TimerClass.OTHER, value
-        pairs = self.n - 1
-        if self.n >= 4 and self.decreasing / pairs >= 0.55 \
-                and self.resets >= 1:
-            return TimerClass.COUNTDOWN, value
-
-        if self.n_resolved:
-            expired = self.expired / self.n_resolved
-            canceled = self.canceled / self.n_resolved
-            deferral = self.deferrals / self.n_resolved
-        else:
-            expired = canceled = deferral = 0.0
-        constant = share >= 0.7
-
-        if constant and deferral >= 0.5:
-            if expired <= 0.05:
-                return TimerClass.WATCHDOG, value
-            if self._is_deferred():
-                return TimerClass.DEFERRED, value
-            if expired <= 0.1:
-                return TimerClass.WATCHDOG, value
-        if constant and expired >= 0.85:
-            if self.gaps == 0 or self.gaps_small / self.gaps >= 0.5:
-                return TimerClass.PERIODIC, value
-            return TimerClass.DELAY, value
-        if constant and canceled >= 0.85:
-            return TimerClass.TIMEOUT, value
-        if self._is_deferred() and constant:
-            return TimerClass.DEFERRED, value
-        return TimerClass.OTHER, value
+#: The per-group accumulator moved to :mod:`repro.core.classify` so the
+#: batch classifier shares it; the old private name stays importable.
+_TimerStats = TimerStats
 
 
 class StreamingClassifier:
@@ -559,6 +533,9 @@ class StreamingValues:
         self.domain = domain
         self.include_waits = include_waits
         self.raw_user_values = raw_user_values
+        #: The backend's value-quantisation trait, resolved once — the
+        #: per-event ``nominal_value_ns`` is inlined in the hot loops.
+        self._quantize = quantizes_to_jiffies(os_name)
         self._counts: dict[int, int] = {}
         self._total = 0
         self.result: Optional[ValueHistogram] = None
@@ -572,10 +549,39 @@ class StreamingValues:
             return
         if self.domain is not None and event.domain != self.domain:
             return
-        value = nominal_value_ns(event, self.os_name) \
-            if self.raw_user_values else (event.timeout_ns or 0)
+        value = event.timeout_ns or 0
+        if self.raw_user_values and value > 0 and self._quantize \
+                and event.domain != "user":
+            value = -(-value // JIFFY) * JIFFY
         self._counts[value] = self._counts.get(value, 0) + 1
         self._total += 1
+
+    def emit_batch(self, events: Iterable[TimerEvent]) -> None:
+        """Per-event :meth:`emit`, with the filters and the
+        quantisation rule hoisted out of the loop."""
+        set_kind = EventKind.SET
+        wait_kind = EventKind.WAIT_UNBLOCK
+        include_waits = self.include_waits
+        domain = self.domain
+        quantize = self.raw_user_values and self._quantize
+        counts = self._counts
+        get = counts.get
+        total = 0
+        for (kind, _ts, _tid, _pid, _comm, event_domain, _site,
+             timeout_ns, _expires, _flags) in events:
+            if kind is wait_kind:
+                if not include_waits or timeout_ns is None:
+                    continue
+            elif kind is not set_kind:
+                continue
+            if domain is not None and event_domain != domain:
+                continue
+            value = timeout_ns or 0
+            if quantize and value > 0 and event_domain != "user":
+                value = -(-value // JIFFY) * JIFFY
+            counts[value] = get(value, 0) + 1
+            total += 1
+        self._total += total
 
     def state_size(self) -> int:
         return 0       # the histogram itself is the result, not state
@@ -591,8 +597,12 @@ class StreamingDurations:
 
     The aggregated (value, fraction, outcome) cells are exact — the
     batch scatter sorts its cells, so interleaved cross-timer episode
-    order cannot show.  P² estimators additionally track fraction
-    quantiles in O(1) space (approximate; tolerance-tested).
+    order cannot show.  Fraction quantiles are exact too, and cost
+    nothing per episode: every plotted fraction already lives in the
+    bounded cell aggregation with its multiplicity, so
+    :meth:`fraction_quantiles` takes weighted quantiles over the cells
+    instead of running per-episode online estimators (the P² estimator
+    this reducer used to feed lives on in :mod:`repro.core.adaptive`).
     """
 
     QUANTILES = (0.5, 0.9, 0.99)
@@ -611,7 +621,7 @@ class StreamingDurations:
         self._agg: dict = {}
         self._skipped = 0
         self._clipped = 0
-        self._quantiles = {p: P2Quantile(p) for p in self.QUANTILES}
+        self._fq: Optional[dict] = None
         self.result: Optional[DurationScatter] = None
 
     def on_group(self, group: _Group) -> None:
@@ -633,8 +643,6 @@ class StreamingDurations:
             return
         key = (episode.value_ns, pct, outcome)
         self._agg[key] = self._agg.get(key, 0) + 1
-        for estimator in self._quantiles.values():
-            estimator.observe(pct)
 
     def emit(self, event: TimerEvent) -> None:
         if self._own_router:
@@ -644,12 +652,33 @@ class StreamingDurations:
         return self.router.open_episodes() if self._own_router else 0
 
     def fraction_quantiles(self) -> dict[float, Optional[float]]:
-        """P² estimates of the plotted fraction distribution (%)."""
-        return {p: est.value() for p, est in self._quantiles.items()}
+        """Exact weighted quantiles of the plotted fraction
+        distribution (%), computed from the aggregation cells (or the
+        snapshot :meth:`finish` takes before dropping them)."""
+        if self._fq is not None:
+            return dict(self._fq)
+        weights: dict[float, int] = {}
+        for (_value, pct, _outcome), n in self._agg.items():
+            weights[pct] = weights.get(pct, 0) + n
+        total = sum(weights.values())
+        if not total:
+            return {p: None for p in self.QUANTILES}
+        ordered = sorted(weights.items())
+        out: dict[float, Optional[float]] = {}
+        for p in self.QUANTILES:
+            rank = p * total
+            cum = 0
+            for pct, n in ordered:
+                cum += n
+                if cum >= rank:
+                    out[p] = pct
+                    break
+        return out
 
     def finish(self, duration_ns: int = 0) -> DurationScatter:
         if self._own_router:
             self.router.finish()
+        self._fq = self.fraction_quantiles()
         scatter = DurationScatter(self.workload, self.os_name)
         scatter.skipped = self._skipped
         scatter.clipped = self._clipped
@@ -692,6 +721,31 @@ class StreamingRates:
         if group is None:
             group = self._sparse[self.group_fn(event)] = {}
         group[bucket] = group.get(bucket, 0) + 1
+
+    def emit_batch(self, events: Iterable[TimerEvent]) -> None:
+        """Per-event :meth:`emit` with the filter and bucket math
+        hoisted out of the loop."""
+        kinds = self.kinds
+        wait_kind = EventKind.WAIT_UNBLOCK
+        bucket_ns = self.bucket_ns
+        group_fn = self.group_fn
+        sparse = self._sparse
+        sparse_get = sparse.get
+        for event in events:
+            kind = event[0]
+            if kind not in kinds:
+                continue
+            ts = event[1]
+            if kind is wait_kind:
+                if event[7] is None:          # timeout_ns
+                    continue
+                ts = event[8]                 # block timestamp
+            name = group_fn(event)
+            group = sparse_get(name)
+            if group is None:
+                group = sparse[name] = {}
+            bucket = ts // bucket_ns
+            group[bucket] = group.get(bucket, 0) + 1
 
     def state_size(self) -> int:
         return 0       # the series is the result, not transient state
@@ -773,29 +827,32 @@ class StreamingSuite:
         Result-identical to calling :meth:`emit` per event.  The
         reducers are mutually independent (each one's state is touched
         only by its own ``emit``), so the batch is processed
-        column-wise — one tight loop per reducer, then one
+        column-wise — one batch call per reducer, then one
         :meth:`EpisodeRouter.emit_batch` — in chunks aligned to the
         ``sample_every`` boundary, which keeps every reducer's event
         order *and* the ``peak_state`` sampling points identical to
         the sequential path (see ``benchmarks/bench_streaming.py``).
+
+        A zero-copy :class:`~repro.tracing.binfmt2.ColumnarTrace` is a
+        first-class source: its ``__iter__`` hydrates events lazily
+        from the mmap'd columns, so each chunk is materialised once,
+        shared by all four reducer loops, and released — the whole
+        event list never exists in memory.
         """
         it = iter(events)
         sample_every = self.sample_every
-        summary_emit = self.summary_reducer.emit
-        values_emit = self.values_reducer.emit
-        rates_emit = self.rates_reducer.emit
+        summary_batch = self.summary_reducer.emit_batch
+        values_batch = self.values_reducer.emit_batch
+        rates_batch = self.rates_reducer.emit_batch
         route_batch = self.router.emit_batch
         while True:
             take = sample_every - self.n_events % sample_every
             chunk = list(islice(it, take))
             if not chunk:
                 return
-            for event in chunk:
-                summary_emit(event)
-            for event in chunk:
-                values_emit(event)
-            for event in chunk:
-                rates_emit(event)
+            summary_batch(chunk)
+            values_batch(chunk)
+            rates_batch(chunk)
             route_batch(chunk)
             self.n_events += len(chunk)
             if len(chunk) == take:

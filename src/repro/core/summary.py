@@ -19,6 +19,7 @@ to set+canceled rather than including expiries.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..tracing.events import FLAG_WAIT_SATISFIED, EventKind
 from ..tracing.trace import Trace
@@ -55,14 +56,40 @@ def summarize(source) -> TraceSummary:
     index = as_index(source)
     summary = index.memo.get("summary")
     if summary is None:
-        summary = index.memo["summary"] = _compute_summary(index.trace)
+        summary = index.memo["summary"] = \
+            _compute_summary(index.trace, n_timers=index.n_timers)
     return summary
 
 
-def _compute_summary(trace: Trace) -> TraceSummary:
-    timer_ids: set[int] = set()
+def max_concurrency(opens: list[int], closes: list[int]) -> int:
+    """Sweep two endpoint lists (mutated: sorted in place) for the
+    maximum number of simultaneously pending timers.
+
+    Closings apply before openings at the same instant so a timer
+    re-armed at time t counts as one pending timer, not two — the same
+    tie-break the historical ``(ts, ±1)`` tuple sort encoded, but over
+    two plain int lists (C-speed sort, no tuple per endpoint).
+    """
+    opens.sort()
+    closes.sort()
+    concurrency = level = 0
+    j = 0
+    n_closes = len(closes)
+    for ts in opens:
+        while j < n_closes and closes[j] <= ts:
+            level -= 1
+            j += 1
+        level += 1
+        if level > concurrency:
+            concurrency = level
+    return concurrency
+
+
+def _compute_summary(trace: Trace, *,
+                     n_timers: Optional[int] = None) -> TraceSummary:
     pending_since: dict[int, int] = {}
-    intervals: list[tuple[int, int]] = []   # (ts, +1/-1) endpoints
+    opens: list[int] = []     # interval start timestamps
+    closes: list[int] = []    # interval end timestamps
     user = kernel = 0
     set_count = expired = canceled = 0
     accesses = 0
@@ -71,68 +98,70 @@ def _compute_summary(trace: Trace) -> TraceSummary:
     from ..kern.registry import backend_traits
     vista = backend_traits(trace.os_name).etw_style
 
-    def close_interval(timer_id: int, end_ts: int) -> None:
-        start = pending_since.pop(timer_id, None)
-        if start is not None:
-            intervals.append((start, 1))
-            intervals.append((end_ts, -1))
+    timer_ids: Optional[set] = set() if n_timers is None else None
+    pending_pop = pending_since.pop
+    opens_append = opens.append
+    closes_append = closes.append
+    SET = EventKind.SET
+    EXPIRE = EventKind.EXPIRE
+    CANCEL = EventKind.CANCEL
+    WAIT_UNBLOCK = EventKind.WAIT_UNBLOCK
+    INIT = EventKind.INIT
 
-    for event in trace.events:
-        kind = event.kind
-        timer_ids.add(event.timer_id)
+    for (kind, ts, timer_id, _pid, _comm, domain, _site,
+         timeout_ns, expires_ns, flags) in trace.events:
+        if timer_ids is not None:
+            timer_ids.add(timer_id)
 
-        counts_as_access = True
-        if vista and kind in (EventKind.EXPIRE, EventKind.INIT):
+        if not (vista and (kind is EXPIRE or kind is INIT)):
             # Ring expiry runs inside the clock DPC, not through the
             # instrumented KeSet/KeCancel entry points.
-            counts_as_access = False
-        if counts_as_access:
             accesses += 1
-            if event.domain == "user":
+            if domain == "user":
                 user += 1
             else:
                 kernel += 1
 
-        if kind == EventKind.SET:
+        if kind is SET:
             set_count += 1
-            close_interval(event.timer_id, event.ts)
-            pending_since[event.timer_id] = event.ts
-        elif kind == EventKind.EXPIRE:
+            start = pending_pop(timer_id, None)
+            if start is not None:
+                opens_append(start)
+                closes_append(ts)
+            pending_since[timer_id] = ts
+        elif kind is EXPIRE:
             expired += 1
-            close_interval(event.timer_id, event.ts)
-        elif kind == EventKind.CANCEL:
-            if event.expires_ns is not None:    # was actually pending
+            start = pending_pop(timer_id, None)
+            if start is not None:
+                opens_append(start)
+                closes_append(ts)
+        elif kind is CANCEL:
+            if expires_ns is not None:    # was actually pending
                 canceled += 1
-            close_interval(event.timer_id, event.ts)
-        elif kind == EventKind.WAIT_UNBLOCK:
+            start = pending_pop(timer_id, None)
+            if start is not None:
+                opens_append(start)
+                closes_append(ts)
+        elif kind is WAIT_UNBLOCK:
             # One event describes a whole blocked interval; it occupied
             # a ring slot between block and unblock.
-            if event.timeout_ns is not None:
+            if timeout_ns is not None:
                 set_count += 1
-                if event.flags & FLAG_WAIT_SATISFIED:
+                if flags & FLAG_WAIT_SATISFIED:
                     canceled += 1
                 else:
                     expired += 1
-                intervals.append((event.expires_ns, 1))   # block ts
-                intervals.append((event.ts, -1))
+                opens_append(expires_ns)   # block ts
+                closes_append(ts)
 
-    for timer_id, start in list(pending_since.items()):
-        intervals.append((start, 1))
-        intervals.append((trace.duration_ns, -1))
-
-    # Sweep for the maximum number of simultaneously pending timers.
-    # Closings sort before openings at the same instant so a timer
-    # re-armed at time t counts as one pending timer, not two.
-    intervals.sort()
-    concurrency = level = 0
-    for _ts, delta in intervals:
-        level += delta
-        if level > concurrency:
-            concurrency = level
+    for start in pending_since.values():
+        opens_append(start)
+        closes_append(trace.duration_ns)
 
     return TraceSummary(
         workload=trace.workload, os_name=trace.os_name,
-        timers=len(timer_ids), concurrency=concurrency, accesses=accesses,
+        timers=len(timer_ids) if timer_ids is not None else n_timers,
+        concurrency=max_concurrency(opens, closes), accesses=accesses,
         user_space=user, kernel=kernel, set_count=set_count,
         expired=expired, canceled=canceled)
 

@@ -18,7 +18,7 @@ from typing import Optional
 
 from ..sim.clock import JIFFY, MILLISECOND, SECOND, to_seconds
 from ..tracing.events import EventKind
-from .episodes import nominal_value_ns
+from .episodes import quantizes_to_jiffies
 from .index import as_index
 
 
@@ -65,16 +65,23 @@ def value_histogram(source, *, domain: Optional[str] = None,
     """
     index = as_index(source)
     counts: dict[int, int] = {}
+    counts_get = counts.get
     total = 0
-    for event in index.set_like:
-        if event.kind == EventKind.WAIT_UNBLOCK:
-            if not include_waits or event.timeout_ns is None:
+    WAIT_UNBLOCK = EventKind.WAIT_UNBLOCK
+    # nominal_value_ns, with the backend-trait lookup hoisted out of
+    # the per-event path.
+    quantize = raw_user_values and quantizes_to_jiffies(index.os_name)
+    for (kind, _ts, _tid, _pid, _comm, event_domain, _site,
+         timeout, _expires, _flags) in index.set_like:
+        if kind is WAIT_UNBLOCK:
+            if not include_waits or timeout is None:
                 continue
-        if domain is not None and event.domain != domain:
+        if domain is not None and event_domain != domain:
             continue
-        value = nominal_value_ns(event, index.os_name) \
-            if raw_user_values else (event.timeout_ns or 0)
-        counts[value] = counts.get(value, 0) + 1
+        value = timeout or 0
+        if quantize and value > 0 and event_domain != "user":
+            value = -(-value // JIFFY) * JIFFY
+        counts[value] = counts_get(value, 0) + 1
         total += 1
     return ValueHistogram(index.trace.workload, index.os_name, total,
                           counts)

@@ -31,6 +31,10 @@ Layers covered, per the instrumentation map:
                       buffer high-water, capacity
 ``core.streaming``    events folded, live + peak aggregation state,
                       groups and episodes routed, late waits
+``tracing.formats``   trace loads/saves and bytes per registered
+                      format (labelled ``format``)
+``core.shard``        sharded analyses, shard-extraction runs, shard
+                      count, worker-pool fallbacks
 ====================  =================================================
 """
 
@@ -41,7 +45,7 @@ from typing import Iterable, Optional
 from .metrics import MetricsRegistry, MetricsSnapshot
 
 __all__ = ["collect_run", "collect_kernel", "collect_sink",
-           "collect_streaming"]
+           "collect_streaming", "collect_trace_io"]
 
 _NS = 1e-9
 
@@ -352,6 +356,61 @@ def collect_sink(sink, registry: MetricsRegistry, labels: dict) -> None:
         "repro_sink_capacity",
         "Buffer capacity in records.",
         names).set(sink.capacity_events, sink=kind, **labels)
+
+
+# -- tracing.formats / core.shard -----------------------------------------
+
+def collect_trace_io(registry: MetricsRegistry,
+                     labels: Optional[dict] = None) -> None:
+    """Mirror the trace-I/O and sharding tallies into ``registry``.
+
+    The sources are the plain process-wide counters kept by
+    :mod:`repro.tracing.formats` (per-format loads/saves/bytes) and
+    :mod:`repro.core.shard` (analyses, shard runs, pool fallbacks) —
+    reading them never touches the I/O or extraction paths.
+    """
+    from ..core.shard import SHARD_COUNTERS
+    from ..tracing.formats import IO_COUNTERS
+    labels = labels if labels is not None else {}
+    fmt_names = tuple(labels) + ("format",)
+    loads = registry.counter(
+        "repro_trace_loads_total",
+        "Traces loaded through the format registry "
+        "(open_trace / trace_from_bytes).", fmt_names)
+    saves = registry.counter(
+        "repro_trace_saves_total",
+        "Traces written through the format registry "
+        "(write_trace / trace_to_bytes).", fmt_names)
+    bytes_read = registry.counter(
+        "repro_trace_bytes_read_total",
+        "Serialised trace bytes read, per format.", fmt_names)
+    bytes_written = registry.counter(
+        "repro_trace_bytes_written_total",
+        "Serialised trace bytes written, per format.", fmt_names)
+    for fmt, tallies in IO_COUNTERS.items():
+        loads.set_total(tallies["loads"], format=fmt, **labels)
+        saves.set_total(tallies["saves"], format=fmt, **labels)
+        bytes_read.set_total(tallies["bytes_read"], format=fmt, **labels)
+        bytes_written.set_total(tallies["bytes_written"], format=fmt,
+                                **labels)
+    names = tuple(labels)
+    registry.counter(
+        "repro_shard_analyses_total",
+        "Sharded analysis batteries rendered (analyze --jobs N).",
+        names).set_total(SHARD_COUNTERS["analyses"], **labels)
+    registry.counter(
+        "repro_shard_runs_total",
+        "Shard-wise episode extractions performed.",
+        names).set_total(SHARD_COUNTERS["shard_runs"], **labels)
+    registry.counter(
+        "repro_shard_shards_total",
+        "Shards planned across all extractions.",
+        names).set_total(SHARD_COUNTERS["shards"], **labels)
+    registry.counter(
+        "repro_shard_pool_fallbacks_total",
+        "Extractions that fell back to in-process execution after the "
+        "worker pool failed.",
+        names).set_total(SHARD_COUNTERS["pool_fallbacks"], **labels)
 
 
 # -- core.streaming -------------------------------------------------------

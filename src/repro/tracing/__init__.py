@@ -4,24 +4,52 @@ Mirrors the paper's Section 3 tooling: a relayfs-style bounded binary
 log for the Linux model, an ETW-style session (with thread-wait events)
 for the Vista model, and a :class:`Trace` container providing the
 per-timer correlation the analyses need.
+
+Trace I/O goes through one surface (:mod:`repro.tracing.formats`)::
+
+    trace = open_trace("run.bin")       # sniffs jsonl / v1 / v2
+    write_trace(trace, "run.bin")       # extension picks the format
+
+The old five-way surface (``save_binary``/``load_binary``/``dumps``/
+``loads``) still imports from here but warns on first use.
 """
 
 from .events import (FLAG_ABSOLUTE, FLAG_DEFERRABLE, FLAG_ROUNDED,
                      FLAG_WAIT_SATISFIED, CallSiteRegistry, EventKind,
                      TimerEvent, wait_unblock_event)
-from .binfmt import dumps, load_binary, load_trace, loads, save_binary, \
-    dump_trace
+from .errors import TraceFormatError
+from .binfmt import dump_trace, load_trace
+from .binfmt2 import ColumnarTrace, dump_trace_v2
+from .formats import (TraceFormat, detect_format, materialize,
+                      open_trace, register_format, sniff_format,
+                      trace_formats, trace_from_bytes, trace_to_bytes,
+                      write_trace)
 from .etw import EtwSession
 from .relay import (CountingSink, NullSink, RelayBuffer, TeeSink)
 from .requests import RequestRecord, RequestTracker, TimeoutNode
 from .trace import TimerHistory, Trace
 
+#: Deprecated names still importable from this package; resolved
+#: lazily so no internal module imports them (the CI gate checks).
+_DEPRECATED = ("save_binary", "load_binary", "dumps", "loads")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        from . import binfmt
+        return getattr(binfmt, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "FLAG_ABSOLUTE", "FLAG_DEFERRABLE", "FLAG_ROUNDED",
     "FLAG_WAIT_SATISFIED", "CallSiteRegistry", "EventKind", "TimerEvent",
     "EtwSession", "CountingSink", "NullSink", "RelayBuffer", "TeeSink",
-    "dumps", "load_binary", "load_trace", "loads", "save_binary",
-    "dump_trace",
+    "TraceFormatError", "TraceFormat", "ColumnarTrace",
+    "dump_trace", "dump_trace_v2", "load_trace",
+    "open_trace", "write_trace", "detect_format", "sniff_format",
+    "materialize", "register_format", "trace_formats",
+    "trace_from_bytes", "trace_to_bytes",
     "TimerHistory", "Trace", "RequestRecord", "RequestTracker",
     "TimeoutNode", "wait_unblock_event",
 ]

@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import io
 import struct
+import warnings
 from typing import BinaryIO
 
+from .errors import TraceFormatError
 from .events import EventKind, TimerEvent
 from .trace import Trace
 
@@ -44,14 +46,29 @@ _NONE = -1
 def _write_str(out: BinaryIO, text: str) -> None:
     data = text.encode("utf-8")
     if len(data) > 0xFFFF:
-        raise ValueError("string too long for trace format")
+        raise TraceFormatError(
+            f"string too long for trace format ({len(data)} bytes, "
+            f"limit 65535)")
     out.write(struct.pack("<H", len(data)))
     out.write(data)
 
 
+def _read_exact(buf: BinaryIO, n: int) -> bytes:
+    data = buf.read(n)
+    if len(data) != n:
+        raise TraceFormatError("truncated trace header")
+    return data
+
+
 def _read_str(buf: BinaryIO) -> str:
-    (length,) = struct.unpack("<H", buf.read(2))
-    return buf.read(length).decode("utf-8")
+    head = buf.read(2)
+    if len(head) != 2:
+        raise TraceFormatError("truncated trace header")
+    (length,) = struct.unpack("<H", head)
+    data = buf.read(length)
+    if len(data) != length:
+        raise TraceFormatError("truncated trace header")
+    return data.decode("utf-8")
 
 
 def dump_trace(trace: Trace, out: BinaryIO) -> None:
@@ -90,29 +107,47 @@ def dump_trace(trace: Trace, out: BinaryIO) -> None:
 
 
 def load_trace(buf: BinaryIO) -> Trace:
-    """Deserialise a trace written by :func:`dump_trace`."""
-    if buf.read(8) != MAGIC:
-        raise ValueError("not a timer trace file")
-    version, os_code, _pad = struct.unpack("<HBB", buf.read(4))
-    if version != VERSION:
-        raise ValueError(f"unsupported trace version {version}")
-    workload = _read_str(buf)
-    (duration_ns,) = struct.unpack("<Q", buf.read(8))
+    """Deserialise a trace written by :func:`dump_trace`.
 
-    (n_comms,) = struct.unpack("<I", buf.read(4))
+    Negotiates the version: v1 streams are decoded here; a v2
+    (columnar) stream is handed to :mod:`repro.tracing.binfmt2` and
+    materialised, so old call sites keep reading new files.
+    """
+    if buf.read(8) != MAGIC:
+        raise TraceFormatError("not a timer trace file")
+    head = buf.read(4)
+    if len(head) != 4:
+        raise TraceFormatError("truncated trace header")
+    version, os_code, _pad = struct.unpack("<HBB", head)
+    if version != VERSION:
+        if version == 2:
+            from .binfmt2 import MAGIC as magic2, load_columnar
+            data = magic2 + head + buf.read()
+            return load_columnar(memoryview(data)).as_trace()
+        raise TraceFormatError(
+            f"unsupported trace version {version}; readable "
+            f"versions: 1, 2")
+    workload = _read_str(buf)
+    (duration_ns,) = struct.unpack("<Q", _read_exact(buf, 8))
+
+    (n_comms,) = struct.unpack("<I", _read_exact(buf, 4))
     comms = [_read_str(buf) for _ in range(n_comms)]
-    (n_sites,) = struct.unpack("<I", buf.read(4))
+    (n_sites,) = struct.unpack("<I", _read_exact(buf, 4))
     sites = []
     for _ in range(n_sites):
-        (frames,) = struct.unpack("<B", buf.read(1))
+        (frames,) = struct.unpack("<B", _read_exact(buf, 1))
         sites.append(tuple(_read_str(buf) for _ in range(frames)))
 
-    (n_events,) = struct.unpack("<Q", buf.read(8))
+    (n_events,) = struct.unpack("<Q", _read_exact(buf, 8))
     size = _EVENT.size
     unpack = _EVENT.unpack
     events = []
     append = events.append
     data = buf.read(n_events * size)
+    if len(data) != n_events * size:
+        raise TraceFormatError(
+            f"truncated trace: {n_events} records need "
+            f"{n_events * size} bytes, got {len(data)}")
     for offset in range(0, n_events * size, size):
         (kind, flags, domain_code, _pad, comm_idx, site_idx, pid, ts,
          timer_id, timeout_ns, expires_ns) = unpack(
@@ -126,22 +161,47 @@ def load_trace(buf: BinaryIO) -> Trace:
                  duration_ns=duration_ns, events=events)
 
 
+# -- deprecated five-way surface (use repro.tracing.open_trace /
+#    write_trace instead) --------------------------------------------------
+
+_warned: set = set()
+
+
+def _deprecated(name: str, instead: str) -> None:
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(
+        f"repro.tracing.binfmt.{name}() is deprecated; use "
+        f"{instead} from repro.tracing.formats instead",
+        DeprecationWarning, stacklevel=3)
+
+
 def save_binary(trace: Trace, path: str) -> None:
-    """Write a trace to ``path`` in the binary format."""
+    """Deprecated: use :func:`repro.tracing.write_trace` (which picks
+    the v2 columnar codec for ``*.bin``).  Still writes v1 bytes."""
+    _deprecated("save_binary", 'write_trace(trace, path, format="binfmt")')
     with open(path, "wb") as fh:
         dump_trace(trace, fh)
 
 
 def load_binary(path: str) -> Trace:
+    """Deprecated: use :func:`repro.tracing.open_trace`.  Reads any
+    binary version and materialises a full :class:`Trace`."""
+    _deprecated("load_binary", "open_trace(path)")
     with open(path, "rb") as fh:
         return load_trace(fh)
 
 
 def dumps(trace: Trace) -> bytes:
+    """Deprecated: use :func:`repro.tracing.formats.trace_to_bytes`."""
+    _deprecated("dumps", 'trace_to_bytes(trace, format="binfmt")')
     out = io.BytesIO()
     dump_trace(trace, out)
     return out.getvalue()
 
 
 def loads(data: bytes) -> Trace:
+    """Deprecated: use :func:`repro.tracing.formats.trace_from_bytes`."""
+    _deprecated("loads", "trace_from_bytes(data)")
     return load_trace(io.BytesIO(data))

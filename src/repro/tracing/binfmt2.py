@@ -1,0 +1,404 @@
+"""Columnar binary trace encoding (format version 2).
+
+Version 1 (:mod:`repro.tracing.binfmt`) stores one packed 44-byte
+struct per event, so loading a trace decodes and allocates one
+:class:`~repro.tracing.events.TimerEvent` per record up front.  For the
+multi-million-event traces the paper's 30-minute runs produce, that
+allocation dominates load time and doubles peak memory.
+
+Version 2 stores the same information as fixed-stride little-endian
+*columns*: one contiguous block per field, 8-byte aligned, so a loader
+can ``mmap`` the file and expose every column as a zero-copy
+``memoryview`` cast — no per-event decoding, no object allocation.
+:class:`ColumnarTrace` is that view; events are hydrated lazily only
+where an analysis genuinely needs :class:`TimerEvent` objects (episode
+extraction, the trace index).
+
+Layout (little-endian)::
+
+    magic  b"TMRTRACE" | version u16 (=2) | reserved u16
+    os: u16 length + utf-8        (names the backend; no code table)
+    workload: u16 length + utf-8
+    duration_ns u64 | n_events u64
+    comm table:  u32 count, each u16 length + utf-8
+    site table:  u32 count, each u8 frame-count x (u16 length + utf-8)
+    zero padding to the next 8-byte boundary
+    columns, each n_events entries, in this order:
+        ts i64 | timer_id u64 | timeout_ns i64 | expires_ns i64
+        pid u32 | comm_idx u32 | site_idx u32
+        kind u8 | flags u8 | domain u8 (0 kernel, 1 user)
+
+``timeout_ns`` / ``expires_ns`` use -1 to encode ``None`` (these fields
+are always non-negative when present), exactly as version 1 does.
+
+On big-endian hosts the zero-copy casts are replaced by ``array``
+copies with a byteswap — same values, same API, just not zero-copy.
+"""
+
+from __future__ import annotations
+
+import io
+import mmap
+import struct
+import sys
+from array import array
+from typing import BinaryIO, Iterator, Optional
+
+from .errors import TraceFormatError
+from .events import EventKind, TimerEvent
+from .trace import Trace
+
+MAGIC = b"TMRTRACE"
+VERSION2 = 2
+_NONE = -1
+_LITTLE = sys.byteorder == "little"
+
+_HEAD = struct.Struct("<HH")          # version, reserved
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+#: (struct code, itemsize) per column, in file order.
+_COLUMN_LAYOUT = (
+    ("ts", "q", 8), ("timer_id", "Q", 8),
+    ("timeout_ns", "q", 8), ("expires_ns", "q", 8),
+    ("pid", "I", 4), ("comm_idx", "I", 4), ("site_idx", "I", 4),
+    ("kind", "B", 1), ("flags", "B", 1), ("domain", "B", 1),
+)
+
+_KIND_BY_CODE = [None] * (max(int(k) for k in EventKind) + 1)
+for _k in EventKind:
+    _KIND_BY_CODE[int(_k)] = _k
+_DOMAINS = (sys.intern("kernel"), sys.intern("user"))
+
+
+def _write_str(out: BinaryIO, text: str) -> None:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise TraceFormatError(
+            f"string too long for trace format ({len(data)} bytes, "
+            f"limit 65535)")
+    out.write(_U16.pack(len(data)))
+    out.write(data)
+
+
+def dump_trace_v2(trace: Trace, out: BinaryIO) -> None:
+    """Serialise ``trace`` to a v2 columnar stream."""
+    out.write(MAGIC)
+    out.write(_HEAD.pack(VERSION2, 0))
+    _write_str(out, trace.os_name)
+    _write_str(out, trace.workload)
+    events = trace.events
+    out.write(_U64.pack(trace.duration_ns))
+    out.write(_U64.pack(len(events)))
+
+    comms: dict[str, int] = {}
+    sites: dict[tuple, int] = {}
+    for event in events:
+        comms.setdefault(event.comm, len(comms))
+        sites.setdefault(event.site, len(sites))
+
+    out.write(_U32.pack(len(comms)))
+    for comm in comms:                  # insertion order == index order
+        _write_str(out, comm)
+    out.write(_U32.pack(len(sites)))
+    for site in sites:
+        if len(site) > 0xFF:
+            raise TraceFormatError(
+                f"call site too deep for trace format ({len(site)} "
+                f"frames, limit 255)")
+        out.write(struct.pack("<B", len(site)))
+        for frame in site:
+            _write_str(out, frame)
+
+    # Columns start at the next 8-byte boundary.
+    written = out.tell() if out.seekable() else None
+    if written is None:
+        raise TraceFormatError("v2 writer needs a seekable stream")
+    out.write(b"\x00" * (-written % 8))
+
+    ts_col = array("q")
+    id_col = array("Q")
+    to_col = array("q")
+    ex_col = array("q")
+    pid_col = array("I")
+    comm_col = array("I")
+    site_col = array("I")
+    kind_col = bytearray(len(events))
+    flag_col = bytearray(len(events))
+    dom_col = bytearray(len(events))
+    for i, event in enumerate(events):
+        ts_col.append(event.ts)
+        id_col.append(event.timer_id)
+        timeout = event.timeout_ns
+        to_col.append(_NONE if timeout is None else timeout)
+        expires = event.expires_ns
+        ex_col.append(_NONE if expires is None else expires)
+        pid_col.append(event.pid)
+        comm_col.append(comms[event.comm])
+        site_col.append(sites[event.site])
+        kind_col[i] = int(event.kind)
+        flag_col[i] = event.flags & 0xFF
+        dom_col[i] = 1 if event.domain == "user" else 0
+    for col in (ts_col, id_col, to_col, ex_col,
+                pid_col, comm_col, site_col):
+        if not _LITTLE:
+            col.byteswap()
+        out.write(col.tobytes())
+    out.write(bytes(kind_col))
+    out.write(bytes(flag_col))
+    out.write(bytes(dom_col))
+
+
+class ColumnarTrace:
+    """Zero-copy columnar view of a v2 trace file.
+
+    Columns are ``memoryview`` casts straight into the mapped file (or
+    the given buffer): ``ts``, ``timer_id``, ``timeout_ns``,
+    ``expires_ns`` as signed/unsigned 64-bit, ``pid`` / ``comm_idx`` /
+    ``site_idx`` as unsigned 32-bit, ``kind`` / ``flags`` / ``domain``
+    as bytes.  ``comms`` and ``sites`` resolve the index columns.
+
+    Nothing is hydrated on load.  ``event(i)`` builds one
+    :class:`TimerEvent`; iterating the view (or reading the cached
+    :attr:`events` property) hydrates lazily; :meth:`as_trace` wraps
+    the hydrated events in a full :class:`Trace` — the only places
+    real event objects come into existence.
+    """
+
+    __slots__ = ("os_name", "workload", "duration_ns", "n_events",
+                 "comms", "sites", "ts", "timer_id", "timeout_ns",
+                 "expires_ns", "pid", "comm_idx", "site_idx", "kind",
+                 "flags", "domain", "_mmap", "_events", "_trace")
+
+    def __init__(self, *, os_name, workload, duration_ns, n_events,
+                 comms, sites, columns, mapped=None):
+        self.os_name = os_name
+        self.workload = workload
+        self.duration_ns = duration_ns
+        self.n_events = n_events
+        self.comms = comms
+        self.sites = sites
+        (self.ts, self.timer_id, self.timeout_ns, self.expires_ns,
+         self.pid, self.comm_idx, self.site_idx, self.kind,
+         self.flags, self.domain) = columns
+        self._mmap = mapped
+        self._events: Optional[list[TimerEvent]] = None
+        self._trace: Optional[Trace] = None
+
+    def __len__(self) -> int:
+        return self.n_events
+
+    def __repr__(self) -> str:
+        state = "hydrated" if self._events is not None else "cold"
+        return (f"<ColumnarTrace {self.os_name}/{self.workload} "
+                f"{self.n_events} events, {state}>")
+
+    # -- lazy hydration --------------------------------------------------
+
+    def event(self, i: int) -> TimerEvent:
+        """Hydrate the single event at index ``i``."""
+        if i < 0:
+            i += self.n_events
+        if not 0 <= i < self.n_events:
+            raise IndexError(i)
+        timeout = self.timeout_ns[i]
+        expires = self.expires_ns[i]
+        return TimerEvent(
+            _KIND_BY_CODE[self.kind[i]], self.ts[i], self.timer_id[i],
+            self.pid[i], self.comms[self.comm_idx[i]],
+            _DOMAINS[self.domain[i]], self.sites[self.site_idx[i]],
+            None if timeout == _NONE else timeout,
+            None if expires == _NONE else expires, self.flags[i])
+
+    def iter_events(self) -> Iterator[TimerEvent]:
+        """Hydrate events one at a time, without caching the list."""
+        if self._events is not None:
+            return iter(self._events)
+        comms = self.comms
+        sites = self.sites
+        kinds = _KIND_BY_CODE
+        domains = _DOMAINS
+        return (TimerEvent(
+            kinds[kind], ts, timer_id, pid, comms[comm_idx],
+            domains[dom], sites[site_idx],
+            None if timeout == _NONE else timeout,
+            None if expires == _NONE else expires, flags)
+            for kind, ts, timer_id, pid, comm_idx, dom, site_idx,
+            timeout, expires, flags
+            in zip(self.kind, self.ts, self.timer_id, self.pid,
+                   self.comm_idx, self.domain, self.site_idx,
+                   self.timeout_ns, self.expires_ns, self.flags))
+
+    __iter__ = iter_events
+
+    @property
+    def events(self) -> list[TimerEvent]:
+        """The fully hydrated event list (built once, then cached)."""
+        if self._events is None:
+            self._events = list(self.iter_events())
+        return self._events
+
+    def as_trace(self) -> Trace:
+        """A full :class:`Trace` over the (cached) hydrated events."""
+        if self._trace is None:
+            self._trace = Trace(os_name=self.os_name,
+                                workload=self.workload,
+                                duration_ns=self.duration_ns,
+                                events=self.events)
+        return self._trace
+
+    # -- resource management --------------------------------------------
+
+    def close(self) -> None:
+        """Release the underlying mapping (hydrated events survive)."""
+        mapped = self._mmap
+        self._mmap = None
+        empty = (memoryview(b""),) * 10
+        (self.ts, self.timer_id, self.timeout_ns, self.expires_ns,
+         self.pid, self.comm_idx, self.site_idx, self.kind,
+         self.flags, self.domain) = empty
+        self.n_events = 0 if self._events is None else self.n_events
+        if mapped is not None:
+            mapped.close()
+
+    def __enter__(self) -> "ColumnarTrace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _read_str(view: memoryview, off: int, limit: int) -> tuple[str, int]:
+    if off + 2 > limit:
+        raise TraceFormatError("truncated trace header")
+    (length,) = _U16.unpack_from(view, off)
+    off += 2
+    if off + length > limit:
+        raise TraceFormatError("truncated trace header")
+    return str(view[off:off + length], "utf-8"), off + length
+
+
+def _cast_column(view: memoryview, off: int, code: str, itemsize: int,
+                 n: int):
+    end = off + itemsize * n
+    block = view[off:end]
+    if code == "B":
+        return block
+    if _LITTLE:
+        return block.cast(code)
+    col = array(code)
+    col.frombytes(block)
+    col.byteswap()
+    return col
+
+
+def load_columnar(view: memoryview, mapped=None) -> ColumnarTrace:
+    """Build a :class:`ColumnarTrace` over an in-memory v2 buffer."""
+    limit = len(view)
+    if limit < 12 or bytes(view[:8]) != MAGIC:
+        raise TraceFormatError("not a timer trace file")
+    version, _reserved = _HEAD.unpack_from(view, 8)
+    if version != VERSION2:
+        raise TraceFormatError(f"unsupported trace version {version} "
+                               f"(this reader handles version 2)")
+    off = 12
+    os_name, off = _read_str(view, off, limit)
+    workload, off = _read_str(view, off, limit)
+    if off + 16 > limit:
+        raise TraceFormatError("truncated trace header")
+    (duration_ns,) = _U64.unpack_from(view, off)
+    (n_events,) = _U64.unpack_from(view, off + 8)
+    off += 16
+
+    if off + 4 > limit:
+        raise TraceFormatError("truncated trace header")
+    (n_comms,) = _U32.unpack_from(view, off)
+    off += 4
+    comms = []
+    for _ in range(n_comms):
+        comm, off = _read_str(view, off, limit)
+        comms.append(sys.intern(comm))
+    if off + 4 > limit:
+        raise TraceFormatError("truncated trace header")
+    (n_sites,) = _U32.unpack_from(view, off)
+    off += 4
+    sites = []
+    for _ in range(n_sites):
+        if off + 1 > limit:
+            raise TraceFormatError("truncated trace header")
+        frames = view[off]
+        off += 1
+        parts = []
+        for _ in range(frames):
+            frame, off = _read_str(view, off, limit)
+            parts.append(sys.intern(frame))
+        sites.append(tuple(parts))
+
+    off += -off % 8
+    body = sum(size * n_events for _, _, size in _COLUMN_LAYOUT)
+    if off + body > limit:
+        raise TraceFormatError(
+            f"truncated trace: column section needs {body} bytes, "
+            f"{limit - off} available")
+    columns = []
+    for _name, code, itemsize in _COLUMN_LAYOUT:
+        columns.append(_cast_column(view, off, code, itemsize, n_events))
+        off += itemsize * n_events
+    return ColumnarTrace(os_name=os_name, workload=workload,
+                         duration_ns=duration_ns, n_events=n_events,
+                         comms=comms, sites=sites, columns=columns,
+                         mapped=mapped)
+
+
+class _Mapping:
+    """Keeps the mmap (and its file) alive as long as the view needs it."""
+
+    __slots__ = ("_fh", "_mm", "view")
+
+    def __init__(self, path: str):
+        self._fh = open(path, "rb")
+        try:
+            self._mm = mmap.mmap(self._fh.fileno(), 0,
+                                 access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            # Empty or unmappable file: fall back to a plain read.
+            self._mm = None
+            self.view = memoryview(self._fh.read())
+            self._fh.close()
+            self._fh = None
+            return
+        self.view = memoryview(self._mm)
+
+    def close(self) -> None:
+        self.view.release()
+        if self._mm is not None:
+            self._mm.close()
+        if self._fh is not None:
+            self._fh.close()
+
+
+def load_v2(path: str) -> ColumnarTrace:
+    """``mmap`` a v2 trace file into a zero-copy :class:`ColumnarTrace`."""
+    mapped = _Mapping(path)
+    try:
+        return load_columnar(mapped.view, mapped)
+    except Exception:
+        mapped.close()
+        raise
+
+
+def save_v2(trace: Trace, path: str) -> None:
+    """Write ``trace`` to ``path`` in the v2 columnar format."""
+    with open(path, "wb") as fh:
+        dump_trace_v2(trace, fh)
+
+
+def dumps_v2(trace: Trace) -> bytes:
+    out = io.BytesIO()
+    dump_trace_v2(trace, out)
+    return out.getvalue()
+
+
+def loads_v2(data: bytes) -> ColumnarTrace:
+    return load_columnar(memoryview(data))

@@ -1,0 +1,18 @@
+"""Typed trace I/O errors.
+
+:class:`TraceFormatError` subclasses :class:`ValueError` so existing
+callers that caught the untyped errors keep working, while the CLI and
+the format registry can distinguish "this file is not a readable trace"
+(exit code 2) from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class TraceFormatError(ValueError):
+    """A trace file/stream violates the on-disk format.
+
+    Raised for bad magic, unsupported versions, truncated or corrupt
+    payloads, and for values that cannot be represented on write (e.g.
+    a string longer than its length field).
+    """

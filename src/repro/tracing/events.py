@@ -12,7 +12,7 @@ hit the same constraint and used a 512 MiB relayfs buffer.
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 
 class EventKind(IntEnum):
@@ -33,8 +33,13 @@ FLAG_ABSOLUTE = 1 << 2     #: caller passed an absolute expiry (Vista)
 FLAG_WAIT_SATISFIED = 1 << 3   #: WAIT_UNBLOCK: wait satisfied, not timed out
 
 
-class TimerEvent:
+class TimerEvent(NamedTuple):
     """A single instrumentation record.
+
+    A NamedTuple: a two-minute desktop trace already holds hundreds of
+    thousands of records and every analysis walks them, so records get
+    tuple-cheap construction and let hot loops unpack all ten fields
+    in one C-level step instead of attribute lookups.
 
     Attributes
     ----------
@@ -61,23 +66,16 @@ class TimerEvent:
         FLAG_* bits.
     """
 
-    __slots__ = ("kind", "ts", "timer_id", "pid", "comm", "domain",
-                 "site", "timeout_ns", "expires_ns", "flags")
-
-    def __init__(self, kind: EventKind, ts: int, timer_id: int, pid: int,
-                 comm: str, domain: str, site: Tuple[str, ...],
-                 timeout_ns: Optional[int] = None,
-                 expires_ns: Optional[int] = None, flags: int = 0):
-        self.kind = kind
-        self.ts = ts
-        self.timer_id = timer_id
-        self.pid = pid
-        self.comm = comm
-        self.domain = domain
-        self.site = site
-        self.timeout_ns = timeout_ns
-        self.expires_ns = expires_ns
-        self.flags = flags
+    kind: EventKind
+    ts: int
+    timer_id: int
+    pid: int
+    comm: str
+    domain: str
+    site: Tuple[str, ...]
+    timeout_ns: Optional[int] = None
+    expires_ns: Optional[int] = None
+    flags: int = 0
 
     @property
     def is_user(self) -> bool:

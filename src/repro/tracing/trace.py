@@ -15,8 +15,6 @@ on:
 
 from __future__ import annotations
 
-import gzip
-import json
 from typing import Callable, Iterable, Optional, Tuple
 
 from .events import EventKind, TimerEvent
@@ -142,33 +140,25 @@ class Trace:
     def save(self, path: str) -> None:
         """Write the trace; the extension picks the format.
 
-        ``*.bin`` selects the compact binary codec
-        (:mod:`repro.tracing.binfmt`, ~5x smaller and much faster to
-        load); anything else gets gzipped JSON lines.
+        Routes through the format registry
+        (:func:`repro.tracing.formats.write_trace`): ``*.bin`` selects
+        the v2 columnar codec, ``*.bin1`` the legacy v1 codec, anything
+        else gzipped JSON lines.
         """
-        if path.endswith(".bin"):
-            from .binfmt import save_binary
-            save_binary(self, path)
-            return
-        with gzip.open(path, "wt", encoding="utf-8") as fh:
-            header = {"os": self.os_name, "workload": self.workload,
-                      "duration_ns": self.duration_ns}
-            fh.write(json.dumps(header) + "\n")
-            for event in self.events:
-                fh.write(json.dumps(event.to_dict()) + "\n")
+        from .formats import write_trace
+        write_trace(self, path)
 
     @classmethod
     def load(cls, path: str) -> "Trace":
-        """Load a trace saved by :meth:`save` (either format)."""
-        if path.endswith(".bin"):
-            from .binfmt import load_binary
-            return load_binary(path)
-        with gzip.open(path, "rt", encoding="utf-8") as fh:
-            header = json.loads(fh.readline())
-            events = [TimerEvent.from_dict(json.loads(line))
-                      for line in fh if line.strip()]
-        return cls(os_name=header["os"], workload=header["workload"],
-                   duration_ns=header["duration_ns"], events=events)
+        """Load a trace in any registered format (sniffed by magic)
+        and materialise it as a full in-memory :class:`Trace`.
+
+        Prefer :func:`repro.tracing.open_trace` for large binary
+        traces — it returns the zero-copy columnar view instead of
+        hydrating every event up front.
+        """
+        from .formats import materialize, open_trace
+        return materialize(open_trace(path))
 
     def __len__(self) -> int:
         return len(self.events)

@@ -32,10 +32,10 @@ __all__ = [
 #
 # One study is eight-plus independent simulations; each is
 # deterministic in (os, workload, duration, seed), so they parallelise
-# perfectly.  Workers return the trace as compact binfmt bytes (the
-# relayfs trick again: fixed-size binary records cross the process
-# boundary, text rendering stays in the parent), which keeps results
-# byte-identical to a serial run.
+# perfectly.  Workers return the trace as compact columnar v2 bytes
+# (the relayfs trick again: fixed-stride binary columns cross the
+# process boundary, text rendering stays in the parent), which keeps
+# results byte-identical to a serial run.
 
 #: One simulation request: (os_name, workload, duration_ns, seed).
 #: ``duration_ns=None`` uses the workload's own default length (the
@@ -72,10 +72,10 @@ def _run_trace_job(job: TraceJob, sink_factory=None,
                    retain_events: bool = True,
                    collect_metrics: bool = False) -> Tuple[bytes, object,
                                                            object]:
-    from ..tracing.binfmt import dumps
+    from ..tracing.formats import trace_to_bytes
     trace, sinks, snapshot = _run_one(job, sink_factory, retain_events,
                                       collect_metrics)
-    return dumps(trace), sinks, snapshot
+    return trace_to_bytes(trace), sinks, snapshot
 
 
 def _assemble(results: list, sink_factory, collect_metrics: bool) -> list:
@@ -134,7 +134,7 @@ def run_study_traces(jobs: Iterable[TraceJob], *,
         return _run_serial(jobs, sink_factory, retain_events,
                            collect_metrics)
     from functools import partial
-    from ..tracing.binfmt import loads
+    from ..tracing.formats import materialize, trace_from_bytes
     worker = partial(_run_trace_job, sink_factory=sink_factory,
                      retain_events=retain_events,
                      collect_metrics=collect_metrics)
@@ -147,6 +147,6 @@ def run_study_traces(jobs: Iterable[TraceJob], *,
         # or an unpicklable factory/sink: fall back to serial.
         return _run_serial(jobs, sink_factory, retain_events,
                            collect_metrics)
-    results = [(loads(blob), sinks, snapshot)
+    results = [(materialize(trace_from_bytes(blob)), sinks, snapshot)
                for blob, sinks, snapshot in blobs]
     return _assemble(results, sink_factory, collect_metrics)

@@ -18,7 +18,7 @@ from repro.core import (TraceIndex, adaptivity_report, classify_trace,
                         render_scatter, summarize, value_histogram)
 from repro.core.episodes import extract_episodes
 from repro.sim.clock import MINUTE, SECOND
-from repro.tracing import EventKind, Trace, dumps
+from repro.tracing import EventKind, Trace, trace_to_bytes
 from repro.workloads import run_study_traces, run_workload
 
 from .helpers import TraceBuilder, periodic_timer, watchdog_timer
@@ -198,7 +198,8 @@ class TestParallelDriver:
     def test_serial_matches_parallel_byte_for_byte(self):
         serial = run_study_traces(self.JOBS, processes=1)
         parallel = run_study_traces(self.JOBS, processes=2)
-        assert [dumps(t) for t in serial] == [dumps(t) for t in parallel]
+        assert [trace_to_bytes(t) for t in serial] == \
+            [trace_to_bytes(t) for t in parallel]
 
     def test_job_order_is_preserved(self):
         results = run_study_traces(self.JOBS, processes=2)

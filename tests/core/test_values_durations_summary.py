@@ -207,9 +207,9 @@ class TestOrigins:
         builder = TraceBuilder()
         periodic_timer(builder, period_ns=248 * MILLISECOND, timer_id=1)
         trace = builder.build()
-        for event in trace.events:
-            event.site = ("uhci_hcd", "usb_hcd_poll_rh_status",
-                          "__mod_timer")
+        site = ("uhci_hcd", "usb_hcd_poll_rh_status", "__mod_timer")
+        trace.events[:] = [event._replace(site=site)
+                           for event in trace.events]
         rows = origin_table(trace, logical=False)
         assert len(rows) == 1
         assert rows[0].origin == "USB host controller status poll"

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Regenerate the cross-version golden trace fixtures.
+
+Run from the repo root::
+
+    PYTHONPATH=src:. python tests/data/make_fixtures.py
+
+The fixture *bytes* are committed; the tests in
+``tests/tracing/test_formats.py`` decode them with today's readers and
+compare against the canonical event list (``golden_events``).  Only
+regenerate when the on-disk format intentionally changes — that is the
+point at which old readers must learn to negotiate the new layout.
+"""
+
+import os
+
+from tests.tracing.test_formats import golden_trace
+
+from repro.tracing import write_trace
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def main() -> None:
+    trace = golden_trace()
+    for name, filename in (("binfmt", "cross_v1.bin1"),
+                           ("binfmt2", "cross_v2.bin2")):
+        path = os.path.join(HERE, filename)
+        write_trace(trace, path, format=name)
+        print(f"{filename}: {os.path.getsize(path)} bytes ({name})")
+
+
+if __name__ == "__main__":
+    main()

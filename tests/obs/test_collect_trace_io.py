@@ -1,0 +1,86 @@
+"""Trace-I/O and sharding tallies: plain counters at the source,
+pull-collected into a registry, never perturbing I/O or extraction."""
+
+import pytest
+
+from repro.core.shard import SHARD_COUNTERS, sharded_analysis
+from repro.obs import MetricsRegistry, collect_trace_io
+from repro.sim.clock import SECOND
+from repro.tracing import open_trace, trace_to_bytes, write_trace
+from repro.tracing.formats import IO_COUNTERS
+from repro.workloads import run_workload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_workload("linux", "idle", 2 * SECOND, seed=3).trace
+
+
+def _io_snapshot():
+    return {fmt: dict(tallies) for fmt, tallies in IO_COUNTERS.items()}
+
+
+class TestIoCounters:
+    def test_write_and_open_tally_per_format(self, trace, tmp_path):
+        before = _io_snapshot().get("binfmt2",
+                                    {"loads": 0, "saves": 0,
+                                     "bytes_read": 0,
+                                     "bytes_written": 0})
+        path = tmp_path / "t.bin"
+        assert write_trace(trace, path) == "binfmt2"
+        open_trace(path)
+        after = IO_COUNTERS["binfmt2"]
+        assert after["saves"] == before["saves"] + 1
+        assert after["loads"] == before["loads"] + 1
+        size = path.stat().st_size
+        assert after["bytes_written"] == before["bytes_written"] + size
+        assert after["bytes_read"] == before["bytes_read"] + size
+
+    def test_bytes_roundtrip_counts_as_save(self, trace):
+        before = _io_snapshot().get("jsonl", {}).get("saves", 0)
+        data = trace_to_bytes(trace, format="jsonl")
+        assert IO_COUNTERS["jsonl"]["saves"] == before + 1
+        assert IO_COUNTERS["jsonl"]["bytes_written"] >= len(data)
+
+    def test_counting_never_changes_loaded_trace(self, trace, tmp_path):
+        path = tmp_path / "t.bin"
+        write_trace(trace, path)
+        loaded = open_trace(path)
+        assert trace_to_bytes(loaded) == trace_to_bytes(trace)
+
+
+class TestShardCounters:
+    def test_sharded_analysis_bumps_tallies(self, trace):
+        before = dict(SHARD_COUNTERS)
+        sharded_analysis(trace, jobs=2, processes=1)
+        assert SHARD_COUNTERS["analyses"] == before["analyses"] + 1
+        assert SHARD_COUNTERS["shard_runs"] == before["shard_runs"] + 1
+        assert SHARD_COUNTERS["shards"] == before["shards"] + 2
+
+
+class TestCollectTraceIo:
+    def test_registry_mirrors_the_plain_counters(self, trace, tmp_path):
+        path = tmp_path / "t.bin"
+        write_trace(trace, path)
+        open_trace(path)
+        registry = MetricsRegistry()
+        collect_trace_io(registry)
+        snap = registry.snapshot()
+        tallies = IO_COUNTERS["binfmt2"]
+        assert snap.get("repro_trace_loads_total",
+                        format="binfmt2") == tallies["loads"]
+        assert snap.get("repro_trace_saves_total",
+                        format="binfmt2") == tallies["saves"]
+        assert snap.get("repro_trace_bytes_read_total",
+                        format="binfmt2") == tallies["bytes_read"]
+        assert snap.get("repro_shard_analyses_total") \
+            == SHARD_COUNTERS["analyses"]
+
+    def test_labels_thread_through(self, trace, tmp_path):
+        write_trace(trace, tmp_path / "t.bin")
+        registry = MetricsRegistry()
+        collect_trace_io(registry, labels={"host": "ci"})
+        snap = registry.snapshot()
+        assert snap.get("repro_trace_saves_total", host="ci",
+                        format="binfmt2") \
+            == IO_COUNTERS["binfmt2"]["saves"]
