@@ -16,6 +16,12 @@ Two measurements back the engine's timing-wheel scheduler
 * **the serverfarm scene end to end** — the real workload
   (``PORTABLE_SERVERFARM`` scaled up) per backend on both schedulers,
   reporting engine-loop throughput and wheel statistics.
+* **host scaling** — the flagship multi-host serverfarm: a fixed
+  total connection population spread across 1, 2, and 4 cluster hosts
+  on one shared engine with per-CPU sharded wheels, proving the
+  cluster layer sustains a >=1M aggregate live-timer fleet (the
+  dispatch-checksum gate of the churn phase also covers the sharded
+  scheduler, so the sharding is known not to reorder anything).
 
 Results go to ``BENCH_scale.json``.  Usage::
 
@@ -171,6 +177,37 @@ def farm_run(os_name: str, kind: str, *, connections: int,
     }
 
 
+def host_scaling_run(hosts: int, *, total_connections: int,
+                     duration_ns: int, seed: int, cpus: int) -> dict:
+    """One multi-host serverfarm run: the same total population split
+    over ``hosts`` machines sharing one engine."""
+    from repro.kern import Cluster
+    per_host = total_connections // hosts
+    t0 = time.perf_counter()
+    cluster = Cluster("linux", hosts=hosts, cpus=cpus, seed=seed,
+                      retain_events=False)
+    cluster.scene("serverfarm", connections=per_host)
+    cluster.finish("serverfarm", duration_ns)
+    wall_s = time.perf_counter() - t0
+    engine = cluster.engine
+    sched = engine.scheduler
+    loop_s = engine.wall_ns / 1e9
+    return {
+        "hosts": hosts,
+        "cpus": cpus,
+        "scheduler": sched.kind,
+        "connections_per_host": per_host,
+        "total_connections": per_host * hosts,
+        "wall_s": round(wall_s, 3),
+        "engine_loop_s": round(loop_s, 3),
+        "dispatched": engine.dispatched,
+        "scheduled": engine._seq,
+        "events_per_s": round(engine.dispatched / loop_s)
+        if loop_s else None,
+        "peak_live_timers": engine.peak_pending,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=0)
@@ -183,21 +220,30 @@ def main(argv=None) -> int:
     if args.smoke:
         population, rounds, batch = 30_000, 4, 2_000
         connections, duration_ns = 1_000, 2 * SECOND
+        host_counts, total_connections = (1, 2), 2_000
+        host_duration_ns = SECOND
     else:
         population, rounds, batch = 1_100_000, 20, 12_500
         connections, duration_ns = 30_000, 10 * SECOND
+        host_counts, total_connections = (1, 2, 4), 1_048_576
+        host_duration_ns = SECOND
 
     # -- engine churn ---------------------------------------------------
+    # "sharded:4" rides along so the order-sensitive checksum gate also
+    # covers the per-CPU k-way merge the cluster layer relies on.
     engine_results = {}
-    for kind in ("heap", "wheel"):
+    for kind in ("heap", "wheel", "sharded:4"):
         print(f"engine churn: {kind} scheduler, population "
               f"{population}", file=sys.stderr)
         engine_results[kind] = engine_churn(
             kind, population=population, rounds=rounds, batch=batch)
     heap_r, wheel_r = engine_results["heap"], engine_results["wheel"]
-    identical = (heap_r["dispatch_checksum"]
-                 == wheel_r["dispatch_checksum"]
-                 and heap_r["dispatched"] == wheel_r["dispatched"])
+    sharded_r = engine_results["sharded:4"]
+    identical = (
+        len({r["dispatch_checksum"]
+             for r in (heap_r, wheel_r, sharded_r)}) == 1
+        and len({r["dispatched"]
+                 for r in (heap_r, wheel_r, sharded_r)}) == 1)
     speedup_total = (heap_r["total_s"] / wheel_r["total_s"]
                      if wheel_r["total_s"] else None)
     # The at-scale number: events/s while the full population is live
@@ -212,7 +258,8 @@ def main(argv=None) -> int:
         "speedup_at_scale": round(speedup, 2) if speedup else None,
         "speedup_total": round(speedup_total, 2)
         if speedup_total else None,
-        "target": ">=1M live timers, >=2x events/s at that depth",
+        "target": ">=1M live timers, >=2x events/s at that depth, "
+                  "identical dispatch incl. sharded:4",
         "target_met": bool(identical and peak >= 1_000_000
                            and speedup and speedup >= 2.0),
     }
@@ -235,13 +282,38 @@ def main(argv=None) -> int:
             round(heap_loop / wheel_loop, 2) if wheel_loop else None)
         farm[os_name] = per_os
 
+    # -- host scaling ---------------------------------------------------
+    host_runs = []
+    for hosts in host_counts:
+        print(f"host scaling: {hosts} host(s), "
+              f"{total_connections} total connections", file=sys.stderr)
+        host_runs.append(host_scaling_run(
+            hosts, total_connections=total_connections,
+            duration_ns=host_duration_ns, seed=args.seed, cpus=2))
+    fleet_peak = max((r["peak_live_timers"] for r in host_runs
+                      if r["hosts"] >= 2), default=0)
+    cluster_target_met = args.smoke or fleet_peak >= 1_000_000
+    host_scaling = {
+        "total_connections": total_connections,
+        "virtual_seconds": host_duration_ns / 1e9,
+        "runs": host_runs,
+        "verdict": {
+            "aggregate_peak_live_at_2plus_hosts": fleet_peak,
+            "target": ">=1M aggregate live timers at >=2 hosts",
+            "target_met": bool(cluster_target_met),
+        },
+    }
+
     result = {
         "config": {"seed": args.seed, "smoke": args.smoke,
                    "population": population, "rounds": rounds,
                    "batch": batch, "connections": connections,
+                   "host_counts": list(host_counts),
+                   "total_connections": total_connections,
                    "cpus": os.cpu_count()},
         "engine": engine_results,
         "serverfarm": farm,
+        "host_scaling": host_scaling,
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(result, fh, indent=2)
@@ -252,10 +324,13 @@ def main(argv=None) -> int:
           f"wheel speedup {verdict['speedup_at_scale']}x at scale "
           f"({verdict['speedup_total']}x total), identical dispatch: "
           f"{verdict['identical_dispatch']}", file=sys.stderr)
+    print(f"host scaling: {fleet_peak} aggregate live timers at "
+          f">=2 hosts (target met: {cluster_target_met})",
+          file=sys.stderr)
     print(f"results -> {args.out}", file=sys.stderr)
     if args.smoke:
         return 0 if identical else 1
-    return 0 if verdict["target_met"] else 1
+    return 0 if (verdict["target_met"] and cluster_target_met) else 1
 
 
 if __name__ == "__main__":

@@ -28,7 +28,8 @@ from .core.report import render_analysis
 from .core.streaming import ProgressSink, StreamingSuite
 from .tracing import TraceFormatError, open_trace
 from .workloads import (WORKLOADS, browse, browse_adaptive,
-                        list_workloads, run_study_traces, run_workload)
+                        list_workloads, run_cluster_workload,
+                        run_study_traces, run_workload)
 
 
 def _positive_int(text: str) -> int:
@@ -48,6 +49,19 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=_positive_int, default=None, metavar="N",
         help="parallel simulation processes (default: one per CPU; "
              "1 = serial; output is identical either way)")
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--hosts", type=_positive_int, default=1, metavar="N",
+        help="simulate an N-host cluster on one shared clock "
+             "(default 1 = a standalone machine, byte-identical to "
+             "the pre-cluster behaviour; multi-host runs need a scene "
+             "workload: idle, webserver, serverfarm)")
+    parser.add_argument(
+        "--cpus", type=_positive_int, default=1, metavar="M",
+        help="shard the engine's timing wheel across M per-CPU wheels "
+             "(dispatch order and traces are identical at any M)")
 
 
 def _add_metrics_args(parser: argparse.ArgumentParser) -> None:
@@ -91,11 +105,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("error: --stream analyzes in flight and writes no trace "
               "file; --out conflicts with it", file=sys.stderr)
         return 2
+    if args.stream and args.hosts > 1:
+        print("error: --stream runs one machine; use --hosts 1 or "
+              "drop --stream for a cluster trace", file=sys.stderr)
+        return 2
     duration = int(args.minutes * MINUTE)
+    if args.hosts > 1:
+        return _run_cluster(args, duration)
     mode = "streaming " if args.stream else ""
+    cpus = f", {args.cpus} CPUs" if args.cpus > 1 else ""
     print(f"{mode}running {args.os}/{args.workload} for "
-          f"{args.minutes:g} virtual minutes (seed {args.seed})...",
-          file=sys.stderr)
+          f"{args.minutes:g} virtual minutes (seed {args.seed}{cpus})"
+          "...", file=sys.stderr)
+    if args.cpus > 1:
+        # Per-CPU sharded engine wheel; dispatch order — and the trace
+        # — are identical at any CPU count.
+        from .sim.sched import use_scheduler
+        with use_scheduler(f"sharded:{args.cpus}"):
+            return _run_single(args, duration)
+    return _run_single(args, duration)
+
+
+def _run_cluster(args: argparse.Namespace, duration: int) -> int:
+    print(f"running {args.os}/{args.workload} on {args.hosts} hosts "
+          f"x {args.cpus} CPUs for {args.minutes:g} virtual minutes "
+          f"(seed {args.seed})...", file=sys.stderr)
+    run = run_cluster_workload(args.os, args.workload, duration,
+                               hosts=args.hosts, cpus=args.cpus,
+                               seed=args.seed)
+    out = args.out if args.out is not None else "trace.jsonl.gz"
+    from .tracing import write_trace
+    write_trace(run.trace, out)
+    print(f"{len(run.trace.events)} events across {run.hosts} hosts "
+          f"-> {out}", file=sys.stderr)
+    if _metrics_enabled(args):
+        return _emit_metrics(run.metrics(), args)
+    return 0
+
+
+def _run_single(args: argparse.Namespace, duration: int) -> int:
     if args.stream:
         # Bounded-memory path: events flow through the incremental
         # reducers as the kernel emits them; nothing is buffered, so
@@ -175,15 +223,30 @@ def _cmd_study(args: argparse.Namespace) -> int:
     jobs = [(os_name, workload,
              None if workload == "desktop" else duration, args.seed)
             for os_name, workload in order]
+    if args.cpus > 1:
+        # Sharded engine wheel for every simulation; the study output
+        # is byte-identical at any CPU count.
+        jobs = [job + (1, args.cpus) for job in jobs]
+    cluster_backends = backends if args.hosts > 1 else []
+    for os_name in cluster_backends:
+        print(f"tracing {os_name}/serverfarm on {args.hosts} hosts...",
+              file=sys.stderr)
+        jobs.append((os_name, "serverfarm", duration, args.seed,
+                     args.hosts, args.cpus))
     collect = _metrics_enabled(args)
     results = run_study_traces(jobs, processes=args.jobs,
                                collect_metrics=collect)
+    cluster_results = []
+    if cluster_backends:
+        split = len(results) - len(cluster_backends)
+        results, cluster_results = results[:split], results[split:]
     code = 0
     if collect:
         from .obs import MetricsSnapshot
         traces = dict(zip(order, (trace for trace, _ in results)))
         code = _emit_metrics(MetricsSnapshot.merge(
-            snapshot for _, snapshot in results), args)
+            snapshot for _, snapshot in results + cluster_results), args)
+        cluster_results = [trace for trace, _ in cluster_results]
     else:
         traces = dict(zip(order, results))
 
@@ -206,6 +269,12 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(render_rates(rate_series(traces[("vista", "desktop")]),
                        groups=["Outlook", "Browser", "System",
                                "Kernel"], max_rows=10))
+    if cluster_backends:
+        from .core.report import host_rollup
+        for os_name, trace in zip(cluster_backends, cluster_results):
+            print(f"\n=== Cluster serverfarm: {os_name}, "
+                  f"{args.hosts} hosts x {args.cpus} CPUs ===")
+            print(host_rollup(trace))
     return code
 
 
@@ -251,6 +320,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ServeConfig, ServeDaemon
     config = ServeConfig(
         os_name=args.backend, workload=args.workload, seed=args.seed,
+        hosts=args.hosts, cpus=args.cpus,
         host=args.host, port=args.port, speed=args.speed,
         tick_s=args.tick_ms / 1e3, interval_s=args.interval,
         opentsdb=args.opentsdb, duration_s=args.for_seconds)
@@ -313,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="analyze events in flight with bounded "
                             "memory; prints the analysis instead of "
                             "saving a trace")
+    _add_cluster_args(run_p)
     _add_metrics_args(run_p)
     run_p.set_defaults(func=_cmd_run)
 
@@ -342,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="portable workload definition "
                            "(idle, webserver, portable)")
     sv_p.add_argument("--seed", type=int, default=0)
+    _add_cluster_args(sv_p)
     sv_p.add_argument("--host", default="127.0.0.1")
     sv_p.add_argument("--port", type=int, default=8900,
                       help="HTTP port for /metrics, /healthz, "
@@ -374,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     st_p.add_argument("--minutes", type=float, default=2.0)
     st_p.add_argument("--seed", type=int, default=0)
     _add_jobs_arg(st_p)
+    _add_cluster_args(st_p)
     _add_metrics_args(st_p)
     st_p.set_defaults(func=_cmd_study)
 

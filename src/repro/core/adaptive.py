@@ -19,6 +19,12 @@ provides the machinery for that:
   :func:`simulate_wait_policy`, the harness behind the Section 5.1
   benchmark comparing fixed and adaptive timeouts on failure-detection
   latency and false-timeout rate.
+
+Not to be confused with :mod:`repro.core.adaptivity`, which *detects*
+whether the timers in a recorded trace behaved adaptively (the
+Section 4.2 classification).  Rule of thumb: ``adaptivity`` asks
+"were they adaptive?", ``adaptive`` (this module) answers "here is
+how to be adaptive".
 """
 
 from __future__ import annotations
@@ -26,6 +32,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
+
+__all__ = [
+    "AdaptiveTimeout", "ExponentialBackoff", "JacobsonEstimator",
+    "LevelShiftDetector", "P2Quantile", "WaitOutcome",
+    "simulate_wait_policy",
+]
 
 
 class JacobsonEstimator:

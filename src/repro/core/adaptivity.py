@@ -15,6 +15,12 @@ as
   load-adjusted commit interval);
 * **IRREGULAR** — values vary with no smooth structure (Skype's
   event-loop residues).
+
+Not to be confused with :mod:`repro.core.adaptive`, which *builds*
+adaptive timeout policies (the Section 5.1 estimator/backoff/quantile
+machinery).  Rule of thumb: ``adaptivity`` (this module) asks "were
+the traced timers adaptive?", ``adaptive`` answers "here is how to be
+adaptive".
 """
 
 from __future__ import annotations
@@ -25,6 +31,11 @@ from typing import Optional, Sequence
 
 from .episodes import DEFAULT_TOLERANCE_NS
 from .index import as_index
+
+__all__ = [
+    "AdaptivityReport", "ValueBehavior", "adaptivity_report",
+    "classify_values",
+]
 
 
 class ValueBehavior(enum.Enum):

@@ -248,7 +248,7 @@ def extract_episodes(history: TimerHistory, os_name: str) -> list[Episode]:
     E = Episode
     new = tuple.__new__
     for (kind, ts, _tid, _pid, _comm, domain, _site,
-         timeout_ns, expires_ns, flags) in history.events:
+         timeout_ns, expires_ns, flags, _host, _cpu) in history.events:
         if kind is SET:
             if armed_at is not None:
                 gap = None if last_end is None else armed_at - last_end

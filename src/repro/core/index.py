@@ -99,7 +99,12 @@ class TraceIndex:
         # outnumber misses by orders of magnitude.
         for event in events:
             kind = event[0]
-            timer_id = event[2]
+            host = event[10]
+            # Cluster traces: timer ids (and (site, pid) clusters) are
+            # per-host namespaces, so the grouping keys carry the host.
+            # host == 0 (every single-machine trace) keeps the plain
+            # keys, so existing groupings are bit-for-bit unchanged.
+            timer_id = (host, event[2]) if host else event[2]
 
             # Per-address grouping (Trace.instances).
             try:
@@ -112,7 +117,8 @@ class TraceIndex:
             # events on a timer id join the cluster of that id's most
             # recent SET/INIT/WAIT site.
             if kind is set_kind or kind is init_kind or kind is wait_kind:
-                key = (event[6], event[3])     # (site, pid)
+                key = (host, event[6], event[3]) if host \
+                    else (event[6], event[3])      # (site, pid)
                 site_of_id[timer_id] = key
                 if kind is not init_kind:
                     set_like_append(event)
@@ -120,7 +126,8 @@ class TraceIndex:
                 try:
                     key = site_of_id[timer_id]
                 except KeyError:
-                    key = (event[6], event[3])
+                    key = (host, event[6], event[3]) if host \
+                        else (event[6], event[3])
             try:
                 group = logical_groups[key]
             except KeyError:

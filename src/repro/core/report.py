@@ -24,6 +24,30 @@ WORKLOADS = ("idle", "skype", "firefox", "webserver")
 X_COMMS = ("Xorg", "icewm")
 
 
+def host_rollup(trace) -> str:
+    """Per-host Table 1/2 columns for a merged cluster trace.
+
+    Splits the timeline by the events' ``host`` stamp and summarises
+    each host's slice side by side.  Returns ``""`` for a single-host
+    trace (no event carries a nonzero host id), so callers can append
+    the section only when it says something.
+    """
+    events = getattr(trace, "events", None)
+    iterator = events if events is not None else trace.iter_events()
+    by_host: dict[int, list] = {}
+    for event in iterator:
+        by_host.setdefault(event[10], []).append(event)
+    hosts = sorted(host for host in by_host if host)
+    if not hosts:
+        return ""
+    summaries = [summarize(Trace(os_name=trace.os_name,
+                                 workload=f"host {host}",
+                                 duration_ns=trace.duration_ns,
+                                 events=by_host[host]))
+                 for host in hosts]
+    return summary_table(summaries)
+
+
 def render_analysis(source, *, filter_x: bool = False) -> str:
     """Render the ``timerstudy analyze`` battery for one trace.
 
@@ -43,6 +67,12 @@ def render_analysis(source, *, filter_x: bool = False) -> str:
               f"{analysis.duration_ns / MINUTE:.1f} virtual minutes\n\n")
     out.write("=== Summary (Tables 1/2 schema) ===\n")
     out.write(summary_table([analysis.summary()]) + "\n")
+
+    if analysis.mode == "batch":
+        rollup = host_rollup(analysis.trace)
+        if rollup:
+            out.write("\n=== Per-host rollup (cluster trace) ===\n")
+            out.write(rollup + "\n")
 
     out.write("\n=== Usage patterns (Figure 2 schema) ===\n")
     for name, pct in analysis.pattern_breakdown().figure2_row().items():

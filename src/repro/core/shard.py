@@ -18,7 +18,11 @@ Shard assignment is deterministic and process-independent:
   same plan;
 * per-(site, pid) clusters (the Vista grouping) shard by their
   creation ordinal modulo ``N`` (the cluster key is a tuple; its hash
-  is salted per process and must not leak into the plan).
+  is salted per process and must not leak into the plan);
+* host-qualified groups from cluster traces — ``(host, timer_id)`` or
+  ``(host, site, pid)`` — shard by ``host % N``, so one machine's
+  timers stay on one worker and a multi-host trace decomposes along
+  its natural per-host axis.
 
 Workers go through ``multiprocessing`` when the host actually has
 spare CPUs; otherwise (or when the pool cannot be set up — sandboxes,
@@ -51,11 +55,17 @@ SHARD_COUNTERS = {"analyses": 0, "shard_runs": 0, "shards": 0,
 def shard_of(key, ordinal: int, jobs: int) -> int:
     """Deterministic shard for one timer group.
 
-    ``key`` is the group's routing key (an ``int`` timer id, or the
-    logical ``(site, pid)`` tuple); ``ordinal`` its creation index.
+    ``key`` is the group's routing key (an ``int`` timer id, the
+    logical ``(site, pid)`` tuple, or — on cluster traces — either of
+    those qualified by a leading host id); ``ordinal`` its creation
+    index.  Host-qualified groups shard by host: one machine's timers
+    land on one worker, making the host the parallel axis a cluster
+    trace naturally decomposes along.
     """
     if isinstance(key, int):
         return key % jobs
+    if key and isinstance(key[0], int):
+        return key[0] % jobs      # (host, ...) from a cluster trace
     return ordinal % jobs
 
 

@@ -127,6 +127,10 @@ class StreamingSummary:
         kind = event.kind
         ts = event.ts
         timer_id = event.timer_id
+        if event.host:
+            # Cluster traces: ids are per-host counters, so the same
+            # raw id on two hosts is two distinct timers.
+            timer_id = (event.host, timer_id)
         self._timer_ids.add(timer_id)
 
         if not (self._vista and (kind == EventKind.EXPIRE
@@ -191,8 +195,12 @@ class StreamingSummary:
         # One C-level unpack of the event tuple per iteration replaces
         # the per-field attribute lookups this loop used to pay.
         for (kind, ts, timer_id, _pid, _comm, domain, _site,
-             timeout_ns, expires_ns, flags) in events:
+             timeout_ns, expires_ns, flags, host, _cpu) in events:
             n += 1
+            if host:
+                # Cluster traces: ids are per-host counters, so the
+                # same raw id on two hosts is two distinct timers.
+                timer_id = (host, timer_id)
             add_id(timer_id)
 
             if not (vista and (kind is expire_kind or kind is init_kind)):
@@ -334,16 +342,22 @@ class EpisodeRouter:
                    and group.builder._armed_at is not None)
 
     def _key_for(self, event: TimerEvent):
+        # Host-qualified keys on cluster traces: raw timer ids (and
+        # (site, pid) clusters) are per-host namespaces.
+        host = event.host
         if not self.logical:
-            return event.timer_id
+            return (host, event.timer_id) if host else event.timer_id
+        timer_id = (host, event.timer_id) if host else event.timer_id
         kind = event.kind
         if kind == EventKind.SET or kind == EventKind.INIT \
                 or kind == EventKind.WAIT_UNBLOCK:
-            key = (event.site, event.pid)
-            self._site_of_id[event.timer_id] = key
+            key = (host, event.site, event.pid) if host \
+                else (event.site, event.pid)
+            self._site_of_id[timer_id] = key
             return key
-        return self._site_of_id.get(event.timer_id,
-                                    (event.site, event.pid))
+        return self._site_of_id.get(
+            timer_id, (host, event.site, event.pid) if host
+            else (event.site, event.pid))
 
     def _new_group(self, key, event: TimerEvent) -> _Group:
         builder = EpisodeBuilder(self.os_name)
@@ -396,14 +410,17 @@ class EpisodeRouter:
         if logical:
             for event in events:
                 kind = event[0]
-                timer_id = event[2]
+                host = event[10]
+                timer_id = (host, event[2]) if host else event[2]
                 if kind is SET or kind is INIT or kind is WAIT_UNBLOCK:
-                    key = (event[6], event[3])     # (site, pid)
+                    key = (host, event[6], event[3]) if host \
+                        else (event[6], event[3])      # (site, pid)
                     site_of_id[timer_id] = key
                 else:
                     key = site_lookup(timer_id)
                     if key is None:
-                        key = (event[6], event[3])
+                        key = (host, event[6], event[3]) if host \
+                            else (event[6], event[3])
                 group = lookup(key)
                 if group is None:
                     group = new_group(key, event)
@@ -412,7 +429,8 @@ class EpisodeRouter:
                 group.builder.push(event)
         else:
             for event in events:
-                key = event[2]
+                host = event[10]
+                key = (host, event[2]) if host else event[2]
                 group = lookup(key)
                 if group is None:
                     group = new_group(key, event)
@@ -568,7 +586,7 @@ class StreamingValues:
         get = counts.get
         total = 0
         for (kind, _ts, _tid, _pid, _comm, event_domain, _site,
-             timeout_ns, _expires, _flags) in events:
+             timeout_ns, _expires, _flags, _host, _cpu) in events:
             if kind is wait_kind:
                 if not include_waits or timeout_ns is None:
                     continue

@@ -109,7 +109,11 @@ def _compute_summary(trace: Trace, *,
     INIT = EventKind.INIT
 
     for (kind, ts, timer_id, _pid, _comm, domain, _site,
-         timeout_ns, expires_ns, flags) in trace.events:
+         timeout_ns, expires_ns, flags, host, _cpu) in trace.events:
+        if host:
+            # Cluster traces: ids are per-host counters, so the same
+            # raw id on two hosts is two distinct timers.
+            timer_id = (host, timer_id)
         if timer_ids is not None:
             timer_ids.add(timer_id)
 

@@ -72,7 +72,7 @@ def value_histogram(source, *, domain: Optional[str] = None,
     # the per-event path.
     quantize = raw_user_values and quantizes_to_jiffies(index.os_name)
     for (kind, _ts, _tid, _pid, _comm, event_domain, _site,
-         timeout, _expires, _flags) in index.set_like:
+         timeout, _expires, _flags, _host, _cpu) in index.set_like:
         if kind is WAIT_UNBLOCK:
             if not include_waits or timeout is None:
                 continue

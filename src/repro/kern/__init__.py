@@ -11,6 +11,10 @@ is the code-level expression of that claim:
 * :class:`Machine` — one generic machine harness replacing the old
   per-OS ``LinuxMachine``/``VistaMachine`` pair; it resolves everything
   OS-specific through the backend registry.
+* :class:`Cluster` — N machines (possibly mixed backends) on one
+  shared engine and clock, every record stamped with its host/CPU
+  identity; :meth:`Cluster.finish` merges the fleet into one
+  multi-host trace.
 * :func:`register_backend` — the pluggable registry.  The CLI, the
   study pipeline and :func:`repro.workloads.run_workload` resolve
   backends through it instead of hard-coding ``("linux", "vista")``,
@@ -28,6 +32,7 @@ query imports :mod:`repro.kern.backends`.
 """
 
 from .base import BackendBase
+from .cluster import Cluster, ClusterRun
 from .machine import (DEFAULT_DURATION_NS, PAPER_DURATION_NS, Machine,
                       WorkloadRun)
 from .portable import PortableApp, PortableWorkload
@@ -38,7 +43,8 @@ from .registry import (BackendSpec, BackendTraits, backend_names,
                        unregister_backend)
 
 __all__ = [
-    "BackendBase", "BackendSpec", "BackendTraits", "DEFAULT_DURATION_NS",
+    "BackendBase", "BackendSpec", "BackendTraits", "Cluster",
+    "ClusterRun", "DEFAULT_DURATION_NS",
     "Machine", "PAPER_DURATION_NS", "PortableApp", "PortableTimer",
     "PortableWorkload", "TimerBackend", "WorkloadRun", "backend_names",
     "backend_traits", "get_backend", "get_scene", "register_backend",

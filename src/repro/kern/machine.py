@@ -75,24 +75,54 @@ class Machine:
     Component builders record what they assembled in
     ``machine.components``; :meth:`finish` hands the accumulated dict
     to the :class:`WorkloadRun`.
+
+    Cluster identity: ``host_id`` names this machine inside a
+    :class:`~repro.kern.cluster.Cluster` (0 — the default — means a
+    standalone box and leaves the event stream untouched; cluster
+    members are numbered from 1 and every record they emit is stamped
+    through a :class:`~repro.tracing.relay.HostStampSink`).  ``cpus``
+    shards the engine's timing wheel per CPU
+    (:class:`~repro.sim.sched.ShardedWheelScheduler`); dispatch order
+    — and therefore the trace — is identical at any CPU count, so
+    ``cpus`` is purely a scalability/topology knob.  ``engine`` lets a
+    cluster put several machines on one shared clock.
     """
 
     def __init__(self, os_name: str, *, seed: int = 0,
                  sinks: Optional[Iterable] = None,
-                 retain_events: bool = True):
-        from ..tracing.relay import NullSink
+                 retain_events: bool = True, host_id: int = 0,
+                 cpus: int = 1, engine=None):
+        from ..tracing.relay import HostStampSink, NullSink
+        if host_id < 0 or host_id > 0xFF:
+            raise ValueError(f"host_id must be in 0..255, got {host_id}")
+        if cpus < 1 or cpus > 0xFFFF:
+            raise ValueError(f"cpus must be in 1..65535, got {cpus}")
         spec = get_backend(os_name)
         self.os_name = spec.name
         self.retain_events = retain_events
+        self.host_id = host_id
+        self.cpus = cpus
         self.buffer = spec.buffer_factory() if retain_events else NullSink()
-        self.kernel: TimerBackend = spec.kernel_factory(seed=seed,
-                                                        sink=self.buffer)
+        kernel_sink = HostStampSink(self.buffer, host_id, cpus) \
+            if host_id else self.buffer
+        if engine is None and cpus > 1:
+            from ..sim.engine import Engine
+            from ..sim.sched import ShardedWheelScheduler
+            engine = Engine(scheduler=ShardedWheelScheduler(cpus))
+        kwargs = dict(seed=seed, sink=kernel_sink)
+        if engine is not None:
+            kwargs["engine"] = engine
+        self.kernel: TimerBackend = spec.kernel_factory(**kwargs)
         self.rng = self.kernel.rng
         self.power = self.kernel.power
         self.components: dict = {}
         if spec.surfaces is not None:
             spec.surfaces(self)
         for sink in sinks or ():
+            if host_id:
+                # Live reducers see the same stamped records the trace
+                # buffer stores.
+                sink = HostStampSink(sink, host_id, cpus)
             self.kernel.attach_sink(sink)
 
     def scene(self, name: str, **kwargs) -> dict:

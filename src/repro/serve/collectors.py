@@ -124,6 +124,56 @@ def _streaming_collector(daemon) -> Optional[Collector]:
     return Collector("streaming", collect)
 
 
+@collector_factory("cluster")
+def _cluster_collector(daemon) -> Optional[Collector]:
+    """Per-host telemetry for a cluster daemon: topology gauges plus a
+    host-labelled rollup of each machine's trace buffer and power
+    model.  The series live under their own ``repro_cluster_*`` names
+    (not extra labels on the generic families — a metric's label set is
+    fixed at first registration, and the ``power``/sink collectors
+    already own the unlabelled view through host 1's shared engine).
+    The engine and scheduler are shared across hosts and covered, with
+    per-CPU shard occupancy, by the ``engine``/``sched`` collectors."""
+    cluster = getattr(daemon, "cluster", None)
+    if cluster is None:
+        return None
+
+    def collect(registry: MetricsRegistry, labels: dict) -> None:
+        names = tuple(labels)
+        registry.gauge(
+            "repro_cluster_hosts",
+            "Machines sharing this daemon's engine and clock.",
+            names).set(cluster.hosts, **labels)
+        registry.gauge(
+            "repro_cluster_cpus",
+            "Per-CPU wheel shards on the shared engine.",
+            names).set(cluster.cpus, **labels)
+        host_names = names + ("host", "backend")
+        records = registry.counter(
+            "repro_cluster_host_records_total",
+            "Trace records offered by each host's kernel.", host_names)
+        retained = registry.gauge(
+            "repro_cluster_host_retained",
+            "Records currently held in each host's buffer.", host_names)
+        wakeups = registry.counter(
+            "repro_cluster_host_wakeups_total",
+            "Idle wakeups per host.", host_names)
+        energy = registry.gauge(
+            "repro_cluster_host_energy_joules",
+            "Modelled energy per host over the served window.",
+            host_names)
+        for host_id, machine in enumerate(cluster.machines, start=1):
+            host = {"host": str(host_id), "backend": machine.os_name}
+            buffer = machine.buffer
+            records.set_total(buffer.emitted, **host, **labels)
+            retained.set(len(buffer), **host, **labels)
+            power = machine.kernel.power
+            wakeups.set_total(power.wakeups, **host, **labels)
+            energy.set(power.energy_joules(daemon.virtual_ns),
+                       **host, **labels)
+    return Collector("cluster", collect)
+
+
 @collector_factory("daemon")
 def _daemon_collector(daemon) -> Collector:
     def collect(registry: MetricsRegistry, labels: dict) -> None:
@@ -208,7 +258,8 @@ def build_collectors(daemon, *, extra_names=()) -> list:
     collector it did not install is a configuration bug, not a silent
     skip).
     """
-    names = ["engine", "sched", "power", "streaming", "daemon"]
+    names = ["engine", "sched", "power", "streaming", "cluster",
+             "daemon"]
     names += [name for name in (*daemon.traits.collectors(),
                                 *extra_names)
               if name not in names]

@@ -55,6 +55,10 @@ class ServeConfig:
     os_name: str = "linux"
     workload: str = "portable"
     seed: int = 0
+    #: Serve an N-host cluster on one shared clock (1 = standalone).
+    hosts: int = 1
+    #: Per-CPU engine wheel shards (1 = the single wheel).
+    cpus: int = 1
     host: str = "127.0.0.1"
     #: 0 binds an ephemeral port (tests, parallel daemons).
     port: int = 0
@@ -96,9 +100,21 @@ class ServeDaemon:
         self.wall_time = wall_time
         definition = _resolve_workload(config.os_name, config.workload)
         self.suite = StreamingSuite(config.os_name, config.workload)
-        self.machine = Machine(config.os_name, seed=config.seed,
-                               sinks=[self.suite])
-        definition.build(self.machine)
+        self.cluster = None
+        if config.hosts > 1:
+            from ..kern.cluster import Cluster
+            self.cluster = Cluster(config.os_name, hosts=config.hosts,
+                                   cpus=config.cpus, seed=config.seed,
+                                   sinks=[self.suite])
+            for machine in self.cluster.machines:
+                definition.build(machine)
+            # Host 1 fronts the fleet: its kernel carries the shared
+            # engine every machine schedules on.
+            self.machine = self.cluster.machines[0]
+        else:
+            self.machine = Machine(config.os_name, seed=config.seed,
+                                   sinks=[self.suite], cpus=config.cpus)
+            definition.build(self.machine)
         self.kernel = self.machine.kernel
         self.traits = backend_traits(config.os_name)
         self.labels = {"os": config.os_name,
@@ -169,6 +185,8 @@ class ServeDaemon:
             "backend": self.config.os_name,
             "workload": self.config.workload,
             "seed": self.config.seed,
+            "hosts": self.config.hosts,
+            "cpus": self.config.cpus,
             "speed": self.config.speed,
             "running": self.running,
             "uptime_s": round(self.uptime_s, 3),
@@ -197,9 +215,12 @@ class ServeDaemon:
         if delta > 0:
             self.kernel.run_for(delta)
         # The daemon is the user-space reader of the paper's §3.2
-        # design: drain the trace buffer every slice so retained
+        # design: drain the trace buffers every slice so retained
         # records stay bounded no matter how long we serve.
-        self.drained_events += len(self.machine.buffer.drain())
+        machines = self.cluster.machines if self.cluster is not None \
+            else (self.machine,)
+        for machine in machines:
+            self.drained_events += len(machine.buffer.drain())
 
     def _publish(self) -> None:
         base = self.registry.snapshot()

@@ -27,9 +27,20 @@ Layout (little-endian)::
         ts i64 | timer_id u64 | timeout_ns i64 | expires_ns i64
         pid u32 | comm_idx u32 | site_idx u32
         kind u8 | flags u8 | domain u8 (0 kernel, 1 user)
+        [version 3 only] host u8 | cpu u16
 
 ``timeout_ns`` / ``expires_ns`` use -1 to encode ``None`` (these fields
 are always non-negative when present), exactly as version 1 does.
+
+Version 3 extends version 2 with two trailing columns carrying the
+cluster identity of every event: ``host`` (machine id, u8) and ``cpu``
+(per-host CPU affinity, u16).  The writer picks the version from the
+data — a trace in which every event has ``host == cpu == 0`` (every
+single-machine trace) serialises as byte-identical version 2, so
+cluster support costs existing traces nothing; any nonzero identity
+upgrades the stream to version 3.  The loader accepts both versions
+and synthesises all-zero host/cpu columns for version-2 files, so v2
+and single-host v3 hydrate to identical events.
 
 On big-endian hosts the zero-copy casts are replaced by ``array``
 copies with a byteswap — same values, same API, just not zero-copy.
@@ -50,6 +61,7 @@ from .trace import Trace
 
 MAGIC = b"TMRTRACE"
 VERSION2 = 2
+VERSION3 = 3
 _NONE = -1
 _LITTLE = sys.byteorder == "little"
 
@@ -65,6 +77,10 @@ _COLUMN_LAYOUT = (
     ("pid", "I", 4), ("comm_idx", "I", 4), ("site_idx", "I", 4),
     ("kind", "B", 1), ("flags", "B", 1), ("domain", "B", 1),
 )
+
+#: The two cluster-identity columns appended by version 3.
+_V3_EXTRA = (("host", "B", 1), ("cpu", "H", 2))
+_COLUMN_LAYOUT_V3 = _COLUMN_LAYOUT + _V3_EXTRA
 
 _KIND_BY_CODE = [None] * (max(int(k) for k in EventKind) + 1)
 for _k in EventKind:
@@ -82,10 +98,27 @@ def _write_str(out: BinaryIO, text: str) -> None:
     out.write(data)
 
 
-def dump_trace_v2(trace: Trace, out: BinaryIO) -> None:
-    """Serialise ``trace`` to a v2 columnar stream."""
+def trace_is_multihost(trace: Trace) -> bool:
+    """True if any event carries a nonzero host/cpu identity."""
+    return any(event[10] or event[11] for event in trace.events)
+
+
+def dump_trace_v2(trace: Trace, out: BinaryIO, *,
+                  version: Optional[int] = None) -> None:
+    """Serialise ``trace`` to a v2/v3 columnar stream.
+
+    The version is picked from the data unless forced: single-host
+    traces (every ``host``/``cpu`` zero) write byte-identical v2;
+    cluster traces write v3 with the two extra identity columns.
+    """
+    if version is None:
+        version = VERSION3 if trace_is_multihost(trace) else VERSION2
+    elif version not in (VERSION2, VERSION3):
+        raise TraceFormatError(
+            f"columnar writer cannot produce version {version}")
+    with_identity = version == VERSION3
     out.write(MAGIC)
-    out.write(_HEAD.pack(VERSION2, 0))
+    out.write(_HEAD.pack(version, 0))
     _write_str(out, trace.os_name)
     _write_str(out, trace.workload)
     events = trace.events
@@ -127,6 +160,8 @@ def dump_trace_v2(trace: Trace, out: BinaryIO) -> None:
     kind_col = bytearray(len(events))
     flag_col = bytearray(len(events))
     dom_col = bytearray(len(events))
+    host_col = bytearray(len(events)) if with_identity else None
+    cpu_col = array("H") if with_identity else None
     for i, event in enumerate(events):
         ts_col.append(event.ts)
         id_col.append(event.timer_id)
@@ -140,6 +175,14 @@ def dump_trace_v2(trace: Trace, out: BinaryIO) -> None:
         kind_col[i] = int(event.kind)
         flag_col[i] = event.flags & 0xFF
         dom_col[i] = 1 if event.domain == "user" else 0
+        if with_identity:
+            host, cpu = event.host, event.cpu
+            if not 0 <= host <= 0xFF or not 0 <= cpu <= 0xFFFF:
+                raise TraceFormatError(
+                    f"host/cpu out of range for trace format "
+                    f"(host={host}, cpu={cpu}; limits 255/65535)")
+            host_col[i] = host
+            cpu_col.append(cpu)
     for col in (ts_col, id_col, to_col, ex_col,
                 pid_col, comm_col, site_col):
         if not _LITTLE:
@@ -148,6 +191,11 @@ def dump_trace_v2(trace: Trace, out: BinaryIO) -> None:
     out.write(bytes(kind_col))
     out.write(bytes(flag_col))
     out.write(bytes(dom_col))
+    if with_identity:
+        out.write(bytes(host_col))
+        if not _LITTLE:
+            cpu_col.byteswap()
+        out.write(cpu_col.tobytes())
 
 
 class ColumnarTrace:
@@ -169,7 +217,8 @@ class ColumnarTrace:
     __slots__ = ("os_name", "workload", "duration_ns", "n_events",
                  "comms", "sites", "ts", "timer_id", "timeout_ns",
                  "expires_ns", "pid", "comm_idx", "site_idx", "kind",
-                 "flags", "domain", "_mmap", "_events", "_trace")
+                 "flags", "domain", "host", "cpu", "_mmap", "_events",
+                 "_trace")
 
     def __init__(self, *, os_name, workload, duration_ns, n_events,
                  comms, sites, columns, mapped=None):
@@ -181,7 +230,7 @@ class ColumnarTrace:
         self.sites = sites
         (self.ts, self.timer_id, self.timeout_ns, self.expires_ns,
          self.pid, self.comm_idx, self.site_idx, self.kind,
-         self.flags, self.domain) = columns
+         self.flags, self.domain, self.host, self.cpu) = columns
         self._mmap = mapped
         self._events: Optional[list[TimerEvent]] = None
         self._trace: Optional[Trace] = None
@@ -209,7 +258,8 @@ class ColumnarTrace:
             self.pid[i], self.comms[self.comm_idx[i]],
             _DOMAINS[self.domain[i]], self.sites[self.site_idx[i]],
             None if timeout == _NONE else timeout,
-            None if expires == _NONE else expires, self.flags[i])
+            None if expires == _NONE else expires, self.flags[i],
+            self.host[i], self.cpu[i])
 
     def iter_events(self) -> Iterator[TimerEvent]:
         """Hydrate events one at a time, without caching the list."""
@@ -223,12 +273,13 @@ class ColumnarTrace:
             kinds[kind], ts, timer_id, pid, comms[comm_idx],
             domains[dom], sites[site_idx],
             None if timeout == _NONE else timeout,
-            None if expires == _NONE else expires, flags)
+            None if expires == _NONE else expires, flags, host, cpu)
             for kind, ts, timer_id, pid, comm_idx, dom, site_idx,
-            timeout, expires, flags
+            timeout, expires, flags, host, cpu
             in zip(self.kind, self.ts, self.timer_id, self.pid,
                    self.comm_idx, self.domain, self.site_idx,
-                   self.timeout_ns, self.expires_ns, self.flags))
+                   self.timeout_ns, self.expires_ns, self.flags,
+                   self.host, self.cpu))
 
     __iter__ = iter_events
 
@@ -254,10 +305,10 @@ class ColumnarTrace:
         """Release the underlying mapping (hydrated events survive)."""
         mapped = self._mmap
         self._mmap = None
-        empty = (memoryview(b""),) * 10
+        empty = (memoryview(b""),) * 12
         (self.ts, self.timer_id, self.timeout_ns, self.expires_ns,
          self.pid, self.comm_idx, self.site_idx, self.kind,
-         self.flags, self.domain) = empty
+         self.flags, self.domain, self.host, self.cpu) = empty
         self.n_events = 0 if self._events is None else self.n_events
         if mapped is not None:
             mapped.close()
@@ -294,14 +345,18 @@ def _cast_column(view: memoryview, off: int, code: str, itemsize: int,
 
 
 def load_columnar(view: memoryview, mapped=None) -> ColumnarTrace:
-    """Build a :class:`ColumnarTrace` over an in-memory v2 buffer."""
+    """Build a :class:`ColumnarTrace` over an in-memory v2/v3 buffer.
+
+    Version-2 files get synthesised all-zero host/cpu columns, so both
+    versions expose the same twelve-column view.
+    """
     limit = len(view)
     if limit < 12 or bytes(view[:8]) != MAGIC:
         raise TraceFormatError("not a timer trace file")
     version, _reserved = _HEAD.unpack_from(view, 8)
-    if version != VERSION2:
+    if version not in (VERSION2, VERSION3):
         raise TraceFormatError(f"unsupported trace version {version} "
-                               f"(this reader handles version 2)")
+                               f"(this reader handles versions 2-3)")
     off = 12
     os_name, off = _read_str(view, off, limit)
     workload, off = _read_str(view, off, limit)
@@ -336,15 +391,20 @@ def load_columnar(view: memoryview, mapped=None) -> ColumnarTrace:
         sites.append(tuple(parts))
 
     off += -off % 8
-    body = sum(size * n_events for _, _, size in _COLUMN_LAYOUT)
+    layout = _COLUMN_LAYOUT_V3 if version == VERSION3 else _COLUMN_LAYOUT
+    body = sum(size * n_events for _, _, size in layout)
     if off + body > limit:
         raise TraceFormatError(
             f"truncated trace: column section needs {body} bytes, "
             f"{limit - off} available")
     columns = []
-    for _name, code, itemsize in _COLUMN_LAYOUT:
+    for _name, code, itemsize in layout:
         columns.append(_cast_column(view, off, code, itemsize, n_events))
         off += itemsize * n_events
+    if version == VERSION2:
+        # Pre-cluster file: every event is host 0 / cpu 0.
+        columns.append(memoryview(bytes(n_events)))
+        columns.append(memoryview(bytes(2 * n_events)).cast("H"))
     return ColumnarTrace(os_name=os_name, workload=workload,
                          duration_ns=duration_ns, n_events=n_events,
                          comms=comms, sites=sites, columns=columns,
@@ -389,7 +449,8 @@ def load_v2(path: str) -> ColumnarTrace:
 
 
 def save_v2(trace: Trace, path: str) -> None:
-    """Write ``trace`` to ``path`` in the v2 columnar format."""
+    """Write ``trace`` to ``path`` in the columnar format, picking v2
+    for single-host data and v3 when cluster identity is present."""
     with open(path, "wb") as fh:
         dump_trace_v2(trace, fh)
 
@@ -402,3 +463,16 @@ def dumps_v2(trace: Trace) -> bytes:
 
 def loads_v2(data: bytes) -> ColumnarTrace:
     return load_columnar(memoryview(data))
+
+
+def save_v3(trace: Trace, path: str) -> None:
+    """Write ``trace`` to ``path`` forcing columnar version 3 (the
+    host/cpu columns are emitted even when all zero)."""
+    with open(path, "wb") as fh:
+        dump_trace_v2(trace, fh, version=VERSION3)
+
+
+def dumps_v3(trace: Trace) -> bytes:
+    out = io.BytesIO()
+    dump_trace_v2(trace, out, version=VERSION3)
+    return out.getvalue()

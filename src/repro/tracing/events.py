@@ -38,7 +38,7 @@ class TimerEvent(NamedTuple):
 
     A NamedTuple: a two-minute desktop trace already holds hundreds of
     thousands of records and every analysis walks them, so records get
-    tuple-cheap construction and let hot loops unpack all ten fields
+    tuple-cheap construction and let hot loops unpack all twelve fields
     in one C-level step instead of attribute lookups.
 
     Attributes
@@ -64,6 +64,13 @@ class TimerEvent(NamedTuple):
         round_jiffies).  Otherwise ``None``.
     flags:
         FLAG_* bits.
+    host / cpu:
+        Machine identity in a cluster scene.  ``host`` is the
+        machine's id (0 on a standalone single-host run, 1..N in a
+        :class:`~repro.kern.cluster.Cluster`); ``cpu`` is the CPU the
+        operation is affined to when the host shards its timing wheel
+        per CPU (the Vista TCP re-architecture of Section 1).  Both
+        default to 0 so single-machine traces are unchanged.
     """
 
     kind: EventKind
@@ -76,6 +83,8 @@ class TimerEvent(NamedTuple):
     timeout_ns: Optional[int] = None
     expires_ns: Optional[int] = None
     flags: int = 0
+    host: int = 0
+    cpu: int = 0
 
     @property
     def is_user(self) -> bool:
@@ -87,26 +96,37 @@ class TimerEvent(NamedTuple):
         return bool(self.flags & FLAG_DEFERRABLE)
 
     def to_dict(self) -> dict:
-        """JSON-serialisable form (used by Trace.save)."""
-        return {
+        """JSON-serialisable form (used by Trace.save).
+
+        ``host``/``cpu`` are only emitted when set so single-host
+        traces serialise byte-identically to pre-cluster records.
+        """
+        data = {
             "kind": int(self.kind), "ts": self.ts,
             "timer_id": self.timer_id, "pid": self.pid, "comm": self.comm,
             "domain": self.domain, "site": list(self.site),
             "timeout_ns": self.timeout_ns, "expires_ns": self.expires_ns,
             "flags": self.flags,
         }
+        if self.host or self.cpu:
+            data["host"] = self.host
+            data["cpu"] = self.cpu
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "TimerEvent":
         return cls(EventKind(data["kind"]), data["ts"], data["timer_id"],
                    data["pid"], data["comm"], data["domain"],
                    tuple(data["site"]), data["timeout_ns"],
-                   data["expires_ns"], data["flags"])
+                   data["expires_ns"], data["flags"],
+                   data.get("host", 0), data.get("cpu", 0))
 
     def __repr__(self) -> str:
+        where = f" host={self.host} cpu={self.cpu}" \
+            if self.host or self.cpu else ""
         return (f"<TimerEvent {self.kind.name} ts={self.ts} "
                 f"timer={self.timer_id:#x} {self.comm}({self.pid}) "
-                f"site={'/'.join(self.site[-2:])}>")
+                f"site={'/'.join(self.site[-2:])}{where}>")
 
 
 def wait_unblock_event(*, ts_block: int, ts_unblock: int, timer_id: int,

@@ -18,7 +18,11 @@ sniffer, path and bytes codecs, and the extensions it claims on write:
 * ``binfmt`` — the version-1 packed-record binary codec (readable
   forever, no longer the default);
 * ``binfmt2`` — the version-2 columnar codec; loading returns a
-  zero-copy :class:`~repro.tracing.binfmt2.ColumnarTrace`.
+  zero-copy :class:`~repro.tracing.binfmt2.ColumnarTrace`.  Saving a
+  cluster trace (any nonzero ``host``/``cpu``) auto-upgrades the
+  stream to version 3; single-host traces stay byte-identical v2;
+* ``binfmt3`` — the version-3 columnar codec forced explicitly: v2
+  plus trailing ``host`` (u8) and ``cpu`` (u16) identity columns.
 
 ``open_trace`` returns whatever the format's loader produces — a
 :class:`~repro.tracing.trace.Trace` or a ``ColumnarTrace``; every
@@ -36,7 +40,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Union
 
-from .binfmt2 import ColumnarTrace, dumps_v2, load_v2, loads_v2, save_v2
+from .binfmt2 import (ColumnarTrace, dumps_v2, dumps_v3, load_v2,
+                      loads_v2, save_v2, save_v3)
 from .errors import TraceFormatError
 from .events import TimerEvent
 from .trace import Trace
@@ -203,11 +208,22 @@ register_format(TraceFormat(
 
 register_format(TraceFormat(
     name="binfmt2",
-    description="v2 columnar binary (zero-copy mmap load)",
+    description="v2 columnar binary (zero-copy mmap load; cluster "
+                "traces auto-upgrade to the v3 columns)",
     sniff=lambda header: _magic_version(header) == 2,
     load_path=load_v2, save_path=save_v2,
     from_bytes=loads_v2, to_bytes=dumps_v2,
     extensions=(".bin", ".bin2"),
+))
+
+register_format(TraceFormat(
+    name="binfmt3",
+    description="v3 columnar binary (v2 plus host/cpu cluster "
+                "identity columns)",
+    sniff=lambda header: _magic_version(header) == 3,
+    load_path=load_v2, save_path=save_v3,
+    from_bytes=loads_v2, to_bytes=dumps_v3,
+    extensions=(".bin3",),
 ))
 
 
@@ -224,7 +240,7 @@ def sniff_format(header: bytes) -> str:
     if version >= 0:
         raise TraceFormatError(
             f"unsupported trace version {version}; readable versions: "
-            f"1 (binfmt), 2 (binfmt2)")
+            f"1 (binfmt), 2 (binfmt2), 3 (binfmt3)")
     raise TraceFormatError("not a recognised timer trace "
                            "(unknown magic bytes)")
 

@@ -124,6 +124,34 @@ class TeeSink:
             satisfied=satisfied))
 
 
+class HostStampSink:
+    """Stamps every record with one machine's cluster identity.
+
+    Sits between a kernel and its trace buffer on cluster runs: each
+    event is rewritten with the machine's ``host`` id and the CPU its
+    timer is affined to before being forwarded.  The affinity is the
+    per-CPU wheels' modulo hash applied above the allocator's
+    alignment bits — timer ids are spaced like slab addresses
+    (0x40-aligned), so a plain ``timer_id % cpus`` would pin every
+    timer to CPU 0 for any power-of-two CPU count.  Single-machine
+    runs never build one, so their event streams are untouched.
+    """
+
+    def __init__(self, sink, host: int, cpus: int = 1) -> None:
+        if host < 1:
+            raise ValueError(f"host must be >= 1 on a cluster, got {host}")
+        self.sink = sink
+        self.host = host
+        self.cpus = cpus
+
+    def emit(self, event: TimerEvent) -> None:
+        self.sink.emit(event._replace(
+            host=self.host, cpu=(event.timer_id >> 6) % self.cpus))
+
+    def emit_wait_unblock(self, **kwargs) -> None:
+        self.emit(wait_unblock_event(**kwargs))
+
+
 class CountingSink:
     """Online per-kind counter, for streaming analyses that don't need
     the full event list (mirrors the paper's call-count comparison)."""

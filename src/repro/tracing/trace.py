@@ -110,10 +110,17 @@ class Trace:
     # -- correlation ----------------------------------------------------
 
     def instances(self) -> list[TimerHistory]:
-        """Group events by timer structure address, in trace order."""
-        groups: dict[int, list[TimerEvent]] = {}
+        """Group events by timer structure address, in trace order.
+
+        Cluster traces (``event.host != 0``) qualify the key by host:
+        each machine allocates timer ids from its own counter, so the
+        same raw address on two hosts is two distinct timers.
+        """
+        groups: dict = {}
         for event in self.events:
-            groups.setdefault(event.timer_id, []).append(event)
+            key = (event.host, event.timer_id) if event.host \
+                else event.timer_id
+            groups.setdefault(key, []).append(event)
         return [TimerHistory(tid, evs) for tid, evs in groups.items()]
 
     def logical_timers(self) -> list[TimerHistory]:
@@ -121,17 +128,23 @@ class Trace:
 
         Events on a timer id are attributed to the site of that id's
         SET event, so cancels/expiries issued from other stacks join
-        the cluster of the timer they act on.
+        the cluster of the timer they act on.  Cluster traces qualify
+        both the id lookup and the cluster key by host.
         """
-        site_of_id: dict[int, Tuple[Tuple[str, ...], int]] = {}
-        groups: dict[Tuple[Tuple[str, ...], int], list[TimerEvent]] = {}
+        site_of_id: dict = {}
+        groups: dict = {}
         for event in self.events:
+            host = event.host
+            timer_id = (host, event.timer_id) if host else event.timer_id
             if event.kind in (EventKind.SET, EventKind.INIT,
                               EventKind.WAIT_UNBLOCK):
-                key = (event.site, event.pid)
-                site_of_id[event.timer_id] = key
+                key = (host, event.site, event.pid) if host \
+                    else (event.site, event.pid)
+                site_of_id[timer_id] = key
             else:
-                key = site_of_id.get(event.timer_id, (event.site, event.pid))
+                key = site_of_id.get(
+                    timer_id, (host, event.site, event.pid) if host
+                    else (event.site, event.pid))
             groups.setdefault(key, []).append(event)
         return [TimerHistory(key, evs) for key, evs in groups.items()]
 

@@ -4,7 +4,8 @@ from ..kern.registry import backend_names
 from .apps import (ApacheServer, FixedIntervalDaemon, HttperfDriver,
                    SelectCountdownApp, SkypeApp, SoftRealtimePoller)
 from .base import (DEFAULT_DURATION_NS, PAPER_DURATION_NS, Machine,
-                   TraceJob, WorkloadRun, run_study_traces)
+                   TraceJob, WorkloadRun, run_cluster_workload,
+                   run_study_traces)
 from .desktop_vista import FIGURE1_DURATION_NS, run_vista_desktop
 from .filebrowser import (BrowseResult, browse, browse_adaptive,
                           schedule_total_ns)

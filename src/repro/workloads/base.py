@@ -24,8 +24,43 @@ from ..kern.machine import (DEFAULT_DURATION_NS, PAPER_DURATION_NS,
 
 __all__ = [
     "DEFAULT_DURATION_NS", "PAPER_DURATION_NS", "Machine", "TraceJob",
-    "WorkloadRun", "run_study_traces",
+    "WorkloadRun", "run_cluster_workload", "run_study_traces",
 ]
+
+
+def run_cluster_workload(os_name, workload: str, duration_ns=None, *,
+                         hosts: int, cpus: int = 1, seed: int = 0,
+                         sinks=None, retain_events: bool = True):
+    """Run a registered scene on an N-host cluster sharing one clock.
+
+    The multi-host counterpart of :func:`repro.workloads.run_workload`:
+    ``workload`` must be a *scene* (``idle``, ``webserver``,
+    ``serverfarm`` — the baselines that build from a machine), because
+    a cluster assembles the same scene on every host; scripted per-OS
+    runners like ``skype``/``firefox`` drive one machine imperatively
+    and have no cluster form.  ``os_name`` may also be a sequence of
+    backend names, one per host, for a mixed fleet.
+
+    Returns a :class:`repro.kern.cluster.ClusterRun` whose ``trace``
+    is the merged multi-host timeline (every event stamped with
+    ``host``/``cpu``).
+    """
+    from ..kern.cluster import Cluster
+    from ..kern.registry import scene_names
+    names = [os_name] * hosts if isinstance(os_name, str) else list(os_name)
+    for name in names:
+        scenes = scene_names(name)
+        if workload not in scenes:
+            raise KeyError(
+                f"workload {workload!r} has no cluster form on "
+                f"{name!r}; multi-host runs need a registered scene: "
+                f"{sorted(scenes)}")
+    cluster = Cluster(names, seed=seed, cpus=cpus, sinks=sinks,
+                      retain_events=retain_events)
+    cluster.scene(workload)
+    if duration_ns is None:
+        duration_ns = DEFAULT_DURATION_NS
+    return cluster.finish(workload, duration_ns)
 
 
 # -- parallel study driver ----------------------------------------------
@@ -39,7 +74,12 @@ __all__ = [
 
 #: One simulation request: (os_name, workload, duration_ns, seed).
 #: ``duration_ns=None`` uses the workload's own default length (the
-#: Figure 1 desktop trace is always 90 s).
+#: Figure 1 desktop trace is always 90 s).  Two optional trailing
+#: fields extend a job to a cluster request: (..., hosts, cpus) —
+#: ``hosts > 1`` routes through :func:`run_cluster_workload` (the
+#: workload must be a registered scene), ``cpus > 1`` runs the
+#: engine on the per-CPU sharded wheel (trace bytes are identical at
+#: any CPU count, so this is purely a topology/scaling knob).
 TraceJob = Tuple[str, str, Optional[int], int]
 
 
@@ -55,11 +95,25 @@ def _finish_sinks(sinks, duration_ns: int) -> None:
 
 def _run_one(job: TraceJob, sink_factory, retain_events: bool,
              collect_metrics: bool):
-    os_name, workload, duration_ns, seed = job
+    os_name, workload, duration_ns, seed = job[:4]
+    hosts = job[4] if len(job) > 4 else 1
+    cpus = job[5] if len(job) > 5 else 1
     from . import run_workload          # registry lives in the package
     sinks = list(sink_factory(os_name, workload)) if sink_factory else None
-    run = run_workload(os_name, workload, duration_ns, seed=seed,
-                       sinks=sinks, retain_events=retain_events)
+    if hosts > 1:
+        run = run_cluster_workload(os_name, workload, duration_ns,
+                                   hosts=hosts, cpus=cpus, seed=seed,
+                                   sinks=sinks,
+                                   retain_events=retain_events)
+    elif cpus > 1:
+        from ..sim.sched import use_scheduler
+        with use_scheduler(f"sharded:{cpus}"):
+            run = run_workload(os_name, workload, duration_ns,
+                               seed=seed, sinks=sinks,
+                               retain_events=retain_events)
+    else:
+        run = run_workload(os_name, workload, duration_ns, seed=seed,
+                           sinks=sinks, retain_events=retain_events)
     _finish_sinks(sinks, run.trace.duration_ns)
     # The snapshot is taken in the process that owns the kernel (the
     # kernel itself never crosses the pool boundary) — collection is

@@ -14,7 +14,7 @@ point at which old readers must learn to negotiate the new layout.
 
 import os
 
-from tests.tracing.test_formats import golden_trace
+from tests.tracing.test_formats import golden_cluster_trace, golden_trace
 
 from repro.tracing import write_trace
 
@@ -23,10 +23,13 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 
 def main() -> None:
     trace = golden_trace()
-    for name, filename in (("binfmt", "cross_v1.bin1"),
-                           ("binfmt2", "cross_v2.bin2")):
+    cluster = golden_cluster_trace()
+    for source, name, filename in (
+            (trace, "binfmt", "cross_v1.bin1"),
+            (trace, "binfmt2", "cross_v2.bin2"),
+            (cluster, "binfmt3", "cross_v3.bin3")):
         path = os.path.join(HERE, filename)
-        write_trace(trace, path, format=name)
+        write_trace(source, path, format=name)
         print(f"{filename}: {os.path.getsize(path)} bytes ({name})")
 
 

@@ -71,6 +71,34 @@ class _Daemon:
         assert not self.thread.is_alive()
 
 
+class TestClusterMode:
+    def test_cluster_daemon_serves_per_host_series(self):
+        with _Daemon(hosts=2, cpus=2) as daemon:
+            assert daemon.cluster is not None
+            assert len(daemon.cluster.machines) == 2
+            port = daemon.port
+            text = _wait_until(lambda: (
+                lambda t: t if "repro_cluster_host_records_total" in t
+                else None)(_get(port, "/metrics")[2]))
+            values = _scrape_values(text)
+            assert [v for s, v in values.items()
+                    if s.startswith("repro_cluster_hosts")] == [2.0]
+            assert [v for s, v in values.items()
+                    if s.startswith("repro_cluster_cpus")] == [2.0]
+            assert 'host="1"' in text and 'host="2"' in text
+            status = json.loads(_get(port, "/statusz")[2])
+            assert status["hosts"] == 2
+            assert status["cpus"] == 2
+
+    def test_single_host_daemon_has_no_cluster_series(self):
+        with _Daemon() as daemon:
+            assert daemon.cluster is None
+            text = _get(daemon.port, "/metrics")[2]
+            assert "repro_cluster_host" not in text
+            status = json.loads(_get(daemon.port, "/statusz")[2])
+            assert status["hosts"] == 1
+
+
 class TestHttpSurface:
     def test_healthz_metrics_statusz(self):
         with _Daemon() as daemon:

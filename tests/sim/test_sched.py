@@ -8,10 +8,11 @@ import pytest
 from repro.sim import Engine, SimulationError
 from repro.sim.clock import MILLISECOND, SECOND, HOUR
 from repro.sim.sched import (GRAN_BITS, WHEEL_SPAN, HeapScheduler,
-                             WheelScheduler, default_scheduler,
-                             make_scheduler, use_scheduler)
+                             ShardedWheelScheduler, WheelScheduler,
+                             default_scheduler, make_scheduler,
+                             use_scheduler)
 
-BOTH = pytest.mark.parametrize("kind", ["heap", "wheel"])
+BOTH = pytest.mark.parametrize("kind", ["heap", "wheel", "sharded:2"])
 
 #: Spans that land in every wheel level plus the overflow heap.
 LEVEL_SPANS = [
@@ -275,6 +276,110 @@ def test_heap_and_wheel_dispatch_identically(seed):
             == _random_workout("wheel", seed))
 
 
+@pytest.mark.parametrize("cpus", [2, 4])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_sharded_wheel_matches_heap_dispatch(seed, cpus):
+    """The k-way merge over per-CPU shards reproduces the reference
+    heap's dispatch log exactly, churn and all."""
+    assert (_random_workout("heap", seed)
+            == _random_workout(f"sharded:{cpus}", seed))
+
+
+# -- wheel edge cases: slot reuse, overflow refeed, shard migration --------
+
+def test_cancel_all_compaction_then_rearm_reuses_slots():
+    """Cancel a whole batch, force a compaction sweep, then re-arm into
+    the same buckets: the recycled slots must serve the new events, and
+    the stale handles' generation tags must not cancel them."""
+    engine = Engine(scheduler="wheel")
+    sched = engine.scheduler
+    sched.compact_threshold = 64
+    batch = 1_000
+    when = 10 * MILLISECOND
+    stale = [engine.call_at(when + i, lambda: None) for i in range(batch)]
+    for handle in stale:
+        handle.cancel()
+    assert sched.compactions > 0
+    assert sched.live == 0
+    fired = []
+    for i in range(batch):
+        engine.call_at(when + i, fired.append, i)
+    # Storage is recycled: the second batch fits in the first one's
+    # slots instead of doubling the packed columns.
+    assert sched.capacity() <= batch + sched.compact_threshold * 2
+    for handle in stale:
+        handle.cancel()          # stale generation: must be a no-op
+    engine.run()
+    assert fired == list(range(batch))
+    assert sched.live == 0
+    assert engine.pending_count() == 0
+
+
+def test_overflow_refeed_at_top_level_wrap():
+    """Events beyond the ~52-day span wait in the overflow heap; as the
+    cursor turns they re-enter the wheel at the top level and cascade
+    down through every level to fire in exact global order."""
+    engine = Engine(scheduler="wheel")
+    sched = engine.scheduler
+    fired = []
+    far = [(WHEEL_SPAN + off) << GRAN_BITS for off in (17, 3, 900)]
+    for when in far:
+        engine.call_at(when, fired.append, when)
+    engine.call_at(5 * MILLISECOND, fired.append, 5 * MILLISECOND)
+    assert sched.occupancy()["overflow"] == len(far)
+    # Advance past the near event: the wheel jumps towards the overflow
+    # head and re-feeds everything that is now within span.
+    engine.run_until(1000 << GRAN_BITS)
+    assert fired == [5 * MILLISECOND]
+    occ = sched.occupancy()
+    assert occ["overflow"] == 0
+    assert sum(occ.values()) == len(far)
+    engine.run()
+    assert fired == sorted(far + [5 * MILLISECOND])
+    assert engine.now == max(far)
+    # Reaching the far events required cascading down from the top.
+    assert sched.cascades > 0
+    assert sched.cascaded_timers >= len(far)
+    assert sum(sched.occupancy().values()) == 0
+
+
+def test_periodic_rearm_crosses_shard_boundary():
+    """A periodic timer's re-arm draws a fresh seq, so on the sharded
+    wheel it migrates between CPU shards — and the dispatch sequence
+    must still match the single wheel exactly."""
+    def run_periodic(spec):
+        engine = Engine(scheduler=spec)
+        log = []
+        seqs = []
+
+        def tick(n):
+            log.append((engine.now, n))
+            if n < 8:
+                seqs.append(engine.call_after(3 * MILLISECOND,
+                                              tick, n + 1).seq)
+
+        seqs.append(engine.call_after(3 * MILLISECOND, tick, 0).seq)
+        # Background traffic keeps the other shards non-empty so the
+        # merge actually has heads to compare.
+        for i in range(10):
+            engine.call_at(2 * MILLISECOND + i * 7 * MILLISECOND,
+                           log.append, ("bg", i))
+        engine.run()
+        return log, seqs
+
+    base, _ = run_periodic("wheel")
+    for cpus in (2, 3, 4):
+        log, seqs = run_periodic(f"sharded:{cpus}")
+        assert log == base
+        sched = ShardedWheelScheduler(cpus)
+        homes = [sched.cpu_for(seq) for seq in seqs]
+        # Consecutive re-arms land on different shards (the rebalanced-
+        # connection behaviour the docstring promises)...
+        assert any(a != b for a, b in zip(homes, homes[1:]))
+        # ...and over the timer's lifetime every CPU hosted it.
+        assert sorted(set(homes)) == list(range(cpus))
+
+
 # -- bounded garbage (TIME_WAIT pattern) -----------------------------------
 
 @BOTH
@@ -295,13 +400,17 @@ def test_mass_arm_cancel_does_not_grow_memory(kind):
     # queued than the 60k cumulatively armed.
     assert sched.compactions > 0
     assert sched.reclaimed > (rounds - 2) * batch
-    assert sched.queued() <= sched.compact_threshold * 2 + batch
-    if kind == "wheel":
+    # On the sharded wheel each shard runs its own compaction
+    # threshold, hence the cpus multiplier on the slack terms.
+    shards = getattr(sched, "cpus", 1)
+    slack = sched.compact_threshold * 2 * shards
+    assert sched.queued() <= slack + batch
+    if kind == "heap":
+        assert len(sched._heap) <= slack + batch
+    else:
         # Packed columns are recycled through the free list, so the
         # high-water mark is one batch, not rounds * batch.
-        assert sched.capacity() <= batch + sched.compact_threshold * 2
-    else:
-        assert len(sched._heap) <= sched.compact_threshold * 2 + batch
+        assert sched.capacity() <= batch + slack
 
 
 @BOTH

@@ -69,6 +69,69 @@ class TestRunAndAnalyze:
         assert "(unavailable on a streaming analysis)" in captured.out
 
 
+class TestClusterFlags:
+    def test_hosts_run_writes_v3_and_rollup(self, tmp_path, capsys):
+        out = str(tmp_path / "cluster.bin")
+        assert main(["run", "linux", "serverfarm", "--minutes", "0.25",
+                     "--hosts", "2", "--cpus", "2", "--out", out]) == 0
+        from repro.tracing import detect_format, open_trace
+        assert detect_format(out) == "binfmt3"
+        assert {event.host for event in open_trace(out)} == {1, 2}
+        capsys.readouterr()
+        assert main(["analyze", out]) == 0
+        assert "Per-host rollup" in capsys.readouterr().out
+
+    def test_hosts_one_is_byte_identical_to_plain_run(self, tmp_path):
+        plain = str(tmp_path / "plain.bin")
+        flagged = str(tmp_path / "flagged.bin")
+        assert main(["run", "linux", "webserver", "--minutes", "0.25",
+                     "--out", plain]) == 0
+        assert main(["run", "linux", "webserver", "--minutes", "0.25",
+                     "--hosts", "1", "--cpus", "1",
+                     "--out", flagged]) == 0
+        assert open(plain, "rb").read() == open(flagged, "rb").read()
+
+    def test_cpus_only_is_byte_identical_to_plain_run(self, tmp_path):
+        plain = str(tmp_path / "plain.bin")
+        sharded = str(tmp_path / "sharded.bin")
+        assert main(["run", "vista", "webserver", "--minutes", "0.25",
+                     "--out", plain]) == 0
+        assert main(["run", "vista", "webserver", "--minutes", "0.25",
+                     "--cpus", "4", "--out", sharded]) == 0
+        assert open(plain, "rb").read() == open(sharded, "rb").read()
+
+    def test_cluster_analyze_parallel_matches_serial(self, tmp_path,
+                                                     capsys):
+        out = str(tmp_path / "cluster.bin")
+        main(["run", "linux", "serverfarm", "--minutes", "0.25",
+              "--hosts", "2", "--out", out])
+        capsys.readouterr()
+        assert main(["analyze", out]) == 0
+        serial = capsys.readouterr().out
+        assert main(["analyze", out, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_stream_conflicts_with_hosts(self, capsys):
+        assert main(["run", "linux", "serverfarm", "--minutes", "0.25",
+                     "--hosts", "2", "--stream"]) == 2
+        assert "--stream" in capsys.readouterr().err
+
+    def test_nonpositive_hosts_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "linux", "serverfarm",
+                                       "--hosts", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "linux", "serverfarm",
+                                       "--cpus", "-2"])
+
+    def test_hosts_run_with_metrics(self, tmp_path, capsys):
+        out = str(tmp_path / "cluster.bin")
+        assert main(["run", "linux", "serverfarm", "--minutes", "0.25",
+                     "--hosts", "2", "--out", out, "--metrics"]) == 0
+        err = capsys.readouterr().err
+        assert 'host="1"' in err and 'host="2"' in err
+
+
 class TestErrorPaths:
     """The CLI's failure modes: every bad invocation must exit with a
     clear diagnostic, never a traceback."""

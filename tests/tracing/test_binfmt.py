@@ -88,6 +88,10 @@ event_strategy = st.builds(
     timeout_ns=st.one_of(st.none(), st.integers(0, 2**60)),
     expires_ns=st.one_of(st.none(), st.integers(0, 2**60)),
     flags=st.integers(0, 255),
+    # The legacy v1 records predate cluster traces and carry no
+    # host/cpu columns; multi-host traces go through binfmt2 v3.
+    host=st.just(0),
+    cpu=st.just(0),
 )
 
 

@@ -49,6 +49,20 @@ def golden_trace():
                  duration_ns=MINUTE, events=golden_events())
 
 
+def golden_cluster_events():
+    """``golden_events`` with cluster identity stamped on — two hosts,
+    two CPUs; these exact events are stored in
+    ``tests/data/cross_v3.bin3``."""
+    identity = [(1, 0), (1, 1), (1, 0), (2, 1), (2, 0)]
+    return [event._replace(host=host, cpu=cpu)
+            for event, (host, cpu) in zip(golden_events(), identity)]
+
+
+def golden_cluster_trace():
+    return Trace(os_name="linux", workload="fixture",
+                 duration_ns=MINUTE, events=golden_cluster_events())
+
+
 def assert_events_equal(a, b):
     a, b = list(a), list(b)
     assert len(a) == len(b)
@@ -58,8 +72,9 @@ def assert_events_equal(a, b):
 
 
 class TestRegistry:
-    def test_three_formats_registered(self):
-        assert trace_formats() == ["jsonl", "binfmt", "binfmt2"]
+    def test_registered_formats(self):
+        assert trace_formats() == ["jsonl", "binfmt", "binfmt2",
+                                   "binfmt3"]
 
     def test_explicit_format_roundtrips(self, tmp_path):
         trace = golden_trace()
@@ -188,6 +203,65 @@ class TestCrossVersionGolden:
         blob = trace_to_bytes(golden_trace(), format="binfmt2")
         clone = load_trace(io.BytesIO(blob))
         assert_events_equal(golden_events(), clone.events)
+
+
+class TestClusterV3:
+    """The version-3 cluster columns: auto-negotiation with v2, the
+    multi-host golden fixture, and analysis equivalence of single-host
+    v3 with v2."""
+
+    def assert_identity_equal(self, a, b):
+        assert_events_equal(a, b)
+        for x, y in zip(list(a), list(b)):
+            assert (x.host, x.cpu) == (y.host, y.cpu)
+
+    def test_v3_fixture_decodes(self):
+        view = open_trace(os.path.join(DATA_DIR, "cross_v3.bin3"))
+        assert isinstance(view, ColumnarTrace)
+        assert view.os_name == "linux"
+        assert view.duration_ns == MINUTE
+        self.assert_identity_equal(golden_cluster_events(), view)
+
+    def test_single_host_stays_v2(self, tmp_path):
+        """The auto writer must keep all-zero-identity traces byte-
+        identical to the pre-cluster format."""
+        trace = golden_trace()
+        assert trace_to_bytes(trace) == \
+            trace_to_bytes(trace, format="binfmt2")
+        path = str(tmp_path / "t.bin")
+        assert write_trace(trace, path) == "binfmt2"
+        assert detect_format(path) == "binfmt2"
+
+    def test_multihost_auto_upgrades_to_v3(self, tmp_path):
+        trace = golden_cluster_trace()
+        path = str(tmp_path / "t.bin")
+        write_trace(trace, path)
+        assert detect_format(path) == "binfmt3"
+        self.assert_identity_equal(trace.events, open_trace(path))
+
+    def test_v3_bytes_roundtrip(self):
+        trace = golden_cluster_trace()
+        blob = trace_to_bytes(trace)
+        assert sniff_format(blob[:16]) == "binfmt3"
+        clone = materialize(trace_from_bytes(blob))
+        self.assert_identity_equal(trace.events, clone.events)
+
+    def test_v2_loader_synthesizes_zero_identity(self):
+        view = open_trace(os.path.join(DATA_DIR, "cross_v2.bin2"))
+        assert all(event.host == 0 and event.cpu == 0 for event in view)
+
+    def test_single_host_v3_analysis_identical_to_v2(self, tmp_path):
+        """Forcing v3 on single-host data (explicit format="binfmt3")
+        must not change a byte of the analysis output."""
+        from repro.core.report import render_analysis
+        run = run_workload("linux", "idle", 20 * SECOND, seed=5)
+        v2 = str(tmp_path / "t.bin2")
+        v3 = str(tmp_path / "t.bin3")
+        write_trace(run.trace, v2, format="binfmt2")
+        write_trace(run.trace, v3, format="binfmt3")
+        assert detect_format(v3) == "binfmt3"
+        assert render_analysis(open_trace(v3)) == \
+            render_analysis(open_trace(v2))
 
 
 class TestErrorPaths:
