@@ -6,6 +6,7 @@ Subcommands::
     timerstudy run linux idle --minutes 30 --stream   # bounded memory
     timerstudy analyze idle.jsonl.gz [--filter-x]
     timerstudy study --minutes 2          # the whole paper, condensed
+    timerstudy sec51 --conditions lan,wan --policies fixed-30,p2-99
     timerstudy browse --unreachable       # the Section 2.2.2 scenario
     timerstudy serve --backend linux --workload portable --port 8900
 
@@ -278,6 +279,34 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return code
 
 
+def _split_names(text):
+    """Comma-separated CLI list -> tuple, or None for 'use defaults'."""
+    if text is None:
+        return None
+    names = tuple(part.strip() for part in text.split(",")
+                  if part.strip())
+    return names or None
+
+
+def _cmd_sec51(args: argparse.Namespace) -> int:
+    from .core.report import render_sec51
+    from .study import run_sec51_study
+
+    result = run_sec51_study(
+        backends=_split_names(args.backends),
+        conditions=_split_names(args.conditions),
+        policies=_split_names(args.policies),
+        minutes=args.minutes, seed=args.seed,
+        connections=args.connections, hosts=args.hosts,
+        cpus=args.cpus, jobs=args.jobs, stream=args.stream,
+        progress=lambda m: print(m, file=sys.stderr))
+    print(render_sec51(result), end="")
+    if _metrics_enabled(args):
+        from .obs import collect_sec51
+        return _emit_metrics(collect_sec51(result), args)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .core.report import generate_report
     collect = _metrics_enabled(args)
@@ -449,6 +478,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(st_p)
     _add_metrics_args(st_p)
     st_p.set_defaults(func=_cmd_study)
+
+    s51_p = sub.add_parser(
+        "sec51",
+        help="Section 5.1 study: adaptive vs fixed timeout policies "
+             "over the serverfarm request population")
+    s51_p.add_argument("--minutes", type=float, default=0.5,
+                       help="serverfarm run length per backend "
+                            "(default 0.5 virtual minutes)")
+    s51_p.add_argument("--seed", type=int, default=0)
+    s51_p.add_argument("--connections", type=_positive_int, default=250,
+                       help="serverfarm connection population per host")
+    s51_p.add_argument("--backends", default=None, metavar="A,B",
+                       help="comma-separated backends (default: every "
+                            "backend with a serverfarm workload)")
+    s51_p.add_argument("--conditions", default=None, metavar="A,B",
+                       help="comma-separated network conditions (see "
+                            "repro.sim.netmodel; default: lan,"
+                            "datacenter,wan,jittery,lossy-wan,"
+                            "lan-wan-shift)")
+    s51_p.add_argument("--policies", default=None, metavar="A,B",
+                       help="comma-separated timeout policies "
+                            "(default: fixed-5,fixed-15,fixed-30,"
+                            "jacobson,p2-95,p2-99)")
+    s51_p.add_argument("--stream", action="store_true",
+                       help="harvest the population through the "
+                            "bounded-memory streaming path (output is "
+                            "byte-identical)")
+    _add_jobs_arg(s51_p)
+    _add_cluster_args(s51_p)
+    _add_metrics_args(s51_p)
+    s51_p.set_defaults(func=_cmd_sec51)
 
     cp_p = sub.add_parser("compare", help="compare two saved traces")
     cp_p.add_argument("a")

@@ -43,11 +43,19 @@ __all__ = [
 class JacobsonEstimator:
     """TCP's smoothed RTT estimator (RFC 6298 coefficients)."""
 
+    #: Timeout handed out before the first sample (RFC 6298's initial
+    #: RTO is 1 s); clamped into [min_timeout, max_timeout].
+    NO_SAMPLE_TIMEOUT = 1.0
+
     def __init__(self, *, k: float = 4.0, min_timeout: float = 0.0,
-                 max_timeout: float = math.inf):
+                 max_timeout: float = math.inf,
+                 no_sample_timeout: Optional[float] = None):
         self.k = k
         self.min_timeout = min_timeout
         self.max_timeout = max_timeout
+        self.no_sample_timeout = (self.NO_SAMPLE_TIMEOUT
+                                  if no_sample_timeout is None
+                                  else no_sample_timeout)
         self.srtt: Optional[float] = None
         self.rttvar: float = 0.0
 
@@ -61,11 +69,18 @@ class JacobsonEstimator:
         self.rttvar += (abs(err) - self.rttvar) / 4
 
     def timeout(self) -> float:
-        """srtt + k*rttvar, clamped."""
+        """srtt + k*rttvar, clamped.
+
+        Before any sample arrives this is the explicit
+        ``no_sample_timeout`` (clamped like every other value) — not
+        ``min_timeout or 1.0``, which silently read an explicitly
+        configured ``min_timeout=0.0`` as "unset" and not
+        ``max_timeout``, which turned a cap into a cold-start value.
+        """
         if self.srtt is None:
-            return self.max_timeout if self.max_timeout < math.inf \
-                else self.min_timeout or 1.0
-        raw = self.srtt + self.k * self.rttvar
+            raw = self.no_sample_timeout
+        else:
+            raw = self.srtt + self.k * self.rttvar
         return min(max(raw, self.min_timeout), self.max_timeout)
 
 
@@ -269,7 +284,14 @@ class WaitOutcome:
     false_timeouts: int = 0      #: timed out although a reply was coming
     detection_total: float = 0.0  #: summed failure detection latency
     detection_max: float = 0.0
+    #: Timer expirations: the timeout actually fired (a genuine
+    #: failure detected, or a spurious wakeup on a late reply).  A
+    #: cancelled timer (reply beat the timeout) costs no wakeup.
+    wakeups: int = 0
     timeline: list[float] = field(default_factory=list)
+    #: Per-failure detection latency, in stream order (the tail — p99,
+    #: max — of failure detection, not just its mean).
+    detections: list[float] = field(default_factory=list)
 
     @property
     def false_timeout_rate(self) -> float:
@@ -284,32 +306,56 @@ class WaitOutcome:
             return 0.0
         return self.detection_total / self.failures
 
+    def detection_quantile(self, q: float) -> float:
+        """Nearest-rank quantile of the detection-latency tail."""
+        if not self.detections:
+            return 0.0
+        ordered = sorted(self.detections)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
 
 def simulate_wait_policy(latencies: Sequence[Optional[float]], *,
                          policy: str, fixed_timeout: float = 30.0,
-                         adaptive: Optional[AdaptiveTimeout] = None
-                         ) -> WaitOutcome:
+                         adaptive: Optional[AdaptiveTimeout] = None,
+                         warmup: int = 0) -> WaitOutcome:
     """Run a wait workload through a timeout policy.
 
     ``latencies`` holds the true reply latency per wait, or ``None``
     for a genuine failure (no reply ever).  ``policy`` is "fixed" or
-    "adaptive".  A *false timeout* is declared when the policy timed
-    out although the reply would have arrived.
+    "adaptive"; for "adaptive", ``adaptive`` is any estimator with
+    ``observe(sample)``/``timeout()`` (an :class:`AdaptiveTimeout`, a
+    bare :class:`JacobsonEstimator`, ...) and defaults to a fresh
+    :class:`AdaptiveTimeout`.  A *false timeout* is declared when the
+    policy timed out although the reply would have arrived.
+
+    The first ``warmup`` waits train the estimator but are excluded
+    from the outcome's counters and tails (the timeline still records
+    them), so steady-state comparisons are not dominated by the
+    cold-start ``initial_timeout`` — both fixed and adaptive policies
+    skip the same prefix, keeping the comparison fair.
     """
     if policy == "adaptive" and adaptive is None:
         adaptive = AdaptiveTimeout(initial_timeout=fixed_timeout)
     outcome = WaitOutcome(policy=policy)
-    for latency in latencies:
+    for i, latency in enumerate(latencies):
         timeout = fixed_timeout if policy == "fixed" else adaptive.timeout()
-        outcome.waits += 1
+        counted = i >= warmup
         outcome.timeline.append(timeout)
+        if counted:
+            outcome.waits += 1
         if latency is None:
-            outcome.failures += 1
-            outcome.detection_total += timeout
-            outcome.detection_max = max(outcome.detection_max, timeout)
+            if counted:
+                outcome.failures += 1
+                outcome.wakeups += 1
+                outcome.detection_total += timeout
+                outcome.detection_max = max(outcome.detection_max,
+                                            timeout)
+                outcome.detections.append(timeout)
             continue
-        if latency > timeout:
+        if latency > timeout and counted:
             outcome.false_timeouts += 1
+            outcome.wakeups += 1
             # The waiter gave up; the system keeps monitoring and the
             # model still learns the true arrival (Section 5.1 requires
             # continued monitoring after timeout).

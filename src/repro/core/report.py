@@ -114,6 +114,54 @@ def render_analysis(source, *, filter_x: bool = False) -> str:
     return out.getvalue()
 
 
+def render_sec51(result) -> str:
+    """Render a Section 5.1 policy × condition grid as fixed tables.
+
+    ``result`` is a :class:`repro.study.sec51.Sec51Result`.  One table
+    per backend × condition, policies as rows — the Table-style
+    comparison the paper sketches in prose.  All numbers use fixed
+    formats so the text is byte-identical across ``--jobs`` worker
+    counts and repeated seeds.
+    """
+    from ..sim.netmodel import get_condition
+    from ..study.sec51 import WARMUP_WAITS
+
+    out = io.StringIO()
+    out.write("=== Section 5.1: adaptive vs fixed timeout policies "
+              "===\n")
+    out.write(f"seed {result.seed}; {result.hosts} host(s) x "
+              f"{result.cpus} CPU(s); first {WARMUP_WAITS} waits per "
+              "cell train the estimators (uncounted)\n")
+    for backend in result.backends:
+        connections, waits = result.populations[backend]
+        out.write(f"population {backend:<8} {connections:6d} "
+                  f"connections  {waits:8d} request waits\n")
+    header = (f"{'policy':<10} {'spurious':>9} {'det p50 s':>10} "
+              f"{'det p99 s':>10} {'det max s':>10} "
+              f"{'wakeups/conn':>13} {'relearns':>9} "
+              f"{'timeout s':>10}")
+    for backend in result.backends:
+        for condition in result.conditions:
+            spec = get_condition(condition)
+            out.write(f"\n--- {backend} / {condition}")
+            if spec.description:
+                out.write(f" ({spec.description})")
+            out.write(" ---\n")
+            out.write(header + "\n")
+            for policy in result.policies:
+                cell = result.cell(backend, condition, policy)
+                out.write(
+                    f"{cell.policy:<10} "
+                    f"{cell.spurious_rate:>9.4f} "
+                    f"{cell.detection_p50:>10.3f} "
+                    f"{cell.detection_p99:>10.3f} "
+                    f"{cell.detection_max:>10.3f} "
+                    f"{cell.wakeups_per_connection:>13.4f} "
+                    f"{cell.relearned:>9d} "
+                    f"{cell.timeout_last:>10.3f}\n")
+    return out.getvalue()
+
+
 def generate_report(*, minutes: float = 2.0, seed: int = 0,
                     progress=None, jobs=None,
                     collect_metrics: bool = False):

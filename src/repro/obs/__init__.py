@@ -6,8 +6,8 @@ Metrics registry (:mod:`~repro.obs.metrics`), Prometheus text exporter
 (:mod:`~repro.obs.profiler`).
 """
 
-from .collect import collect_kernel, collect_run, collect_sink, \
-    collect_streaming, collect_trace_io
+from .collect import collect_kernel, collect_run, collect_sec51, \
+    collect_sink, collect_streaming, collect_trace_io
 from .delta import derive_rates, snapshot_delta
 from .export import render_prometheus
 from .metrics import (
@@ -21,7 +21,8 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "MetricsSnapshot", "NULL_REGISTRY", "Sample",
     "VirtualTimeProfiler", "collect_kernel", "collect_run",
-    "collect_sink", "collect_streaming", "collect_trace_io",
+    "collect_sec51", "collect_sink", "collect_streaming",
+    "collect_trace_io",
     "current_profiler",
     "derive_rates", "profile", "render_prometheus", "snapshot_delta",
     "subsystem_of",

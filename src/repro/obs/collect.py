@@ -44,8 +44,8 @@ from typing import Iterable, Optional
 
 from .metrics import MetricsRegistry, MetricsSnapshot
 
-__all__ = ["collect_run", "collect_kernel", "collect_sink",
-           "collect_streaming", "collect_trace_io"]
+__all__ = ["collect_run", "collect_kernel", "collect_sec51",
+           "collect_sink", "collect_streaming", "collect_trace_io"]
 
 _NS = 1e-9
 
@@ -432,6 +432,77 @@ def collect_trace_io(registry: MetricsRegistry,
         "Extractions that fell back to in-process execution after the "
         "worker pool failed.",
         names).set_total(SHARD_COUNTERS["pool_fallbacks"], **labels)
+
+
+# -- study.sec51 ----------------------------------------------------------
+
+def collect_sec51(result, *, registry: Optional[MetricsRegistry] = None,
+                  labels: Optional[dict] = None) -> MetricsSnapshot:
+    """Mirror a Section 5.1 grid into ``registry`` and snapshot it.
+
+    ``result`` is a :class:`repro.study.sec51.Sec51Result`; every cell
+    becomes one series per instrument, labelled
+    ``backend``/``condition``/``policy`` (plus any caller ``labels``).
+    Like the rest of this module, collection only reads the finished
+    result — ``timerstudy sec51 --metrics`` output is byte-identical
+    to a metrics-off run.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    labels = labels if labels is not None else {}
+    names = tuple(labels) + ("backend", "condition", "policy")
+    waits = registry.counter(
+        "repro_sec51_waits_total",
+        "Request waits replayed through the cell (post-warm-up).",
+        names)
+    failures = registry.counter(
+        "repro_sec51_failures_total",
+        "Genuine failures (the reply never arriving).", names)
+    spurious_total = registry.counter(
+        "repro_sec51_false_timeouts_total",
+        "Spurious timeouts: the policy fired although the reply was "
+        "on its way.", names)
+    wakeups = registry.counter(
+        "repro_sec51_wakeups_total",
+        "Timer expirations (failure detections + spurious wakeups).",
+        names)
+    relearns = registry.counter(
+        "repro_sec51_relearns_total",
+        "Level-shift relearns performed by the adaptive estimator.",
+        names)
+    spurious_rate = registry.gauge(
+        "repro_sec51_spurious_rate",
+        "Spurious timeouts per successful wait.", names)
+    detection = registry.gauge(
+        "repro_sec51_detection_seconds",
+        "Failure-detection latency at the labelled quantile.",
+        names + ("quantile",))
+    per_conn = registry.gauge(
+        "repro_sec51_wakeups_per_connection",
+        "Timer wakeups amortised over the population's connections.",
+        names)
+    connections = registry.gauge(
+        "repro_sec51_connections",
+        "Connections in the replayed request population.", names)
+    timeout = registry.gauge(
+        "repro_sec51_timeout_seconds",
+        "The timeout the policy was handing out at stream end.", names)
+    for cell in result.grid():
+        series = {"backend": cell.backend, "condition": cell.condition,
+                  "policy": cell.policy}
+        series.update(labels)
+        waits.set_total(cell.waits, **series)
+        failures.set_total(cell.failures, **series)
+        spurious_total.set_total(cell.false_timeouts, **series)
+        wakeups.set_total(cell.wakeups, **series)
+        relearns.set_total(cell.relearned, **series)
+        spurious_rate.set(cell.spurious_rate, **series)
+        detection.set(cell.detection_p50, quantile="p50", **series)
+        detection.set(cell.detection_p99, quantile="p99", **series)
+        detection.set(cell.detection_max, quantile="max", **series)
+        per_conn.set(cell.wakeups_per_connection, **series)
+        connections.set(cell.connections, **series)
+        timeout.set(cell.timeout_last, **series)
+    return registry.snapshot()
 
 
 # -- core.streaming -------------------------------------------------------

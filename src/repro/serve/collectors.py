@@ -174,6 +174,26 @@ def _cluster_collector(daemon) -> Optional[Collector]:
     return Collector("cluster", collect)
 
 
+@collector_factory("sec51")
+def _sec51_collector(daemon) -> Collector:
+    """A live Section 5.1 cell advanced alongside the workload.
+
+    The daemon has no offline request population, so this runs a
+    continuous miniature of the policy study
+    (:class:`~repro.study.sec51.Sec51LiveTracker`): a fixed request
+    rate per network condition, every policy fed the identical latency
+    stream.  Deterministic in virtual time — two daemons at the same
+    seed and speed export the same ``repro_sec51_live_*`` series.
+    """
+    from ..study.sec51 import Sec51LiveTracker
+    tracker = Sec51LiveTracker(seed=daemon.config.seed)
+
+    def collect(registry: MetricsRegistry, labels: dict) -> None:
+        tracker.advance(daemon.virtual_ns)
+        tracker.collect(registry, labels)
+    return Collector("sec51", collect)
+
+
 @collector_factory("daemon")
 def _daemon_collector(daemon) -> Collector:
     def collect(registry: MetricsRegistry, labels: dict) -> None:
@@ -259,7 +279,7 @@ def build_collectors(daemon, *, extra_names=()) -> list:
     skip).
     """
     names = ["engine", "sched", "power", "streaming", "cluster",
-             "daemon"]
+             "sec51", "daemon"]
     names += [name for name in (*daemon.traits.collectors(),
                                 *extra_names)
               if name not in names]

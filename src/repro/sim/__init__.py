@@ -14,6 +14,9 @@ from .clock import (HZ, JIFFY, MICROSECOND, MILLISECOND, MINUTE, SECOND,
                     to_seconds)
 from .devices import OneShotDevice, TickDevice
 from .engine import Engine, Event, SimulationError
+from .netmodel import (CONDITIONS, LevelShift, NetCondition, NetModel,
+                       condition_names, get_condition,
+                       register_condition)
 from .power import PowerMeter
 from .sched import (HeapScheduler, WheelScheduler, default_scheduler,
                     make_scheduler, use_scheduler)
@@ -25,6 +28,8 @@ __all__ = [
     "SECOND", "jiffies", "micros", "millis", "seconds", "to_jiffies",
     "to_seconds",
     "OneShotDevice", "TickDevice", "Engine", "Event", "SimulationError",
+    "CONDITIONS", "LevelShift", "NetCondition", "NetModel",
+    "condition_names", "get_condition", "register_condition",
     "HeapScheduler", "WheelScheduler", "default_scheduler",
     "make_scheduler", "use_scheduler",
     "PowerMeter", "RngRegistry", "RngStream", "KERNEL_PID", "Task",

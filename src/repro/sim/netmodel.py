@@ -1,0 +1,218 @@
+"""Synthetic network conditions: seeded latency/loss/shift models.
+
+The Section 5.1 study asks how a timeout policy behaves when the
+network underneath it changes — the paper's travelling-user example
+moves a learned LAN distribution onto a WAN and watches the model
+mispredict until it relearns.  This module gives that variation a
+first-class, *seeded* representation:
+
+* :class:`NetCondition` — a named, frozen description of one network
+  regime: a log-normal reply-latency distribution (median + sigma,
+  the jitter knob), a segment-loss probability (lost segments come
+  back after TCP-style doubling retransmissions, inflating the reply
+  latency), a genuine-failure probability (the reply *never* arrives
+  — the case a timeout exists to detect), and a script of
+  :class:`LevelShift` events (the LAN→WAN move);
+* :class:`NetModel` — binds a condition to one
+  :class:`~repro.sim.rng.RngStream` and yields per-wait reply
+  latencies in seconds (``None`` for a genuine failure), so two
+  policies fed the same stream see *exactly* the same network;
+* :data:`CONDITIONS` — the registry of built-in regimes the
+  ``timerstudy sec51`` study sweeps;
+* :meth:`NetCondition.apply_to_stack` — the failure-injection hook:
+  the same scripted shifts driven into a live
+  :class:`~repro.linuxkern.subsystems.net.TcpStack`, so a kernel
+  simulation can degrade mid-run exactly the way the latency streams
+  do (see ``tests/test_failure_injection.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CONDITIONS", "LevelShift", "NetCondition", "NetModel",
+    "condition_names", "get_condition", "register_condition",
+]
+
+#: Cap on consecutive retransmissions of one segment; beyond this the
+#: reply is treated as arriving after the full backed-off chain (the
+#: connection-level giveup is the *failure* probability's job).
+MAX_RETRANSMITS = 6
+
+
+@dataclass(frozen=True)
+class LevelShift:
+    """One scripted regime change within a wait stream.
+
+    ``at`` is the position as a fraction of the stream (0.5 = halfway
+    through the run).  ``median_scale`` multiplies the base latency
+    median from that point on (1000.0 turns a 130 us LAN into a
+    130 ms WAN); ``loss_to``/``failure_to``, when given, *replace* the
+    loss/failure probabilities outright (a blackout is
+    ``failure_to=1.0``).
+    """
+
+    at: float
+    median_scale: float = 1.0
+    loss_to: Optional[float] = None
+    failure_to: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class NetCondition:
+    """A named network regime for the Section 5.1 policy study."""
+
+    name: str
+    #: Median reply latency, seconds (the lognormal's median).
+    median_s: float
+    #: Lognormal sigma — the jitter knob.
+    sigma: float = 0.4
+    #: Probability one segment is lost and must be retransmitted
+    #: (reply arrives late: + rto_s * (2^k - 1) after k losses).
+    loss: float = 0.0
+    #: Probability the reply never arrives at all.
+    failure: float = 0.02
+    #: Base retransmission timeout feeding the loss-delay chain.
+    rto_s: float = 1.0
+    #: Scripted regime changes, in stream order.
+    shifts: Tuple[LevelShift, ...] = ()
+    description: str = ""
+
+    def regime_at(self, fraction: float) -> tuple:
+        """(median_s, loss, failure) in force at stream ``fraction``."""
+        median, loss, failure = self.median_s, self.loss, self.failure
+        for shift in self.shifts:
+            if fraction >= shift.at:
+                median *= shift.median_scale
+                if shift.loss_to is not None:
+                    loss = shift.loss_to
+                if shift.failure_to is not None:
+                    failure = shift.failure_to
+        return median, loss, failure
+
+    def apply_to_stack(self, stack, engine, duration_ns: int) -> None:
+        """Drive this condition's script into a live TCP stack.
+
+        Sets the stack's RTT median and loss rate to the base regime
+        now and schedules each :class:`LevelShift` at its fraction of
+        ``duration_ns`` on ``engine`` — the netmodel acting as the
+        failure injector for a kernel-level simulation.  A shift's
+        ``failure_to`` maps to segment loss on a real stack (there is
+        no reply to lose): ``failure_to=1.0`` is a dead network.
+        """
+        stack.rtt_median_ns = max(1, int(self.median_s * 1e9))
+        stack.loss_rate = self.loss
+
+        def make_apply(shift: LevelShift):
+            def apply() -> None:
+                stack.rtt_median_ns = max(
+                    1, int(stack.rtt_median_ns * shift.median_scale))
+                if shift.loss_to is not None:
+                    stack.loss_rate = shift.loss_to
+                if shift.failure_to is not None:
+                    stack.loss_rate = max(stack.loss_rate,
+                                          shift.failure_to)
+            return apply
+
+        for shift in self.shifts:
+            delay = max(1, int(shift.at * duration_ns))
+            engine.call_after(delay, make_apply(shift))
+
+
+class NetModel:
+    """One condition bound to one seeded random stream.
+
+    ``sample(i, n)`` returns the true reply latency (seconds) for wait
+    ``i`` of an ``n``-wait stream, or ``None`` when the reply never
+    arrives.  Draw order is fixed (failure, base latency, then the
+    loss chain), so a given (seed, condition) pair always produces the
+    same stream regardless of which policy consumes it.
+    """
+
+    def __init__(self, condition: NetCondition, rng):
+        self.condition = condition
+        self.rng = rng
+        self.failures = 0
+        self.retransmitted = 0
+
+    def sample(self, i: int, n: int) -> Optional[float]:
+        condition = self.condition
+        fraction = i / n if n else 0.0
+        median, loss, failure = condition.regime_at(fraction)
+        if self.rng.random() < failure:
+            self.failures += 1
+            return None
+        latency = self.rng.lognormvariate(math.log(median),
+                                          condition.sigma)
+        if loss and self.rng.random() < loss:
+            # TCP-style recovery: each further loss doubles the wait.
+            retries = 1
+            while (retries < MAX_RETRANSMITS
+                   and self.rng.random() < loss):
+                retries += 1
+            latency += condition.rto_s * ((1 << retries) - 1)
+            self.retransmitted += 1
+        return latency
+
+    def stream(self, n: int) -> List[Optional[float]]:
+        """The full ``n``-wait latency stream, in order."""
+        return [self.sample(i, n) for i in range(n)]
+
+
+#: Built-in regimes, keyed by name.  Sweep order in tables is the
+#: caller's policy; iteration order here is registration order.
+CONDITIONS: Dict[str, NetCondition] = {}
+
+
+def register_condition(condition: NetCondition, *,
+                       replace: bool = False) -> NetCondition:
+    """Install ``condition`` in the registry under its name."""
+    if condition.name in CONDITIONS and not replace:
+        raise ValueError(f"condition {condition.name!r} already "
+                         "registered")
+    CONDITIONS[condition.name] = condition
+    return condition
+
+
+def get_condition(name: str) -> NetCondition:
+    """Look up a registered condition; KeyError lists valid names."""
+    found = CONDITIONS.get(name)
+    if found is None:
+        raise KeyError(f"unknown network condition {name!r}; "
+                       f"registered: {sorted(CONDITIONS)}")
+    return found
+
+
+def condition_names() -> List[str]:
+    """Registered condition names, in registration order."""
+    return list(CONDITIONS)
+
+
+register_condition(NetCondition(
+    "lan", median_s=130e-6, sigma=0.4, loss=0.0, failure=0.01,
+    description="datacenter LAN: 130 us median, low jitter"))
+register_condition(NetCondition(
+    "wan", median_s=0.13, sigma=0.5, loss=0.0, failure=0.02,
+    description="coast-to-coast WAN: 130 ms median"))
+register_condition(NetCondition(
+    "datacenter", median_s=2e-3, sigma=0.45, loss=0.0, failure=0.015,
+    description="cross-rack RPC: 2 ms median"))
+register_condition(NetCondition(
+    "jittery", median_s=0.02, sigma=1.0, loss=0.0, failure=0.02,
+    description="congested last mile: heavy jitter (sigma 1.0)"))
+register_condition(NetCondition(
+    "lossy-wan", median_s=0.13, sigma=0.5, loss=0.08, failure=0.02,
+    rto_s=1.0,
+    description="lossy WAN: 8% segment loss, doubling retransmits"))
+register_condition(NetCondition(
+    "lan-wan-shift", median_s=130e-6, sigma=0.4, loss=0.0,
+    failure=0.01, shifts=(LevelShift(at=0.5, median_scale=1000.0),),
+    description="the paper's travelling user: LAN for the first "
+                "half, 1000x latency level shift at 50%"))
+register_condition(NetCondition(
+    "blackout", median_s=0.13, sigma=0.5, loss=0.0, failure=0.02,
+    shifts=(LevelShift(at=0.5, failure_to=1.0),),
+    description="network dies halfway: every later reply is lost"))

@@ -1,0 +1,22 @@
+"""Evaluation studies built on top of the reproduction.
+
+The :mod:`repro.core` analyses *reproduce* the paper's measurements;
+this package *evaluates* its proposals.  Each study module drives a
+workload population through competing designs and reports a pinned,
+regression-gated comparison:
+
+* :mod:`repro.study.sec51` — the headline: adaptive ("99% confident
+  the message will never arrive") versus fixed 5/15/30 s timeouts on
+  the serverfarm request population under synthetic network
+  conditions (:mod:`repro.sim.netmodel`).
+"""
+
+from .sec51 import (POLICIES, Sec51Cell, Sec51LiveTracker, Sec51Result,
+                    harvest_population, get_policy, policy_names,
+                    run_sec51_cells, run_sec51_study)
+
+__all__ = [
+    "POLICIES", "Sec51Cell", "Sec51LiveTracker", "Sec51Result",
+    "get_policy", "harvest_population", "policy_names",
+    "run_sec51_cells", "run_sec51_study",
+]

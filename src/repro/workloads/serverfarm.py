@@ -67,6 +67,10 @@ class LinuxServerFarm:
         self.opened = 0
         self.closed = 0
         self.active = 0
+        #: Data round-trips (request/response waits) per opened
+        #: connection, in open order — the request population the
+        #: Section 5.1 policy study replays (`repro.study.sec51`).
+        self.request_counts: list[int] = []
 
     def start(self) -> None:
         engine = self.machine.kernel.engine
@@ -77,9 +81,10 @@ class LinuxServerFarm:
     def _open(self) -> None:
         self.opened += 1
         self.active += 1
+        segments = self.rng.randrange(1, self.segments_max + 1)
+        self.request_counts.append(segments)
         conn = TcpConnection(
-            self.tcp, server_side=True,
-            segments=self.rng.randrange(1, self.segments_max + 1),
+            self.tcp, server_side=True, segments=segments,
             keepalive=True, think_mean_ns=self.think_mean_ns,
             on_close=self._closed)
         conn.start()
@@ -121,6 +126,9 @@ class VistaServerFarm:
         self.closed = 0
         self.active = 0
         self.requests = 0
+        #: Requests per opened connection, in open order — the
+        #: Section 5.1 request population (`repro.study.sec51`).
+        self.request_counts: list[int] = []
 
     def start(self) -> None:
         engine = self.kernel.engine
@@ -131,10 +139,12 @@ class VistaServerFarm:
     def _open(self) -> None:
         self.opened += 1
         self.active += 1
-        self._request()
+        self.request_counts.append(0)
+        self._request(len(self.request_counts) - 1)
 
-    def _request(self) -> None:
+    def _request(self, slot: int) -> None:
         self.requests += 1
+        self.request_counts[slot] += 1
         kernel = self.kernel
         rng = self.rng
         rexmit = kernel.alloc_ktimer(site=SITE_VISTA_REXMIT,
@@ -150,7 +160,7 @@ class VistaServerFarm:
                 self._close()
             else:
                 think = max(1, int(rng.exponential(self.think_mean_ns)))
-                kernel.engine.call_after(think, self._request)
+                kernel.engine.call_after(think, self._request, slot)
 
         kernel.engine.call_after(ack, acked)
         # The service process parks in a winsock select until the next

@@ -1,0 +1,185 @@
+"""Property tests for the Section 5.1 estimators.
+
+Each estimator in :mod:`repro.core.adaptive` is checked against an
+independent reference over many seeds: P² against exact offline
+quantiles, the Jacobson loop against a literal RFC 6298 transcription,
+backoff against its closed-form schedule, and the level-shift detector
+against scripted shifted/stationary streams.
+"""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.core.adaptive import (AdaptiveTimeout, ExponentialBackoff,
+                                 JacobsonEstimator, LevelShiftDetector,
+                                 P2Quantile)
+
+SEEDS = range(20)
+
+
+class TestP2AgainstExactQuantiles:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("p", [0.5, 0.9, 0.99])
+    def test_tracks_exact_quantile_within_bounded_error(self, seed, p):
+        """P² stays within a bounded relative error of the exact
+        offline quantile on a well-behaved (lognormal) stream."""
+        rng = random.Random(seed)
+        samples = [rng.lognormvariate(0.0, 0.4) for _ in range(4000)]
+        estimator = P2Quantile(p)
+        for x in samples:
+            estimator.observe(x)
+        # statistics.quantiles with n=100 gives exact percentile cuts
+        # of the full sample (inclusive: data covers the extremes).
+        cuts = statistics.quantiles(samples, n=1000, method="inclusive")
+        exact = cuts[int(p * 1000) - 1]
+        assert estimator.value() == pytest.approx(exact, rel=0.15)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_median_on_uniform_stream(self, seed):
+        rng = random.Random(seed)
+        samples = [rng.uniform(0.0, 1.0) for _ in range(4000)]
+        estimator = P2Quantile(0.5)
+        for x in samples:
+            estimator.observe(x)
+        exact = statistics.median(samples)
+        assert estimator.value() == pytest.approx(exact, abs=0.05)
+
+    def test_small_sample_fallback_is_order_statistic(self):
+        estimator = P2Quantile(0.9)
+        assert estimator.value() is None
+        for x in (3.0, 1.0, 2.0):
+            estimator.observe(x)
+        # Below 5 samples: nearest-rank on the sorted prefix.
+        assert estimator.value() == 3.0
+
+
+def rfc6298_reference(samples, *, k=4.0):
+    """Literal RFC 6298 step-by-step update (alpha=1/8, beta=1/4)."""
+    srtt = samples[0]
+    rttvar = samples[0] / 2
+    for r in samples[1:]:
+        rttvar = (1 - 0.25) * rttvar + 0.25 * abs(srtt - r)
+        srtt = (1 - 0.125) * srtt + 0.125 * r
+    return srtt, rttvar, srtt + k * rttvar
+
+
+class TestJacobsonAgainstRfc6298:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_matches_literal_rfc_updates(self, seed):
+        rng = random.Random(seed)
+        samples = [rng.lognormvariate(math.log(0.1), 0.5)
+                   for _ in range(500)]
+        estimator = JacobsonEstimator()
+        for r in samples:
+            estimator.observe(r)
+        srtt, rttvar, rto = rfc6298_reference(samples)
+        assert estimator.srtt == pytest.approx(srtt, rel=1e-9)
+        assert estimator.rttvar == pytest.approx(rttvar, rel=1e-9)
+        assert estimator.timeout() == pytest.approx(
+            min(max(rto, estimator.min_timeout), estimator.max_timeout),
+            rel=1e-9)
+
+    def test_first_sample_initialises_per_rfc(self):
+        estimator = JacobsonEstimator()
+        estimator.observe(0.2)
+        assert estimator.srtt == 0.2
+        assert estimator.rttvar == 0.1
+        assert estimator.timeout() == pytest.approx(0.2 + 4 * 0.1)
+
+
+class TestJacobsonColdStart:
+    """Regression: the pre-fix fallback was ``min_timeout or 1.0``,
+    which read an explicit ``min_timeout=0.0`` as "unset"."""
+
+    def test_explicit_zero_min_timeout_still_gets_default(self):
+        estimator = JacobsonEstimator(min_timeout=0.0)
+        assert estimator.timeout() == JacobsonEstimator.NO_SAMPLE_TIMEOUT
+
+    def test_default_is_rfc6298_initial_rto(self):
+        assert JacobsonEstimator().timeout() == 1.0
+
+    def test_min_timeout_clamps_cold_start_up(self):
+        assert JacobsonEstimator(min_timeout=5.0).timeout() == 5.0
+
+    def test_max_timeout_clamps_cold_start_down(self):
+        estimator = JacobsonEstimator(max_timeout=0.5)
+        assert estimator.timeout() == 0.5
+
+    def test_custom_no_sample_timeout(self):
+        estimator = JacobsonEstimator(no_sample_timeout=30.0)
+        assert estimator.timeout() == 30.0
+        estimator.observe(0.1)
+        assert estimator.timeout() < 30.0
+
+
+class TestBackoffInvariants:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_schedule_monotone_capped_and_exhausts(self, seed):
+        rng = random.Random(seed)
+        base = rng.uniform(0.01, 2.0)
+        factor = rng.uniform(1.1, 3.0)
+        maximum = base * rng.uniform(2.0, 50.0)
+        retries = rng.randrange(1, 12)
+        backoff = ExponentialBackoff(base, factor=factor,
+                                     maximum=maximum,
+                                     max_retries=retries)
+        timeouts = []
+        while not backoff.exhausted:
+            timeouts.append(backoff.next_timeout())
+        assert len(timeouts) == retries
+        assert timeouts[0] == pytest.approx(min(base, maximum))
+        assert all(a <= b + 1e-12
+                   for a, b in zip(timeouts, timeouts[1:]))
+        assert all(t <= maximum + 1e-12 for t in timeouts)
+        assert sum(timeouts) == pytest.approx(backoff.total_wait())
+        backoff.reset()
+        assert not backoff.exhausted
+        assert backoff.next_timeout() == pytest.approx(timeouts[0])
+
+    def test_rejects_nonpositive_base(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(0.0)
+
+
+class TestLevelShiftDetector:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_detects_scripted_10x_shift(self, seed):
+        rng = random.Random(seed)
+        detector = LevelShiftDetector()
+        for _ in range(500):
+            assert not detector.observe(
+                1e-3 * math.exp(rng.gauss(0.0, 0.3)))
+        fired = [detector.observe(1e-2 * math.exp(rng.gauss(0.0, 0.3)))
+                 for _ in range(50)]
+        assert any(fired)
+        assert detector.shifts == 1
+        # The reference re-anchors at the new level: no refiring while
+        # the stream stays there.
+        assert not any(
+            detector.observe(1e-2 * math.exp(rng.gauss(0.0, 0.3)))
+            for _ in range(200))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_never_fires_on_stationary_noise(self, seed):
+        rng = random.Random(seed)
+        detector = LevelShiftDetector()
+        for _ in range(2000):
+            assert not detector.observe(
+                1e-3 * math.exp(rng.gauss(0.0, 0.3)))
+        assert detector.shifts == 0
+
+    def test_adaptive_timeout_relearns_on_shift(self):
+        rng = random.Random(7)
+        policy = AdaptiveTimeout(confidence=0.99, safety=2.0,
+                                 initial_timeout=30.0)
+        for _ in range(200):
+            policy.observe(1e-3 * math.exp(rng.gauss(0.0, 0.2)))
+        before = policy.timeout()
+        assert before < 0.01
+        for _ in range(50):
+            policy.observe(1.0 * math.exp(rng.gauss(0.0, 0.2)))
+        assert policy.relearned == 1
+        assert policy.timeout() > 1.0

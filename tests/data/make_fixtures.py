@@ -14,8 +14,10 @@ point at which old readers must learn to negotiate the new layout.
 
 import os
 
+from tests.study.test_sec51 import golden_sec51_result
 from tests.tracing.test_formats import golden_cluster_trace, golden_trace
 
+from repro.core.report import render_sec51
 from repro.tracing import write_trace
 
 HERE = os.path.dirname(os.path.abspath(__file__))
@@ -31,6 +33,11 @@ def main() -> None:
         path = os.path.join(HERE, filename)
         write_trace(source, path, format=name)
         print(f"{filename}: {os.path.getsize(path)} bytes ({name})")
+
+    table = os.path.join(HERE, "sec51_table.txt")
+    with open(table, "w", encoding="utf-8") as fh:
+        fh.write(render_sec51(golden_sec51_result()))
+    print(f"sec51_table.txt: {os.path.getsize(table)} bytes")
 
 
 if __name__ == "__main__":

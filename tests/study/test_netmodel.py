@@ -1,0 +1,115 @@
+"""Tests for the synthetic network-condition model."""
+
+import pytest
+
+from repro.sim.netmodel import (CONDITIONS, LevelShift, NetCondition,
+                                NetModel, condition_names,
+                                get_condition, register_condition)
+from repro.sim.rng import RngStream
+
+
+def model(name, seed=0, stream="test"):
+    return NetModel(get_condition(name), RngStream(seed, stream))
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ("lan", "wan", "datacenter", "jittery",
+                     "lossy-wan", "lan-wan-shift", "blackout"):
+            assert get_condition(name).name == name
+            assert name in condition_names()
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_condition("dialup")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_condition(NetCondition("lan", median_s=1.0))
+
+    def test_replace_allows_override(self):
+        original = CONDITIONS["lan"]
+        try:
+            register_condition(NetCondition("lan", median_s=1.0),
+                               replace=True)
+            assert get_condition("lan").median_s == 1.0
+        finally:
+            register_condition(original, replace=True)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        assert model("wan").stream(200) == model("wan").stream(200)
+
+    def test_stream_names_are_independent(self):
+        a = NetModel(get_condition("wan"), RngStream(0, "a")).stream(50)
+        b = NetModel(get_condition("wan"), RngStream(0, "b")).stream(50)
+        assert a != b
+
+    def test_policies_share_one_stream(self):
+        """The study's invariant: one (seed, condition) stream feeds
+        every policy, so re-materialising it gives identical draws."""
+        first = model("lossy-wan", seed=3).stream(500)
+        second = model("lossy-wan", seed=3).stream(500)
+        assert first == second
+
+
+class TestSampling:
+    def test_latencies_cluster_around_median(self):
+        condition = get_condition("wan")
+        arrived = [s for s in model("wan").stream(2000) if s is not None]
+        in_band = sum(1 for s in arrived
+                      if condition.median_s / 4 < s
+                      < condition.median_s * 4)
+        assert in_band / len(arrived) > 0.95
+
+    def test_failure_rate_matches_condition(self):
+        net = model("wan")
+        stream = net.stream(5000)
+        failures = sum(1 for s in stream if s is None)
+        assert failures == net.failures
+        assert failures / 5000 == pytest.approx(
+            get_condition("wan").failure, abs=0.01)
+
+    def test_loss_inflates_latency_by_rto_chain(self):
+        condition = get_condition("lossy-wan")
+        net = model("lossy-wan")
+        stream = [s for s in net.stream(2000) if s is not None]
+        assert net.retransmitted > 0
+        delayed = [s for s in stream if s >= condition.rto_s]
+        # A retransmitted reply carries at least one full RTO.
+        assert len(delayed) >= net.retransmitted * 0.5
+        assert max(stream) < condition.rto_s * (1 << 7)
+
+    def test_lossless_condition_never_retransmits(self):
+        net = model("lan")
+        net.stream(1000)
+        assert net.retransmitted == 0
+
+
+class TestLevelShifts:
+    def test_regime_at_applies_script(self):
+        condition = get_condition("lan-wan-shift")
+        before = condition.regime_at(0.25)
+        after = condition.regime_at(0.75)
+        assert after[0] == pytest.approx(before[0] * 1000.0)
+        assert before[1:] == after[1:]
+
+    def test_blackout_fails_every_late_wait(self):
+        stream = model("blackout").stream(400)
+        late = stream[200:]
+        assert all(s is None for s in late)
+        assert any(s is not None for s in stream[:200])
+
+    def test_shift_replaces_loss_and_failure(self):
+        condition = NetCondition(
+            "tmp", median_s=1.0, loss=0.1, failure=0.2,
+            shifts=(LevelShift(at=0.5, loss_to=0.0, failure_to=0.0),))
+        assert condition.regime_at(0.6) == (1.0, 0.0, 0.0)
+
+    def test_zero_length_stream_uses_base_regime(self):
+        net = model("lan-wan-shift")
+        # n=0 guards the division; sample(0, 0) sees the base (LAN)
+        # regime, not the shifted one.
+        sample = net.sample(0, 0)
+        assert sample is None or sample < 1.0

@@ -1,0 +1,231 @@
+"""Tests for the Section 5.1 policy study harness.
+
+The load-bearing guarantees: the grid is a pure function of
+``(seed, populations, conditions, policies)`` — byte-identical across
+``--jobs`` worker counts, the batch vs streaming population paths and
+the ``--hosts 1 --cpus 1`` routing — and the rendered table keeps the
+paper's shape (adaptive beating fixed timeouts where the distribution
+is stable, paying a measured cost on a level shift).
+"""
+
+import os
+
+import pytest
+
+from repro.core.report import render_sec51
+from repro.study import (POLICIES, Sec51LiveTracker, get_policy,
+                         harvest_population, policy_names,
+                         run_sec51_cells, run_sec51_study)
+from repro.study.sec51 import WARMUP_WAITS, _simulate_cell
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURE = os.path.join(os.path.dirname(HERE), "data", "sec51_table.txt")
+
+#: Synthetic populations: the golden grid needs no workload run.
+GOLDEN_POPULATIONS = {"linux": (400, 1800), "vista": (500, 1700)}
+
+
+def golden_sec51_result():
+    """The pinned grid: one seeded WAN cell pair per backend."""
+    return run_sec51_cells(GOLDEN_POPULATIONS, conditions=("wan",),
+                           policies=("fixed-30", "p2-99"), seed=0,
+                           jobs=1)
+
+
+class TestPolicyRegistry:
+    def test_builtin_policies(self):
+        assert policy_names() == ["fixed-5", "fixed-15", "fixed-30",
+                                  "jacobson", "p2-95", "p2-99"]
+        assert get_policy("fixed-15").fixed_timeout == 15.0
+        assert get_policy("p2-99").kind == "adaptive"
+
+    def test_unknown_policy_lists_choices(self):
+        with pytest.raises(KeyError, match="registered"):
+            get_policy("oracle")
+
+    def test_adaptive_factories_are_fresh(self):
+        spec = POLICIES["p2-99"]
+        assert spec.make() is not spec.make()
+
+
+class TestCellPurity:
+    def test_cell_is_pure_function_of_job(self):
+        job = ("linux", "wan", "p2-99", 300, 2000, 7)
+        assert _simulate_cell(job) == _simulate_cell(job)
+
+    def test_policies_see_identical_network(self):
+        """All policies in a condition column share failure count —
+        the same latency stream underneath."""
+        cells = {name: _simulate_cell(("linux", "wan", name, 300,
+                                       2000, 0))
+                 for name in policy_names()}
+        assert len({cell.failures for cell in cells.values()}) == 1
+        assert len({cell.waits for cell in cells.values()}) == 1
+
+    def test_warmup_excluded_from_counters(self):
+        cell = _simulate_cell(("linux", "wan", "fixed-30", 300,
+                               2000, 0))
+        assert cell.waits == 2000 - WARMUP_WAITS
+
+
+class TestJobsDifferential:
+    def test_grid_identical_serial_vs_pool(self):
+        populations = {"linux": (400, 1500), "vista": (500, 1400)}
+        kwargs = dict(conditions=("lan", "wan", "lan-wan-shift"),
+                      policies=("fixed-5", "fixed-30", "jacobson",
+                                "p2-99"),
+                      seed=3)
+        serial = run_sec51_cells(populations, jobs=1, **kwargs)
+        pooled = run_sec51_cells(populations, jobs=2, **kwargs)
+        assert render_sec51(serial) == render_sec51(pooled)
+        assert serial.cells == pooled.cells
+
+    def test_population_list_and_pair_agree(self):
+        counts = [3, 5, 2, 8]
+        from_list = run_sec51_cells({"linux": counts},
+                                    conditions=("wan",),
+                                    policies=("fixed-30",), jobs=1)
+        from_pair = run_sec51_cells({"linux": (4, 18)},
+                                    conditions=("wan",),
+                                    policies=("fixed-30",), jobs=1)
+        assert from_list.cells == from_pair.cells
+
+    def test_bad_names_rejected_before_simulation(self):
+        with pytest.raises(KeyError, match="condition"):
+            run_sec51_cells({"linux": (10, 50)}, conditions=("dialup",),
+                            policies=("fixed-30",))
+        with pytest.raises(KeyError, match="policy"):
+            run_sec51_cells({"linux": (10, 50)}, conditions=("wan",),
+                            policies=("oracle",))
+
+
+class TestStudyDifferential:
+    """The expensive end-to-end invariants, on one short population."""
+
+    KWARGS = dict(backends=("linux",), conditions=("lan", "wan"),
+                  policies=("fixed-30", "p2-99"), minutes=0.1,
+                  seed=0, connections=100, jobs=1)
+
+    @pytest.fixture(scope="class")
+    def batch(self):
+        return run_sec51_study(**self.KWARGS)
+
+    def test_batch_vs_streaming_population(self, batch):
+        streamed = run_sec51_study(stream=True, **self.KWARGS)
+        assert render_sec51(batch) == render_sec51(streamed)
+
+    def test_plain_vs_hosts1_cpus1(self, batch):
+        routed = run_sec51_study(hosts=1, cpus=1, **self.KWARGS)
+        assert render_sec51(batch) == render_sec51(routed)
+
+    def test_repeated_run_is_byte_identical(self, batch):
+        again = run_sec51_study(**self.KWARGS)
+        assert render_sec51(batch) == render_sec51(again)
+
+    def test_adaptive_beats_fixed_on_stable_conditions(self, batch):
+        for condition in ("lan", "wan"):
+            adaptive = batch.cell("linux", condition, "p2-99")
+            fixed = batch.cell("linux", condition, "fixed-30")
+            assert adaptive.spurious_rate <= fixed.spurious_rate
+            assert adaptive.detection_p99 < fixed.detection_p99
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="serverfarm"):
+            run_sec51_study(backends=("beos",), minutes=0.1)
+
+
+class TestHarvestPopulation:
+    def test_non_farm_run_rejected(self):
+        from repro.workloads import run_workload
+        from repro.sim.clock import SECOND
+        run = run_workload("linux", "idle", 2 * SECOND, seed=0)
+        with pytest.raises(ValueError, match="serverfarm"):
+            harvest_population(run)
+
+
+class TestGoldenTable:
+    def test_rendered_grid_matches_fixture(self):
+        """Byte-for-byte pin of the policy-comparison table.  If an
+        intentional change moves it, regenerate via
+        ``PYTHONPATH=src:. python tests/data/make_fixtures.py``."""
+        with open(FIXTURE, encoding="utf-8") as fh:
+            expected = fh.read()
+        assert render_sec51(golden_sec51_result()) == expected
+
+    def test_fixture_shows_adaptive_winning(self):
+        with open(FIXTURE, encoding="utf-8") as fh:
+            text = fh.read()
+        assert "p2-99" in text and "fixed-30" in text
+        assert "30.000" in text      # the fixed detection latency
+
+
+class TestMetrics:
+    def test_collect_sec51_series(self):
+        from repro.obs import collect_sec51
+        snapshot = collect_sec51(golden_sec51_result())
+        text = snapshot.render()
+        assert 'repro_sec51_waits_total{backend="linux",' \
+               'condition="wan",policy="fixed-30"}' in text
+        for name in ("repro_sec51_failures_total",
+                     "repro_sec51_false_timeouts_total",
+                     "repro_sec51_wakeups_total",
+                     "repro_sec51_relearns_total",
+                     "repro_sec51_spurious_rate",
+                     "repro_sec51_detection_seconds",
+                     "repro_sec51_wakeups_per_connection",
+                     "repro_sec51_connections",
+                     "repro_sec51_timeout_seconds"):
+            assert name in text
+        assert 'quantile="p99"' in text
+
+    def test_collection_is_pure(self):
+        from repro.obs import collect_sec51
+        result = golden_sec51_result()
+        first = collect_sec51(result).render()
+        second = collect_sec51(result).render()
+        assert first == second
+
+
+class TestLiveTracker:
+    def test_advance_is_deterministic_in_virtual_time(self):
+        a = Sec51LiveTracker(seed=1)
+        b = Sec51LiveTracker(seed=1)
+        a.advance(10_000_000_000)
+        # Two half steps land exactly on one full step.
+        b.advance(5_000_000_000)
+        b.advance(10_000_000_000)
+        assert a._cells.keys() == b._cells.keys()
+        for key in a._cells:
+            assert {k: v for k, v in a._cells[key].items()
+                    if k != "estimator"} == \
+                   {k: v for k, v in b._cells[key].items()
+                    if k != "estimator"}
+
+    def test_collect_publishes_live_series(self):
+        from repro.obs.metrics import MetricsRegistry
+        tracker = Sec51LiveTracker(seed=0)
+        tracker.advance(20_000_000_000)
+        registry = MetricsRegistry()
+        tracker.collect(registry, {"os": "linux"})
+        text = registry.snapshot().render()
+        assert "repro_sec51_live_waits_total" in text
+        assert 'policy="p2-99"' in text
+
+
+class TestCli:
+    def test_sec51_cli_renders_and_exits_zero(self, capsys):
+        from repro.cli import main
+        code = main(["sec51", "--minutes", "0.1", "--connections",
+                     "100", "--backends", "linux", "--conditions",
+                     "lan", "--policies", "fixed-30,p2-99",
+                     "--jobs", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Section 5.1" in out
+        assert "p2-99" in out
+
+    def test_unknown_condition_exits_2(self, capsys):
+        from repro.cli import main
+        code = main(["sec51", "--conditions", "dialup"])
+        assert code == 2
+        assert "registered" in capsys.readouterr().err

@@ -69,6 +69,48 @@ class TestDeadNetwork:
         assert stack._sock_count <= 10
 
 
+class TestNetmodelInjection:
+    """The netmodel's scripted conditions driving a live TCP stack."""
+
+    def test_blackout_shift_kills_live_stack(self):
+        from repro.sim.netmodel import get_condition
+        kernel = LinuxKernel(seed=4)
+        stack = TcpStack(kernel, kernel.rng.stream("tcp"),
+                         loss_rate=0.0)
+        duration = 600 * SECOND
+        condition = get_condition("blackout")
+        condition.apply_to_stack(stack, kernel.engine, duration)
+        # Base regime applied immediately: WAN latency, no loss.
+        assert stack.rtt_median_ns == int(condition.median_s * 1e9)
+        assert stack.loss_rate == 0.0
+        closed = []
+        early = TcpConnection(stack, server_side=True,
+                              on_close=lambda: closed.append("early"))
+        early.start()
+        late = TcpConnection(stack, server_side=True,
+                             on_close=lambda: closed.append("late"))
+        kernel.engine.call_after(301 * SECOND, late.start)
+        kernel.run_for(duration)
+        # The scripted failure_to=1.0 landed halfway: the stack is dead.
+        assert stack.loss_rate == 1.0
+        # The healthy-half connection completed without retransmitting;
+        # the post-shift one exhausted its retransmissions and closed.
+        assert closed == ["early", "late"]
+        assert early.retransmits == 0
+        assert late.retransmits > 5
+
+    def test_median_scale_shift_slows_live_stack(self):
+        from repro.sim.netmodel import get_condition
+        kernel = LinuxKernel(seed=5)
+        stack = TcpStack(kernel, kernel.rng.stream("tcp"),
+                         loss_rate=0.0)
+        condition = get_condition("lan-wan-shift")
+        condition.apply_to_stack(stack, kernel.engine, 100 * SECOND)
+        before = stack.rtt_median_ns
+        kernel.run_for(100 * SECOND)
+        assert stack.rtt_median_ns == before * 1000
+
+
 class TestStuckDisk:
     def test_ide_command_timeout_fires_on_hung_disk(self):
         kernel = LinuxKernel(seed=3)
